@@ -1,0 +1,68 @@
+//! # rannc-baselines
+//!
+//! The frameworks the paper compares RaNNC against (§IV-A):
+//!
+//! * **Megatron-LM** ([`mod@megatron`]) — manual *tensor* partitioning for
+//!   Transformer models only; no gradient accumulation; full-size result
+//!   buffers (the two properties behind its OOMs in Fig. 4).
+//! * **GPipe-Hybrid** ([`gpipe`]) — manual *graph* partitioning at layer
+//!   granularity with hybrid parallelism: uniform layer counts per stage,
+//!   the same replica count for every stage, stage counts from
+//!   {2, 4, 8, 16}, synchronous fill–drain schedule.
+//! * **GPipe-Model** ([`gpipe`]) — torchgpipe: model parallelism on a
+//!   single node (≤ 8 stages), micro-batch count fixed at 64 (§IV-B).
+//! * **PipeDream-2BW** ([`pipedream`]) — same layer-uniform partitioner,
+//!   asynchronous 2BW schedule (no flush; parameter staleness).
+//! * **Data parallelism** — re-exported from `rannc_pipeline`
+//!   ([`rannc_pipeline::dataparallel`]).
+//!
+//! All outcomes are reported through [`BaselineOutcome`], which carries
+//! either a simulated iteration result or the reason training is
+//! impossible (OOM / unsupported architecture) so the figure harnesses can
+//! print the paper's missing bars faithfully.
+
+pub mod gpipe;
+pub mod layers;
+pub mod megatron;
+pub mod pipedream;
+
+pub use gpipe::{gpipe_hybrid, gpipe_model};
+pub use layers::{layer_groups, LayerGroup};
+pub use megatron::{megatron, TransformerDims};
+pub use pipedream::pipedream_2bw;
+pub use rannc_pipeline::dataparallel::{simulate_data_parallel, DataParallelOutcome};
+
+use rannc_pipeline::SimResult;
+
+/// What a baseline run reports.
+#[derive(Debug, Clone)]
+pub enum BaselineOutcome {
+    /// Training is possible; carries the simulated result and a short
+    /// human-readable description of the chosen configuration.
+    Feasible {
+        /// Simulated iteration result.
+        result: SimResult,
+        /// Description of the winning configuration (stage count etc.).
+        config: String,
+    },
+    /// The model cannot be trained within device memory.
+    OutOfMemory,
+    /// The framework does not support this model architecture (e.g.
+    /// Megatron-LM on ResNet).
+    Unsupported,
+}
+
+impl BaselineOutcome {
+    /// The simulated result, if feasible.
+    pub fn ok(&self) -> Option<&SimResult> {
+        match self {
+            BaselineOutcome::Feasible { result, .. } => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Samples/s, or `None` when the framework cannot train the model.
+    pub fn throughput(&self) -> Option<f64> {
+        self.ok().map(|r| r.throughput)
+    }
+}

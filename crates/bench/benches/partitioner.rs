@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the partitioning phases (methodology
+//! benchmarks: how expensive is RaNNC's own search?).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rannc::core::{atomic_partition, block_partition, form_stage_dp, BlockLimits, DpParams};
+use rannc::prelude::*;
+
+fn bench_atomic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atomic_partition");
+    for layers in [4usize, 16, 48] {
+        let g = bert_graph(&BertConfig::enlarged(128, layers));
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &g, |b, g| {
+            b.iter(|| atomic_partition(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_partition");
+    group.sample_size(10);
+    for layers in [4usize, 16] {
+        let g = bert_graph(&BertConfig::enlarged(128, layers));
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let atomic = atomic_partition(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
+            b.iter(|| {
+                block_partition(
+                    &g,
+                    &profiler,
+                    &atomic,
+                    BlockLimits {
+                        k: 16,
+                        mem_limit: 32 << 30,
+                        profile_batch: 1,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("form_stage_dp");
+    group.sample_size(10);
+    let g = bert_graph(&BertConfig::enlarged(128, 16));
+    let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+    let atomic = atomic_partition(&g);
+    let blocks = block_partition(
+        &g,
+        &profiler,
+        &atomic,
+        BlockLimits {
+            k: 32,
+            mem_limit: 32 << 30,
+            profile_batch: 1,
+        },
+    );
+    for (s, d) in [(2usize, 8usize), (4, 8), (8, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("SxD", format!("{s}x{d}")),
+            &(s, d),
+            |b, &(s, d)| {
+                b.iter(|| {
+                    form_stage_dp(
+                        &g,
+                        &profiler,
+                        &blocks,
+                        &DpParams {
+                            stages: s,
+                            devices: d,
+                            batch_size: 64,
+                            replica_factor: 1,
+                            microbatches: 4,
+                            mem_limit: 32 << 30,
+                        },
+                        LinkSpec::nvlink(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rannc_partition_end_to_end");
+    group.sample_size(10);
+    let g = bert_graph(&BertConfig::enlarged(128, 8));
+    let cluster = ClusterSpec::v100_cluster(1);
+    group.bench_function("bert_128x8", |b| {
+        b.iter(|| {
+            Rannc::new(PartitionConfig::new(64).with_k(16))
+                .partition(&g, &cluster)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_atomic,
+    bench_blocks,
+    bench_stage_dp,
+    bench_end_to_end
+);
+criterion_main!(benches);

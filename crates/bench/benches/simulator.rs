@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the schedule simulator and profiler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rannc::pipeline::async2bw::simulate_async_2bw;
+use rannc::pipeline::{simulate_sync, PipelineSpec, StageSpec, SyncSchedule};
+use rannc::prelude::*;
+
+fn spec(stages: usize, mb: usize) -> PipelineSpec {
+    PipelineSpec {
+        stages: (0..stages)
+            .map(|i| StageSpec {
+                fwd_time: 0.01 + 0.001 * i as f64,
+                bwd_time: 0.02,
+                comm_to_next_bytes: 1 << 20,
+                grad_bytes: 16 << 20,
+                replicas: 1,
+            })
+            .collect(),
+        microbatches: mb,
+        replica_factor: 2,
+        batch_size: 256,
+        link: LinkSpec::nvlink(),
+        cluster: ClusterSpec::v100_cluster(2),
+    }
+}
+
+fn bench_sync_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_pipeline_sim");
+    for (s, mb) in [(4usize, 16usize), (8, 64), (32, 256)] {
+        let sp = spec(s, mb);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{s}stages_{mb}mb")),
+            &sp,
+            |b, sp| {
+                b.iter(|| simulate_sync(sp, SyncSchedule::FillDrain, false));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_async_sim(c: &mut Criterion) {
+    let sp = spec(8, 64);
+    c.bench_function("async_2bw_sim", |b| b.iter(|| simulate_async_2bw(&sp)));
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_set");
+    let g = bert_graph(&BertConfig::enlarged(256, 8));
+    let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+    let whole = TaskSet::from_ids(g.num_tasks(), g.task_ids());
+    group.bench_function("whole_graph_uncached", |b| {
+        let mut batch = 1usize;
+        b.iter(|| {
+            batch = batch % 512 + 1; // rotate batch sizes to defeat the memo
+            profiler.profile_set(&whole, batch, 4, true)
+        });
+    });
+    group.bench_function("whole_graph_cached", |b| {
+        b.iter(|| profiler.profile_set(&whole, 4, 4, true));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_sim, bench_async_sim, bench_profiler);
+criterion_main!(benches);

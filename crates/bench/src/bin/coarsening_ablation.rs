@@ -1,0 +1,28 @@
+//! Regenerate §IV-C: effect of block-level coarsening. `--quick` runs a
+//! reduced sweep.
+
+use rannc_bench::ablation::{run, AblationConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        AblationConfig::quick()
+    } else {
+        AblationConfig::paper()
+    };
+    let (table, rows) = run(&cfg, true);
+    println!("{}", table.render());
+    for r in &rows {
+        if let (Some(w), Some(wo)) = (
+            r.with_coarsening.0.value(),
+            r.without_coarsening.0.value(),
+        ) {
+            println!(
+                "layers {:>3}: no-coarsening is {:+.1}% vs RaNNC",
+                r.layers,
+                (wo / w - 1.0) * 100.0
+            );
+        }
+    }
+    println!("(DNF = search exceeded its budget, the paper's '>24 hours')");
+}

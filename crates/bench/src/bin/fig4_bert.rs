@@ -1,0 +1,28 @@
+//! Regenerate Fig. 4: enlarged-BERT training throughput across
+//! frameworks. `--quick` runs a reduced grid.
+
+use rannc_bench::fig4::{run, Fig4Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig4Config::quick()
+    } else {
+        Fig4Config::paper()
+    };
+    eprintln!(
+        "fig4_bert: {} hidden sizes x {} layer counts ({} mode)",
+        cfg.hiddens.len(),
+        cfg.layer_counts.len(),
+        if quick { "quick" } else { "paper" }
+    );
+    let started = std::time::Instant::now();
+    for table in run(&cfg, true) {
+        println!("{}", table.render());
+    }
+    // the headline claims, derived from the largest-model columns
+    println!(
+        "(throughputs in samples/s; OOM = out of memory; run took {:.1}s)",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerate Fig. 5: enlarged-ResNet training throughput across
+//! frameworks. `--quick` runs a reduced grid.
+
+use rannc_bench::fig5::{run, Fig5Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig5Config::quick()
+    } else {
+        Fig5Config::paper()
+    };
+    let started = std::time::Instant::now();
+    for table in run(&cfg, true) {
+        println!("{}", table.render());
+    }
+    println!(
+        "(throughputs in samples/s; n/a = architecture unsupported; run took {:.1}s)",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,74 @@
+//! Beyond the paper's figures: the same Fig. 4-style comparison on
+//! GPT-style decoder models (the architecture family the paper's
+//! introduction motivates with GPT-3, and the second family Megatron-LM
+//! supports).
+
+use rannc_bench::report::{Cell, Table};
+use rannc::baselines::{
+    gpipe_hybrid, megatron, pipedream_2bw, simulate_data_parallel, BaselineOutcome,
+    DataParallelOutcome, TransformerDims,
+};
+use rannc::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let grid: &[(usize, usize)] = if quick {
+        &[(768, 12)]
+    } else {
+        &[(768, 12), (1024, 24), (1536, 48), (2048, 64)]
+    };
+    let cluster = ClusterSpec::v100_cluster(4);
+    let batch = 256;
+
+    let mut table = Table::new(
+        "GPT-style models, 32 GPUs, batch 256 (extension)",
+        &["model", "params", "DataParallel", "Megatron", "GPipe-H", "PD-2BW", "RaNNC"],
+    );
+    for &(hidden, layers) in grid {
+        let cfg = GptConfig::enlarged(hidden, layers);
+        let g = gpt_graph(&cfg);
+        eprintln!("[gpt] {} ...", cfg.name());
+        let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+
+        let dp = match simulate_data_parallel(&g, &profiler, &cluster, batch) {
+            DataParallelOutcome::Feasible(r) => Cell::Throughput(r.throughput),
+            DataParallelOutcome::OutOfMemory { .. } => Cell::Oom,
+        };
+        let mega = to_cell(megatron(
+            &TransformerDims::from(&cfg),
+            &cluster,
+            batch,
+            Precision::FP32,
+        ));
+        let gp = to_cell(gpipe_hybrid(&g, &profiler, &cluster, batch));
+        let pd = to_cell(pipedream_2bw(&g, &profiler, &cluster, batch));
+        let ra = match Rannc::new(PartitionConfig::new(batch).with_k(32)).partition(&g, &cluster)
+        {
+            Ok(plan) => Cell::Throughput(
+                rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).throughput,
+            ),
+            Err(_) => Cell::Oom,
+        };
+        table.push_row(
+            cfg.name(),
+            vec![
+                Cell::Throughput(g.param_count() as f64 / 1e9),
+                dp,
+                mega,
+                gp,
+                pd,
+                ra,
+            ],
+        );
+    }
+    println!("{}", table.render());
+    println!("(params column in billions; all other columns samples/s)");
+}
+
+fn to_cell(out: BaselineOutcome) -> Cell {
+    match out {
+        BaselineOutcome::Feasible { result, .. } => Cell::Throughput(result.throughput),
+        BaselineOutcome::OutOfMemory => Cell::Oom,
+        BaselineOutcome::Unsupported => Cell::NotApplicable,
+    }
+}

@@ -1,0 +1,53 @@
+//! Design-choice ablation: the block count `k`.
+//!
+//! §IV-A: "we set k to 32, which we think balances the quality of model
+//! partitioning results and the search space for model partitioning."
+//! This harness makes that trade-off measurable: sweep `k`, report the
+//! resulting throughput (plan quality) and the partitioning wall time
+//! (search cost).
+
+use rannc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (hidden, layers) = if quick { (256, 8) } else { (1024, 48) };
+    let cfg = BertConfig::enlarged(hidden, layers);
+    let g = bert_graph(&cfg);
+    // memory pressure makes k matter: stages must balance under a bound
+    let mut cluster = ClusterSpec::v100_cluster(4);
+    let states_gib = (g.param_count() * 16) >> 30;
+    cluster.device = cluster
+        .device
+        .with_memory(((states_gib / 4).max(2) + 2) << 30);
+    let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+
+    println!(
+        "k-sweep on {} ({} tasks), 32 GPUs, batch 256",
+        cfg.name(),
+        g.num_tasks()
+    );
+    println!(
+        "{:>5} {:>10} {:>12} {:>10} {:>8}",
+        "k", "stages", "samples/s", "search_s", "MB"
+    );
+    for k in [4usize, 8, 16, 32, 64, 128] {
+        let t0 = Instant::now();
+        match Rannc::new(PartitionConfig::new(256).with_k(k)).partition(&g, &cluster) {
+            Ok(plan) => {
+                let secs = t0.elapsed().as_secs_f64();
+                let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+                println!(
+                    "{:>5} {:>10} {:>12.1} {:>10.2} {:>8}",
+                    k,
+                    plan.stages.len(),
+                    sim.throughput,
+                    secs,
+                    plan.microbatches
+                );
+            }
+            Err(e) => println!("{k:>5}  {e}"),
+        }
+    }
+    println!("\n(small k: fast search, coarse balance; large k: finer balance, slower search)");
+}

@@ -1,0 +1,49 @@
+//! Regenerate §IV-B's loss validation: synchronous-pipeline training must
+//! match single-device training (paper: RaNNC vs Megatron loss difference
+//! < 1e-3 after identical steps); an asynchronous pipeline drifts.
+
+use rannc::train::{loss_validation, loss_validation_transformer};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // ---- the BERT-analogue: a causal transformer pipeline ----
+    let t_iters = if quick { 25 } else { 150 };
+    let t = loss_validation_transformer(8, 32, 2, 2, t_iters, 77);
+    println!(
+        "transformer loss validation: vocab 8, hidden 32, 2 blocks, 2 pipeline stages, {t_iters} iterations"
+    );
+    let (r, s, a) = t.final_losses();
+    println!("  final: reference {r:.6} | sync {s:.6} | async {a:.6}");
+    println!(
+        "  max divergence: sync {:.2e} (paper threshold 1e-3), async {:.2e}\n",
+        t.sync_divergence(),
+        t.async_divergence()
+    );
+    assert!(t.sync_divergence() < 1e-3);
+
+    // ---- the MLP variant with a full loss table ----
+    let (iters, dims): (usize, &[usize]) = if quick {
+        (30, &[16, 64, 64, 8])
+    } else {
+        (200, &[32, 128, 128, 128, 128, 10])
+    };
+    let v = loss_validation(dims, 4, iters, 42);
+    println!("loss validation: MLP {dims:?}, 4 pipeline stages, {iters} iterations");
+    println!("{:>6} {:>12} {:>12} {:>12}", "iter", "reference", "sync-pipe", "async-pipe");
+    let stride = (iters / 10).max(1);
+    for i in (0..v.reference.len()).step_by(stride) {
+        println!(
+            "{:>6} {:>12.6} {:>12.6} {:>12.6}",
+            i, v.reference[i], v.synchronous[i], v.asynchronous[i]
+        );
+    }
+    let (r, s, a) = v.final_losses();
+    println!("final: reference {r:.6} | sync {s:.6} | async {a:.6}");
+    println!(
+        "max divergence from reference: sync {:.2e} (paper threshold 1e-3), async {:.2e}",
+        v.sync_divergence(),
+        v.async_divergence()
+    );
+    assert!(v.sync_divergence() < 1e-3, "sync pipeline diverged!");
+}

@@ -1,0 +1,73 @@
+//! Methodology benchmarks beyond the paper's figures:
+//!
+//! 1. **Schedule comparison** — the same RaNNC plan executed under
+//!    fill–drain (GPipe-style, the paper's Fig. 1), 1F1B, and the
+//!    asynchronous 2BW steady state, with an ASCII timeline of each.
+//! 2. **Noise robustness** — plan quality as profiling jitter grows,
+//!    validating that the partitioner's decisions survive real-world
+//!    measurement variance ("we actually run forward and backward passes
+//!    … multiple times", §III-B).
+
+use rannc::pipeline::async2bw::simulate_async_2bw;
+use rannc::pipeline::viz::render_timeline;
+use rannc::prelude::*;
+
+fn main() {
+    let cfg = BertConfig::enlarged(512, 16);
+    let g = bert_graph(&cfg);
+    // shrink device memory so the model genuinely needs a pipeline
+    let mut cluster = ClusterSpec::v100_cluster(1);
+    cluster.device = cluster.device.with_memory(3 << 30);
+    let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+
+    let plan = Rannc::new(PartitionConfig::new(64).with_k(16))
+        .partition(&g, &cluster)
+        .expect("feasible");
+    let spec = rannc::pipeline::spec_from_plan(&plan, &profiler, &cluster);
+    println!(
+        "plan: {} stages, MB={}, {} pipeline replica(s)\n",
+        plan.stages.len(),
+        plan.microbatches,
+        plan.replica_factor
+    );
+
+    for (name, schedule) in [
+        ("fill-drain (GPipe/RaNNC)", SyncSchedule::FillDrain),
+        ("1F1B", SyncSchedule::OneFOneB),
+    ] {
+        let out = simulate_sync(&spec, schedule, true);
+        println!(
+            "{name}: {:.2} ms/iter, {:.1} samples/s, util {:.0}%",
+            out.result.iteration_time * 1e3,
+            out.result.throughput,
+            out.result.utilization * 100.0
+        );
+        println!(
+            "{}",
+            render_timeline(&out.timeline.unwrap(), spec.stages.len(), 100)
+        );
+    }
+    let async_res = simulate_async_2bw(&spec);
+    println!(
+        "async 2BW steady state: {:.2} ms/iter, {:.1} samples/s (parameter staleness!)\n",
+        async_res.iteration_time * 1e3,
+        async_res.throughput
+    );
+
+    // ---- noise robustness ----
+    println!("noise robustness (plan quality under profiling jitter):");
+    println!("{:>8} {:>12} {:>10}", "sigma", "samples/s", "stages");
+    for sigma in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let plan = Rannc::new(
+            PartitionConfig::new(64)
+                .with_k(16)
+                .with_noise(sigma, 1234),
+        )
+        .partition(&g, &cluster)
+        .expect("feasible");
+        // evaluate the noisy plan with the CLEAN profiler — that is the
+        // "true" performance of the decisions made under noise
+        let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+        println!("{sigma:>8.2} {:>12.1} {:>10}", sim.throughput, plan.stages.len());
+    }
+}

@@ -1,0 +1,5 @@
+//! Reprint Table I of the paper (related-work feature matrix).
+
+fn main() {
+    println!("{}", rannc_bench::table1_text());
+}

@@ -1,0 +1,82 @@
+//! Regression tests for the *shapes* of the paper's figures: the ordering
+//! and feasibility claims EXPERIMENTS.md reports must keep holding on
+//! reduced grids. If a cost-model or partitioner change flips one of
+//! these, the reproduction has regressed even if every unit test passes.
+
+use rannc::prelude::*;
+use rannc_bench::fig4::{run_config as fig4_cell, Fig4Config, FRAMEWORKS};
+use rannc_bench::fig5::run_config as fig5_cell;
+use rannc_bench::report::Cell;
+
+fn idx(name: &str) -> usize {
+    FRAMEWORKS.iter().position(|&f| f == name).unwrap()
+}
+
+#[test]
+fn fig4_small_model_shape() {
+    // h=1024, 24 layers on the paper cluster: everything trains, RaNNC
+    // beats GPipe-Hybrid, mixed beats fp32, Megatron ~ RaNNC.
+    let cfg = Fig4Config {
+        hiddens: vec![1024],
+        layer_counts: vec![24],
+        nodes: 4,
+        batch: 256,
+        k: 32,
+    };
+    let cluster = ClusterSpec::v100_cluster(4);
+    let cells = fig4_cell(&BertConfig::enlarged(1024, 24), &cluster, &cfg);
+    let get = |name: &str| cells[idx(name)].value();
+
+    let dp = get("DataParallel").expect("DP trains BERT-Large");
+    let mega = get("Megatron(fp32)").expect("Megatron trains BERT-Large");
+    let gpipe = get("GPipe-Hybrid").expect("GPipe trains BERT-Large");
+    let pd = get("PipeDream-2BW").expect("PD-2BW trains BERT-Large");
+    let r32 = get("RaNNC(fp32)").expect("RaNNC trains BERT-Large");
+    let r16 = get("RaNNC(mixed)").expect("RaNNC mixed trains BERT-Large");
+
+    assert!(r32 > gpipe, "RaNNC {r32} must beat GPipe-Hybrid {gpipe}");
+    assert!(pd > gpipe, "async PD-2BW {pd} must beat sync GPipe {gpipe}");
+    assert!(r16 > 2.0 * r32, "mixed {r16} must be >2x fp32 {r32}");
+    // "comparable to Megatron-LM"
+    let ratio = r32 / mega;
+    assert!((0.8..1.6).contains(&ratio), "RaNNC/Megatron = {ratio}");
+    let _ = dp;
+}
+
+#[test]
+fn fig4_memory_walls() {
+    // h=1024, 96 layers (1.24B): DP OOM, everyone else trains.
+    let cfg = Fig4Config {
+        hiddens: vec![1024],
+        layer_counts: vec![96],
+        nodes: 4,
+        batch: 256,
+        k: 16, // reduced k keeps the test fast; feasibility is unaffected
+    };
+    let cluster = ClusterSpec::v100_cluster(4);
+    let cells = fig4_cell(&BertConfig::enlarged(1024, 96), &cluster, &cfg);
+    assert!(
+        matches!(cells[idx("DataParallel")], Cell::Oom),
+        "1.24B must OOM under data parallelism"
+    );
+    for name in ["Megatron(fp32)", "GPipe-Hybrid", "PipeDream-2BW", "RaNNC(fp32)"] {
+        assert!(
+            cells[idx(name)].value().is_some(),
+            "{name} must train the 1.24B model"
+        );
+    }
+}
+
+#[test]
+fn fig5_resnet_shape() {
+    // single node, width-4 R50: RaNNC must beat GPipe-Model clearly.
+    let model = ResNetConfig::new(ResNetDepth::R50, 4);
+    let cluster = ClusterSpec::v100_cluster(1);
+    let cells = fig5_cell(&model, &cluster, 128, 16, true);
+    let gp = cells[1].value().expect("GPipe-Model trains R50x4");
+    let ra = cells[2].value().expect("RaNNC trains R50x4");
+    assert!(
+        ra > gp * 1.1,
+        "RaNNC ({ra:.1}) must beat GPipe-Model ({gp:.1}) by a margin"
+    );
+}

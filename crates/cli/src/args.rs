@@ -1,0 +1,219 @@
+//! Hand-rolled argument parsing (no external CLI crates in the
+//! offline dependency set).
+
+/// Usage text shown on `--help` or a parse error.
+pub const USAGE: &str = "\
+rannc-plan — automatic model partitioning (RaNNC reproduction)
+
+USAGE:
+  rannc-plan --model <bert|gpt|t5|resnet|mlp> [OPTIONS]
+
+MODEL OPTIONS:
+  --hidden <N>        hidden size (transformers/mlp; default 1024)
+  --layers <N>        layer count (default 24; resnet: 50|101|152)
+  --width-factor <N>  resnet width factor (default 1)
+
+CLUSTER OPTIONS:
+  --nodes <N>         compute nodes (default 1)
+  --gpus-per-node <N> devices per node (default 8)
+  --memory-gib <N>    device memory override in GiB (default 32)
+
+TRAINING OPTIONS:
+  --batch <N>         global mini-batch size (default 256)
+  --k <N>             block count for block-level partitioning (default 32)
+  --mixed             mixed-precision training (default fp32)
+  --noise <SIGMA>     profiling noise amplitude (default 0)
+
+OUTPUT OPTIONS:
+  --timeline          print an ASCII schedule timeline
+  --dot <FILE>        write the partitioned graph in Graphviz format
+  --save <FILE>       cache the partition plan (deployment file)
+  --load <FILE>       reuse a cached plan instead of re-partitioning
+  --help              show this help";
+
+/// Supported model families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// BERT-style encoder with MLM+NSP heads.
+    Bert,
+    /// GPT-style decoder.
+    Gpt,
+    /// T5-style encoder–decoder.
+    T5,
+    /// Width-scaled ResNet.
+    Resnet,
+    /// Deep MLP.
+    Mlp,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    pub model: ModelKind,
+    pub hidden: usize,
+    pub layers: usize,
+    pub width_factor: usize,
+    pub nodes: usize,
+    pub gpus_per_node: usize,
+    pub memory_gib: Option<usize>,
+    pub batch: usize,
+    pub k: usize,
+    pub mixed: bool,
+    pub noise: f64,
+    pub timeline: bool,
+    pub dot: Option<String>,
+    pub save: Option<String>,
+    pub load: Option<String>,
+    pub help: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            model: ModelKind::Bert,
+            hidden: 1024,
+            layers: 24,
+            width_factor: 1,
+            nodes: 1,
+            gpus_per_node: 8,
+            memory_gib: None,
+            batch: 256,
+            k: 32,
+            mixed: false,
+            noise: 0.0,
+            timeline: false,
+            dot: None,
+            save: None,
+            load: None,
+            help: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parse an argument iterator (without the program name).
+    pub fn parse(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut a = Args::default();
+        let mut model_given = false;
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--model" => {
+                    let v = value(&flag, &mut it)?;
+                    a.model = match v.as_str() {
+                        "bert" => ModelKind::Bert,
+                        "gpt" => ModelKind::Gpt,
+                        "t5" => ModelKind::T5,
+                        "resnet" => ModelKind::Resnet,
+                        "mlp" => ModelKind::Mlp,
+                        other => return Err(format!("unknown model `{other}`")),
+                    };
+                    model_given = true;
+                }
+                "--hidden" => a.hidden = num(&flag, &mut it)?,
+                "--layers" => a.layers = num(&flag, &mut it)?,
+                "--width-factor" => a.width_factor = num(&flag, &mut it)?,
+                "--nodes" => a.nodes = num(&flag, &mut it)?,
+                "--gpus-per-node" => a.gpus_per_node = num(&flag, &mut it)?,
+                "--memory-gib" => a.memory_gib = Some(num(&flag, &mut it)?),
+                "--batch" => a.batch = num(&flag, &mut it)?,
+                "--k" => a.k = num(&flag, &mut it)?,
+                "--mixed" => a.mixed = true,
+                "--noise" => {
+                    a.noise = value(&flag, &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--noise: {e}"))?
+                }
+                "--timeline" => a.timeline = true,
+                "--dot" => a.dot = Some(value(&flag, &mut it)?),
+                "--save" => a.save = Some(value(&flag, &mut it)?),
+                "--load" => a.load = Some(value(&flag, &mut it)?),
+                "--help" | "-h" => a.help = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if !model_given && !a.help {
+            return Err("--model is required".into());
+        }
+        if a.nodes == 0 || a.gpus_per_node == 0 || a.batch == 0 || a.k == 0 {
+            return Err("numeric options must be positive".into());
+        }
+        Ok(a)
+    }
+}
+
+fn value(flag: &str, it: &mut impl Iterator<Item = String>) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn num(flag: &str, it: &mut impl Iterator<Item = String>) -> Result<usize, String> {
+    value(flag, it)?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn full_command_line() {
+        let a = parse(
+            "--model bert --hidden 2048 --layers 96 --nodes 4 --batch 256 --k 32 --mixed --timeline",
+        )
+        .unwrap();
+        assert_eq!(a.model, ModelKind::Bert);
+        assert_eq!(a.hidden, 2048);
+        assert_eq!(a.layers, 96);
+        assert_eq!(a.nodes, 4);
+        assert!(a.mixed);
+        assert!(a.timeline);
+    }
+
+    #[test]
+    fn model_required() {
+        assert!(parse("--hidden 128").is_err());
+        assert!(parse("--help").unwrap().help);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let e = parse("--model bert --frobnicate").unwrap_err();
+        assert!(e.contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse("--model bert --hidden").is_err());
+    }
+
+    #[test]
+    fn zero_rejected() {
+        assert!(parse("--model bert --nodes 0").is_err());
+    }
+
+    #[test]
+    fn noise_and_dot() {
+        let a = parse("--model t5 --noise 0.1 --dot /tmp/x.dot").unwrap();
+        assert_eq!(a.noise, 0.1);
+        assert_eq!(a.dot.as_deref(), Some("/tmp/x.dot"));
+    }
+
+    #[test]
+    fn save_load_flags() {
+        let a = parse("--model bert --save /tmp/p.rncp").unwrap();
+        assert_eq!(a.save.as_deref(), Some("/tmp/p.rncp"));
+        let a = parse("--model bert --load /tmp/p.rncp").unwrap();
+        assert_eq!(a.load.as_deref(), Some("/tmp/p.rncp"));
+    }
+
+    #[test]
+    fn resnet_flags() {
+        let a = parse("--model resnet --layers 152 --width-factor 8").unwrap();
+        assert_eq!(a.model, ModelKind::Resnet);
+        assert_eq!(a.width_factor, 8);
+    }
+}

@@ -1,0 +1,150 @@
+//! `rannc-plan` — partition a model onto a cluster from the command line.
+//!
+//! ```sh
+//! rannc-plan --model bert --hidden 1024 --layers 24 --nodes 4 --batch 256
+//! rannc-plan --model resnet --layers 152 --width-factor 8 --nodes 1 --batch 128
+//! rannc-plan --model t5 --hidden 768 --layers 12 --nodes 2 --batch 64 --timeline
+//! rannc-plan --model gpt --hidden 768 --layers 12 --nodes 1 --batch 32 --mixed
+//! ```
+//!
+//! Prints the partition plan, the simulated training iteration, and
+//! optionally an ASCII timeline (`--timeline`) or a Graphviz dump of the
+//! partitioned graph (`--dot FILE`).
+
+mod args;
+
+use args::{Args, ModelKind};
+use rannc::pipeline::viz::render_timeline;
+use rannc::prelude::*;
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if args.help {
+        println!("{}", args::USAGE);
+        return;
+    }
+
+    let graph = build_graph(&args);
+    let mut cluster = ClusterSpec::v100_cluster(args.nodes);
+    cluster.node.devices = args.gpus_per_node;
+    if let Some(gib) = args.memory_gib {
+        cluster.device = cluster.device.with_memory(gib << 30);
+    }
+    eprintln!(
+        "model {} | {} tasks | {:.2}M params | cluster {}x{} GPUs ({} GiB each)",
+        graph.name,
+        graph.num_tasks(),
+        graph.param_count() as f64 / 1e6,
+        cluster.nodes,
+        cluster.node.devices,
+        cluster.device.memory_bytes >> 30,
+    );
+
+    let precision = if args.mixed {
+        Precision::Mixed
+    } else {
+        Precision::FP32
+    };
+    let config = PartitionConfig::new(args.batch)
+        .with_k(args.k)
+        .with_precision(precision)
+        .with_noise(args.noise, 42);
+
+    let plan = if let Some(path) = &args.load {
+        // deployment-cache path: reuse a previously saved plan
+        match rannc::core::load_plan(std::path::Path::new(path)) {
+            Ok(Ok(p)) => {
+                eprintln!("loaded cached plan from {path}");
+                p
+            }
+            Ok(Err(e)) => {
+                eprintln!("invalid plan file {path}: {e}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match Rannc::new(config).partition(&graph, &cluster) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("partitioning failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if let Some(path) = &args.save {
+        if let Err(e) = rannc::core::save_plan(&plan, std::path::Path::new(path)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("saved plan to {path}");
+    }
+    println!("{}", plan.summary());
+
+    let opts = if args.mixed {
+        ProfilerOptions::mixed()
+    } else {
+        ProfilerOptions::fp32()
+    };
+    let profiler = Profiler::new(&graph, cluster.device.clone(), opts);
+    let spec = rannc::pipeline::spec_from_plan(&plan, &profiler, &cluster);
+    let out = simulate_sync(&spec, SyncSchedule::FillDrain, args.timeline);
+    println!(
+        "simulated iteration: {:.2} ms | throughput {:.1} samples/s | utilization {:.0}%",
+        out.result.iteration_time * 1e3,
+        out.result.throughput,
+        out.result.utilization * 100.0
+    );
+    if let Some(tl) = out.timeline {
+        println!("\n{}", render_timeline(&tl, plan.stages.len(), 100));
+    }
+    if let Some(path) = &args.dot {
+        let sets: Vec<TaskSet> = plan.stages.iter().map(|s| s.set.clone()).collect();
+        let dot = rannc::graph::dot::to_dot(&graph, Some(&sets));
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote partitioned graph to {path}");
+    }
+}
+
+fn build_graph(args: &Args) -> TaskGraph {
+    match args.model {
+        ModelKind::Bert => bert_graph(&BertConfig::enlarged(args.hidden, args.layers)),
+        ModelKind::Gpt => gpt_graph(&GptConfig::enlarged(args.hidden, args.layers)),
+        ModelKind::T5 => {
+            let mut cfg = T5Config::base();
+            cfg.hidden = args.hidden;
+            cfg.heads = (args.hidden / 64).max(1);
+            cfg.kv_inner = args.hidden;
+            cfg.intermediate = 4 * args.hidden;
+            cfg.encoder_layers = args.layers;
+            cfg.decoder_layers = args.layers;
+            t5_graph(&cfg)
+        }
+        ModelKind::Resnet => {
+            let depth = match args.layers {
+                50 => ResNetDepth::R50,
+                101 => ResNetDepth::R101,
+                152 => ResNetDepth::R152,
+                other => {
+                    eprintln!("resnet supports --layers 50|101|152, got {other}");
+                    std::process::exit(2);
+                }
+            };
+            resnet_graph(&ResNetConfig::new(depth, args.width_factor))
+        }
+        ModelKind::Mlp => mlp_graph(&MlpConfig::deep(args.hidden, args.hidden, args.layers, 10)),
+    }
+}

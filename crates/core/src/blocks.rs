@@ -1,0 +1,305 @@
+//! Block-level partitioning driver (paper §III-B).
+//!
+//! Groups the atomic subcomponents into `k` balanced, coarse-grained,
+//! convex *blocks* via the three-step multilevel scheme:
+//! [`crate::coarsen`] → [`crate::uncoarsen`] → [`crate::compact`].
+//!
+//! Two criteria drive the phase (§III-B): balance of the blocks'
+//! computation times, and the size of values communicated between blocks
+//! (which bounds future stage-to-stage traffic).
+
+use crate::atomic::AtomicPartition;
+use rannc_graph::convex::ConvexChecker;
+use rannc_graph::{traverse, TaskGraph, TaskSet};
+use rannc_profile::Profiler;
+
+/// Limits and knobs of the block-level phase.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockLimits {
+    /// Desired number of blocks `k` (the paper uses 32 in all
+    /// experiments, §IV-A).
+    pub k: usize,
+    /// Device memory bound every block must respect, bytes.
+    pub mem_limit: usize,
+    /// Micro-batch size used when profiling candidate groups for balance.
+    pub profile_batch: usize,
+}
+
+/// A coarse-grained block: a convex set of tasks with profiled cost.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The tasks of the block.
+    pub set: TaskSet,
+    /// Profiled forward+backward time at the phase's profiling batch, s.
+    pub time: f64,
+    /// Profiled memory footprint, bytes.
+    pub mem: usize,
+}
+
+/// Shared state threaded through the three block-phase steps (public so
+/// the step functions in `coarsen`/`uncoarsen`/`compact` can take it).
+pub struct BlockCtx<'g, 'p> {
+    pub g: &'g TaskGraph,
+    pub profiler: &'p Profiler<'g>,
+    pub checker: ConvexChecker<'g>,
+    pub limits: BlockLimits,
+}
+
+impl<'g, 'p> BlockCtx<'g, 'p> {
+    pub fn new(g: &'g TaskGraph, profiler: &'p Profiler<'g>, limits: BlockLimits) -> Self {
+        BlockCtx {
+            g,
+            profiler,
+            checker: ConvexChecker::new(g),
+            limits,
+        }
+    }
+
+    /// Profiled fwd+bwd time of a candidate group.
+    pub fn time(&self, set: &TaskSet) -> f64 {
+        let r = self
+            .profiler
+            .profile_set(set, self.limits.profile_batch, 1, true);
+        r.fwd_time + r.bwd_time
+    }
+
+    /// Profiled memory footprint of a candidate group.
+    pub fn mem(&self, set: &TaskSet) -> usize {
+        self.profiler
+            .profile_set(set, self.limits.profile_batch, 1, true)
+            .mem_bytes
+    }
+
+    /// Whether a candidate group fits the device memory bound.
+    pub fn fits(&self, set: &TaskSet) -> bool {
+        self.mem(set) <= self.limits.mem_limit
+    }
+
+    /// Group-level adjacency lists for the current `groups`.
+    ///
+    /// Two groups are adjacent when a value produced in one is consumed in
+    /// the other. Constant-task clones shared by two groups may mark them
+    /// adjacent; that is harmless (a merge of such groups is still legal).
+    pub fn adjacency(&self, groups: &[TaskSet]) -> Vec<Vec<u32>> {
+        let n = self.g.num_tasks();
+        let mut membership: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (gi, set) in groups.iter().enumerate() {
+            for t in set.iter() {
+                membership[t.index()].push(gi as u32);
+            }
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); groups.len()];
+        for t in self.g.task_ids() {
+            for s in self.g.task_successors(t) {
+                for &a in &membership[t.index()] {
+                    for &b in &membership[s.index()] {
+                        if a != b {
+                            if !adj[a as usize].contains(&b) {
+                                adj[a as usize].push(b);
+                            }
+                            if !adj[b as usize].contains(&a) {
+                                adj[b as usize].push(a);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        adj
+    }
+}
+
+/// Run the full block-level phase: coarsen, uncoarsen, compact.
+///
+/// Returns `k` (or, if compaction cannot reach `k` without violating
+/// memory/convexity, slightly more) topologically ordered blocks.
+pub fn block_partition(
+    g: &TaskGraph,
+    profiler: &Profiler<'_>,
+    atomic: &AtomicPartition,
+    limits: BlockLimits,
+) -> Vec<Block> {
+    let mut ctx = BlockCtx::new(g, profiler, limits);
+
+    let coarse = crate::coarsen::coarsen(&mut ctx, &atomic.sets);
+    let mut groups = coarse.groups;
+    crate::uncoarsen::uncoarsen(&mut ctx, &mut groups, &coarse.merges);
+    let groups = crate::compact::compact(&mut ctx, groups);
+
+    let mut blocks: Vec<Block> = groups
+        .into_iter()
+        .map(|set| {
+            let time = ctx.time(&set);
+            let mem = ctx.mem(&set);
+            Block { set, time, mem }
+        })
+        .collect();
+    sort_topologically(g, &mut blocks);
+    blocks
+}
+
+/// Topologically sort the blocks by Kahn's algorithm over the block DAG.
+///
+/// The block DAG is acyclic because blocks are convex (a cycle A→B→A would
+/// be a path leaving A and re-entering it). Constant-task clones shared by
+/// two blocks would create spurious edges, so an edge is only recorded
+/// when the consumer's block does not itself contain the producing task.
+/// Ties are broken by minimum task topo position for determinism.
+pub(crate) fn sort_topologically(g: &TaskGraph, blocks: &mut [Block]) {
+    let n_tasks = g.num_tasks();
+    let nb = blocks.len();
+    let pos = traverse::topo_positions(g);
+
+    // membership lists (clones may appear in several blocks)
+    let mut member: Vec<Vec<u32>> = vec![Vec::new(); n_tasks];
+    for (bi, b) in blocks.iter().enumerate() {
+        for t in b.set.iter() {
+            member[t.index()].push(bi as u32);
+        }
+    }
+    // block-level edges
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    let mut indeg = vec![0u32; nb];
+    for t in g.task_ids() {
+        for s in g.task_successors(t) {
+            for &a in &member[t.index()] {
+                for &b in &member[s.index()] {
+                    if a != b && !blocks[b as usize].set.contains(t)
+                        && !succs[a as usize].contains(&b)
+                    {
+                        succs[a as usize].push(b);
+                        indeg[b as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Kahn with a min-position tie-break for a stable, sensible order
+    let min_pos: Vec<u32> = blocks
+        .iter()
+        .map(|b| b.set.iter().map(|t| pos[t.index()]).min().unwrap_or(u32::MAX))
+        .collect();
+    let mut ready: Vec<usize> = (0..nb).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(nb);
+    while !ready.is_empty() {
+        // pick the ready block with smallest min task position
+        let (pos_in_ready, &bi) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| min_pos[b])
+            .unwrap();
+        ready.swap_remove(pos_in_ready);
+        order.push(bi);
+        for &s in &succs[bi] {
+            indeg[s as usize] -= 1;
+            if indeg[s as usize] == 0 {
+                ready.push(s as usize);
+            }
+        }
+    }
+    assert_eq!(order.len(), nb, "block DAG has a cycle (non-convex block?)");
+    // apply the permutation
+    let mut rank = vec![0usize; nb];
+    for (r, &bi) in order.iter().enumerate() {
+        rank[bi] = r;
+    }
+    let mut i = 0usize;
+    while i < nb {
+        let target = rank[i];
+        if target == i {
+            i += 1;
+        } else {
+            blocks.swap(i, target);
+            rank.swap(i, target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::atomic_partition;
+    use rannc_hw::DeviceSpec;
+    use rannc_models::{bert_graph, mlp_graph, BertConfig, MlpConfig};
+    use rannc_profile::ProfilerOptions;
+
+    fn run(g: &TaskGraph, k: usize) -> Vec<Block> {
+        let profiler = Profiler::new(g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let atomic = atomic_partition(g);
+        block_partition(
+            g,
+            &profiler,
+            &atomic,
+            BlockLimits {
+                k,
+                mem_limit: 32 * (1 << 30),
+                profile_batch: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn mlp_reaches_k_blocks() {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 16, 10));
+        let blocks = run(&g, 8);
+        assert_eq!(blocks.len(), 8);
+    }
+
+    #[test]
+    fn blocks_cover_all_tasks_and_are_convex() {
+        let g = bert_graph(&BertConfig::tiny());
+        let blocks = run(&g, 8);
+        let mut covered = TaskSet::new(g.num_tasks());
+        let mut ck = ConvexChecker::new(&g);
+        for b in &blocks {
+            assert!(ck.is_convex(&b.set), "non-convex block");
+            covered.union_with(&b.set);
+        }
+        assert_eq!(covered.len(), g.num_tasks());
+    }
+
+    #[test]
+    fn blocks_are_reasonably_balanced() {
+        // The phase's goal: "no particular block becomes a strong
+        // bottleneck". For a uniform MLP, max/mean block time should be
+        // small.
+        let g = mlp_graph(&MlpConfig::deep(256, 256, 32, 10));
+        let blocks = run(&g, 8);
+        let times: Vec<f64> = blocks.iter().map(|b| b.time).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        assert!(max / mean < 2.5, "max/mean = {}", max / mean);
+    }
+
+    #[test]
+    fn topological_order_of_blocks() {
+        let g = bert_graph(&BertConfig::tiny());
+        let blocks = run(&g, 6);
+        // every cross-block edge must go forward in the block order
+        let mut owner = vec![usize::MAX; g.num_tasks()];
+        for (i, b) in blocks.iter().enumerate() {
+            for t in b.set.iter() {
+                if owner[t.index()] == usize::MAX {
+                    owner[t.index()] = i;
+                }
+            }
+        }
+        for t in g.task_ids() {
+            for s in g.task_successors(t) {
+                let (a, b) = (owner[t.index()], owner[s.index()]);
+                if a != usize::MAX && b != usize::MAX {
+                    assert!(a <= b, "edge {t}->{s} goes backward across blocks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_blocks_than_k_when_graph_is_small() {
+        let g = mlp_graph(&MlpConfig::deep(8, 8, 2, 2));
+        // only 9 tasks; asking for 32 blocks yields at most the number of
+        // atomic components
+        let blocks = run(&g, 32);
+        assert!(blocks.len() <= 9);
+    }
+}

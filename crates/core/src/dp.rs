@@ -1,0 +1,519 @@
+//! Stage-level partitioning: Algorithm 1, `form_stage_dp` (paper §III-C).
+//!
+//! Given topologically sorted blocks `B`, a stage count `S`, a device
+//! count `D`, the global batch size `BS`, the pipeline-replica factor `R`
+//! and a micro-batch count `MB`, the dynamic program chooses stage
+//! boundaries `b_i` and per-stage device (replica) counts `d_i − d_{i−1}`
+//! minimizing
+//!
+//! ```text
+//! V = max_i t^f_i  +  max_i t^b_i
+//! ```
+//!
+//! the sum of the slowest forward and slowest backward stage times — the
+//! bottleneck quantity of a synchronous pipeline. Each candidate stage is
+//! *profiled* (`profile(U, ⌊BS/R/MB/(d−d′)⌋)`) and rejected if its memory
+//! exceeds the device's. The `d_min` incremental pruning of the paper is
+//! implemented: when no feasible split exists at device budget `d`, no
+//! smaller budget is tried again.
+
+use crate::blocks::Block;
+use rannc_graph::{traverse, TaskGraph, TaskSet};
+use rannc_hw::LinkSpec;
+use rannc_profile::Profiler;
+use serde::{Deserialize, Serialize};
+
+/// Inputs of one `form_stage_dp` invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpParams {
+    /// Number of stages `S`.
+    pub stages: usize,
+    /// Number of devices `D` available to one pipeline replica.
+    pub devices: usize,
+    /// Global mini-batch size `BS`.
+    pub batch_size: usize,
+    /// Pipeline-replica factor `R` (Algorithm 2 sets `R = N/n`).
+    pub replica_factor: usize,
+    /// Micro-batch count `MB` for pipeline parallelism.
+    pub microbatches: usize,
+    /// Device memory bound `M`, bytes.
+    pub mem_limit: usize,
+}
+
+/// One stage of a DP solution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DpStage {
+    /// Tasks of the stage (union of its blocks).
+    pub set: TaskSet,
+    /// Half-open block range `[from, to)` into the input block list.
+    pub block_range: (usize, usize),
+    /// Devices allocated to the stage within one pipeline replica
+    /// (= the stage's data-parallel replica count).
+    pub devices: usize,
+    /// Per-replica micro-batch size the stage was profiled at.
+    pub micro_batch: usize,
+    /// Profiled compute-only forward time per micro-batch, seconds
+    /// (inter-stage transfers are modelled by the schedule simulator).
+    pub fwd_time: f64,
+    /// Profiled compute-only backward time (incl. recompute), seconds.
+    pub bwd_time: f64,
+    /// Profiled memory, bytes.
+    pub mem_bytes: usize,
+    /// Parameter elements in the stage.
+    pub param_elems: usize,
+}
+
+/// Output of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct DpSolution {
+    /// The stages, in pipeline order.
+    pub stages: Vec<DpStage>,
+    /// The optimized objective `max fwd + max bwd`, seconds.
+    pub value: f64,
+    /// Micro-batch count the solution was computed for.
+    pub microbatches: usize,
+    /// Pipeline-replica factor `R`.
+    pub replica_factor: usize,
+}
+
+impl DpSolution {
+    /// Estimated per-iteration time of the synchronous fill–drain
+    /// pipeline this solution induces: `(MB + S − 1) · V` — `MB` bottleneck
+    /// slots plus `S−1` fill/drain slots.
+    pub fn estimated_iteration_time(&self) -> f64 {
+        (self.microbatches + self.stages.len() - 1) as f64 * self.value
+    }
+
+    /// Devices used by one pipeline replica.
+    pub fn devices_per_replica(&self) -> usize {
+        self.stages.iter().map(|s| s.devices).sum()
+    }
+
+    /// Total devices across all pipeline replicas.
+    pub fn total_devices(&self) -> usize {
+        self.devices_per_replica() * self.replica_factor
+    }
+}
+
+const INF: f64 = f64::INFINITY;
+
+/// Memoised evaluator of candidate stages.
+///
+/// Caches block-range unions (with their egress byte counts) and the full
+/// `(from, to, replicas) → (fwd, bwd, mem, params)` evaluation so the
+/// O(S·B²·D²) DP loop never clones task sets or re-profiles on hot paths.
+struct StageEval<'a, 'g> {
+    g: &'g TaskGraph,
+    profiler: &'a Profiler<'g>,
+    blocks: &'a [Block],
+    p: &'a DpParams,
+    link: LinkSpec,
+    ckpt: bool,
+    act_scale: f64,
+    ranges: Vec<Option<(TaskSet, usize)>>,
+    memo: std::collections::HashMap<(u32, u32, u32), Option<StageCost>>,
+}
+
+/// Evaluated cost of one candidate stage.
+///
+/// The DP objective uses the communication-inclusive times (the paper:
+/// "the execution time required for the i-th stage includes both the
+/// computation time and the communication time to send the outputs to the
+/// following stage"); the reconstructed plan reports compute-only times so
+/// the downstream schedule simulator, which models transfers explicitly,
+/// does not double-count them.
+#[derive(Clone, Copy)]
+struct StageCost {
+    /// Forward time including egress transfer (objective term).
+    obj_f: f64,
+    /// Backward time including ingress-gradient transfer (objective term).
+    obj_b: f64,
+    /// Compute-only forward time.
+    comp_f: f64,
+    /// Compute-only backward time.
+    comp_b: f64,
+    mem: usize,
+    params: usize,
+}
+
+impl StageEval<'_, '_> {
+    /// Evaluate the stage of blocks `[from, to)` on `repl` devices.
+    /// `None` when the micro-batch would be empty or memory is exceeded.
+    fn eval(&mut self, from: usize, to: usize, repl: usize) -> Option<StageCost> {
+        let key = (from as u32, to as u32, repl as u32);
+        if let Some(hit) = self.memo.get(&key) {
+            return *hit;
+        }
+        let result = self.eval_uncached(from, to, repl);
+        self.memo.insert(key, result);
+        result
+    }
+
+    fn eval_uncached(&mut self, from: usize, to: usize, repl: usize) -> Option<StageCost> {
+        let micro = self.p.batch_size / self.p.replica_factor / self.p.microbatches / repl;
+        if micro == 0 {
+            return None;
+        }
+        let nb = self.blocks.len();
+        let ridx = from * nb + (to - 1);
+        if self.ranges[ridx].is_none() {
+            let mut set = self.blocks[from].set.clone();
+            for b in &self.blocks[from + 1..to] {
+                set.union_with(&b.set);
+            }
+            let egress = traverse::egress_bytes(self.g, &set);
+            self.ranges[ridx] = Some((set, egress));
+        }
+        let (set, egress) = self.ranges[ridx].as_ref().unwrap();
+        let prof = self
+            .profiler
+            .profile_set(set, micro, self.p.microbatches, self.ckpt);
+        if prof.mem_bytes > self.p.mem_limit {
+            return None;
+        }
+        // objective includes sending outputs onward (except the last stage)
+        let comm = if to < nb && *egress > 0 {
+            let bytes = (*egress as f64 * micro as f64 * self.act_scale) as usize;
+            self.link.transfer_time(bytes)
+        } else {
+            0.0
+        };
+        Some(StageCost {
+            obj_f: prof.fwd_time + comm,
+            obj_b: prof.bwd_time + comm,
+            comp_f: prof.fwd_time,
+            comp_b: prof.bwd_time,
+            mem: prof.mem_bytes,
+            params: prof.param_elems,
+        })
+    }
+
+    /// The cached task set of a block range (must have been evaluated).
+    fn set(&self, from: usize, to: usize) -> TaskSet {
+        let nb = self.blocks.len();
+        self.ranges[from * nb + (to - 1)]
+            .as_ref()
+            .expect("range cached during evaluation")
+            .0
+            .clone()
+    }
+}
+
+/// Algorithm 1: `form_stage_dp(B, S, D, BS, R, MB)`.
+///
+/// Returns `None` when INFEASIBLE (no split of the blocks into `S`
+/// memory-feasible stages over exactly `D` devices exists).
+pub fn form_stage_dp(
+    g: &TaskGraph,
+    profiler: &Profiler<'_>,
+    blocks: &[Block],
+    p: &DpParams,
+    link: LinkSpec,
+) -> Option<DpSolution> {
+    let nb = blocks.len();
+    let s_max = p.stages;
+    let d_max = p.devices;
+    if s_max == 0 || s_max > nb || d_max < s_max || p.microbatches == 0 {
+        return None;
+    }
+    // per-microbatch samples available to one pipeline replica
+    if p.batch_size / p.replica_factor / p.microbatches == 0 {
+        return None;
+    }
+    let ckpt = s_max > 1;
+    let mut eval = StageEval {
+        g,
+        profiler,
+        blocks,
+        p,
+        link,
+        ckpt,
+        act_scale: profiler.options().precision.activation_bytes() as f64 / 4.0,
+        ranges: vec![None; nb * nb],
+        memo: std::collections::HashMap::new(),
+    };
+
+    // DP tables, flattened [s][b][d].
+    let bs1 = nb + 1;
+    let ds1 = d_max + 1;
+    let idx = |s: usize, b: usize, d: usize| (s * bs1 + b) * ds1 + d;
+    let mut v = vec![INF; (s_max + 1) * bs1 * ds1];
+    let mut tf = vec![0.0f64; (s_max + 1) * bs1 * ds1];
+    let mut tb = vec![0.0f64; (s_max + 1) * bs1 * ds1];
+    let mut parent: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); (s_max + 1) * bs1 * ds1];
+    v[idx(0, 0, 0)] = 0.0;
+
+    let mut d_min = 1usize;
+
+    for s in 1..=s_max {
+        for b in s..=nb - s_max + s {
+            // d descending from D − (S − s) to max(d_min, s)
+            let d_hi = d_max - (s_max - s);
+            let d_lo = d_min.max(s);
+            if d_hi < d_lo {
+                continue;
+            }
+            let mut d = d_hi;
+            loop {
+                let mut found = false;
+                let mut saw_micro_zero = false;
+                for b_prev in (s - 1)..b {
+                    for d_prev in (s - 1)..d {
+                        if v[idx(s - 1, b_prev, d_prev)] == INF {
+                            continue; // previous stage infeasible
+                        }
+                        let repl = d - d_prev;
+                        if p.batch_size / p.replica_factor / p.microbatches / repl == 0 {
+                            // batch too thin for this replica count; this
+                            // failure mode RELAXES as d shrinks, so it must
+                            // not trigger the d_min pruning below
+                            saw_micro_zero = true;
+                            continue;
+                        }
+                        let Some(cost) = eval.eval(b_prev, b, repl) else {
+                            continue; // over device memory
+                        };
+                        let cand_f = tf[idx(s - 1, b_prev, d_prev)].max(cost.obj_f);
+                        let cand_b = tb[idx(s - 1, b_prev, d_prev)].max(cost.obj_b);
+                        let cand_v = cand_f + cand_b;
+                        found = true;
+                        let here = idx(s, b, d);
+                        if cand_v < v[here] {
+                            v[here] = cand_v;
+                            tf[here] = cand_f;
+                            tb[here] = cand_b;
+                            parent[here] = (b_prev as u32, d_prev as u32);
+                        }
+                    }
+                }
+                if !found && !saw_micro_zero {
+                    // the paper's pruning: a memory-driven failure with
+                    // budget d implies failure with any smaller budget
+                    d_min = d_min.max(d + 1);
+                    break;
+                }
+                if d == d_lo {
+                    break;
+                }
+                d -= 1;
+            }
+        }
+    }
+
+    if v[idx(s_max, nb, d_max)] == INF {
+        return None; // INFEASIBLE
+    }
+
+    // Reconstruct.
+    let mut stages_rev: Vec<DpStage> = Vec::with_capacity(s_max);
+    let (mut b, mut d) = (nb, d_max);
+    for s in (1..=s_max).rev() {
+        let (b_prev, d_prev) = parent[idx(s, b, d)];
+        let (b_prev, d_prev) = (b_prev as usize, d_prev as usize);
+        let repl = d - d_prev;
+        let micro = p.batch_size / p.replica_factor / p.microbatches / repl;
+        let cost = eval
+            .eval(b_prev, b, repl)
+            .expect("reconstructed stage must be feasible");
+        let set = eval.set(b_prev, b);
+        stages_rev.push(DpStage {
+            set,
+            block_range: (b_prev, b),
+            devices: repl,
+            micro_batch: micro,
+            fwd_time: cost.comp_f,
+            bwd_time: cost.comp_b,
+            mem_bytes: cost.mem,
+            param_elems: cost.params,
+        });
+        b = b_prev;
+        d = d_prev;
+    }
+    stages_rev.reverse();
+
+    Some(DpSolution {
+        value: v[idx(s_max, nb, d_max)],
+        stages: stages_rev,
+        microbatches: p.microbatches,
+        replica_factor: p.replica_factor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::atomic_partition;
+    use crate::blocks::{block_partition, BlockLimits};
+    use rannc_hw::{DeviceSpec, LinkSpec};
+    use rannc_models::{mlp_graph, MlpConfig};
+    use rannc_profile::{Profiler, ProfilerOptions};
+
+    fn setup(
+        depth: usize,
+        width: usize,
+        k: usize,
+    ) -> (rannc_graph::TaskGraph, Vec<Block>) {
+        let g = mlp_graph(&MlpConfig::deep(width, width, depth, 10));
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let atomic = atomic_partition(&g);
+        let blocks = block_partition(
+            &g,
+            &profiler,
+            &atomic,
+            BlockLimits {
+                k,
+                mem_limit: 32 << 30,
+                profile_batch: 4,
+            },
+        );
+        (g, blocks)
+    }
+
+    fn params(s: usize, d: usize) -> DpParams {
+        DpParams {
+            stages: s,
+            devices: d,
+            batch_size: 64,
+            replica_factor: 1,
+            microbatches: 4,
+            mem_limit: 32 << 30,
+        }
+    }
+
+    #[test]
+    fn two_stage_split_of_uniform_chain_is_balanced() {
+        let (g, blocks) = setup(16, 128, 8);
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let sol = form_stage_dp(&g, &profiler, &blocks, &params(2, 2), LinkSpec::nvlink())
+            .expect("feasible");
+        assert_eq!(sol.stages.len(), 2);
+        // uniform chain: the two stages should contain similar block counts
+        let (a, b) = (
+            sol.stages[0].block_range.1 - sol.stages[0].block_range.0,
+            sol.stages[1].block_range.1 - sol.stages[1].block_range.0,
+        );
+        assert!(a.abs_diff(b) <= 2, "split {a}/{b}");
+        // stage times within 2x of each other
+        let r = sol.stages[0].fwd_time / sol.stages[1].fwd_time;
+        assert!((0.4..2.5).contains(&r), "imbalance ratio {r}");
+    }
+
+    #[test]
+    fn stages_cover_all_blocks_in_order() {
+        let (g, blocks) = setup(12, 64, 6);
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let sol = form_stage_dp(&g, &profiler, &blocks, &params(3, 4), LinkSpec::nvlink())
+            .expect("feasible");
+        assert_eq!(sol.stages.len(), 3);
+        let mut next = 0;
+        for st in &sol.stages {
+            assert_eq!(st.block_range.0, next);
+            next = st.block_range.1;
+        }
+        assert_eq!(next, blocks.len());
+        // all devices used
+        assert_eq!(sol.devices_per_replica(), 4);
+    }
+
+    #[test]
+    fn infeasible_when_more_stages_than_blocks() {
+        let (g, blocks) = setup(4, 32, 4);
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let sol = form_stage_dp(
+            &g,
+            &profiler,
+            &blocks,
+            &params(blocks.len() + 1, 16),
+            LinkSpec::nvlink(),
+        );
+        assert!(sol.is_none());
+    }
+
+    #[test]
+    fn infeasible_when_memory_too_small() {
+        let (g, blocks) = setup(8, 64, 4);
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let mut p = params(2, 2);
+        p.mem_limit = 1;
+        assert!(form_stage_dp(&g, &profiler, &blocks, &p, LinkSpec::nvlink()).is_none());
+    }
+
+    #[test]
+    fn replicas_reduce_stage_time() {
+        // With more devices than stages, the DP assigns extra replicas to
+        // the bottleneck; value with d=4 must be <= value with d=2.
+        let (g, blocks) = setup(16, 128, 8);
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let v2 = form_stage_dp(&g, &profiler, &blocks, &params(2, 2), LinkSpec::nvlink())
+            .unwrap()
+            .value;
+        let v4 = form_stage_dp(&g, &profiler, &blocks, &params(2, 4), LinkSpec::nvlink())
+            .unwrap()
+            .value;
+        assert!(v4 <= v2 * 1.0001, "v2={v2} v4={v4}");
+    }
+
+    /// DP optimality cross-check: on small instances, enumerate every
+    /// (split, device assignment) by brute force and compare objectives.
+    #[test]
+    fn dp_matches_bruteforce_on_small_instances() {
+        let (g, blocks) = setup(6, 32, 6);
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let p = params(2, 3);
+        let dp = form_stage_dp(&g, &profiler, &blocks, &p, LinkSpec::nvlink()).unwrap();
+
+        // brute force all split points and device splits (exactly D devices)
+        let nb = blocks.len();
+        let mut best = f64::INFINITY;
+        for split in 1..nb {
+            for d1 in 1..p.devices {
+                let d2 = p.devices - d1;
+                let eval_stage = |from: usize, to: usize, repl: usize| -> Option<(f64, f64)> {
+                    let micro = p.batch_size / p.replica_factor / p.microbatches / repl;
+                    if micro == 0 {
+                        return None;
+                    }
+                    let mut set = blocks[from].set.clone();
+                    for b in &blocks[from + 1..to] {
+                        set.union_with(&b.set);
+                    }
+                    let prof = profiler.profile_set(&set, micro, p.microbatches, true);
+                    if prof.mem_bytes > p.mem_limit {
+                        return None;
+                    }
+                    let comm = if to < nb {
+                        let egress = rannc_graph::traverse::egress_bytes(&g, &set);
+                        LinkSpec::nvlink().transfer_time(egress * micro)
+                    } else {
+                        0.0
+                    };
+                    Some((prof.fwd_time + comm, prof.bwd_time + comm))
+                };
+                let (Some((f1, b1)), Some((f2, b2))) =
+                    (eval_stage(0, split, d1), eval_stage(split, nb, d2))
+                else {
+                    continue;
+                };
+                let v = f1.max(f2) + b1.max(b2);
+                if v < best {
+                    best = v;
+                }
+            }
+        }
+        assert!(
+            (dp.value - best).abs() < 1e-12,
+            "dp={} brute={best}",
+            dp.value
+        );
+    }
+
+    #[test]
+    fn estimated_iteration_time_formula() {
+        let (g, blocks) = setup(8, 64, 4);
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let sol = form_stage_dp(&g, &profiler, &blocks, &params(2, 2), LinkSpec::nvlink())
+            .unwrap();
+        let expect = (4 + 2 - 1) as f64 * sol.value;
+        assert!((sol.estimated_iteration_time() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! # rannc-core
+//!
+//! The paper's contribution: RaNNC's automatic graph partitioner.
+//!
+//! Given an unmodified model task graph, a cluster description and a
+//! global batch size, [`Rannc::partition`] produces a [`PartitionPlan`]
+//! such that (1) every stage fits device memory and (2) synchronous
+//! pipeline training throughput is maximized — via the three phases of
+//! §III:
+//!
+//! 1. **Atomic-level** ([`atomic`]): split the graph into the
+//!    finest-grained subcomponents, one non-constant task each.
+//! 2. **Block-level** ([`blocks`], [`coarsen`], [`uncoarsen`],
+//!    [`compact`]): group atoms into `k` balanced, convex,
+//!    memory-feasible blocks with a multilevel scheme.
+//! 3. **Stage-level** ([`dp`], [`search`]): Algorithm 1's dynamic program
+//!    over block sequences and device counts, driven by Algorithm 2's
+//!    node/stage/micro-batch search.
+//!
+//! The ablated §IV-C variant (no coarsening, additive cost model) lives in
+//! [`ablation`].
+//!
+//! ```
+//! use rannc_core::{Rannc, PartitionConfig};
+//! use rannc_hw::ClusterSpec;
+//! use rannc_models::{mlp_graph, MlpConfig};
+//!
+//! let graph = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+//! let cluster = ClusterSpec::v100_cluster(1);
+//! let plan = Rannc::new(PartitionConfig::new(32))
+//!     .partition(&graph, &cluster)
+//!     .unwrap();
+//! assert!(plan.total_devices() <= cluster.total_devices());
+//! ```
+
+pub mod ablation;
+pub mod atomic;
+pub mod blocks;
+pub mod coarsen;
+pub mod compact;
+pub mod dp;
+pub mod par;
+pub mod plan;
+pub mod plan_io;
+pub mod search;
+pub mod uncoarsen;
+
+pub use atomic::{atomic_partition, AtomicPartition};
+pub use blocks::{block_partition, Block, BlockLimits};
+pub use dp::{form_stage_dp, DpParams, DpSolution, DpStage};
+pub use plan::{PartitionPlan, StagePlan};
+pub use plan_io::{decode_plan, encode_plan, load_plan, save_plan, PlanIoError};
+pub use search::form_stage;
+
+use rannc_graph::TaskGraph;
+use rannc_hw::{ClusterSpec, Precision};
+use rannc_profile::{Profiler, ProfilerOptions};
+
+/// User-facing configuration of a partitioning run.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    /// Global mini-batch size `BS`.
+    pub batch_size: usize,
+    /// Desired number of blocks `k` (paper default: 32, §IV-A).
+    pub k: usize,
+    /// Training precision.
+    pub precision: Precision,
+    /// Micro-batch size used while profiling block balance.
+    pub profile_batch: usize,
+    /// Profiling-noise amplitude (0 = deterministic).
+    pub noise_sigma: f64,
+    /// Profiling-noise seed.
+    pub noise_seed: u64,
+}
+
+impl PartitionConfig {
+    /// Defaults matching the paper's experiments: `k = 32`, FP32.
+    pub fn new(batch_size: usize) -> Self {
+        PartitionConfig {
+            batch_size,
+            k: 32,
+            precision: Precision::FP32,
+            profile_batch: 1,
+            noise_sigma: 0.0,
+            noise_seed: 0,
+        }
+    }
+
+    /// Set the block count `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Set the precision regime.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Enable profiling noise.
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        self.noise_sigma = sigma;
+        self.noise_seed = seed;
+        self
+    }
+}
+
+/// Why partitioning failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The graph has no computation tasks.
+    EmptyGraph,
+    /// No feasible assignment of stages to devices exists (the model is
+    /// too large for the cluster) — Algorithm 2's INFEASIBLE.
+    Infeasible,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::EmptyGraph => write!(f, "graph contains no tasks"),
+            PartitionError::Infeasible => {
+                write!(f, "no feasible partition fits the cluster (INFEASIBLE)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// The partitioner façade. Holds only configuration; each
+/// [`Rannc::partition`] call is independent.
+#[derive(Debug, Clone)]
+pub struct Rannc {
+    config: PartitionConfig,
+}
+
+impl Rannc {
+    /// Create a partitioner with the given configuration.
+    pub fn new(config: PartitionConfig) -> Self {
+        Rannc { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// Run the full three-phase partitioning of `graph` onto `cluster`.
+    pub fn partition(
+        &self,
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+    ) -> Result<PartitionPlan, PartitionError> {
+        if graph.num_tasks() == 0 {
+            return Err(PartitionError::EmptyGraph);
+        }
+        let opts = ProfilerOptions {
+            precision: self.config.precision,
+            ..ProfilerOptions::fp32()
+        }
+        .with_noise(self.config.noise_sigma, self.config.noise_seed);
+        let profiler = Profiler::new(graph, cluster.device.clone(), opts);
+
+        let atomic = atomic_partition(graph);
+        if atomic.is_empty() {
+            return Err(PartitionError::EmptyGraph);
+        }
+        let blocks = block_partition(
+            graph,
+            &profiler,
+            &atomic,
+            BlockLimits {
+                k: self.config.k,
+                mem_limit: cluster.device.memory_bytes,
+                profile_batch: self.config.profile_batch,
+            },
+        );
+        let sol = form_stage(graph, &profiler, &blocks, cluster, self.config.batch_size)
+            .ok_or(PartitionError::Infeasible)?;
+        Ok(PartitionPlan::from_solution(
+            graph.name.clone(),
+            &sol,
+            self.config.batch_size,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rannc_hw::{DeviceSpec, LinkSpec, NodeSpec};
+    use rannc_models::{bert_graph, mlp_graph, BertConfig, MlpConfig};
+
+    #[test]
+    fn end_to_end_mlp() {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(1);
+        let plan = Rannc::new(PartitionConfig::new(32).with_k(8))
+            .partition(&g, &cluster)
+            .unwrap();
+        assert!(!plan.stages.is_empty());
+        assert!(plan.total_devices() <= cluster.total_devices());
+        // all tasks covered
+        let mut covered = rannc_graph::TaskSet::new(g.num_tasks());
+        for s in &plan.stages {
+            covered.union_with(&s.set);
+        }
+        assert_eq!(covered.len(), g.num_tasks());
+    }
+
+    #[test]
+    fn end_to_end_bert_tiny() {
+        let g = bert_graph(&BertConfig::tiny());
+        let cluster = ClusterSpec::v100_cluster(1);
+        let plan = Rannc::new(PartitionConfig::new(16).with_k(8))
+            .partition(&g, &cluster)
+            .unwrap();
+        assert!(plan.est_throughput() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_on_absurd_cluster() {
+        let g = mlp_graph(&MlpConfig::deep(512, 512, 8, 10));
+        let cluster = ClusterSpec {
+            nodes: 1,
+            node: NodeSpec {
+                devices: 2,
+                intra_link: LinkSpec::nvlink(),
+            },
+            device: DeviceSpec::v100_32gb().with_memory(1 << 16),
+            inter_link: LinkSpec::infiniband_100g(),
+        };
+        assert_eq!(
+            Rannc::new(PartitionConfig::new(32))
+                .partition(&g, &cluster)
+                .unwrap_err(),
+            PartitionError::Infeasible
+        );
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = TaskGraph::new("empty");
+        let cluster = ClusterSpec::v100_cluster(1);
+        assert_eq!(
+            Rannc::new(PartitionConfig::new(32))
+                .partition(&g, &cluster)
+                .unwrap_err(),
+            PartitionError::EmptyGraph
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The finished partition plan: stages, replicas, device assignment.
+
+use crate::dp::DpSolution;
+use rannc_graph::TaskSet;
+use rannc_hw::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// One pipeline stage of the final plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StagePlan {
+    /// Tasks assigned to the stage.
+    pub set: TaskSet,
+    /// Data-parallel replicas of this stage inside one pipeline replica.
+    pub replicas: usize,
+    /// Per-replica micro-batch size.
+    pub micro_batch: usize,
+    /// Profiled forward time per micro-batch, seconds.
+    pub fwd_time: f64,
+    /// Profiled backward time per micro-batch (incl. recompute), seconds.
+    pub bwd_time: f64,
+    /// Profiled peak memory, bytes.
+    pub mem_bytes: usize,
+    /// Parameter elements held by the stage.
+    pub param_elems: usize,
+}
+
+/// The complete result of RaNNC's automatic partitioning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// Name of the partitioned model.
+    pub model: String,
+    /// Stages in pipeline order.
+    pub stages: Vec<StagePlan>,
+    /// Micro-batch count `MB` for pipeline parallelism.
+    pub microbatches: usize,
+    /// Whole-pipeline replicas `R` (hybrid data parallelism).
+    pub replica_factor: usize,
+    /// Global mini-batch size the plan was computed for.
+    pub batch_size: usize,
+    /// The DP objective: slowest forward + slowest backward stage, s.
+    pub bottleneck: f64,
+    /// Quick analytic iteration-time estimate (the simulator in
+    /// `rannc-pipeline` refines this), seconds.
+    pub est_iteration_time: f64,
+}
+
+impl PartitionPlan {
+    /// Build a plan from a DP solution.
+    pub fn from_solution(model: impl Into<String>, sol: &DpSolution, batch_size: usize) -> Self {
+        PartitionPlan {
+            model: model.into(),
+            stages: sol
+                .stages
+                .iter()
+                .map(|s| StagePlan {
+                    set: s.set.clone(),
+                    replicas: s.devices,
+                    micro_batch: s.micro_batch,
+                    fwd_time: s.fwd_time,
+                    bwd_time: s.bwd_time,
+                    mem_bytes: s.mem_bytes,
+                    param_elems: s.param_elems,
+                })
+                .collect(),
+            microbatches: sol.microbatches,
+            replica_factor: sol.replica_factor,
+            batch_size,
+            bottleneck: sol.value,
+            est_iteration_time: sol.estimated_iteration_time(),
+        }
+    }
+
+    /// Devices used by one pipeline replica.
+    pub fn devices_per_replica(&self) -> usize {
+        self.stages.iter().map(|s| s.replicas).sum()
+    }
+
+    /// Total devices across all pipeline replicas.
+    pub fn total_devices(&self) -> usize {
+        self.devices_per_replica() * self.replica_factor
+    }
+
+    /// Samples per second at the analytic iteration-time estimate.
+    pub fn est_throughput(&self) -> f64 {
+        self.batch_size as f64 / self.est_iteration_time
+    }
+
+    /// Assign global device ranks to every (pipeline-replica, stage,
+    /// stage-replica) triple, keeping each pipeline replica inside a
+    /// contiguous group of nodes so that stage-to-stage traffic stays on
+    /// the intra-node link wherever possible (paper footnote 3).
+    ///
+    /// Returns `assignment[pipeline_replica][stage] = global ranks`.
+    pub fn device_assignment(&self, cluster: &ClusterSpec) -> Vec<Vec<Vec<usize>>> {
+        let per_replica = self.devices_per_replica();
+        let mut out = Vec::with_capacity(self.replica_factor);
+        for r in 0..self.replica_factor {
+            let base = r * per_replica;
+            let mut next = base;
+            let mut stages = Vec::with_capacity(self.stages.len());
+            for s in &self.stages {
+                let ranks: Vec<usize> = (next..next + s.replicas).collect();
+                next += s.replicas;
+                stages.push(ranks);
+            }
+            out.push(stages);
+        }
+        debug_assert!(self.total_devices() <= cluster.total_devices());
+        out
+    }
+
+    /// A human-readable multi-line summary (used by examples and benches).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "model {} | batch {} | {} stage(s) x {} pipeline replica(s), MB={}",
+            self.model,
+            self.batch_size,
+            self.stages.len(),
+            self.replica_factor,
+            self.microbatches
+        )
+        .unwrap();
+        for (i, st) in self.stages.iter().enumerate() {
+            writeln!(
+                s,
+                "  stage {i}: {:>6} tasks, {:>4} replica(s), micro-batch {:>3}, \
+                 fwd {:>8.3} ms, bwd {:>8.3} ms, mem {:>6.2} GiB, params {:.1}M",
+                st.set.len(),
+                st.replicas,
+                st.micro_batch,
+                st.fwd_time * 1e3,
+                st.bwd_time * 1e3,
+                st.mem_bytes as f64 / (1u64 << 30) as f64,
+                st.param_elems as f64 / 1e6,
+            )
+            .unwrap();
+        }
+        writeln!(
+            s,
+            "  bottleneck {:.3} ms | est. iteration {:.3} ms | est. throughput {:.1} samples/s",
+            self.bottleneck * 1e3,
+            self.est_iteration_time * 1e3,
+            self.est_throughput()
+        )
+        .unwrap();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{DpSolution, DpStage};
+    use rannc_hw::ClusterSpec;
+
+    fn fake_solution() -> DpSolution {
+        let mk = |range: (usize, usize), devices: usize| DpStage {
+            set: TaskSet::from_ids(10, (range.0 as u32..range.1 as u32).map(rannc_graph::TaskId)),
+            block_range: range,
+            devices,
+            micro_batch: 2,
+            fwd_time: 0.01,
+            bwd_time: 0.02,
+            mem_bytes: 1 << 30,
+            param_elems: 1_000_000,
+        };
+        DpSolution {
+            stages: vec![mk((0, 5), 1), mk((5, 10), 3)],
+            value: 0.03,
+            microbatches: 4,
+            replica_factor: 2,
+        }
+    }
+
+    #[test]
+    fn plan_from_solution() {
+        let plan = PartitionPlan::from_solution("toy", &fake_solution(), 64);
+        assert_eq!(plan.stages.len(), 2);
+        assert_eq!(plan.devices_per_replica(), 4);
+        assert_eq!(plan.total_devices(), 8);
+        assert!(plan.est_throughput() > 0.0);
+    }
+
+    #[test]
+    fn device_assignment_is_disjoint_and_complete() {
+        let plan = PartitionPlan::from_solution("toy", &fake_solution(), 64);
+        let cluster = ClusterSpec::v100_cluster(1); // 8 devices
+        let asg = plan.device_assignment(&cluster);
+        assert_eq!(asg.len(), 2); // pipeline replicas
+        let mut seen = std::collections::HashSet::new();
+        for replica in &asg {
+            assert_eq!(replica.len(), 2); // stages
+            for ranks in replica {
+                for &r in ranks {
+                    assert!(seen.insert(r), "rank {r} assigned twice");
+                    assert!(r < cluster.total_devices());
+                }
+            }
+        }
+        assert_eq!(seen.len(), plan.total_devices());
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let plan = PartitionPlan::from_solution("toy", &fake_solution(), 64);
+        let s = plan.summary();
+        assert!(s.contains("2 stage(s)"));
+        assert!(s.contains("MB=4"));
+        assert!(s.contains("throughput"));
+    }
+}

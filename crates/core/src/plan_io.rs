@@ -1,0 +1,294 @@
+//! Partition-plan persistence.
+//!
+//! The real RaNNC middleware caches partitioning results on disk
+//! ("deployment files") so that production training jobs skip the
+//! profiling-heavy search on restart. This module gives the reproduction
+//! the same capability: a versioned, self-contained binary codec for
+//! [`PartitionPlan`] with an integrity checksum.
+//!
+//! Format (little-endian):
+//! `magic "RNCP" | u32 version | payload | u64 fnv1a(payload)`.
+
+use crate::plan::{PartitionPlan, StagePlan};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rannc_graph::{TaskId, TaskSet};
+
+const MAGIC: &[u8; 4] = b"RNCP";
+const VERSION: u32 = 1;
+
+/// Why decoding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanIoError {
+    /// Not a plan file (bad magic).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Payload shorter than its headers promise.
+    Truncated,
+    /// Checksum mismatch (corrupted file).
+    Corrupted,
+}
+
+impl std::fmt::Display for PlanIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanIoError::BadMagic => write!(f, "not a RaNNC plan file"),
+            PlanIoError::BadVersion(v) => write!(f, "unsupported plan version {v}"),
+            PlanIoError::Truncated => write!(f, "plan file truncated"),
+            PlanIoError::Corrupted => write!(f, "plan file checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PlanIoError {}
+
+/// Serialize a plan to bytes.
+pub fn encode_plan(plan: &PartitionPlan) -> Bytes {
+    let mut payload = BytesMut::with_capacity(1024);
+    put_str(&mut payload, &plan.model);
+    payload.put_u64_le(plan.microbatches as u64);
+    payload.put_u64_le(plan.replica_factor as u64);
+    payload.put_u64_le(plan.batch_size as u64);
+    payload.put_f64_le(plan.bottleneck);
+    payload.put_f64_le(plan.est_iteration_time);
+    payload.put_u32_le(plan.stages.len() as u32);
+    for st in &plan.stages {
+        payload.put_u64_le(st.set.universe() as u64);
+        let members: Vec<TaskId> = st.set.iter().collect();
+        payload.put_u32_le(members.len() as u32);
+        for t in members {
+            payload.put_u32_le(t.0);
+        }
+        payload.put_u64_le(st.replicas as u64);
+        payload.put_u64_le(st.micro_batch as u64);
+        payload.put_f64_le(st.fwd_time);
+        payload.put_f64_le(st.bwd_time);
+        payload.put_u64_le(st.mem_bytes as u64);
+        payload.put_u64_le(st.param_elems as u64);
+    }
+
+    let mut out = BytesMut::with_capacity(payload.len() + 16);
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u64_le(fnv1a(&payload));
+    out.put_slice(&payload);
+    out.freeze()
+}
+
+/// Deserialize a plan from bytes.
+pub fn decode_plan(mut data: &[u8]) -> Result<PartitionPlan, PlanIoError> {
+    if data.len() < 16 {
+        return Err(PlanIoError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PlanIoError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(PlanIoError::BadVersion(version));
+    }
+    let checksum = data.get_u64_le();
+    if fnv1a(data) != checksum {
+        return Err(PlanIoError::Corrupted);
+    }
+
+    let model = get_str(&mut data)?;
+    let microbatches = get_usize(&mut data)?;
+    let replica_factor = get_usize(&mut data)?;
+    let batch_size = get_usize(&mut data)?;
+    let bottleneck = get_f64(&mut data)?;
+    let est_iteration_time = get_f64(&mut data)?;
+    let n_stages = get_u32(&mut data)? as usize;
+    let mut stages = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        let universe = get_usize(&mut data)?;
+        let n_members = get_u32(&mut data)? as usize;
+        let mut set = TaskSet::new(universe);
+        for _ in 0..n_members {
+            let id = get_u32(&mut data)?;
+            if id as usize >= universe {
+                return Err(PlanIoError::Corrupted);
+            }
+            set.insert(TaskId(id));
+        }
+        stages.push(StagePlan {
+            set,
+            replicas: get_usize(&mut data)?,
+            micro_batch: get_usize(&mut data)?,
+            fwd_time: get_f64(&mut data)?,
+            bwd_time: get_f64(&mut data)?,
+            mem_bytes: get_usize(&mut data)?,
+            param_elems: get_usize(&mut data)?,
+        });
+    }
+    Ok(PartitionPlan {
+        model,
+        stages,
+        microbatches,
+        replica_factor,
+        batch_size,
+        bottleneck,
+        est_iteration_time,
+    })
+}
+
+/// Save a plan to a file.
+pub fn save_plan(plan: &PartitionPlan, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode_plan(plan))
+}
+
+/// Load a plan from a file.
+pub fn load_plan(path: &std::path::Path) -> std::io::Result<Result<PartitionPlan, PlanIoError>> {
+    Ok(decode_plan(&std::fs::read(path)?))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut &[u8]) -> Result<String, PlanIoError> {
+    let len = get_u32(data)? as usize;
+    if data.len() < len {
+        return Err(PlanIoError::Truncated);
+    }
+    let s = String::from_utf8(data[..len].to_vec()).map_err(|_| PlanIoError::Corrupted)?;
+    data.advance(len);
+    Ok(s)
+}
+
+fn get_u32(data: &mut &[u8]) -> Result<u32, PlanIoError> {
+    if data.len() < 4 {
+        return Err(PlanIoError::Truncated);
+    }
+    Ok(data.get_u32_le())
+}
+
+fn get_usize(data: &mut &[u8]) -> Result<usize, PlanIoError> {
+    if data.len() < 8 {
+        return Err(PlanIoError::Truncated);
+    }
+    Ok(data.get_u64_le() as usize)
+}
+
+fn get_f64(data: &mut &[u8]) -> Result<f64, PlanIoError> {
+    if data.len() < 8 {
+        return Err(PlanIoError::Truncated);
+    }
+    Ok(data.get_f64_le())
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rannc_graph::TaskId;
+
+    fn sample_plan() -> PartitionPlan {
+        let mk = |ids: &[u32], replicas: usize| StagePlan {
+            set: TaskSet::from_ids(100, ids.iter().map(|&i| TaskId(i))),
+            replicas,
+            micro_batch: 2,
+            fwd_time: 0.0123,
+            bwd_time: 0.0456,
+            mem_bytes: 7 << 30,
+            param_elems: 123_456_789,
+        };
+        PartitionPlan {
+            model: "bert[h=1024,l=24]".into(),
+            stages: vec![mk(&[0, 1, 2, 63, 64], 3), mk(&[70, 99], 5)],
+            microbatches: 8,
+            replica_factor: 4,
+            batch_size: 256,
+            bottleneck: 0.1,
+            est_iteration_time: 1.5,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let plan = sample_plan();
+        let bytes = encode_plan(&plan);
+        let back = decode_plan(&bytes).unwrap();
+        assert_eq!(back.model, plan.model);
+        assert_eq!(back.microbatches, plan.microbatches);
+        assert_eq!(back.replica_factor, plan.replica_factor);
+        assert_eq!(back.batch_size, plan.batch_size);
+        assert_eq!(back.bottleneck, plan.bottleneck);
+        assert_eq!(back.stages.len(), plan.stages.len());
+        for (a, b) in back.stages.iter().zip(&plan.stages) {
+            assert_eq!(a.set, b.set);
+            assert_eq!(a.replicas, b.replicas);
+            assert_eq!(a.fwd_time, b.fwd_time);
+            assert_eq!(a.param_elems, b.param_elems);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_plan(&sample_plan()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode_plan(&bytes).unwrap_err(), PlanIoError::BadMagic);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = encode_plan(&sample_plan()).to_vec();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xff;
+        assert_eq!(decode_plan(&bytes).unwrap_err(), PlanIoError::Corrupted);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_plan(&sample_plan());
+        for cut in [0usize, 3, 10, bytes.len() - 1] {
+            let err = decode_plan(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, PlanIoError::Truncated | PlanIoError::Corrupted),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut bytes = encode_plan(&sample_plan()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode_plan(&bytes).unwrap_err(), PlanIoError::BadVersion(99));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let plan = sample_plan();
+        let dir = std::env::temp_dir().join("rannc_plan_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.rncp");
+        save_plan(&plan, &path).unwrap();
+        let back = load_plan(&path).unwrap().unwrap();
+        assert_eq!(back.model, plan.model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn real_plan_roundtrips() {
+        use crate::{PartitionConfig, Rannc};
+        let g = rannc_models::mlp_graph(&rannc_models::MlpConfig::deep(32, 32, 6, 4));
+        let cluster = rannc_hw::ClusterSpec::v100_cluster(1);
+        let plan = Rannc::new(PartitionConfig::new(32).with_k(4))
+            .partition(&g, &cluster)
+            .unwrap();
+        let back = decode_plan(&encode_plan(&plan)).unwrap();
+        assert_eq!(back.summary(), plan.summary());
+    }
+}

@@ -1,0 +1,105 @@
+//! Graphviz DOT export for debugging partitions.
+
+use crate::{TaskGraph, TaskSet, ValueKind};
+
+/// Render the task graph in DOT format.
+///
+/// Tasks are boxes, values are ellipses (params/consts dashed), mirroring
+/// Fig. 2(b) of the paper. If `partition` is given, tasks are clustered by
+/// the partition index that contains them (a task appearing in several sets
+/// — a cloned constant task — is drawn in the first).
+pub fn to_dot(g: &TaskGraph, partition: Option<&[TaskSet]>) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(4096);
+    writeln!(out, "digraph \"{}\" {{", g.name).unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    // Value nodes.
+    for (vid, v) in g.values() {
+        let style = match v.kind {
+            ValueKind::Param | ValueKind::Const => ",style=dashed",
+            ValueKind::Input => ",style=bold",
+            ValueKind::Activation => "",
+        };
+        writeln!(
+            out,
+            "  {vid} [shape=ellipse,label=\"{} {}\"{}];",
+            v.name, v.shape, style
+        )
+        .unwrap();
+    }
+    // Task nodes, optionally clustered by partition.
+    match partition {
+        Some(sets) => {
+            let mut assigned = vec![false; g.num_tasks()];
+            for (i, set) in sets.iter().enumerate() {
+                writeln!(out, "  subgraph cluster_{i} {{").unwrap();
+                writeln!(out, "    label=\"C{i}\";").unwrap();
+                for t in set.iter() {
+                    if !assigned[t.index()] {
+                        assigned[t.index()] = true;
+                        let task = g.task(t);
+                        writeln!(out, "    {t} [shape=box,label=\"{}\"];", task.name).unwrap();
+                    }
+                }
+                writeln!(out, "  }}").unwrap();
+            }
+            for (tid, task) in g.tasks() {
+                if !assigned[tid.index()] {
+                    writeln!(out, "  {tid} [shape=box,label=\"{}\"];", task.name).unwrap();
+                }
+            }
+        }
+        None => {
+            for (tid, task) in g.tasks() {
+                writeln!(out, "  {tid} [shape=box,label=\"{}\"];", task.name).unwrap();
+            }
+        }
+    }
+    // Edges.
+    for (tid, task) in g.tasks() {
+        for &v in &task.inputs {
+            writeln!(out, "  {v} -> {tid};").unwrap();
+        }
+        for &v in &task.outputs {
+            writeln!(out, "  {tid} -> {v};").unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, OpKind, TaskGraph, TaskId, ValueKind};
+
+    fn tiny() -> TaskGraph {
+        let mut g = TaskGraph::new("tiny");
+        let x = g.add_value("x", [2], DType::F32, ValueKind::Input);
+        let w = g.add_value("w", [2, 2], DType::F32, ValueKind::Param);
+        let y = g.add_value("y", [2], DType::F32, ValueKind::Activation);
+        g.add_task("mm", OpKind::MatMul, vec![x, w], vec![y]).unwrap();
+        g.mark_output(y);
+        g
+    }
+
+    #[test]
+    fn plain_dot_contains_nodes_and_edges() {
+        let g = tiny();
+        let dot = to_dot(&g, None);
+        assert!(dot.contains("digraph \"tiny\""));
+        assert!(dot.contains("t0 [shape=box"));
+        assert!(dot.contains("v0 -> t0;"));
+        assert!(dot.contains("t0 -> v2;"));
+        assert!(dot.contains("style=dashed")); // the param
+    }
+
+    #[test]
+    fn partitioned_dot_has_clusters() {
+        let g = tiny();
+        let sets = vec![TaskSet::from_ids(1, [TaskId(0)])];
+        let dot = to_dot(&g, Some(&sets));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"C0\""));
+    }
+}

@@ -1,0 +1,139 @@
+//! Node and cluster shape.
+
+use crate::device::DeviceSpec;
+use crate::link::LinkSpec;
+use serde::{Deserialize, Serialize};
+
+/// One compute node: a set of identical devices joined by an intra-node
+/// interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Devices per node (`D_node` in Algorithm 2).
+    pub devices: usize,
+    /// Intra-node device-to-device link (NVLink in the paper).
+    pub intra_link: LinkSpec,
+}
+
+impl NodeSpec {
+    /// The paper's node: 8 × V100 over NVLink.
+    pub fn v100x8() -> Self {
+        NodeSpec {
+            devices: 8,
+            intra_link: LinkSpec::nvlink(),
+        }
+    }
+}
+
+/// Geometric position of a device in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceRank {
+    /// Node index.
+    pub node: usize,
+    /// Device index within the node.
+    pub local: usize,
+}
+
+/// The whole cluster: `nodes` identical nodes of `node.devices` devices,
+/// nodes joined by `inter_link`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of compute nodes (`N` in Algorithm 2).
+    pub nodes: usize,
+    /// Per-node shape.
+    pub node: NodeSpec,
+    /// The device model (homogeneous cluster, as in the paper).
+    pub device: DeviceSpec,
+    /// Inter-node link (InfiniBand in the paper).
+    pub inter_link: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation cluster: `nodes` × 8 V100-32GB, NVLink
+    /// intra-node, 100 Gb/s InfiniBand inter-node. The paper uses
+    /// `nodes = 4` (32 GPUs) for BERT and 4 or 1 for ResNet.
+    pub fn v100_cluster(nodes: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            node: NodeSpec::v100x8(),
+            device: DeviceSpec::v100_32gb(),
+            inter_link: LinkSpec::infiniband_100g(),
+        }
+    }
+
+    /// Total device count (`N × D_node`).
+    #[inline]
+    pub fn total_devices(&self) -> usize {
+        self.nodes * self.node.devices
+    }
+
+    /// Geometry of a global device rank.
+    #[inline]
+    pub fn rank(&self, global: usize) -> DeviceRank {
+        DeviceRank {
+            node: global / self.node.devices,
+            local: global % self.node.devices,
+        }
+    }
+
+    /// The link connecting two global ranks (intra- vs inter-node).
+    pub fn link_between(&self, a: usize, b: usize) -> LinkSpec {
+        if self.rank(a).node == self.rank(b).node {
+            self.node.intra_link
+        } else {
+            self.inter_link
+        }
+    }
+
+    /// The link used by the *partitioner* to estimate communication time.
+    ///
+    /// Paper footnote 3: intra-node bandwidth is used because the device
+    /// allocator places adjacent stages within a node whenever possible.
+    #[inline]
+    pub fn planning_link(&self) -> LinkSpec {
+        self.node.intra_link
+    }
+
+    /// Time for `bytes` to move between two global ranks.
+    pub fn transfer_time(&self, bytes: usize, a: usize, b: usize) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.link_between(a, b).transfer_time(bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let c = ClusterSpec::v100_cluster(4);
+        assert_eq!(c.total_devices(), 32);
+        assert_eq!(c.rank(0), DeviceRank { node: 0, local: 0 });
+        assert_eq!(c.rank(7), DeviceRank { node: 0, local: 7 });
+        assert_eq!(c.rank(8), DeviceRank { node: 1, local: 0 });
+        assert_eq!(c.rank(31), DeviceRank { node: 3, local: 7 });
+    }
+
+    #[test]
+    fn link_selection() {
+        let c = ClusterSpec::v100_cluster(2);
+        assert_eq!(c.link_between(0, 7), c.node.intra_link);
+        assert_eq!(c.link_between(7, 8), c.inter_link);
+    }
+
+    #[test]
+    fn transfer_same_device_is_free() {
+        let c = ClusterSpec::v100_cluster(1);
+        assert_eq!(c.transfer_time(1 << 30, 3, 3), 0.0);
+        assert!(c.transfer_time(1 << 30, 0, 1) > 0.0);
+    }
+
+    #[test]
+    fn planning_link_is_intra_node() {
+        let c = ClusterSpec::v100_cluster(4);
+        assert_eq!(c.planning_link(), LinkSpec::nvlink());
+    }
+}

@@ -1,0 +1,103 @@
+//! Collective-communication cost models.
+//!
+//! Data parallelism (pure, or the replicated stages of hybrid parallelism)
+//! synchronizes gradients with an all-reduce per training iteration. We use
+//! the standard ring all-reduce model: each of the `n` participants sends
+//! and receives `2·(n−1)/n · bytes` over the slowest link in the ring.
+
+use crate::cluster::ClusterSpec;
+use crate::link::LinkSpec;
+
+/// Time for a ring all-reduce of `bytes` across `n` participants over a
+/// given link.
+///
+/// `n == 1` is free. The `2(n−1)` latency hops model the reduce-scatter +
+/// all-gather phases.
+pub fn ring_allreduce_time(link: LinkSpec, bytes: usize, n: usize) -> f64 {
+    if n <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let steps = 2 * (n - 1);
+    let volume = 2.0 * (n - 1) as f64 / n as f64 * bytes as f64;
+    steps as f64 * link.latency + volume / link.bandwidth
+}
+
+impl ClusterSpec {
+    /// All-reduce time of `bytes` across the device group `ranks`.
+    ///
+    /// The ring is bottlenecked by its slowest edge: if the group spans
+    /// several nodes, that is the inter-node link; otherwise NVLink.
+    pub fn allreduce_time(&self, bytes: usize, ranks: &[usize]) -> f64 {
+        if ranks.len() <= 1 {
+            return 0.0;
+        }
+        let first_node = self.rank(ranks[0]).node;
+        let spans_nodes = ranks.iter().any(|&r| self.rank(r).node != first_node);
+        let link = if spans_nodes {
+            self.inter_link
+        } else {
+            self.node.intra_link
+        };
+        ring_allreduce_time(link, bytes, ranks.len())
+    }
+
+    /// All-reduce across `n` replicas assumed to be spread one per node
+    /// (the common layout for replicated pipeline stages).
+    pub fn allreduce_time_across_nodes(&self, bytes: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        ring_allreduce_time(self.inter_link, bytes, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_participant_free() {
+        assert_eq!(ring_allreduce_time(LinkSpec::nvlink(), 1 << 30, 1), 0.0);
+        let c = ClusterSpec::v100_cluster(1);
+        assert_eq!(c.allreduce_time(1 << 30, &[0]), 0.0);
+    }
+
+    #[test]
+    fn volume_scales_with_bytes() {
+        let l = LinkSpec::nvlink();
+        let t1 = ring_allreduce_time(l, 1 << 20, 8);
+        let t2 = ring_allreduce_time(l, 1 << 24, 8);
+        // 16x the payload; latency terms keep the ratio below 16 but the
+        // bandwidth term must dominate at this size.
+        assert!(t2 > t1 * 5.0, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn cross_node_group_uses_infiniband() {
+        let c = ClusterSpec::v100_cluster(2);
+        let intra = c.allreduce_time(1 << 28, &[0, 1, 2, 3]);
+        let inter = c.allreduce_time(1 << 28, &[0, 8]);
+        // 2 participants move (2·1/2)·bytes = bytes; 4 participants move
+        // 1.5×bytes, but IB is 2× slower than NVLink, so inter wins on time.
+        assert!(inter > intra * 0.5, "inter={inter} intra={intra}");
+    }
+
+    #[test]
+    fn ring_asymptote() {
+        // As n grows the volume factor 2(n-1)/n approaches 2, so time for a
+        // fixed payload is bounded.
+        let l = LinkSpec::infiniband_100g();
+        let t8 = ring_allreduce_time(l, 1 << 30, 8);
+        let t64 = ring_allreduce_time(l, 1 << 30, 64);
+        assert!(t64 < t8 * 1.3);
+    }
+
+    #[test]
+    fn bert_large_allreduce_plausible() {
+        // 340M params * 4 B = 1.36 GB; across 4 nodes over IB the ring
+        // all-reduce should take on the order of 0.1–0.3 s.
+        let c = ClusterSpec::v100_cluster(4);
+        let t = c.allreduce_time_across_nodes(340_000_000 * 4, 4);
+        assert!(t > 0.05 && t < 0.5, "t = {t}");
+    }
+}

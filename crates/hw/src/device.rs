@@ -1,0 +1,153 @@
+//! Accelerator device model.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision regime of a training run.
+///
+/// The paper evaluates FP32 and mixed precision (Apex AMP, §IV-B). Mixed
+/// precision computes matmuls on tensor cores at a much higher peak and
+/// halves activation bytes, but keeps FP32 master weights, so parameter
+/// and optimizer memory *grow* slightly (fp16 weights + fp32 master copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Plain FP32 training.
+    FP32,
+    /// Mixed precision: FP16 compute/activations, FP32 master weights.
+    Mixed,
+}
+
+impl Precision {
+    /// Bytes per activation element.
+    #[inline]
+    pub fn activation_bytes(self) -> usize {
+        match self {
+            Precision::FP32 => 4,
+            Precision::Mixed => 2,
+        }
+    }
+
+    /// Bytes of weight storage per parameter (model copy used in compute).
+    #[inline]
+    pub fn weight_bytes(self) -> usize {
+        match self {
+            Precision::FP32 => 4,
+            Precision::Mixed => 2,
+        }
+    }
+
+    /// Bytes of gradient storage per parameter.
+    #[inline]
+    pub fn grad_bytes(self) -> usize {
+        match self {
+            Precision::FP32 => 4,
+            Precision::Mixed => 2,
+        }
+    }
+
+    /// Extra bytes per parameter beyond weights+grads+optimizer: the FP32
+    /// master copy kept by AMP in mixed precision.
+    #[inline]
+    pub fn master_copy_bytes(self) -> usize {
+        match self {
+            Precision::FP32 => 0,
+            Precision::Mixed => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::FP32 => f.write_str("fp32"),
+            Precision::Mixed => f.write_str("mixed"),
+        }
+    }
+}
+
+/// Static description of one accelerator device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Usable device memory in bytes.
+    pub memory_bytes: usize,
+    /// Peak dense FP32 throughput in FLOP/s.
+    pub peak_flops_fp32: f64,
+    /// Peak dense FP16/tensor-core throughput in FLOP/s.
+    pub peak_flops_fp16: f64,
+    /// Device memory bandwidth in bytes/s (HBM).
+    pub mem_bandwidth: f64,
+    /// Fraction of peak a well-tuned kernel actually sustains (0, 1].
+    /// Real GEMMs on V100 reach 70–90 % of peak; we default to 0.75.
+    pub compute_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA V100 SXM2 32 GB — the paper's device (§IV-A).
+    pub fn v100_32gb() -> Self {
+        DeviceSpec {
+            name: "V100-SXM2-32GB".into(),
+            memory_bytes: 32 * (1usize << 30),
+            peak_flops_fp32: 15.7e12,
+            peak_flops_fp16: 125.0e12,
+            mem_bandwidth: 900.0e9,
+            compute_efficiency: 0.75,
+        }
+    }
+
+    /// Sustained dense-compute throughput for a precision regime.
+    #[inline]
+    pub fn sustained_flops(&self, precision: Precision) -> f64 {
+        let peak = match precision {
+            Precision::FP32 => self.peak_flops_fp32,
+            Precision::Mixed => self.peak_flops_fp16,
+        };
+        peak * self.compute_efficiency
+    }
+
+    /// A scaled-down device: same ratios, `frac` of memory. Useful in tests
+    /// to force partitioning on small graphs.
+    pub fn with_memory(mut self, bytes: usize) -> Self {
+        self.memory_bytes = bytes;
+        self
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::v100_32gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_spec() {
+        let d = DeviceSpec::v100_32gb();
+        assert_eq!(d.memory_bytes, 32 * 1024 * 1024 * 1024);
+        assert!(d.peak_flops_fp16 > d.peak_flops_fp32);
+    }
+
+    #[test]
+    fn sustained_below_peak() {
+        let d = DeviceSpec::v100_32gb();
+        assert!(d.sustained_flops(Precision::FP32) < d.peak_flops_fp32);
+        assert!(d.sustained_flops(Precision::Mixed) > d.sustained_flops(Precision::FP32));
+    }
+
+    #[test]
+    fn precision_byte_accounting() {
+        assert_eq!(Precision::FP32.activation_bytes(), 4);
+        assert_eq!(Precision::Mixed.activation_bytes(), 2);
+        assert_eq!(Precision::Mixed.master_copy_bytes(), 4);
+        assert_eq!(Precision::FP32.master_copy_bytes(), 0);
+    }
+
+    #[test]
+    fn with_memory_override() {
+        let d = DeviceSpec::v100_32gb().with_memory(1 << 20);
+        assert_eq!(d.memory_bytes, 1 << 20);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rannc-models
+//!
+//! Task-graph builders for the model families the paper evaluates:
+//!
+//! * **BERT** ([`bert`]) — the enlarged pre-training models of §IV-B
+//!   (hidden ∈ {1024, 1536, 2048}, layers ∈ {24 … 256}, up to 12.9 B
+//!   parameters), built after the NVIDIA reference description the paper
+//!   feeds RaNNC unmodified.
+//! * **ResNet** ([`resnet`]) — the width-scaled ResNets of §IV-B
+//!   (ResNet50/101/152 with a Big-Transfer-style width factor, up to
+//!   3.7 B parameters).
+//! * **GPT** ([`gpt`]) — a decoder-only Transformer, exercising the same
+//!   machinery on a second Transformer family (the paper's motivation
+//!   cites GPT-3).
+//! * **T5** ([`t5`]) — an encoder–decoder Transformer whose cross-attention
+//!   edges make the task graph non-chain, stress-testing stage convexity
+//!   (the paper's introduction motivates RaNNC with T5-11B).
+//! * **MLP** ([`mlp`]) — small synthetic models for tests and the numeric
+//!   loss-validation experiment.
+//!
+//! All builders produce *per-sample* graphs (no batch dimension — see
+//! `rannc-graph::shape`) and are validated against the parameter counts
+//! the paper reports (BERT-Large 340 M; 256-layer/2048-hidden ≈ 12.9 B;
+//! ResNet152x8 ≈ 3.7 B).
+
+pub mod bert;
+pub mod gpt;
+pub mod mlp;
+pub mod resnet;
+pub mod t5;
+
+pub use bert::{bert_graph, BertConfig};
+pub use gpt::{gpt_graph, GptConfig};
+pub use mlp::{mlp_graph, MlpConfig};
+pub use resnet::{resnet_graph, ResNetConfig, ResNetDepth};
+pub use t5::{t5_graph, T5Config};

@@ -1,0 +1,182 @@
+//! Simulator input/output types.
+
+use rannc_hw::{ClusterSpec, LinkSpec};
+use serde::{Deserialize, Serialize};
+
+/// One pipeline stage as the simulator sees it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Forward time of one micro-batch on one replica, seconds.
+    pub fwd_time: f64,
+    /// Backward time of one micro-batch (incl. recompute), seconds.
+    pub bwd_time: f64,
+    /// Activation bytes sent to the next stage per micro-batch (already
+    /// scaled by micro-batch size and precision). 0 for the last stage.
+    pub comm_to_next_bytes: usize,
+    /// Gradient bytes the stage all-reduces across its replica group
+    /// after the last micro-batch.
+    pub grad_bytes: usize,
+    /// Data-parallel replicas of this stage within one pipeline.
+    pub replicas: usize,
+}
+
+/// A full pipeline configuration to simulate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Stages in order.
+    pub stages: Vec<StageSpec>,
+    /// Micro-batch count per iteration.
+    pub microbatches: usize,
+    /// Whole-pipeline replicas (hybrid data parallelism).
+    pub replica_factor: usize,
+    /// Global mini-batch size (for throughput reporting).
+    pub batch_size: usize,
+    /// Link carrying stage-to-stage activations.
+    pub link: LinkSpec,
+    /// The cluster (for all-reduce cost modelling).
+    pub cluster: ClusterSpec,
+}
+
+impl PipelineSpec {
+    /// Transfer time of stage `i`'s activations to stage `i+1`.
+    pub fn comm_time(&self, i: usize) -> f64 {
+        let bytes = self.stages[i].comm_to_next_bytes;
+        if bytes == 0 {
+            0.0
+        } else {
+            self.link.transfer_time(bytes)
+        }
+    }
+
+    /// Per-iteration gradient all-reduce time: the slowest stage group.
+    ///
+    /// Stage `i` synchronizes gradients across `replicas × replica_factor`
+    /// devices. The group crosses node boundaries (InfiniBand) when whole
+    /// pipeline replicas span nodes (`replica_factor > 1`) or when one
+    /// pipeline's stages and replicas cannot fit inside a single node —
+    /// the placement any of the compared frameworks would face on the
+    /// paper's 8-GPU nodes.
+    pub fn allreduce_time(&self) -> f64 {
+        let pipeline_devices: usize = self.stages.iter().map(|s| s.replicas).sum();
+        let mut worst: f64 = 0.0;
+        for st in &self.stages {
+            let group = st.replicas * self.replica_factor;
+            if group > 1 {
+                let spans_nodes =
+                    self.replica_factor > 1 || pipeline_devices > self.cluster.node.devices;
+                let t = if spans_nodes {
+                    self.cluster
+                        .allreduce_time_across_nodes(st.grad_bytes, group)
+                } else {
+                    rannc_hw::collective::ring_allreduce_time(
+                        self.cluster.node.intra_link,
+                        st.grad_bytes,
+                        group,
+                    )
+                };
+                worst = worst.max(t);
+            }
+        }
+        worst
+    }
+
+    /// Optimizer-step time: Adam reads/writes ~4 words per parameter, so
+    /// the update is memory-bandwidth bound on the largest stage.
+    pub fn optimizer_time(&self) -> f64 {
+        let worst = self
+            .stages
+            .iter()
+            .map(|s| s.grad_bytes)
+            .max()
+            .unwrap_or(0);
+        // weights + grads + 2 Adam moments, read and write
+        (worst as f64 * 8.0) / self.cluster.device.mem_bandwidth
+    }
+}
+
+/// What a simulation run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Wall time of one training iteration, seconds.
+    pub iteration_time: f64,
+    /// Samples per second (`batch_size / iteration_time`).
+    pub throughput: f64,
+    /// Busy time of each stage within the iteration, seconds.
+    pub stage_busy: Vec<f64>,
+    /// Mean stage utilization: busy / iteration.
+    pub utilization: f64,
+}
+
+impl SimResult {
+    /// Compose the result from raw pieces.
+    pub fn new(iteration_time: f64, batch_size: usize, stage_busy: Vec<f64>) -> Self {
+        let utilization = if iteration_time > 0.0 && !stage_busy.is_empty() {
+            stage_busy.iter().sum::<f64>() / (iteration_time * stage_busy.len() as f64)
+        } else {
+            0.0
+        };
+        SimResult {
+            iteration_time,
+            throughput: batch_size as f64 / iteration_time,
+            stage_busy,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rannc_hw::ClusterSpec;
+
+    pub(crate) fn toy_spec(stages: usize, mb: usize) -> PipelineSpec {
+        PipelineSpec {
+            stages: (0..stages)
+                .map(|_| StageSpec {
+                    fwd_time: 0.010,
+                    bwd_time: 0.020,
+                    comm_to_next_bytes: 1 << 20,
+                    grad_bytes: 4 << 20,
+                    replicas: 1,
+                })
+                .collect(),
+            microbatches: mb,
+            replica_factor: 1,
+            batch_size: 32,
+            link: rannc_hw::LinkSpec::nvlink(),
+            cluster: ClusterSpec::v100_cluster(1),
+        }
+    }
+
+    #[test]
+    fn comm_time_zero_for_no_bytes() {
+        let mut s = toy_spec(2, 4);
+        s.stages[1].comm_to_next_bytes = 0;
+        assert!(s.comm_time(0) > 0.0);
+        assert_eq!(s.comm_time(1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_zero_without_replication() {
+        let s = toy_spec(2, 4);
+        assert_eq!(s.allreduce_time(), 0.0);
+        let mut r = toy_spec(2, 4);
+        r.replica_factor = 2;
+        assert!(r.allreduce_time() > 0.0);
+    }
+
+    #[test]
+    fn result_utilization_bounds() {
+        let r = SimResult::new(1.0, 32, vec![0.5, 0.9]);
+        assert!((r.utilization - 0.7).abs() < 1e-12);
+        assert_eq!(r.throughput, 32.0);
+    }
+
+    #[test]
+    fn optimizer_time_scales_with_params() {
+        let small = toy_spec(2, 4).optimizer_time();
+        let mut big = toy_spec(2, 4);
+        big.stages[0].grad_bytes *= 100;
+        assert!(big.optimizer_time() > small * 50.0);
+    }
+}

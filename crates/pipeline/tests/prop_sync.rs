@@ -1,0 +1,104 @@
+//! Property-based tests of the synchronous pipeline simulator: for random
+//! stage timings the event-driven makespan must satisfy the classical
+//! scheduling bounds, and busy-time accounting must be exact.
+
+use proptest::prelude::*;
+use rannc_hw::{ClusterSpec, LinkSpec};
+use rannc_pipeline::{simulate_sync, PipelineSpec, StageSpec, SyncSchedule};
+
+fn spec_from(times: Vec<(f64, f64)>, mb: usize) -> PipelineSpec {
+    PipelineSpec {
+        stages: times
+            .into_iter()
+            .map(|(f, b)| StageSpec {
+                fwd_time: f,
+                bwd_time: b,
+                comm_to_next_bytes: 0,
+                grad_bytes: 0,
+                replicas: 1,
+            })
+            .collect(),
+        microbatches: mb,
+        replica_factor: 1,
+        batch_size: 64,
+        link: LinkSpec::nvlink(),
+        cluster: ClusterSpec::v100_cluster(1),
+    }
+}
+
+fn stage_times() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(
+        (0.001f64..0.1, 0.001f64..0.2).prop_map(|(f, b)| (f, b)),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Makespan lower bounds: at least the bottleneck stage's total work,
+    /// and at least one micro-batch's full critical path.
+    #[test]
+    fn makespan_bounds(times in stage_times(), mb in 1usize..16) {
+        let spec = spec_from(times.clone(), mb);
+        for schedule in [SyncSchedule::FillDrain, SyncSchedule::OneFOneB] {
+            let out = simulate_sync(&spec, schedule, false);
+            let bottleneck: f64 = times
+                .iter()
+                .map(|(f, b)| mb as f64 * (f + b))
+                .fold(0.0, f64::max);
+            let critical: f64 = times.iter().map(|(f, b)| f + b).sum();
+            prop_assert!(out.result.iteration_time >= bottleneck - 1e-12);
+            prop_assert!(out.result.iteration_time >= critical - 1e-12);
+            // upper bound: fully serialized execution
+            let total: f64 = times.iter().map(|(f, b)| mb as f64 * (f + b)).sum();
+            prop_assert!(out.result.iteration_time <= total + 1e-9);
+        }
+    }
+
+    /// Busy-time accounting is exact: each stage is busy exactly
+    /// MB x (fwd + bwd).
+    #[test]
+    fn busy_time_exact(times in stage_times(), mb in 1usize..16) {
+        let spec = spec_from(times.clone(), mb);
+        let out = simulate_sync(&spec, SyncSchedule::FillDrain, false);
+        for (busy, (f, b)) in out.result.stage_busy.iter().zip(&times) {
+            let expect = mb as f64 * (f + b);
+            prop_assert!((busy - expect).abs() < 1e-9, "busy {busy} expect {expect}");
+        }
+    }
+
+    /// The timeline reconstructs the same makespan as the summary result,
+    /// and no stage ever runs two items at once.
+    #[test]
+    fn timeline_consistency(times in stage_times(), mb in 1usize..10) {
+        let spec = spec_from(times.clone(), mb);
+        let out = simulate_sync(&spec, SyncSchedule::FillDrain, true);
+        let tl = out.timeline.unwrap();
+        let end = tl.iter().map(|e| e.end).fold(0.0f64, f64::max);
+        // iteration adds allreduce+optimizer (zero here)
+        prop_assert!((end - out.result.iteration_time).abs() < 1e-9);
+        for s in 0..times.len() {
+            let mut evs: Vec<_> = tl.iter().filter(|e| e.stage == s).collect();
+            evs.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for w in evs.windows(2) {
+                prop_assert!(w[1].start >= w[0].end - 1e-12);
+            }
+            prop_assert_eq!(evs.len(), 2 * mb);
+        }
+    }
+
+    /// More micro-batches at fixed per-micro-batch work never decrease
+    /// utilization under fill–drain (the bubble amortizes).
+    #[test]
+    fn utilization_monotone_in_microbatches(times in stage_times()) {
+        let u = |mb: usize| {
+            simulate_sync(&spec_from(times.clone(), mb), SyncSchedule::FillDrain, false)
+                .result
+                .utilization
+        };
+        let (u2, u8, u32) = (u(2), u(8), u(32));
+        prop_assert!(u8 >= u2 - 1e-9, "u2={u2} u8={u8}");
+        prop_assert!(u32 >= u8 - 1e-9, "u8={u8} u32={u32}");
+    }
+}

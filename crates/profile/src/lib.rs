@@ -1,0 +1,29 @@
+//! # rannc-profile
+//!
+//! The profiling oracle of the RaNNC reproduction.
+//!
+//! The paper's partitioner repeatedly calls `profile(U, batch_size)` on a
+//! candidate subcomponent `U`, which "actually run\[s\] forward and backward
+//! passes of the subcomponents multiple times and monitor\[s\] the profiles"
+//! (§III-B) on a V100. Without GPUs we substitute an *analytical* oracle
+//! with the same interface and the same monotonic structure:
+//!
+//! * **time** — a roofline model per task: compute time is
+//!   `FLOPs / sustained FLOP/s`, memory time is `bytes / HBM bandwidth`;
+//!   the larger wins, plus a fixed kernel-launch overhead
+//!   ([`flops`], [`Profiler`]);
+//! * **memory** — parameter, gradient, Adam-state and activation footprints
+//!   with and without gradient checkpointing ([`memory`]);
+//! * **caching** — results are memoised on a fingerprint of
+//!   (task set, micro-batch, in-flight count, checkpointing), mirroring how
+//!   RaNNC amortizes profiling across the DP's many candidate stages.
+//!
+//! An optional multiplicative noise model emulates real measurement jitter
+//! so robustness of the partitioning algorithms can be tested.
+
+pub mod flops;
+pub mod memory;
+pub mod profiler;
+
+pub use memory::MemoryParams;
+pub use profiler::{CommCost, ProfileResult, Profiler, ProfilerOptions};

@@ -1,0 +1,490 @@
+//! The `profile(U, batch)` oracle with memoisation.
+
+use crate::flops::task_flops;
+use crate::memory::MemoryParams;
+use parking_lot::Mutex;
+use rannc_graph::{traverse, TaskGraph, TaskSet, ValueKind};
+use rannc_hw::{DeviceSpec, LinkSpec, Precision};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tunables of the analytical profiler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilerOptions {
+    /// Training precision (affects peaks and byte sizes).
+    pub precision: Precision,
+    /// Fixed per-kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// Fixed overhead per *profiled subcomponent execution* (host-side
+    /// synchronization, input staging) in seconds. Added once to each
+    /// forward and backward measurement. This is what makes summing the
+    /// profiles of many fine-grained subcomponents "a considerable
+    /// overestimation" of the fused execution (paper §IV-C) — the effect
+    /// the coarsening ablation exercises.
+    pub invocation_overhead: f64,
+    /// Multiplicative noise amplitude (0 = deterministic). A value σ makes
+    /// each (subcomponent, batch) measurement a fixed pseudo-random factor
+    /// in `[1−σ, 1+σ]`, emulating real profiling jitter deterministically.
+    pub noise_sigma: f64,
+    /// Seed for the noise model.
+    pub noise_seed: u64,
+}
+
+impl ProfilerOptions {
+    /// Deterministic FP32 profiling.
+    pub fn fp32() -> Self {
+        ProfilerOptions {
+            precision: Precision::FP32,
+            launch_overhead: 5.0e-6,
+            invocation_overhead: 3.0e-5,
+            noise_sigma: 0.0,
+            noise_seed: 0,
+        }
+    }
+
+    /// Deterministic mixed-precision profiling.
+    pub fn mixed() -> Self {
+        ProfilerOptions {
+            precision: Precision::Mixed,
+            ..ProfilerOptions::fp32()
+        }
+    }
+
+    /// Enable measurement noise.
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        self.noise_sigma = sigma;
+        self.noise_seed = seed;
+        self
+    }
+}
+
+/// What `profile` returns for one candidate stage: the paper's
+/// `t^f, t^b, m` triple plus bookkeeping used by reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileResult {
+    /// Forward-pass wall time for one micro-batch, seconds.
+    pub fwd_time: f64,
+    /// Backward-pass wall time (including recomputation if gradient
+    /// checkpointing is active), seconds.
+    pub bwd_time: f64,
+    /// Peak device memory, bytes.
+    pub mem_bytes: usize,
+    /// Parameter elements in the subcomponent.
+    pub param_elems: usize,
+    /// Forward FLOPs for the profiled micro-batch.
+    pub flops: f64,
+}
+
+/// Per-task precomputed cost data.
+struct TaskCost {
+    flops: f64,
+    /// Byte traffic that scales with the micro-batch (activations).
+    act_bytes: f64,
+    /// Fixed byte traffic (parameter/constant reads).
+    static_bytes: f64,
+    out_act_bytes: usize,
+    compute_bound: bool,
+    /// Non-constant tasks scale with the micro-batch size; constant tasks
+    /// (weight transposes etc.) run once regardless of batch.
+    scales: bool,
+    params: std::ops::Range<u32>,
+}
+
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct CacheKey {
+    fp: u128,
+    batch: u32,
+    inflight: u32,
+    ckpt: bool,
+}
+
+/// Analytical stand-in for RaNNC's on-device profiler.
+///
+/// Construction walks the graph once; each [`Profiler::profile_set`] call
+/// is then a linear pass over the subcomponent with memoisation keyed on a
+/// 128-bit fingerprint of the task set.
+pub struct Profiler<'g> {
+    g: &'g TaskGraph,
+    device: DeviceSpec,
+    opts: ProfilerOptions,
+    costs: Vec<TaskCost>,
+    param_vals: Vec<u32>,
+    cache: Mutex<HashMap<CacheKey, ProfileResult>>,
+    scratch: Mutex<(Vec<u32>, u32)>,
+}
+
+impl<'g> Profiler<'g> {
+    /// Build a profiler for one graph on one device model.
+    pub fn new(g: &'g TaskGraph, device: DeviceSpec, opts: ProfilerOptions) -> Self {
+        let non_constant = traverse::non_constant_tasks(g);
+        let mut costs = Vec::with_capacity(g.num_tasks());
+        let mut param_vals = Vec::new();
+        for (tid, task) in g.tasks() {
+            let start = param_vals.len() as u32;
+            for &v in &task.inputs {
+                if g.value(v).kind.is_static() {
+                    param_vals.push(v.0);
+                }
+            }
+            let end = param_vals.len() as u32;
+            let out_act_bytes = task
+                .outputs
+                .iter()
+                .map(|&v| g.value(v).size_bytes())
+                .sum();
+            let (act_bytes, static_bytes) = crate::flops::task_bytes_split(g, tid);
+            costs.push(TaskCost {
+                flops: task_flops(g, tid),
+                act_bytes,
+                static_bytes,
+                out_act_bytes,
+                compute_bound: task.op.is_compute_bound(),
+                scales: non_constant[tid.index()],
+                params: start..end,
+            });
+        }
+        Profiler {
+            g,
+            device,
+            opts,
+            costs,
+            param_vals,
+            cache: Mutex::new(HashMap::new()),
+            scratch: Mutex::new((vec![0u32; g.num_values()], 0)),
+        }
+    }
+
+    /// The graph this profiler measures.
+    pub fn graph(&self) -> &'g TaskGraph {
+        self.g
+    }
+
+    /// The device model in use.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The profiling options in use.
+    pub fn options(&self) -> &ProfilerOptions {
+        &self.opts
+    }
+
+    /// Number of memoised profiles (for diagnostics and benches).
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Forward time of one task at a given micro-batch size.
+    fn task_fwd_time(&self, c: &TaskCost, batch: usize) -> f64 {
+        let scale = if c.scales { batch as f64 } else { 1.0 };
+        let byte_scale = self.opts.precision.activation_bytes() as f64 / 4.0;
+        let flops = c.flops * scale;
+        // activations scale with batch; parameter reads are amortized
+        let bytes = (c.act_bytes * scale + c.static_bytes) * byte_scale;
+        let peak = if c.compute_bound {
+            self.device.sustained_flops(self.opts.precision)
+        } else {
+            self.device.sustained_flops(Precision::FP32)
+        };
+        let t_compute = flops / peak;
+        let t_memory = bytes / self.device.mem_bandwidth;
+        t_compute.max(t_memory) + self.opts.launch_overhead
+    }
+
+    /// Profile a candidate stage: the paper's `profile(U, bs)`.
+    ///
+    /// * `batch` — micro-batch size in samples (Algorithm 1 passes
+    ///   `⌊BS/R/MB/(d−d′)⌋`);
+    /// * `inflight` — micro-batches resident on the stage at the pipeline's
+    ///   memory peak (`MB` for synchronous fill–drain);
+    /// * `checkpointing` — whether gradient checkpointing is active.
+    pub fn profile_set(
+        &self,
+        set: &TaskSet,
+        batch: usize,
+        inflight: usize,
+        checkpointing: bool,
+    ) -> ProfileResult {
+        let key = CacheKey {
+            fp: fingerprint(set),
+            batch: batch as u32,
+            inflight: inflight as u32,
+            ckpt: checkpointing,
+        };
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return *hit;
+        }
+
+        let mut fwd = 0.0;
+        let mut bwd = 0.0;
+        let mut flops = 0.0;
+        let mut inter_act = 0usize;
+        let mut param_elems = 0usize;
+        {
+            let mut guard = self.scratch.lock();
+            let (stamps, stamp) = &mut *guard;
+            *stamp = stamp.wrapping_add(1);
+            if *stamp == 0 {
+                stamps.iter_mut().for_each(|s| *s = 0);
+                *stamp = 1;
+            }
+            for t in set.iter() {
+                let c = &self.costs[t.index()];
+                let tf = self.task_fwd_time(c, batch);
+                fwd += tf;
+                // backward: dgrad+wgrad for dense ops ≈ 2× forward; ~1× for
+                // element-wise / normalization / layout ops.
+                bwd += if c.compute_bound { 2.0 * tf } else { tf };
+                flops += c.flops * if c.scales { batch as f64 } else { 1.0 };
+                if c.scales {
+                    inter_act += c.out_act_bytes;
+                }
+                for pi in c.params.clone() {
+                    let v = self.param_vals[pi as usize] as usize;
+                    if stamps[v] != *stamp {
+                        stamps[v] = *stamp;
+                        if self.g.value(rannc_graph::ValueId(v as u32)).kind == ValueKind::Param {
+                            param_elems += self.g.value(rannc_graph::ValueId(v as u32)).numel();
+                        }
+                    }
+                }
+            }
+        }
+        // per-execution host overhead (sync, input staging)
+        fwd += self.opts.invocation_overhead;
+        bwd += self.opts.invocation_overhead;
+        if checkpointing {
+            // recomputation replays the forward pass before backward
+            bwd += fwd;
+        }
+
+        let mem = MemoryParams {
+            precision: self.opts.precision,
+            checkpointing,
+            inflight: inflight.max(1),
+        };
+        let ingress = self.ingress_act_bytes(set);
+        let mem_bytes = mem.stage_bytes(param_elems, ingress, inter_act, batch);
+
+        let noise = self.noise_factor(key.fp ^ batch as u128);
+        let result = ProfileResult {
+            fwd_time: fwd * noise,
+            bwd_time: bwd * noise,
+            mem_bytes,
+            param_elems,
+            flops,
+        };
+        self.cache.lock().insert(key, result);
+        result
+    }
+
+    /// FP32 bytes of one sample's non-static values entering `set`.
+    fn ingress_act_bytes(&self, set: &TaskSet) -> usize {
+        traverse::ingress_values(self.g, set)
+            .into_iter()
+            .filter(|&v| !self.g.value(v).kind.is_static())
+            .map(|v| self.g.value(v).size_bytes())
+            .sum()
+    }
+
+    /// Communication volume from `from` to `to` for one micro-batch of
+    /// `batch` samples, at activation precision.
+    pub fn comm_bytes(&self, from: &TaskSet, to: &TaskSet, batch: usize) -> usize {
+        let base = traverse::cut_bytes(self.g, from, to);
+        (base as f64 * batch as f64 * self.opts.precision.activation_bytes() as f64 / 4.0) as usize
+    }
+
+    /// Time to move one micro-batch's cut from `from` to `to` over `link`.
+    pub fn comm_time(&self, from: &TaskSet, to: &TaskSet, batch: usize, link: LinkSpec) -> f64 {
+        let bytes = self.comm_bytes(from, to, batch);
+        if bytes == 0 {
+            0.0
+        } else {
+            link.transfer_time(bytes)
+        }
+    }
+
+    fn noise_factor(&self, salt: u128) -> f64 {
+        if self.opts.noise_sigma == 0.0 {
+            return 1.0;
+        }
+        let h = splitmix(self.opts.noise_seed ^ (salt as u64) ^ ((salt >> 64) as u64));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        1.0 + self.opts.noise_sigma * (2.0 * unit - 1.0)
+    }
+}
+
+/// Communication cost helper bound to a link and precision — used by the
+/// schedule simulator for stage-to-stage transfers.
+#[derive(Debug, Clone, Copy)]
+pub struct CommCost {
+    /// Link model used for the transfer.
+    pub link: LinkSpec,
+    /// Activation precision in flight.
+    pub precision: Precision,
+}
+
+impl CommCost {
+    /// Transfer time of `fp32_bytes`-sized values for `batch` samples.
+    pub fn time(&self, fp32_bytes: usize, batch: usize) -> f64 {
+        if fp32_bytes == 0 {
+            return 0.0;
+        }
+        let bytes =
+            (fp32_bytes as f64 * batch as f64 * self.precision.activation_bytes() as f64 / 4.0)
+                as usize;
+        self.link.transfer_time(bytes)
+    }
+}
+
+/// 128-bit FNV-style fingerprint of a task set's words. Collisions across
+/// the few hundred thousand distinct sets a run profiles are negligible.
+fn fingerprint(set: &TaskSet) -> u128 {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+    for t in set.iter() {
+        let x = splitmix(t.0 as u64 + 1);
+        h1 = (h1 ^ x).wrapping_mul(0x1000_0000_01b3);
+        h2 = h2.rotate_left(13) ^ splitmix(x ^ 0xdead_beef);
+    }
+    ((h1 as u128) << 64) | h2 as u128
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rannc_models::{bert_graph, mlp_graph, BertConfig, MlpConfig};
+
+    fn whole_set(g: &TaskGraph) -> TaskSet {
+        TaskSet::from_ids(g.num_tasks(), g.task_ids())
+    }
+
+    #[test]
+    fn times_scale_with_batch() {
+        let g = bert_graph(&BertConfig::tiny());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = whole_set(&g);
+        let r1 = p.profile_set(&s, 1, 1, false);
+        let r8 = p.profile_set(&s, 8, 1, false);
+        assert!(r8.fwd_time > r1.fwd_time);
+        assert!(r8.bwd_time > r1.bwd_time);
+        assert!(r8.flops > 7.0 * r1.flops);
+    }
+
+    #[test]
+    fn backward_slower_than_forward() {
+        let g = bert_graph(&BertConfig::tiny());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let r = p.profile_set(&whole_set(&g), 4, 1, false);
+        assert!(r.bwd_time > r.fwd_time);
+    }
+
+    #[test]
+    fn checkpointing_adds_recompute_time_saves_memory() {
+        let g = bert_graph(&BertConfig::tiny());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = whole_set(&g);
+        let plain = p.profile_set(&s, 4, 8, false);
+        let ckpt = p.profile_set(&s, 4, 8, true);
+        assert!(ckpt.bwd_time > plain.bwd_time);
+        assert!(ckpt.mem_bytes < plain.mem_bytes);
+        assert_eq!(ckpt.fwd_time, plain.fwd_time);
+    }
+
+    #[test]
+    fn param_elems_match_graph() {
+        let g = bert_graph(&BertConfig::tiny());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let r = p.profile_set(&whole_set(&g), 1, 1, false);
+        assert_eq!(r.param_elems, g.param_count());
+    }
+
+    #[test]
+    fn split_params_sum_to_whole() {
+        let g = mlp_graph(&MlpConfig::deep(32, 64, 4, 10));
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let n = g.num_tasks();
+        let half = n / 2;
+        let a = TaskSet::from_ids(n, (0..half as u32).map(rannc_graph::TaskId));
+        let b = TaskSet::from_ids(n, (half as u32..n as u32).map(rannc_graph::TaskId));
+        let ra = p.profile_set(&a, 1, 1, false);
+        let rb = p.profile_set(&b, 1, 1, false);
+        assert_eq!(ra.param_elems + rb.param_elems, g.param_count());
+    }
+
+    #[test]
+    fn mixed_precision_is_faster() {
+        let g = bert_graph(&BertConfig::tiny());
+        let f = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let m = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::mixed());
+        let s = whole_set(&g);
+        let rf = f.profile_set(&s, 8, 1, false);
+        let rm = m.profile_set(&s, 8, 1, false);
+        assert!(rm.fwd_time < rf.fwd_time);
+    }
+
+    #[test]
+    fn cache_hits() {
+        let g = bert_graph(&BertConfig::tiny());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = whole_set(&g);
+        let r1 = p.profile_set(&s, 4, 2, true);
+        assert_eq!(p.cache_len(), 1);
+        let r2 = p.profile_set(&s, 4, 2, true);
+        assert_eq!(p.cache_len(), 1);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let g = bert_graph(&BertConfig::tiny());
+        let opts = ProfilerOptions::fp32().with_noise(0.1, 42);
+        let p1 = Profiler::new(&g, DeviceSpec::v100_32gb(), opts);
+        let p2 = Profiler::new(&g, DeviceSpec::v100_32gb(), opts);
+        let clean = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = whole_set(&g);
+        let a = p1.profile_set(&s, 4, 1, false);
+        let b = p2.profile_set(&s, 4, 1, false);
+        let c = clean.profile_set(&s, 4, 1, false);
+        assert_eq!(a.fwd_time, b.fwd_time);
+        let ratio = a.fwd_time / c.fwd_time;
+        assert!((0.9..=1.1).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn comm_bytes_scale_with_batch_and_precision() {
+        let g = mlp_graph(&MlpConfig::deep(32, 64, 2, 10));
+        let n = g.num_tasks();
+        let a = TaskSet::from_ids(n, (0..3u32).map(rannc_graph::TaskId));
+        let b = TaskSet::from_ids(n, (3..n as u32).map(rannc_graph::TaskId));
+        let p32 = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let p16 = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::mixed());
+        let c1 = p32.comm_bytes(&a, &b, 1);
+        let c8 = p32.comm_bytes(&a, &b, 8);
+        assert_eq!(c8, 8 * c1);
+        assert_eq!(p16.comm_bytes(&a, &b, 8), c8 / 2);
+    }
+
+    #[test]
+    fn bert_large_fwd_time_plausible() {
+        // BERT-Large forward is ~ 0.18 TFLOPs/sample (incl. MLM head);
+        // on a 11.8 TFLOP/s sustained V100 a batch of 8 should take
+        // roughly 0.1–0.5 s. Guards against unit errors (ms vs s).
+        let g = bert_graph(&BertConfig::large());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let r = p.profile_set(&whole_set(&g), 8, 1, false);
+        assert!(
+            r.fwd_time > 0.03 && r.fwd_time < 1.0,
+            "fwd = {} s",
+            r.fwd_time
+        );
+    }
+}

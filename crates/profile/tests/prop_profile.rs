@@ -1,0 +1,116 @@
+//! Property-based tests of the profiling oracle: the monotonicity
+//! relations the partitioning algorithms rely on must hold for arbitrary
+//! subcomponents of arbitrary models.
+
+use proptest::prelude::*;
+use rannc_graph::{TaskGraph, TaskId, TaskSet};
+use rannc_hw::DeviceSpec;
+use rannc_models::{bert_graph, mlp_graph, BertConfig, MlpConfig};
+use rannc_profile::{Profiler, ProfilerOptions};
+
+fn graphs() -> impl Strategy<Value = TaskGraph> {
+    prop_oneof![
+        (2usize..8, 16usize..64).prop_map(|(depth, width)| {
+            mlp_graph(&MlpConfig::deep(width, width, depth, 4))
+        }),
+        (1usize..3).prop_map(|layers| {
+            bert_graph(&BertConfig {
+                layers,
+                ..BertConfig::tiny()
+            })
+        }),
+    ]
+}
+
+/// A pseudo-random contiguous task range (contiguity keeps ingress sane).
+fn subrange(g: &TaskGraph, sel: u64) -> TaskSet {
+    let n = g.num_tasks();
+    let a = (sel as usize) % n;
+    let b = ((sel >> 32) as usize) % n;
+    let (lo, hi) = (a.min(b), a.max(b) + 1);
+    TaskSet::from_ids(n, (lo as u32..hi as u32).map(TaskId))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Time and FLOPs are monotone in the micro-batch size.
+    #[test]
+    fn time_monotone_in_batch(g in graphs(), sel in any::<u64>()) {
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = subrange(&g, sel);
+        let mut last = 0.0f64;
+        for batch in [1usize, 2, 4, 8, 16] {
+            let r = p.profile_set(&s, batch, 1, false);
+            prop_assert!(r.fwd_time >= last - 1e-15);
+            last = r.fwd_time;
+        }
+    }
+
+    /// Memory is monotone in batch size and in-flight count, and gradient
+    /// checkpointing never increases it.
+    #[test]
+    fn memory_monotonicities(g in graphs(), sel in any::<u64>()) {
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = subrange(&g, sel);
+        let m1 = p.profile_set(&s, 1, 4, false).mem_bytes;
+        let m8 = p.profile_set(&s, 8, 4, false).mem_bytes;
+        prop_assert!(m8 >= m1);
+        let i1 = p.profile_set(&s, 4, 1, false).mem_bytes;
+        let i8 = p.profile_set(&s, 4, 8, false).mem_bytes;
+        prop_assert!(i8 >= i1);
+        let plain = p.profile_set(&s, 4, 8, false).mem_bytes;
+        let ckpt = p.profile_set(&s, 4, 8, true).mem_bytes;
+        prop_assert!(ckpt <= plain);
+    }
+
+    /// A subset of tasks never takes longer or uses more parameters than
+    /// its superset.
+    #[test]
+    fn subset_costs_less(g in graphs(), sel in any::<u64>()) {
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let sup = subrange(&g, sel);
+        // shrink to a strict subset (drop the topologically-last half)
+        let members: Vec<TaskId> = sup.iter().collect();
+        if members.len() < 2 {
+            return Ok(());
+        }
+        let sub = TaskSet::from_ids(g.num_tasks(), members[..members.len() / 2].iter().copied());
+        let rs = p.profile_set(&sub, 4, 1, false);
+        let rl = p.profile_set(&sup, 4, 1, false);
+        // strict additivity of the time model, modulo the per-invocation
+        // constant that both measurements include once
+        prop_assert!(rs.fwd_time <= rl.fwd_time + 1e-12);
+        prop_assert!(rs.param_elems <= rl.param_elems);
+        prop_assert!(rs.flops <= rl.flops + 1e-6);
+    }
+
+    /// Determinism: identical queries on separate profilers agree exactly.
+    #[test]
+    fn deterministic_across_instances(g in graphs(), sel in any::<u64>()) {
+        let p1 = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let p2 = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = subrange(&g, sel);
+        let a = p1.profile_set(&s, 4, 2, true);
+        let b = p2.profile_set(&s, 4, 2, true);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Disjoint-union accounting: params of two disjoint halves sum to the
+    /// whole (no double counting, no loss).
+    #[test]
+    fn param_partition_additivity(g in graphs()) {
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let n = g.num_tasks();
+        let half = n / 2;
+        let a = TaskSet::from_ids(n, (0..half as u32).map(TaskId));
+        let b = TaskSet::from_ids(n, (half as u32..n as u32).map(TaskId));
+        let whole = TaskSet::from_ids(n, g.task_ids());
+        let ra = p.profile_set(&a, 1, 1, false);
+        let rb = p.profile_set(&b, 1, 1, false);
+        let rw = p.profile_set(&whole, 1, 1, false);
+        // params may be shared across the cut (e.g. tied embeddings), so
+        // the halves can sum to >= the whole but never less
+        prop_assert!(ra.param_elems + rb.param_elems >= rw.param_elems);
+    }
+}

@@ -1,0 +1,279 @@
+//! Matrix operations for forward and backward passes.
+//!
+//! All reductions run in index order so results are bit-deterministic —
+//! the loss-validation experiment (`rannc-train`) relies on exact
+//! reproducibility between single-device and pipeline-parallel runs.
+
+use crate::matrix::Matrix;
+
+/// `C = A · B`, `[m,k] × [k,n] → [m,n]`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.rows, "matmul dims: {}x{} × {}x{}", a.rows, a.cols, b.rows, b.cols);
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for kk in 0..a.cols {
+            let av = a.get(i, kk);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B`, `[k,m]ᵀ × [k,n] → [m,n]` — the weight-gradient GEMM.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows, b.rows, "matmul_tn dims");
+    let mut c = Matrix::zeros(a.cols, b.cols);
+    for kk in 0..a.rows {
+        for i in 0..a.cols {
+            let av = a.get(kk, i);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ`, `[m,k] × [n,k]ᵀ → [m,n]` — the input-gradient GEMM.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.cols, "matmul_nt dims");
+    let mut c = Matrix::zeros(a.rows, b.rows);
+    for i in 0..a.rows {
+        let arow = a.row(i);
+        for j in 0..b.rows {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *c.get_mut(i, j) = acc;
+        }
+    }
+    c
+}
+
+/// Broadcast-add a bias row to every row of `x`, in place.
+pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
+    assert_eq!(x.cols, bias.len());
+    for r in 0..x.rows {
+        let row = &mut x.data[r * x.cols..(r + 1) * x.cols];
+        for (v, b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Column sums of `g` — the bias gradient.
+pub fn col_sums(g: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; g.cols];
+    for r in 0..g.rows {
+        for (o, v) in out.iter_mut().zip(g.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// ReLU forward (new matrix).
+pub fn relu(x: &Matrix) -> Matrix {
+    Matrix {
+        rows: x.rows,
+        cols: x.cols,
+        data: x.data.iter().map(|&v| v.max(0.0)).collect(),
+    }
+}
+
+/// ReLU backward: `dX = dY ⊙ [X > 0]`.
+pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.data.len(), dy.data.len());
+    Matrix {
+        rows: x.rows,
+        cols: x.cols,
+        data: x
+            .data
+            .iter()
+            .zip(&dy.data)
+            .map(|(&xv, &gv)| if xv > 0.0 { gv } else { 0.0 })
+            .collect(),
+    }
+}
+
+/// Tanh forward.
+pub fn tanh(x: &Matrix) -> Matrix {
+    Matrix {
+        rows: x.rows,
+        cols: x.cols,
+        data: x.data.iter().map(|v| v.tanh()).collect(),
+    }
+}
+
+/// Tanh backward: `dX = dY ⊙ (1 − tanh(x)²)` given `y = tanh(x)`.
+pub fn tanh_backward(y: &Matrix, dy: &Matrix) -> Matrix {
+    Matrix {
+        rows: y.rows,
+        cols: y.cols,
+        data: y
+            .data
+            .iter()
+            .zip(&dy.data)
+            .map(|(&yv, &gv)| gv * (1.0 - yv * yv))
+            .collect(),
+    }
+}
+
+/// Mean softmax cross-entropy of `logits` against integer `labels`.
+///
+/// Returns `(loss, dLogits)` where the gradient is already scaled by
+/// `1/batch` (mean reduction) — ready to feed backward.
+#[allow(clippy::needless_range_loop)] // r indexes logits rows AND labels
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows, labels.len());
+    let mut grad = Matrix::zeros(logits.rows, logits.cols);
+    let mut loss = 0.0f32;
+    let inv_batch = 1.0 / logits.rows as f32;
+    for r in 0..logits.rows {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let label = labels[r];
+        assert!(label < logits.cols, "label out of range");
+        let log_p = (row[label] - max) - denom.ln();
+        loss -= log_p;
+        let grow = &mut grad.data[r * logits.cols..(r + 1) * logits.cols];
+        for (c, g) in grow.iter_mut().enumerate() {
+            let p = (row[c] - max).exp() / denom;
+            *g = (p - if c == label { 1.0 } else { 0.0 }) * inv_batch;
+        }
+    }
+    (loss * inv_batch, grad)
+}
+
+/// `y += alpha * x` over raw slices.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len());
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[1., 0., 0., 1., 1., 1.]);
+        // aT: [[1,3,5],[2,4,6]]
+        let c = matmul_tn(&a, &b);
+        assert_eq!(c.rows, 2);
+        assert_eq!(c.cols, 2);
+        assert_eq!(c.data, vec![1. + 5., 3. + 5., 2. + 6., 4. + 6.]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(2, 3, &[1., 1., 0., 0., 1., 1.]);
+        let c = matmul_nt(&a, &b);
+        // a · bT: [[1+2, 2+3],[4+5, 5+6]]
+        assert_eq!(c.data, vec![3., 5., 9., 11.]);
+    }
+
+    #[test]
+    fn gemm_identities() {
+        // (A·B) with B = I returns A
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let i = m(2, 2, &[1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &i).data, a.data);
+        assert_eq!(matmul_nt(&a, &i).data, a.data);
+        assert_eq!(matmul_tn(&i, &a).data, a.data);
+    }
+
+    #[test]
+    fn bias_roundtrip() {
+        let mut x = m(2, 2, &[0., 0., 0., 0.]);
+        add_bias(&mut x, &[1.0, 2.0]);
+        assert_eq!(x.data, vec![1., 2., 1., 2.]);
+        assert_eq!(col_sums(&x), vec![2., 4.]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = m(1, 4, &[-1., 0., 2., -3.]);
+        let y = relu(&x);
+        assert_eq!(y.data, vec![0., 0., 2., 0.]);
+        let dy = m(1, 4, &[1., 1., 1., 1.]);
+        let dx = relu_backward(&x, &dy);
+        assert_eq!(dx.data, vec![0., 0., 1., 0.]);
+    }
+
+    #[test]
+    fn softmax_xent_uniform() {
+        // equal logits -> loss = ln(C), grad rows sum to 0
+        let logits = m(2, 4, &[0.; 8]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_xent_gradient_numerically() {
+        // finite-difference check on one logit
+        let base = m(1, 3, &[0.2, -0.1, 0.3]);
+        let labels = [2usize];
+        let (_, grad) = softmax_cross_entropy(&base, &labels);
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let mut plus = base.clone();
+            *plus.get_mut(0, c) += eps;
+            let mut minus = base.clone();
+            *minus.get_mut(0, c) -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.get(0, c)).abs() < 1e-3,
+                "col {c}: numeric {num} vs analytic {}",
+                grad.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_works() {
+        let mut y = vec![1.0f32, 2.0];
+        axpy(&mut y, 0.5, &[2.0, 4.0]);
+        assert_eq!(y, vec![2.0, 4.0]);
+    }
+}

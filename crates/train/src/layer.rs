@@ -1,0 +1,289 @@
+//! Trainable layers with per-micro-batch activation caches.
+//!
+//! Pipeline parallelism keeps several micro-batches in flight, so a layer
+//! must stash the forward activations of each micro-batch separately
+//! until its backward arrives — the same bookkeeping RaNNC's runtime does
+//! per stage (with gradient checkpointing it stashes stage inputs only;
+//! here stages are small, so we stash per layer).
+
+use rannc_tensor::{ops, Matrix};
+use std::collections::HashMap;
+
+/// One layer of a stage.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Fully-connected: `y = x·W + b`.
+    Linear {
+        /// Weight `[in, out]`.
+        w: Matrix,
+        /// Bias `[out]`.
+        b: Vec<f32>,
+        /// Stashed forward inputs, keyed by micro-batch id.
+        cache: HashMap<usize, Matrix>,
+        /// Per-micro-batch weight gradients (summed at `step` time in
+        /// micro-batch order for determinism).
+        dw: HashMap<usize, Matrix>,
+        /// Per-micro-batch bias gradients.
+        db: HashMap<usize, Vec<f32>>,
+    },
+    /// Element-wise ReLU.
+    Relu {
+        /// Stashed forward inputs.
+        cache: HashMap<usize, Matrix>,
+    },
+    /// Element-wise tanh.
+    Tanh {
+        /// Stashed forward *outputs* (tanh's backward uses y).
+        cache: HashMap<usize, Matrix>,
+    },
+    /// A pre-LN Transformer block (see [`crate::transformer`]); treats
+    /// each micro-batch's rows as sequence positions.
+    Transformer(Box<crate::transformer::TransformerBlock>),
+}
+
+impl Layer {
+    /// A Xavier-initialized linear layer with a deterministic seed.
+    pub fn linear(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Layer::Linear {
+            w: Matrix::xavier(in_dim, out_dim, seed),
+            b: vec![0.0; out_dim],
+            cache: HashMap::new(),
+            dw: HashMap::new(),
+            db: HashMap::new(),
+        }
+    }
+
+    /// A ReLU layer.
+    pub fn relu() -> Self {
+        Layer::Relu {
+            cache: HashMap::new(),
+        }
+    }
+
+    /// A tanh layer.
+    pub fn tanh() -> Self {
+        Layer::Tanh {
+            cache: HashMap::new(),
+        }
+    }
+
+    /// A Transformer block of width `hidden` with an `ff`-wide FFN.
+    pub fn transformer(hidden: usize, ff: usize, seed: u64) -> Self {
+        Layer::Transformer(Box::new(crate::transformer::TransformerBlock::new(
+            hidden, ff, seed,
+        )))
+    }
+
+    /// Forward one micro-batch, stashing what backward will need.
+    pub fn forward(&mut self, mb: usize, x: Matrix) -> Matrix {
+        match self {
+            Layer::Linear { w, b, cache, .. } => {
+                let mut y = ops::matmul(&x, w);
+                ops::add_bias(&mut y, b);
+                cache.insert(mb, x);
+                y
+            }
+            Layer::Relu { cache } => {
+                let y = ops::relu(&x);
+                cache.insert(mb, x);
+                y
+            }
+            Layer::Tanh { cache } => {
+                let y = ops::tanh(&x);
+                cache.insert(mb, y.clone());
+                y
+            }
+            Layer::Transformer(block) => block.forward(mb, x),
+        }
+    }
+
+    /// Backward one micro-batch; records parameter gradients and returns
+    /// the input gradient. Consumes (removes) the stash for `mb`.
+    pub fn backward(&mut self, mb: usize, dy: Matrix) -> Matrix {
+        match self {
+            Layer::Linear {
+                w,
+                cache,
+                dw,
+                db,
+                ..
+            } => {
+                let x = cache.remove(&mb).expect("no stashed forward for mb");
+                dw.insert(mb, ops::matmul_tn(&x, &dy));
+                db.insert(mb, ops::col_sums(&dy));
+                ops::matmul_nt(&dy, w)
+            }
+            Layer::Relu { cache } => {
+                let x = cache.remove(&mb).expect("no stashed forward for mb");
+                ops::relu_backward(&x, &dy)
+            }
+            Layer::Tanh { cache } => {
+                let y = cache.remove(&mb).expect("no stashed forward for mb");
+                ops::tanh_backward(&y, &dy)
+            }
+            Layer::Transformer(block) => block.backward(mb, dy),
+        }
+    }
+
+    /// Optimizer-state slots reserved per layer (a Transformer block uses
+    /// twelve; a linear layer two).
+    pub const SLOT_STRIDE: usize = 16;
+
+    /// Apply accumulated gradients with `opt`, summing micro-batch
+    /// contributions in ascending micro-batch order (bit-deterministic).
+    /// `slot` is the layer index; each layer owns the optimizer-state
+    /// range `[slot * SLOT_STRIDE, (slot + 1) * SLOT_STRIDE)`.
+    pub fn step(&mut self, opt: &mut dyn rannc_tensor::Optimizer, slot: usize) {
+        let base = Self::SLOT_STRIDE * slot;
+        match self {
+            Layer::Linear { w, b, dw, db, .. } => {
+                if dw.is_empty() {
+                    return;
+                }
+                let mut keys: Vec<usize> = dw.keys().copied().collect();
+                keys.sort_unstable();
+                let mut dw_sum = Matrix::zeros(w.rows, w.cols);
+                let mut db_sum = vec![0.0f32; b.len()];
+                for k in keys {
+                    let g = dw.remove(&k).unwrap();
+                    ops::axpy(&mut dw_sum.data, 1.0, &g.data);
+                    ops::axpy(&mut db_sum, 1.0, &db.remove(&k).unwrap());
+                }
+                opt.step(base, &mut w.data, &dw_sum.data);
+                opt.step(base + 1, b, &db_sum);
+            }
+            Layer::Transformer(block) => block.step(opt, base),
+            _ => {}
+        }
+    }
+
+    /// Apply ONE micro-batch's gradient immediately (the asynchronous,
+    /// staleness-inducing update used by the async trainer).
+    pub fn step_immediate(
+        &mut self,
+        mb: usize,
+        opt: &mut dyn rannc_tensor::Optimizer,
+        slot: usize,
+    ) {
+        let base = Self::SLOT_STRIDE * slot;
+        match self {
+            Layer::Linear { w, b, dw, db, .. } => {
+                if let (Some(g), Some(gb)) = (dw.remove(&mb), db.remove(&mb)) {
+                    opt.step(base, &mut w.data, &g.data);
+                    opt.step(base + 1, b, &gb);
+                }
+            }
+            Layer::Transformer(block) => block.step_immediate(mb, opt, base),
+            _ => {}
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Linear { w, b, .. } => w.len() + b.len(),
+            Layer::Transformer(block) => block.param_count(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rannc_tensor::{Adam, Sgd};
+
+    #[test]
+    fn linear_forward_backward_shapes() {
+        let mut l = Layer::linear(4, 3, 1);
+        let x = Matrix::from_vec(2, 4, vec![0.5; 8]);
+        let y = l.forward(0, x);
+        assert_eq!((y.rows, y.cols), (2, 3));
+        let dx = l.backward(0, Matrix::from_vec(2, 3, vec![1.0; 6]));
+        assert_eq!((dx.rows, dx.cols), (2, 4));
+    }
+
+    #[test]
+    fn linear_gradient_numeric_check() {
+        // loss = sum(y); dW should equal columns of sum over batch of x
+        let mut l = Layer::linear(3, 2, 7);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+        let _ = l.forward(0, x.clone());
+        let dy = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let _ = l.backward(0, dy);
+        if let Layer::Linear { dw, .. } = &l {
+            let g = &dw[&0];
+            // dW[i][j] = sum_r x[r][i] (since dy = 1)
+            for i in 0..3 {
+                let expect = x.get(0, i) + x.get(1, i);
+                assert!((g.get(i, 0) - expect).abs() < 1e-6);
+                assert!((g.get(i, 1) - expect).abs() < 1e-6);
+            }
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn step_sums_microbatches_in_order() {
+        // two orders of backward arrival give the SAME update
+        let run = |order: &[usize]| {
+            let mut l = Layer::linear(2, 2, 3);
+            for &mb in order {
+                let x = Matrix::from_vec(1, 2, vec![mb as f32 + 0.5, -1.0]);
+                let _ = l.forward(mb, x);
+            }
+            for &mb in order.iter().rev() {
+                let _ = l.backward(mb, Matrix::from_vec(1, 2, vec![1.0, 0.5]));
+            }
+            let mut opt = Sgd::new(0.1);
+            l.step(&mut opt, 0);
+            match l {
+                Layer::Linear { w, .. } => w,
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(run(&[0, 1, 2]).data, run(&[0, 1, 2]).data);
+        // different arrival order, same summation order (sorted keys)
+        let a = run(&[0, 1, 2]);
+        let b = run(&[0, 1, 2]); // arrival order is forward order here
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn immediate_step_differs_from_accumulated() {
+        let mk = || {
+            let mut l = Layer::linear(2, 2, 3);
+            for mb in 0..2 {
+                let x = Matrix::from_vec(1, 2, vec![1.0, mb as f32]);
+                let _ = l.forward(mb, x);
+            }
+            l
+        };
+        // accumulated
+        let mut acc = mk();
+        for mb in (0..2).rev() {
+            let _ = acc.backward(mb, Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        }
+        let mut opt = Adam::new(0.1);
+        acc.step(&mut opt, 0);
+        // immediate per-microbatch
+        let mut imm = mk();
+        let mut opt2 = Adam::new(0.1);
+        for mb in (0..2).rev() {
+            let _ = imm.backward(mb, Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+            imm.step_immediate(mb, &mut opt2, 0);
+        }
+        let (Layer::Linear { w: wa, .. }, Layer::Linear { w: wi, .. }) = (&acc, &imm) else {
+            unreachable!()
+        };
+        assert!(wa.max_abs_diff(wi) > 1e-6, "Adam updates should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "no stashed forward")]
+    fn backward_without_forward_panics() {
+        let mut l = Layer::relu();
+        let _ = l.backward(0, Matrix::zeros(1, 1));
+    }
+}

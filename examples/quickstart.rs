@@ -1,0 +1,44 @@
+//! Quickstart: partition an unmodified BERT description onto a cluster
+//! with one call, then inspect the plan.
+//!
+//! ```sh
+//! cargo run --release -p rannc --example quickstart
+//! ```
+
+use rannc::prelude::*;
+
+fn main() {
+    // A model description — nothing in it mentions partitioning, devices
+    // or parallelism. This is the paper's headline property: "RaNNC
+    // automatically partitions models without any modification to their
+    // descriptions".
+    let model = BertConfig::enlarged(1024, 24); // BERT-Large, 340M params
+    let graph = bert_graph(&model);
+    println!(
+        "model: {} ({} tasks, {:.1}M parameters)",
+        graph.name,
+        graph.num_tasks(),
+        graph.param_count() as f64 / 1e6
+    );
+
+    // The paper's cluster: 4 nodes x 8 V100-32GB.
+    let cluster = ClusterSpec::v100_cluster(4);
+    println!(
+        "cluster: {} nodes x {} x {}",
+        cluster.nodes, cluster.node.devices, cluster.device.name
+    );
+
+    // Partition: batch 256, k = 32 blocks (the paper's defaults).
+    let rannc = Rannc::new(PartitionConfig::new(256).with_k(32));
+    let plan = rannc.partition(&graph, &cluster).expect("feasible");
+    println!("\n{}", plan.summary());
+
+    // Simulate one training iteration of the resulting pipeline.
+    let profiler = Profiler::new(&graph, cluster.device.clone(), ProfilerOptions::fp32());
+    let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+    println!(
+        "simulated: {:.1} samples/s at {:.1}% mean stage utilization",
+        sim.throughput,
+        sim.utilization * 100.0
+    );
+}

@@ -1,0 +1,63 @@
+//! Enlarged-ResNet partitioning (the paper's Fig. 5 scenario): width-8
+//! ResNets are strongly imbalanced layer-wise, which is where automatic
+//! task-level balancing beats manual layer-level splits.
+//!
+//! ```sh
+//! cargo run --release -p rannc --example resnet_partitioning
+//! ```
+
+use rannc::baselines::{gpipe_model, BaselineOutcome};
+use rannc::prelude::*;
+
+fn main() {
+    let cluster = ClusterSpec::v100_cluster(1); // GPipe-Model is single-node
+    let batch = 128;
+    for depth in [ResNetDepth::R50, ResNetDepth::R101, ResNetDepth::R152] {
+        let cfg = ResNetConfig::new(depth, 8);
+        let g = resnet_graph(&cfg);
+        println!(
+            "\n=== {} ({:.2}B params, {} tasks) ===",
+            cfg.name(),
+            g.param_count() as f64 / 1e9,
+            g.num_tasks()
+        );
+        let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+
+        match gpipe_model(&g, &profiler, &cluster, batch) {
+            BaselineOutcome::Feasible { result, config } => println!(
+                "GPipe-Model : {:>8.1} samples/s  ({config}, util {:.0}%)",
+                result.throughput,
+                result.utilization * 100.0
+            ),
+            other => println!("GPipe-Model : {other:?}"),
+        }
+
+        match Rannc::new(PartitionConfig::new(batch).with_k(32)).partition(&g, &cluster) {
+            Ok(plan) => {
+                let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+                println!(
+                    "RaNNC       : {:>8.1} samples/s  ({} stages x{} replicas, MB={}, util {:.0}%)",
+                    sim.throughput,
+                    plan.stages.len(),
+                    plan.replica_factor,
+                    plan.microbatches,
+                    sim.utilization * 100.0
+                );
+                // show the balance RaNNC achieved
+                let times: Vec<f64> = plan
+                    .stages
+                    .iter()
+                    .map(|s| s.fwd_time + s.bwd_time)
+                    .collect();
+                let max = times.iter().cloned().fold(0.0, f64::max);
+                let mean = times.iter().sum::<f64>() / times.len() as f64;
+                println!(
+                    "              stage balance: max/mean = {:.2} over {} stages",
+                    max / mean,
+                    times.len()
+                );
+            }
+            Err(e) => println!("RaNNC       : {e}"),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end integration tests: unmodified model description → partition
+//! plan → simulated training, across model families and cluster shapes.
+
+use rannc::prelude::*;
+
+/// Partition + simulate, returning (plan, throughput).
+fn run(g: &TaskGraph, cluster: &ClusterSpec, batch: usize, k: usize) -> (PartitionPlan, f64) {
+    let plan = Rannc::new(PartitionConfig::new(batch).with_k(k))
+        .partition(g, cluster)
+        .expect("feasible");
+    let profiler = Profiler::new(g, cluster.device.clone(), ProfilerOptions::fp32());
+    let sim = rannc::pipeline::simulate_plan(&plan, &profiler, cluster);
+    (plan, sim.throughput)
+}
+
+#[test]
+fn bert_on_one_node() {
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(1);
+    let (plan, thr) = run(&g, &cluster, 64, 8);
+    assert!(thr > 0.0);
+    assert!(plan.total_devices() <= 8);
+}
+
+#[test]
+fn gpt_on_two_nodes() {
+    let g = gpt_graph(&GptConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(2);
+    let (plan, thr) = run(&g, &cluster, 64, 8);
+    assert!(thr > 0.0);
+    assert!(plan.total_devices() <= 16);
+}
+
+#[test]
+fn t5_encoder_decoder_on_one_node() {
+    // T5's cross-attention edges make the graph non-chain: every decoder
+    // layer reads the encoder output. Stages must still be convex and the
+    // encoder memory must flow forward through stage boundaries.
+    let g = t5_graph(&T5Config::tiny());
+    let cluster = ClusterSpec::v100_cluster(1);
+    let (plan, thr) = run(&g, &cluster, 64, 8);
+    assert!(thr > 0.0);
+    use rannc::graph::convex::ConvexChecker;
+    let mut ck = ConvexChecker::new(&g);
+    for st in &plan.stages {
+        assert!(ck.is_convex(&st.set), "non-convex T5 stage");
+    }
+}
+
+#[test]
+fn resnet_on_one_node() {
+    let g = resnet_graph(&ResNetConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(1);
+    let (_, thr) = run(&g, &cluster, 128, 8);
+    assert!(thr > 0.0);
+}
+
+#[test]
+fn memory_pressure_forces_more_stages() {
+    // the same model on shrinking devices needs more stages; the plan must
+    // always respect the device memory bound
+    let g = bert_graph(&BertConfig::enlarged(256, 8));
+    let mut last_stages = 0usize;
+    for gib_times_4 in [128usize, 10, 7] {
+        let mem = (gib_times_4 << 30) / 4 + (1 << 30); // overhead + shrinking budget
+        let mut cluster = ClusterSpec::v100_cluster(1);
+        cluster.device = cluster.device.with_memory(mem);
+        let plan = Rannc::new(PartitionConfig::new(32).with_k(8))
+            .partition(&g, &cluster)
+            .expect("feasible");
+        for st in &plan.stages {
+            assert!(st.mem_bytes <= mem, "stage over budget");
+        }
+        assert!(
+            plan.stages.len() >= last_stages,
+            "smaller memory should not reduce stage count"
+        );
+        last_stages = plan.stages.len();
+    }
+    assert!(last_stages >= 2, "tightest budget should force a split");
+}
+
+#[test]
+fn mixed_precision_plan_is_faster() {
+    let g = bert_graph(&BertConfig::enlarged(128, 4));
+    let cluster = ClusterSpec::v100_cluster(1);
+    let thr = |precision| {
+        let plan = Rannc::new(
+            PartitionConfig::new(64).with_k(8).with_precision(precision),
+        )
+        .partition(&g, &cluster)
+        .unwrap();
+        let opts = match precision {
+            Precision::FP32 => ProfilerOptions::fp32(),
+            Precision::Mixed => ProfilerOptions::mixed(),
+        };
+        let profiler = Profiler::new(&g, cluster.device.clone(), opts);
+        rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).throughput
+    };
+    assert!(thr(Precision::Mixed) > thr(Precision::FP32));
+}
+
+#[test]
+fn plan_is_robust_to_profiling_noise() {
+    // with 10% measurement jitter the partitioner must still produce a
+    // valid plan whose simulated throughput is in the same ballpark
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(1);
+    let clean = Rannc::new(PartitionConfig::new(64).with_k(8))
+        .partition(&g, &cluster)
+        .unwrap();
+    let noisy = Rannc::new(PartitionConfig::new(64).with_k(8).with_noise(0.1, 7))
+        .partition(&g, &cluster)
+        .unwrap();
+    let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+    let t_clean = rannc::pipeline::simulate_plan(&clean, &profiler, &cluster).throughput;
+    let t_noisy = rannc::pipeline::simulate_plan(&noisy, &profiler, &cluster).throughput;
+    let ratio = t_noisy / t_clean;
+    assert!((0.5..=2.0).contains(&ratio), "noise destabilized plan: {ratio}");
+}
+
+#[test]
+fn device_assignment_covers_plan() {
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(2);
+    let (plan, _) = run(&g, &cluster, 64, 8);
+    let asg = plan.device_assignment(&cluster);
+    let mut used = std::collections::HashSet::new();
+    for replica in &asg {
+        for stage_ranks in replica {
+            for &r in stage_ranks {
+                assert!(r < cluster.total_devices());
+                assert!(used.insert(r), "device {r} double-booked");
+            }
+        }
+    }
+    assert_eq!(used.len(), plan.total_devices());
+}
+
+#[test]
+fn plan_summary_is_stable() {
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(1);
+    let (plan_a, _) = run(&g, &cluster, 64, 8);
+    let (plan_b, _) = run(&g, &cluster, 64, 8);
+    // the whole pipeline is deterministic: identical runs, identical plans
+    assert_eq!(plan_a.summary(), plan_b.summary());
+}

@@ -1,0 +1,164 @@
+//! Cross-crate invariants of the partitioning pipeline, including
+//! property-based tests over random models.
+
+use proptest::prelude::*;
+use rannc::core::{atomic_partition, block_partition, BlockLimits};
+use rannc::graph::convex::ConvexChecker;
+use rannc::prelude::*;
+
+/// Every phase output must cover all tasks, be convex, and stages must be
+/// topologically ordered.
+fn check_plan(g: &TaskGraph, plan: &PartitionPlan) {
+    let n = g.num_tasks();
+    let mut ck = ConvexChecker::new(g);
+    let mut covered = TaskSet::new(n);
+    for st in &plan.stages {
+        assert!(!st.set.is_empty(), "empty stage");
+        assert!(ck.is_convex(&st.set), "non-convex stage");
+        covered.union_with(&st.set);
+    }
+    assert_eq!(covered.len(), n, "stages do not cover the graph");
+    // stage order respects data flow: no value produced in a later stage
+    // is consumed in an earlier one (clone-aware: skip producers the
+    // consumer stage contains itself)
+    for (i, a) in plan.stages.iter().enumerate() {
+        for b in plan.stages.iter().skip(i + 1) {
+            for t in b.set.iter() {
+                if a.set.contains(t) {
+                    continue; // constant-task clone shared by both stages
+                }
+                for s in g.task_successors(t) {
+                    assert!(
+                        !a.set.contains(s) || b.set.contains(s),
+                        "backward edge across stages: {t} -> {s}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bert_plan_invariants() {
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(1);
+    let plan = Rannc::new(PartitionConfig::new(64).with_k(8))
+        .partition(&g, &cluster)
+        .unwrap();
+    check_plan(&g, &plan);
+}
+
+#[test]
+fn resnet_plan_invariants() {
+    let g = resnet_graph(&ResNetConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(1);
+    let plan = Rannc::new(PartitionConfig::new(64).with_k(8))
+        .partition(&g, &cluster)
+        .unwrap();
+    check_plan(&g, &plan);
+}
+
+/// Random-MLP strategy: depth and width vary; batch always divisible.
+fn mlp_strategy() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2usize..12, 8usize..64, 2usize..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For random model shapes, the full pipeline (atomic → blocks →
+    /// stages) preserves coverage, convexity and ordering.
+    #[test]
+    fn random_mlp_plan_invariants((depth, width, k_exp) in mlp_strategy()) {
+        let g = mlp_graph(&MlpConfig::deep(width, width, depth, 4));
+        let cluster = ClusterSpec::v100_cluster(1);
+        let k = 1usize << k_exp;
+        let plan = Rannc::new(PartitionConfig::new(32).with_k(k))
+            .partition(&g, &cluster)
+            .unwrap();
+        check_plan(&g, &plan);
+    }
+
+    /// Block-level partitioning alone: blocks cover, are convex, and
+    /// respect the memory bound they were built with.
+    #[test]
+    fn random_mlp_block_invariants((depth, width, k_exp) in mlp_strategy()) {
+        let g = mlp_graph(&MlpConfig::deep(width, width, depth, 4));
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let atomic = atomic_partition(&g);
+        let limits = BlockLimits {
+            k: 1usize << k_exp,
+            mem_limit: 32 << 30,
+            profile_batch: 2,
+        };
+        let blocks = block_partition(&g, &profiler, &atomic, limits);
+        let mut ck = ConvexChecker::new(&g);
+        let mut covered = TaskSet::new(g.num_tasks());
+        for b in &blocks {
+            prop_assert!(ck.is_convex(&b.set));
+            prop_assert!(b.mem <= limits.mem_limit);
+            covered.union_with(&b.set);
+        }
+        prop_assert_eq!(covered.len(), g.num_tasks());
+    }
+
+    /// Atomic partitioning: exactly one non-constant task per component,
+    /// for random graphs from all builders.
+    #[test]
+    fn atomic_invariants_on_bert_variants(layers in 1usize..5, hidden_exp in 5usize..8) {
+        let cfg = BertConfig {
+            hidden: 1 << hidden_exp,
+            layers,
+            heads: (1 << hidden_exp) / 16,
+            intermediate: 4 << hidden_exp,
+            vocab: 512,
+            seq_len: 16,
+        };
+        let g = bert_graph(&cfg);
+        let p = atomic_partition(&g);
+        prop_assert!(rannc::core::atomic::check_invariants(&g, &p).is_ok());
+    }
+}
+
+#[test]
+fn more_devices_never_hurt_the_objective() {
+    // the DP objective with a larger device budget can only improve
+    use rannc::core::{form_stage_dp, DpParams};
+    let g = mlp_graph(&MlpConfig::deep(128, 128, 12, 10));
+    let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+    let atomic = atomic_partition(&g);
+    let blocks = block_partition(
+        &g,
+        &profiler,
+        &atomic,
+        BlockLimits {
+            k: 8,
+            mem_limit: 32 << 30,
+            profile_batch: 2,
+        },
+    );
+    let mut last = f64::INFINITY;
+    for d in [2usize, 4, 8] {
+        let sol = form_stage_dp(
+            &g,
+            &profiler,
+            &blocks,
+            &DpParams {
+                stages: 2,
+                devices: d,
+                batch_size: 128,
+                replica_factor: 1,
+                microbatches: 4,
+                mem_limit: 32 << 30,
+            },
+            LinkSpec::nvlink(),
+        )
+        .expect("feasible");
+        assert!(
+            sol.value <= last * 1.000001,
+            "objective worsened with more devices: {last} -> {}",
+            sol.value
+        );
+        last = sol.value;
+    }
+}
