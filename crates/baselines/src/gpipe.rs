@@ -62,9 +62,7 @@ pub(crate) fn build_spec(
         let prof = profiler.profile_set(set, micro, inflight, ckpt);
         // extra weight versions (PipeDream-2BW double buffering)
         let mem = prof.mem_bytes
-            + extra_weight_copies
-                * prof.param_elems
-                * profiler.options().precision.weight_bytes();
+            + extra_weight_copies * prof.param_elems * profiler.options().precision.weight_bytes();
         if mem > cluster.device.memory_bytes {
             return None;
         }
@@ -117,7 +115,10 @@ pub fn gpipe_hybrid(
     let mut any_candidate = false;
 
     for stages in [2usize, 4, 8, 16] {
-        if stages > groups.len() || !layers.is_multiple_of(stages) || !devices.is_multiple_of(stages) {
+        if stages > groups.len()
+            || !layers.is_multiple_of(stages)
+            || !devices.is_multiple_of(stages)
+        {
             continue;
         }
         let replicas = devices / stages;

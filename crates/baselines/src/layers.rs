@@ -90,7 +90,12 @@ mod tests {
         let g = bert_graph(&cfg);
         let groups = layer_groups(&g);
         // embeddings + 2 layers + head
-        assert_eq!(groups.len(), 4, "{:?}", groups.iter().map(|l| &l.scope).collect::<Vec<_>>());
+        assert_eq!(
+            groups.len(),
+            4,
+            "{:?}",
+            groups.iter().map(|l| &l.scope).collect::<Vec<_>>()
+        );
         assert_eq!(groups[0].scope, "embeddings");
         assert_eq!(groups[1].scope, "encoder.layer0");
         assert_eq!(groups[3].scope, "head");

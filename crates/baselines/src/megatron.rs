@@ -132,8 +132,9 @@ fn eval_partition(
     } else {
         cluster.inter_link
     };
-    let comm =
-        4.0 * dims.layers as f64 * rannc_hw::collective::ring_allreduce_time(group_link, ar_bytes, t);
+    let comm = 4.0
+        * dims.layers as f64
+        * rannc_hw::collective::ring_allreduce_time(group_link, ar_bytes, t);
     // data-parallel gradient all-reduce of each shard
     let grad_bytes = dims.params() * 4 / t;
     let dp_allreduce = if dp > 1 {
@@ -160,8 +161,7 @@ fn eval_partition(
     let recompute = (full_io + partitioned) * act_bytes * b;
     // vocab-parallel logits buffer of the LM head
     let logits = s * dims.vocab / t * act_bytes * b;
-    let activations =
-        ((boundaries + recompute + logits) as f64 * ALLOCATOR_OVERHEAD) as usize;
+    let activations = ((boundaries + recompute + logits) as f64 * ALLOCATOR_OVERHEAD) as usize;
     let mem = states + activations + DEVICE_OVERHEAD_BYTES;
 
     Some((iteration, mem))
@@ -179,9 +179,7 @@ pub fn megatron(
     let mut t = 1usize;
     while t <= cluster.total_devices() {
         if let Some((time, mem)) = eval_partition(dims, cluster, batch_size, precision, t) {
-            if mem <= cluster.device.memory_bytes
-                && best.map(|(bt, _)| time < bt).unwrap_or(true)
-            {
+            if mem <= cluster.device.memory_bytes && best.map(|(bt, _)| time < bt).unwrap_or(true) {
                 best = Some((time, t));
             }
         }
@@ -190,7 +188,10 @@ pub fn megatron(
     match best {
         Some((time, t)) => BaselineOutcome::Feasible {
             result: SimResult::new(time, batch_size, vec![time]),
-            config: format!("T={t} tensor-parallel x{} data-parallel", cluster.total_devices() / t),
+            config: format!(
+                "T={t} tensor-parallel x{} data-parallel",
+                cluster.total_devices() / t
+            ),
         },
         None => BaselineOutcome::OutOfMemory,
     }
@@ -211,7 +212,10 @@ mod tests {
         let dims = TransformerDims::from(&cfg);
         let ours = dims.params() as f64;
         let exact = cfg.param_count() as f64;
-        assert!((ours / exact - 1.0).abs() < 0.02, "ours={ours} exact={exact}");
+        assert!(
+            (ours / exact - 1.0).abs() < 0.02,
+            "ours={ours} exact={exact}"
+        );
     }
 
     #[test]

@@ -96,7 +96,8 @@ pub fn run(cfg: &AblationConfig, verbose: bool) -> (Table, Vec<AblationRow>) {
             .partition(&g, &cluster)
         {
             Ok(plan) => {
-                let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+                let sim =
+                    rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).expect("valid plan");
                 Cell::Throughput(sim.throughput)
             }
             Err(_) => Cell::Oom,
@@ -160,7 +161,8 @@ pub fn run_no_coarsening(
                 match form_stage_dp_no_coarsening(g, profiler, &atomic, &params, remaining) {
                     AblationOutcome::Solved(sol) => {
                         let plan = PartitionPlan::from_solution(g.name.clone(), &sol, cfg.batch);
-                        let sim = rannc::pipeline::simulate_plan(&plan, profiler, cluster);
+                        let sim = rannc::pipeline::simulate_plan(&plan, profiler, cluster)
+                            .expect("valid plan");
                         if best
                             .as_ref()
                             .map(|(t, _)| sim.iteration_time < *t)

@@ -13,10 +13,7 @@ fn main() {
     let (table, rows) = run(&cfg, true);
     println!("{}", table.render());
     for r in &rows {
-        if let (Some(w), Some(wo)) = (
-            r.with_coarsening.0.value(),
-            r.without_coarsening.0.value(),
-        ) {
+        if let (Some(w), Some(wo)) = (r.with_coarsening.0.value(), r.without_coarsening.0.value()) {
             println!(
                 "layers {:>3}: no-coarsening is {:+.1}% vs RaNNC",
                 r.layers,

@@ -3,12 +3,12 @@
 //! introduction motivates with GPT-3, and the second family Megatron-LM
 //! supports).
 
-use rannc_bench::report::{Cell, Table};
 use rannc::baselines::{
     gpipe_hybrid, megatron, pipedream_2bw, simulate_data_parallel, BaselineOutcome,
     DataParallelOutcome, TransformerDims,
 };
 use rannc::prelude::*;
+use rannc_bench::report::{Cell, Table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -22,7 +22,15 @@ fn main() {
 
     let mut table = Table::new(
         "GPT-style models, 32 GPUs, batch 256 (extension)",
-        &["model", "params", "DataParallel", "Megatron", "GPipe-H", "PD-2BW", "RaNNC"],
+        &[
+            "model",
+            "params",
+            "DataParallel",
+            "Megatron",
+            "GPipe-H",
+            "PD-2BW",
+            "RaNNC",
+        ],
     );
     for &(hidden, layers) in grid {
         let cfg = GptConfig::enlarged(hidden, layers);
@@ -42,10 +50,11 @@ fn main() {
         ));
         let gp = to_cell(gpipe_hybrid(&g, &profiler, &cluster, batch));
         let pd = to_cell(pipedream_2bw(&g, &profiler, &cluster, batch));
-        let ra = match Rannc::new(PartitionConfig::new(batch).with_k(32)).partition(&g, &cluster)
-        {
+        let ra = match Rannc::new(PartitionConfig::new(batch).with_k(32)).partition(&g, &cluster) {
             Ok(plan) => Cell::Throughput(
-                rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).throughput,
+                rannc::pipeline::simulate_plan(&plan, &profiler, &cluster)
+                    .expect("valid plan")
+                    .throughput,
             ),
             Err(_) => Cell::Oom,
         };

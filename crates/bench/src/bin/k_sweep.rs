@@ -36,7 +36,8 @@ fn main() {
         match Rannc::new(PartitionConfig::new(256).with_k(k)).partition(&g, &cluster) {
             Ok(plan) => {
                 let secs = t0.elapsed().as_secs_f64();
-                let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+                let sim =
+                    rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).expect("valid plan");
                 println!(
                     "{:>5} {:>10} {:>12.1} {:>10.2} {:>8}",
                     k,

@@ -30,7 +30,10 @@ fn main() {
     };
     let v = loss_validation(dims, 4, iters, 42);
     println!("loss validation: MLP {dims:?}, 4 pipeline stages, {iters} iterations");
-    println!("{:>6} {:>12} {:>12} {:>12}", "iter", "reference", "sync-pipe", "async-pipe");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "iter", "reference", "sync-pipe", "async-pipe"
+    );
     let stride = (iters / 10).max(1);
     for i in (0..v.reference.len()).step_by(stride) {
         println!(

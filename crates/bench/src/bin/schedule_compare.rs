@@ -23,7 +23,7 @@ fn main() {
     let plan = Rannc::new(PartitionConfig::new(64).with_k(16))
         .partition(&g, &cluster)
         .expect("feasible");
-    let spec = rannc::pipeline::spec_from_plan(&plan, &profiler, &cluster);
+    let spec = rannc::pipeline::spec_from_plan(&plan, &profiler, &cluster).expect("valid plan");
     println!(
         "plan: {} stages, MB={}, {} pipeline replica(s)\n",
         plan.stages.len(),
@@ -58,16 +58,16 @@ fn main() {
     println!("noise robustness (plan quality under profiling jitter):");
     println!("{:>8} {:>12} {:>10}", "sigma", "samples/s", "stages");
     for sigma in [0.0, 0.05, 0.1, 0.2, 0.3] {
-        let plan = Rannc::new(
-            PartitionConfig::new(64)
-                .with_k(16)
-                .with_noise(sigma, 1234),
-        )
-        .partition(&g, &cluster)
-        .expect("feasible");
+        let plan = Rannc::new(PartitionConfig::new(64).with_k(16).with_noise(sigma, 1234))
+            .partition(&g, &cluster)
+            .expect("feasible");
         // evaluate the noisy plan with the CLEAN profiler — that is the
         // "true" performance of the decisions made under noise
-        let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
-        println!("{sigma:>8.2} {:>12.1} {:>10}", sim.throughput, plan.stages.len());
+        let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).expect("valid plan");
+        println!(
+            "{sigma:>8.2} {:>12.1} {:>10}",
+            sim.throughput,
+            plan.stages.len()
+        );
     }
 }

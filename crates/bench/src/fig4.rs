@@ -126,7 +126,7 @@ pub fn rannc_cell(
     );
     match rannc.partition(g, cluster) {
         Ok(plan) => {
-            let sim = rannc::pipeline::simulate_plan(&plan, profiler, cluster);
+            let sim = rannc::pipeline::simulate_plan(&plan, profiler, cluster).expect("valid plan");
             Cell::Throughput(sim.throughput)
         }
         Err(PartitionError::Infeasible) => Cell::Oom,

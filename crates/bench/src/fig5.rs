@@ -65,7 +65,11 @@ pub fn run(cfg: &Fig5Config, verbose: bool) -> Vec<Table> {
         for &depth in &cfg.depths {
             let model = ResNetConfig::new(depth, cfg.width_factor);
             if verbose {
-                eprintln!("[fig5] {} on {} GPUs ...", model.name(), cluster.total_devices());
+                eprintln!(
+                    "[fig5] {} on {} GPUs ...",
+                    model.name(),
+                    cluster.total_devices()
+                );
             }
             let cells = run_config(&model, &cluster, batch, cfg.k, nodes == 1);
             table.push_row(model.name(), cells);
@@ -102,7 +106,8 @@ pub fn run_config(
     };
     let rannc = match Rannc::new(PartitionConfig::new(batch).with_k(k)).partition(&g, cluster) {
         Ok(plan) => {
-            let sim = rannc::pipeline::simulate_plan(&plan, &profiler, cluster);
+            let sim =
+                rannc::pipeline::simulate_plan(&plan, &profiler, cluster).expect("valid plan");
             Cell::Throughput(sim.throughput)
         }
         Err(PartitionError::Infeasible) => Cell::Oom,
@@ -121,6 +126,9 @@ mod tests {
         let cluster = ClusterSpec::v100_cluster(1);
         let cells = run_config(&model, &cluster, 64, 8, true);
         assert_eq!(cells.len(), FRAMEWORKS.len());
-        assert!(cells[2].value().is_some(), "RaNNC infeasible on tiny resnet");
+        assert!(
+            cells[2].value().is_some(),
+            "RaNNC infeasible on tiny resnet"
+        );
     }
 }

@@ -23,12 +23,33 @@ pub mod report;
 /// Table I of the paper, reproduced verbatim as a feature matrix.
 pub fn table1_text() -> String {
     let rows = [
-        ("Mesh-TensorFlow / Megatron-LM", "Tensor", "Yes", "Manual", "No", "Yes"),
-        ("OptCNN / FlexFlow / Tofu", "Tensor", "Yes", "Auto", "No", "Yes"),
+        (
+            "Mesh-TensorFlow / Megatron-LM",
+            "Tensor",
+            "Yes",
+            "Manual",
+            "No",
+            "Yes",
+        ),
+        (
+            "OptCNN / FlexFlow / Tofu",
+            "Tensor",
+            "Yes",
+            "Auto",
+            "No",
+            "Yes",
+        ),
         ("GPipe", "Graph", "No", "Manual", "No", "Yes"),
         ("AMPNet / XPipe", "Graph", "No", "Manual", "No", "No"),
         ("PipeDream / SpecTrain", "Graph", "Yes", "Auto", "No", "No"),
-        ("PipeDream-2BW / HetPipe", "Graph", "Yes", "Auto", "Yes", "No"),
+        (
+            "PipeDream-2BW / HetPipe",
+            "Graph",
+            "Yes",
+            "Auto",
+            "Yes",
+            "No",
+        ),
         ("RaNNC (this work)", "Graph", "Yes", "Auto", "Yes", "Yes"),
     ];
     let mut out = String::new();

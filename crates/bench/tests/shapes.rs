@@ -59,7 +59,12 @@ fn fig4_memory_walls() {
         matches!(cells[idx("DataParallel")], Cell::Oom),
         "1.24B must OOM under data parallelism"
     );
-    for name in ["Megatron(fp32)", "GPipe-Hybrid", "PipeDream-2BW", "RaNNC(fp32)"] {
+    for name in [
+        "Megatron(fp32)",
+        "GPipe-Hybrid",
+        "PipeDream-2BW",
+        "RaNNC(fp32)",
+    ] {
         assert!(
             cells[idx(name)].value().is_some(),
             "{name} must train the 1.24B model"

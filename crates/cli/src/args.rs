@@ -7,6 +7,11 @@ rannc-plan — automatic model partitioning (RaNNC reproduction)
 
 USAGE:
   rannc-plan --model <bert|gpt|t5|resnet|mlp> [OPTIONS]
+  rannc-plan faults --model <...> [OPTIONS] [FAULT OPTIONS]
+
+The `faults` subcommand partitions the model, then simulates a long
+training campaign under an injected fault plan with BOTH recovery
+policies (degrade-only vs elastic replan) and reports goodput and MTTR.
 
 MODEL OPTIONS:
   --hidden <N>        hidden size (transformers/mlp; default 1024)
@@ -24,12 +29,33 @@ TRAINING OPTIONS:
   --mixed             mixed-precision training (default fp32)
   --noise <SIGMA>     profiling noise amplitude (default 0)
 
+FAULT OPTIONS (faults subcommand):
+  --fail <RANK@ITER>      kill device RANK at iteration ITER (repeatable)
+  --straggler <RANK@X>    rank RANK computes X times slower (repeatable)
+  --link-degrade <F>      links keep fraction F of bandwidth, 0 < F <= 1
+  --comm-error <P>        per-transfer failure probability in [0, 1)
+  --iterations <N>        campaign length in iterations (default 100000)
+  --checkpoint-every <N>  checkpoint interval (default 1000)
+  --detect-timeout <S>    failure detection time, seconds (default 5)
+  --restore-cost <S>      checkpoint restore time, seconds (default 2)
+  --replan-cost <S>       re-partition + redeploy time, seconds (default 15)
+  --seed <N>              fault-plan seed (default 42)
+
 OUTPUT OPTIONS:
   --timeline          print an ASCII schedule timeline
   --dot <FILE>        write the partitioned graph in Graphviz format
   --save <FILE>       cache the partition plan (deployment file)
   --load <FILE>       reuse a cached plan instead of re-partitioning
   --help              show this help";
+
+/// Which subcommand was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Partition and simulate one iteration (the default).
+    Plan,
+    /// Fault-injection campaign: degrade vs replan report.
+    Faults,
+}
 
 /// Supported model families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +75,7 @@ pub enum ModelKind {
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Args {
+    pub command: Command,
     pub model: ModelKind,
     pub hidden: usize,
     pub layers: usize,
@@ -65,6 +92,18 @@ pub struct Args {
     pub save: Option<String>,
     pub load: Option<String>,
     pub help: bool,
+    /// Scripted device failures as `(rank, at_iter)`.
+    pub fail: Vec<(usize, usize)>,
+    /// Stragglers as `(rank, slowdown)`.
+    pub straggler: Vec<(usize, f64)>,
+    pub link_degrade: Option<f64>,
+    pub comm_error: Option<f64>,
+    pub iterations: usize,
+    pub checkpoint_every: usize,
+    pub detect_timeout: f64,
+    pub restore_cost: f64,
+    pub replan_cost: f64,
+    pub seed: u64,
 }
 
 impl Default for Args {
@@ -86,15 +125,32 @@ impl Default for Args {
             save: None,
             load: None,
             help: false,
+            command: Command::Plan,
+            fail: Vec::new(),
+            straggler: Vec::new(),
+            link_degrade: None,
+            comm_error: None,
+            iterations: 100_000,
+            checkpoint_every: 1000,
+            detect_timeout: 5.0,
+            restore_cost: 2.0,
+            replan_cost: 15.0,
+            seed: 42,
         }
     }
 }
 
 impl Args {
     /// Parse an argument iterator (without the program name).
-    pub fn parse(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
+    pub fn parse(it: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut it = it.peekable();
         let mut a = Args::default();
         let mut model_given = false;
+        // subcommand dispatch on the first positional argument
+        if it.peek().map(|s| s == "faults").unwrap_or(false) {
+            it.next();
+            a.command = Command::Faults;
+        }
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--model" => {
@@ -127,6 +183,37 @@ impl Args {
                 "--dot" => a.dot = Some(value(&flag, &mut it)?),
                 "--save" => a.save = Some(value(&flag, &mut it)?),
                 "--load" => a.load = Some(value(&flag, &mut it)?),
+                "--fail" => {
+                    let (rank, iter) = at_pair(&flag, &value(&flag, &mut it)?)?;
+                    a.fail.push((rank, iter as usize));
+                }
+                "--straggler" => {
+                    let (rank, slow) = at_pair(&flag, &value(&flag, &mut it)?)?;
+                    if slow < 1.0 {
+                        return Err("--straggler slowdown must be >= 1".into());
+                    }
+                    a.straggler.push((rank, slow));
+                }
+                "--link-degrade" => {
+                    let f = float(&flag, &mut it)?;
+                    if !(f > 0.0 && f <= 1.0) {
+                        return Err("--link-degrade must be in (0, 1]".into());
+                    }
+                    a.link_degrade = Some(f);
+                }
+                "--comm-error" => {
+                    let p = float(&flag, &mut it)?;
+                    if !(0.0..1.0).contains(&p) {
+                        return Err("--comm-error must be in [0, 1)".into());
+                    }
+                    a.comm_error = Some(p);
+                }
+                "--iterations" => a.iterations = num(&flag, &mut it)?,
+                "--checkpoint-every" => a.checkpoint_every = num(&flag, &mut it)?,
+                "--detect-timeout" => a.detect_timeout = float(&flag, &mut it)?,
+                "--restore-cost" => a.restore_cost = float(&flag, &mut it)?,
+                "--replan-cost" => a.replan_cost = float(&flag, &mut it)?,
+                "--seed" => a.seed = num(&flag, &mut it)? as u64,
                 "--help" | "-h" => a.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -137,6 +224,9 @@ impl Args {
         if a.nodes == 0 || a.gpus_per_node == 0 || a.batch == 0 || a.k == 0 {
             return Err("numeric options must be positive".into());
         }
+        if a.command == Command::Faults && (a.iterations == 0 || a.checkpoint_every == 0) {
+            return Err("--iterations and --checkpoint-every must be positive".into());
+        }
         Ok(a)
     }
 }
@@ -146,9 +236,21 @@ fn value(flag: &str, it: &mut impl Iterator<Item = String>) -> Result<String, St
 }
 
 fn num(flag: &str, it: &mut impl Iterator<Item = String>) -> Result<usize, String> {
-    value(flag, it)?
-        .parse()
-        .map_err(|e| format!("{flag}: {e}"))
+    value(flag, it)?.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn float(flag: &str, it: &mut impl Iterator<Item = String>) -> Result<f64, String> {
+    value(flag, it)?.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Parse a `RANK@VALUE` pair (e.g. `--fail 3@500`, `--straggler 0@2.5`).
+fn at_pair(flag: &str, v: &str) -> Result<(usize, f64), String> {
+    let (rank, val) = v
+        .split_once('@')
+        .ok_or_else(|| format!("{flag} expects RANK@VALUE, got `{v}`"))?;
+    let rank = rank.parse().map_err(|e| format!("{flag} rank: {e}"))?;
+    let val = val.parse().map_err(|e| format!("{flag} value: {e}"))?;
+    Ok((rank, val))
 }
 
 #[cfg(test)]
@@ -208,6 +310,39 @@ mod tests {
         assert_eq!(a.save.as_deref(), Some("/tmp/p.rncp"));
         let a = parse("--model bert --load /tmp/p.rncp").unwrap();
         assert_eq!(a.load.as_deref(), Some("/tmp/p.rncp"));
+    }
+
+    #[test]
+    fn faults_subcommand() {
+        let a = parse(
+            "faults --model mlp --hidden 64 --layers 8 --nodes 2 \
+             --fail 0@50000 --straggler 3@2.5 --link-degrade 0.5 --comm-error 0.1 \
+             --iterations 200000 --checkpoint-every 500 --seed 7",
+        )
+        .unwrap();
+        assert_eq!(a.command, Command::Faults);
+        assert_eq!(a.fail, vec![(0, 50_000)]);
+        assert_eq!(a.straggler, vec![(3, 2.5)]);
+        assert_eq!(a.link_degrade, Some(0.5));
+        assert_eq!(a.comm_error, Some(0.1));
+        assert_eq!(a.iterations, 200_000);
+        assert_eq!(a.checkpoint_every, 500);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn plan_is_default_command() {
+        assert_eq!(parse("--model bert").unwrap().command, Command::Plan);
+    }
+
+    #[test]
+    fn bad_fault_pairs_rejected() {
+        assert!(parse("faults --model mlp --fail 3").is_err());
+        assert!(parse("faults --model mlp --fail x@5").is_err());
+        assert!(parse("faults --model mlp --straggler 0@0.5").is_err());
+        assert!(parse("faults --model mlp --link-degrade 0").is_err());
+        assert!(parse("faults --model mlp --comm-error 1.0").is_err());
+        assert!(parse("faults --model mlp --iterations 0").is_err());
     }
 
     #[test]

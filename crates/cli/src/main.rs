@@ -10,11 +10,20 @@
 //! Prints the partition plan, the simulated training iteration, and
 //! optionally an ASCII timeline (`--timeline`) or a Graphviz dump of the
 //! partitioned graph (`--dot FILE`).
+//!
+//! The `faults` subcommand partitions the model and then runs a
+//! fault-injected training campaign under both recovery policies:
+//!
+//! ```sh
+//! rannc-plan faults --model mlp --hidden 64 --layers 8 --nodes 2 \
+//!     --batch 32 --k 8 --fail 0@50000
+//! ```
 
 mod args;
 
-use args::{Args, ModelKind};
+use args::{Args, Command, ModelKind};
 use rannc::pipeline::viz::render_timeline;
+use rannc::pipeline::FaultSimReport;
 use rannc::prelude::*;
 
 fn main() {
@@ -57,6 +66,7 @@ fn main() {
         .with_precision(precision)
         .with_noise(args.noise, 42);
 
+    let rannc = Rannc::new(config);
     let plan = if let Some(path) = &args.load {
         // deployment-cache path: reuse a previously saved plan
         match rannc::core::load_plan(std::path::Path::new(path)) {
@@ -74,7 +84,7 @@ fn main() {
             }
         }
     } else {
-        match Rannc::new(config).partition(&graph, &cluster) {
+        match rannc.partition(&graph, &cluster) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("partitioning failed: {e}");
@@ -97,7 +107,11 @@ fn main() {
         ProfilerOptions::fp32()
     };
     let profiler = Profiler::new(&graph, cluster.device.clone(), opts);
-    let spec = rannc::pipeline::spec_from_plan(&plan, &profiler, &cluster);
+    if args.command == Command::Faults {
+        run_faults(&args, &rannc, &plan, &profiler, &cluster);
+        return;
+    }
+    let spec = rannc::pipeline::spec_from_plan(&plan, &profiler, &cluster).expect("valid plan");
     let out = simulate_sync(&spec, SyncSchedule::FillDrain, args.timeline);
     println!(
         "simulated iteration: {:.2} ms | throughput {:.1} samples/s | utilization {:.0}%",
@@ -116,6 +130,100 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote partitioned graph to {path}");
+    }
+}
+
+/// The `faults` subcommand: simulate the same campaign under both
+/// recovery policies and print a side-by-side report.
+fn run_faults(
+    args: &Args,
+    rannc: &Rannc,
+    plan: &rannc::core::PartitionPlan,
+    profiler: &Profiler<'_>,
+    cluster: &ClusterSpec,
+) {
+    let mut faults = FaultPlan::new(args.seed);
+    for &(rank, at_iter) in &args.fail {
+        faults.push(FaultEvent::DeviceFail { rank, at_iter });
+    }
+    for &(rank, slowdown) in &args.straggler {
+        faults.push(FaultEvent::Straggler { rank, slowdown });
+    }
+    if let Some(factor) = args.link_degrade {
+        faults.push(FaultEvent::LinkDegrade { factor });
+    }
+    if let Some(prob) = args.comm_error {
+        faults.push(FaultEvent::TransientCommError { prob });
+    }
+    if faults.is_empty() {
+        eprintln!("note: no fault events given; simulating a fault-free campaign");
+    }
+
+    println!(
+        "fault campaign: {} iterations, checkpoint every {}, {} scripted event(s), seed {}",
+        args.iterations,
+        args.checkpoint_every,
+        faults.events().len(),
+        args.seed
+    );
+    let mut goodputs = Vec::new();
+    for policy in [RecoveryPolicy::Degrade, RecoveryPolicy::Replan] {
+        let cfg = FaultSimConfig {
+            iterations: args.iterations,
+            checkpoint_every: args.checkpoint_every,
+            detect_timeout: args.detect_timeout,
+            restore_cost: args.restore_cost,
+            replan_cost: args.replan_cost,
+            policy,
+        };
+        let report = match rannc::pipeline::simulate_faulted(
+            rannc, plan, profiler, cluster, &faults, &cfg,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fault simulation failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        print_report(policy, &report);
+        goodputs.push((policy, report.goodput));
+    }
+    if let [(_, degrade), (_, replan)] = goodputs[..] {
+        if replan > degrade && degrade > 0.0 {
+            println!(
+                "\nelastic replanning sustains {:.2}x the goodput of degrade-only recovery",
+                replan / degrade
+            );
+        }
+    }
+}
+
+fn print_report(policy: RecoveryPolicy, r: &FaultSimReport) {
+    println!(
+        "\npolicy {policy:?}: {} iterations in {:.1} s | goodput {:.1} samples/s | \
+         {} recoveries | MTTR {:.1} s{}",
+        r.completed_iterations,
+        r.wall_time,
+        r.goodput,
+        r.recoveries.len(),
+        r.mttr(),
+        if r.halted { " | HALTED" } else { "" },
+    );
+    for rec in &r.recoveries {
+        println!(
+            "  rank {} died at iteration {}: lost {} iteration(s), {:.1} s downtime, {}",
+            rec.rank,
+            rec.at_iter,
+            rec.lost_iters,
+            rec.downtime,
+            if rec.replanned {
+                "re-partitioned for survivors".to_string()
+            } else if rec.new_iteration_time.is_finite() {
+                "kept plan (degraded)".to_string()
+            } else {
+                "unrecoverable".to_string()
+            },
+        );
     }
 }
 

@@ -240,13 +240,9 @@ mod tests {
         let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
         let atomic = atomic_partition(&g);
         let p = params(2, 2, 32 << 30);
-        let AblationOutcome::Solved(additive) = form_stage_dp_no_coarsening(
-            &g,
-            &profiler,
-            &atomic,
-            &p,
-            Duration::from_secs(30),
-        ) else {
+        let AblationOutcome::Solved(additive) =
+            form_stage_dp_no_coarsening(&g, &profiler, &atomic, &p, Duration::from_secs(30))
+        else {
             panic!("additive search failed")
         };
         let blocks = block_partition(

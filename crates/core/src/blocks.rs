@@ -164,7 +164,8 @@ pub(crate) fn sort_topologically(g: &TaskGraph, blocks: &mut [Block]) {
         for s in g.task_successors(t) {
             for &a in &member[t.index()] {
                 for &b in &member[s.index()] {
-                    if a != b && !blocks[b as usize].set.contains(t)
+                    if a != b
+                        && !blocks[b as usize].set.contains(t)
                         && !succs[a as usize].contains(&b)
                     {
                         succs[a as usize].push(b);
@@ -177,7 +178,13 @@ pub(crate) fn sort_topologically(g: &TaskGraph, blocks: &mut [Block]) {
     // Kahn with a min-position tie-break for a stable, sensible order
     let min_pos: Vec<u32> = blocks
         .iter()
-        .map(|b| b.set.iter().map(|t| pos[t.index()]).min().unwrap_or(u32::MAX))
+        .map(|b| {
+            b.set
+                .iter()
+                .map(|t| pos[t.index()])
+                .min()
+                .unwrap_or(u32::MAX)
+        })
         .collect();
     let mut ready: Vec<usize> = (0..nb).filter(|&i| indeg[i] == 0).collect();
     let mut order = Vec::with_capacity(nb);

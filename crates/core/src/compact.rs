@@ -17,8 +17,7 @@ use rannc_graph::{traverse, TaskSet};
 pub fn compact(ctx: &mut BlockCtx<'_, '_>, groups: Vec<TaskSet>) -> Vec<TaskSet> {
     let k = ctx.limits.k;
     let pos = traverse::topo_positions(ctx.g);
-    let min_pos =
-        |s: &TaskSet| s.iter().map(|t| pos[t.index()]).min().unwrap_or(u32::MAX);
+    let min_pos = |s: &TaskSet| s.iter().map(|t| pos[t.index()]).min().unwrap_or(u32::MAX);
 
     let mut list: Vec<TaskSet> = groups;
     list.sort_by_key(|s| min_pos(s));

@@ -348,11 +348,7 @@ mod tests {
     use rannc_models::{mlp_graph, MlpConfig};
     use rannc_profile::{Profiler, ProfilerOptions};
 
-    fn setup(
-        depth: usize,
-        width: usize,
-        k: usize,
-    ) -> (rannc_graph::TaskGraph, Vec<Block>) {
+    fn setup(depth: usize, width: usize, k: usize) -> (rannc_graph::TaskGraph, Vec<Block>) {
         let g = mlp_graph(&MlpConfig::deep(width, width, depth, 10));
         let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
         let atomic = atomic_partition(&g);
@@ -511,8 +507,7 @@ mod tests {
     fn estimated_iteration_time_formula() {
         let (g, blocks) = setup(8, 64, 4);
         let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
-        let sol = form_stage_dp(&g, &profiler, &blocks, &params(2, 2), LinkSpec::nvlink())
-            .unwrap();
+        let sol = form_stage_dp(&g, &profiler, &blocks, &params(2, 2), LinkSpec::nvlink()).unwrap();
         let expect = (4 + 2 - 1) as f64 * sol.value;
         assert!((sol.estimated_iteration_time() - expect).abs() < 1e-12);
     }

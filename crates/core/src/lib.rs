@@ -114,6 +114,8 @@ pub enum PartitionError {
     /// No feasible assignment of stages to devices exists (the model is
     /// too large for the cluster) — Algorithm 2's INFEASIBLE.
     Infeasible,
+    /// The cluster has no healthy devices left to plan against.
+    ClusterEmpty,
 }
 
 impl std::fmt::Display for PartitionError {
@@ -122,6 +124,9 @@ impl std::fmt::Display for PartitionError {
             PartitionError::EmptyGraph => write!(f, "graph contains no tasks"),
             PartitionError::Infeasible => {
                 write!(f, "no feasible partition fits the cluster (INFEASIBLE)")
+            }
+            PartitionError::ClusterEmpty => {
+                write!(f, "cluster has no healthy devices")
             }
         }
     }
@@ -185,6 +190,67 @@ impl Rannc {
             self.config.batch_size,
         ))
     }
+
+    /// Re-partition `graph` after device loss, warm-started from a
+    /// previous plan.
+    ///
+    /// Elastic recovery path: when devices fail mid-training we want a new
+    /// plan for the surviving hardware *fast*. The old plan's stage sets
+    /// are convex and were memory-feasible on the full cluster, so they
+    /// are reused directly as the block sequence — skipping the multilevel
+    /// block phase (the most expensive part of [`Rannc::partition`]) —
+    /// and only Algorithm 2's stage-level search reruns against the
+    /// degraded cluster's [`ClusterSpec::planning_view`]. If the coarse
+    /// warm-start blocks turn out infeasible on the shrunken cluster
+    /// (e.g. a merged stage no longer fits one device's memory), the
+    /// full three-phase partitioning is rerun as a fallback.
+    pub fn repartition(
+        &self,
+        graph: &TaskGraph,
+        old_plan: &PartitionPlan,
+        degraded: &ClusterSpec,
+    ) -> Result<PartitionPlan, PartitionError> {
+        if graph.num_tasks() == 0 {
+            return Err(PartitionError::EmptyGraph);
+        }
+        let view = degraded.planning_view();
+        if view.total_devices() == 0 {
+            return Err(PartitionError::ClusterEmpty);
+        }
+        if old_plan.stages.is_empty() {
+            return self.partition(graph, &view);
+        }
+        let opts = ProfilerOptions {
+            precision: self.config.precision,
+            ..ProfilerOptions::fp32()
+        }
+        .with_noise(self.config.noise_sigma, self.config.noise_seed);
+        let profiler = Profiler::new(graph, view.device.clone(), opts);
+
+        // Old stages, in pipeline order, become the warm-start blocks.
+        let blocks: Vec<Block> = old_plan
+            .stages
+            .iter()
+            .map(|s| {
+                let r = profiler.profile_set(&s.set, self.config.profile_batch, 1, true);
+                Block {
+                    set: s.set.clone(),
+                    time: r.fwd_time + r.bwd_time,
+                    mem: r.mem_bytes,
+                }
+            })
+            .collect();
+        match form_stage(graph, &profiler, &blocks, &view, self.config.batch_size) {
+            Some(sol) => Ok(PartitionPlan::from_solution(
+                graph.name.clone(),
+                &sol,
+                self.config.batch_size,
+            )),
+            // Coarse warm-start blocks can be infeasible where finer ones
+            // are not — fall back to the full pipeline.
+            None => self.partition(graph, &view),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +297,7 @@ mod tests {
             },
             device: DeviceSpec::v100_32gb().with_memory(1 << 16),
             inter_link: LinkSpec::infiniband_100g(),
+            lost_devices: Vec::new(),
         };
         assert_eq!(
             Rannc::new(PartitionConfig::new(32))
@@ -238,6 +305,62 @@ mod tests {
                 .unwrap_err(),
             PartitionError::Infeasible
         );
+    }
+
+    #[test]
+    fn repartition_after_device_loss() {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(2);
+        let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
+        let plan = rannc.partition(&g, &cluster).unwrap();
+
+        let degraded = cluster.without_device(rannc_hw::DeviceRank { node: 0, local: 5 });
+        let replanned = rannc.repartition(&g, &plan, &degraded).unwrap();
+        assert!(!replanned.stages.is_empty());
+        assert!(replanned.total_devices() <= degraded.healthy_devices());
+        // all tasks still covered
+        let mut covered = rannc_graph::TaskSet::new(g.num_tasks());
+        for s in &replanned.stages {
+            covered.union_with(&s.set);
+        }
+        assert_eq!(covered.len(), g.num_tasks());
+    }
+
+    #[test]
+    fn repartition_after_node_loss_shrinks_plan() {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(2);
+        let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
+        let plan = rannc.partition(&g, &cluster).unwrap();
+
+        let degraded = cluster.without_node(1);
+        let replanned = rannc.repartition(&g, &plan, &degraded).unwrap();
+        assert!(replanned.total_devices() <= 8);
+        assert!(replanned.est_throughput() > 0.0);
+    }
+
+    #[test]
+    fn repartition_on_empty_cluster_is_rejected() {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(1);
+        let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
+        let plan = rannc.partition(&g, &cluster).unwrap();
+        let dead = cluster.without_node(0);
+        assert_eq!(
+            rannc.repartition(&g, &plan, &dead).unwrap_err(),
+            PartitionError::ClusterEmpty
+        );
+    }
+
+    #[test]
+    fn repartition_on_healthy_cluster_matches_capacity() {
+        // no loss: the warm-started plan is still valid and feasible
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(1);
+        let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
+        let plan = rannc.partition(&g, &cluster).unwrap();
+        let replanned = rannc.repartition(&g, &plan, &cluster).unwrap();
+        assert!(replanned.total_devices() <= cluster.total_devices());
     }
 
     #[test]

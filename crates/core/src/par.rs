@@ -38,7 +38,9 @@ where
             });
         }
     });
-    out.into_iter().map(|r| r.expect("worker filled slot")).collect()
+    out.into_iter()
+        .map(|r| r.expect("worker filled slot"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -158,7 +158,10 @@ mod tests {
 
     fn fake_solution() -> DpSolution {
         let mk = |range: (usize, usize), devices: usize| DpStage {
-            set: TaskSet::from_ids(10, (range.0 as u32..range.1 as u32).map(rannc_graph::TaskId)),
+            set: TaskSet::from_ids(
+                10,
+                (range.0 as u32..range.1 as u32).map(rannc_graph::TaskId),
+            ),
             block_range: range,
             devices,
             micro_batch: 2,

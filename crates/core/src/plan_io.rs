@@ -10,7 +10,6 @@
 //! `magic "RNCP" | u32 version | payload | u64 fnv1a(payload)`.
 
 use crate::plan::{PartitionPlan, StagePlan};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rannc_graph::{TaskId, TaskSet};
 
 const MAGIC: &[u8; 4] = b"RNCP";
@@ -43,36 +42,36 @@ impl std::fmt::Display for PlanIoError {
 impl std::error::Error for PlanIoError {}
 
 /// Serialize a plan to bytes.
-pub fn encode_plan(plan: &PartitionPlan) -> Bytes {
-    let mut payload = BytesMut::with_capacity(1024);
+pub fn encode_plan(plan: &PartitionPlan) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1024);
     put_str(&mut payload, &plan.model);
-    payload.put_u64_le(plan.microbatches as u64);
-    payload.put_u64_le(plan.replica_factor as u64);
-    payload.put_u64_le(plan.batch_size as u64);
-    payload.put_f64_le(plan.bottleneck);
-    payload.put_f64_le(plan.est_iteration_time);
-    payload.put_u32_le(plan.stages.len() as u32);
+    put_u64(&mut payload, plan.microbatches as u64);
+    put_u64(&mut payload, plan.replica_factor as u64);
+    put_u64(&mut payload, plan.batch_size as u64);
+    put_f64(&mut payload, plan.bottleneck);
+    put_f64(&mut payload, plan.est_iteration_time);
+    put_u32(&mut payload, plan.stages.len() as u32);
     for st in &plan.stages {
-        payload.put_u64_le(st.set.universe() as u64);
+        put_u64(&mut payload, st.set.universe() as u64);
         let members: Vec<TaskId> = st.set.iter().collect();
-        payload.put_u32_le(members.len() as u32);
+        put_u32(&mut payload, members.len() as u32);
         for t in members {
-            payload.put_u32_le(t.0);
+            put_u32(&mut payload, t.0);
         }
-        payload.put_u64_le(st.replicas as u64);
-        payload.put_u64_le(st.micro_batch as u64);
-        payload.put_f64_le(st.fwd_time);
-        payload.put_f64_le(st.bwd_time);
-        payload.put_u64_le(st.mem_bytes as u64);
-        payload.put_u64_le(st.param_elems as u64);
+        put_u64(&mut payload, st.replicas as u64);
+        put_u64(&mut payload, st.micro_batch as u64);
+        put_f64(&mut payload, st.fwd_time);
+        put_f64(&mut payload, st.bwd_time);
+        put_u64(&mut payload, st.mem_bytes as u64);
+        put_u64(&mut payload, st.param_elems as u64);
     }
 
-    let mut out = BytesMut::with_capacity(payload.len() + 16);
-    out.put_slice(MAGIC);
-    out.put_u32_le(VERSION);
-    out.put_u64_le(fnv1a(&payload));
-    out.put_slice(&payload);
-    out.freeze()
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, fnv1a(&payload));
+    out.extend_from_slice(&payload);
+    out
 }
 
 /// Deserialize a plan from bytes.
@@ -80,16 +79,15 @@ pub fn decode_plan(mut data: &[u8]) -> Result<PartitionPlan, PlanIoError> {
     if data.len() < 16 {
         return Err(PlanIoError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &data[..4] != MAGIC {
         return Err(PlanIoError::BadMagic);
     }
-    let version = data.get_u32_le();
+    data = &data[4..];
+    let version = get_u32(&mut data)?;
     if version != VERSION {
         return Err(PlanIoError::BadVersion(version));
     }
-    let checksum = data.get_u64_le();
+    let checksum = get_u64(&mut data)?;
     if fnv1a(data) != checksum {
         return Err(PlanIoError::Corrupted);
     }
@@ -144,9 +142,21 @@ pub fn load_plan(path: &std::path::Path) -> std::io::Result<Result<PartitionPlan
     Ok(decode_plan(&std::fs::read(path)?))
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
 }
 
 fn get_str(data: &mut &[u8]) -> Result<String, PlanIoError> {
@@ -155,7 +165,7 @@ fn get_str(data: &mut &[u8]) -> Result<String, PlanIoError> {
         return Err(PlanIoError::Truncated);
     }
     let s = String::from_utf8(data[..len].to_vec()).map_err(|_| PlanIoError::Corrupted)?;
-    data.advance(len);
+    *data = &data[len..];
     Ok(s)
 }
 
@@ -163,21 +173,26 @@ fn get_u32(data: &mut &[u8]) -> Result<u32, PlanIoError> {
     if data.len() < 4 {
         return Err(PlanIoError::Truncated);
     }
-    Ok(data.get_u32_le())
+    let (head, rest) = data.split_at(4);
+    *data = rest;
+    Ok(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn get_u64(data: &mut &[u8]) -> Result<u64, PlanIoError> {
+    if data.len() < 8 {
+        return Err(PlanIoError::Truncated);
+    }
+    let (head, rest) = data.split_at(8);
+    *data = rest;
+    Ok(u64::from_le_bytes(head.try_into().unwrap()))
 }
 
 fn get_usize(data: &mut &[u8]) -> Result<usize, PlanIoError> {
-    if data.len() < 8 {
-        return Err(PlanIoError::Truncated);
-    }
-    Ok(data.get_u64_le() as usize)
+    Ok(get_u64(data)? as usize)
 }
 
 fn get_f64(data: &mut &[u8]) -> Result<f64, PlanIoError> {
-    if data.len() < 8 {
-        return Err(PlanIoError::Truncated);
-    }
-    Ok(data.get_f64_le())
+    Ok(f64::from_bits(get_u64(data)?))
 }
 
 fn fnv1a(data: &[u8]) -> u64 {
@@ -265,7 +280,10 @@ mod tests {
     fn version_checked() {
         let mut bytes = encode_plan(&sample_plan()).to_vec();
         bytes[4] = 99;
-        assert_eq!(decode_plan(&bytes).unwrap_err(), PlanIoError::BadVersion(99));
+        assert_eq!(
+            decode_plan(&bytes).unwrap_err(),
+            PlanIoError::BadVersion(99)
+        );
     }
 
     #[test]

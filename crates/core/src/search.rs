@@ -87,9 +87,9 @@ pub fn form_stage(
             }
         }
         if !candidates.is_empty() {
-            return candidates.into_iter().min_by(|a, b| {
-                score_solution(a, cluster).total_cmp(&score_solution(b, cluster))
-            });
+            return candidates
+                .into_iter()
+                .min_by(|a, b| score_solution(a, cluster).total_cmp(&score_solution(b, cluster)));
         }
         n *= 2;
     }
@@ -115,13 +115,11 @@ mod tests {
             },
             device: DeviceSpec::v100_32gb().with_memory(mem),
             inter_link: LinkSpec::infiniband_100g(),
+            lost_devices: Vec::new(),
         }
     }
 
-    fn prep(
-        g: &TaskGraph,
-        mem: usize,
-    ) -> (Profiler<'_>, Vec<Block>) {
+    fn prep(g: &TaskGraph, mem: usize) -> (Profiler<'_>, Vec<Block>) {
         let device = DeviceSpec::v100_32gb().with_memory(mem);
         let profiler = Profiler::new(g, device, ProfilerOptions::fp32());
         let atomic = atomic_partition(g);

@@ -49,12 +49,7 @@ pub fn uncoarsen(
             let b_idx = b as usize;
             for (move_v, piece) in [(true, &m.v), (false, &m.w)] {
                 if let Some(delta) = eval_move(ctx, groups, a_idx, b_idx, piece) {
-                    if delta < 0.0
-                        && best
-                            .as_ref()
-                            .map(|(_, _, bd)| delta < *bd)
-                            .unwrap_or(true)
-                    {
+                    if delta < 0.0 && best.as_ref().map(|(_, _, bd)| delta < *bd).unwrap_or(true) {
                         best = Some((b_idx, move_v, delta));
                     }
                 }
@@ -104,8 +99,8 @@ fn eval_move(
     let g = ctx.g;
     let before = (traverse::cut_bytes(g, &groups[a], &groups[b])
         + traverse::cut_bytes(g, &groups[b], &groups[a])) as f64;
-    let after = (traverse::cut_bytes(g, &a_rest, &b_new)
-        + traverse::cut_bytes(g, &b_new, &a_rest)) as f64;
+    let after =
+        (traverse::cut_bytes(g, &a_rest, &b_new) + traverse::cut_bytes(g, &b_new, &a_rest)) as f64;
     Some(after - before) // negative = fewer bytes cross cuts
 }
 
@@ -159,7 +154,10 @@ mod tests {
         // paper's is too — so global monotonicity only holds on graphs
         // without values consumed by three or more groups (e.g. chains).
         if assert_global_cut {
-            assert!(after <= before, "uncoarsening increased cut: {before} -> {after}");
+            assert!(
+                after <= before,
+                "uncoarsening increased cut: {before} -> {after}"
+            );
         }
         (groups, moves, after)
     }

@@ -70,9 +70,12 @@ impl GraphBuilder {
         out_shape: impl Into<Shape>,
         out_dtype: DType,
     ) -> ValueId {
-        let out = self
-            .g
-            .add_value(format!("{name}.out"), out_shape, out_dtype, ValueKind::Activation);
+        let out = self.g.add_value(
+            format!("{name}.out"),
+            out_shape,
+            out_dtype,
+            ValueKind::Activation,
+        );
         self.g
             .add_task_scoped(name, op, inputs.to_vec(), vec![out], self.scope.clone())
             .expect("builder misuse");
@@ -205,12 +208,22 @@ impl GraphBuilder {
     }
 
     /// Max pooling over `[c,h,w]`.
-    pub fn max_pool(&mut self, x: ValueId, kernel: (usize, usize), stride: (usize, usize)) -> ValueId {
+    pub fn max_pool(
+        &mut self,
+        x: ValueId,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+    ) -> ValueId {
         self.pool(OpKind::MaxPool { kernel, stride }, x, kernel, stride)
     }
 
     /// Average pooling over `[c,h,w]`.
-    pub fn avg_pool(&mut self, x: ValueId, kernel: (usize, usize), stride: (usize, usize)) -> ValueId {
+    pub fn avg_pool(
+        &mut self,
+        x: ValueId,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+    ) -> ValueId {
         self.pool(OpKind::AvgPool { kernel, stride }, x, kernel, stride)
     }
 
@@ -262,7 +275,13 @@ impl GraphBuilder {
     }
 
     /// Embedding lookup: `ids` (integer tensor) × table `[vocab, hidden]`.
-    pub fn embedding(&mut self, prefix: &str, ids: ValueId, vocab: usize, hidden: usize) -> ValueId {
+    pub fn embedding(
+        &mut self,
+        prefix: &str,
+        ids: ValueId,
+        vocab: usize,
+        hidden: usize,
+    ) -> ValueId {
         let table = self.param(&format!("{prefix}.table"), [vocab, hidden]);
         let ids_shape = self.g.value(ids).shape.clone();
         let mut out = ids_shape.dims().to_vec();

@@ -116,7 +116,8 @@ mod tests {
         g.add_task("a", OpKind::Relu, vec![x], vec![va]).unwrap();
         g.add_task("b", OpKind::Tanh, vec![va], vec![vb]).unwrap();
         g.add_task("c", OpKind::Gelu, vec![vb], vec![vc]).unwrap();
-        g.add_task("d", OpKind::Add, vec![vc, va], vec![vd]).unwrap();
+        g.add_task("d", OpKind::Add, vec![vc, va], vec![vd])
+            .unwrap();
         g.mark_output(vd);
         g
     }

@@ -78,7 +78,8 @@ mod tests {
         let x = g.add_value("x", [2], DType::F32, ValueKind::Input);
         let w = g.add_value("w", [2, 2], DType::F32, ValueKind::Param);
         let y = g.add_value("y", [2], DType::F32, ValueKind::Activation);
-        g.add_task("mm", OpKind::MatMul, vec![x, w], vec![y]).unwrap();
+        g.add_task("mm", OpKind::MatMul, vec![x, w], vec![y])
+            .unwrap();
         g.mark_output(y);
         g
     }

@@ -343,7 +343,8 @@ mod tests {
         let w = g.add_value("w", [4, 8], DType::F32, ValueKind::Param);
         let h = g.add_value("h", [8], DType::F32, ValueKind::Activation);
         let y = g.add_value("y", [8], DType::F32, ValueKind::Activation);
-        g.add_task("mm", OpKind::MatMul, vec![x, w], vec![h]).unwrap();
+        g.add_task("mm", OpKind::MatMul, vec![x, w], vec![h])
+            .unwrap();
         g.add_task("relu", OpKind::Relu, vec![h], vec![y]).unwrap();
         g.mark_output(y);
         (g, x, y)

@@ -55,7 +55,11 @@ impl TaskSet {
     #[inline]
     pub fn insert(&mut self, id: TaskId) {
         let i = id.index();
-        assert!(i < self.universe, "task id {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "task id {i} outside universe {}",
+            self.universe
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -117,7 +121,10 @@ impl TaskSet {
     /// Whether `self` is a subset of `other`.
     pub fn is_subset(&self, other: &TaskSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate members in ascending id order.

@@ -108,12 +108,10 @@ pub fn adjacent(g: &TaskGraph, a: &TaskSet, b: &TaskSet) -> bool {
 
 fn directed_adjacent(g: &TaskGraph, from: &TaskSet, to: &TaskSet) -> bool {
     from.iter().any(|t| {
-        g.task(t).outputs.iter().any(|&v| {
-            g.value(v)
-                .consumers
-                .iter()
-                .any(|&c| to.contains(c))
-        })
+        g.task(t)
+            .outputs
+            .iter()
+            .any(|&v| g.value(v).consumers.iter().any(|&c| to.contains(c)))
     })
 }
 
@@ -183,7 +181,8 @@ mod tests {
         g.add_task("a", OpKind::Relu, vec![x], vec![va]).unwrap();
         g.add_task("b", OpKind::Tanh, vec![va], vec![vb]).unwrap();
         g.add_task("c", OpKind::Gelu, vec![va], vec![vc]).unwrap();
-        g.add_task("d", OpKind::Add, vec![vb, vc], vec![vd]).unwrap();
+        g.add_task("d", OpKind::Add, vec![vb, vc], vec![vd])
+            .unwrap();
         g.mark_output(vd);
         g
     }
@@ -251,8 +250,10 @@ mod tests {
         let wt = g.add_value("wt", [4, 4], DType::F32, ValueKind::Activation);
         let y = g.add_value("y", [4], DType::F32, ValueKind::Activation);
         g.add_task("relu", OpKind::Relu, vec![x], vec![va]).unwrap();
-        g.add_task("tr", OpKind::Transpose, vec![w], vec![wt]).unwrap();
-        g.add_task("mm", OpKind::MatMul, vec![va, wt], vec![y]).unwrap();
+        g.add_task("tr", OpKind::Transpose, vec![w], vec![wt])
+            .unwrap();
+        g.add_task("mm", OpKind::MatMul, vec![va, wt], vec![y])
+            .unwrap();
         g.mark_output(y);
         let flags = non_constant_tasks(&g);
         assert!(flags[0], "relu reads the input");

@@ -38,7 +38,11 @@ fn build(spec: &DagSpec) -> TaskGraph {
             }
         }
         let out = g.add_value(format!("v{i}"), [8], DType::F32, ValueKind::Activation);
-        let op = if inputs.len() > 1 { OpKind::Add } else { OpKind::Relu };
+        let op = if inputs.len() > 1 {
+            OpKind::Add
+        } else {
+            OpKind::Relu
+        };
         g.add_task(format!("t{i}"), op, inputs, vec![out]).unwrap();
         avail.push(out);
     }

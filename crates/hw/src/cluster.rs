@@ -45,6 +45,11 @@ pub struct ClusterSpec {
     pub device: DeviceSpec,
     /// Inter-node link (InfiniBand in the paper).
     pub inter_link: LinkSpec,
+    /// Devices marked failed. The raw shape (`nodes`, `node.devices`)
+    /// is unchanged — lost devices keep their ranks so surviving work
+    /// stays addressable — but [`ClusterSpec::planning_view`] excludes
+    /// them when deriving the cluster the partitioner may plan against.
+    pub lost_devices: Vec<DeviceRank>,
 }
 
 impl ClusterSpec {
@@ -57,6 +62,7 @@ impl ClusterSpec {
             node: NodeSpec::v100x8(),
             device: DeviceSpec::v100_32gb(),
             inter_link: LinkSpec::infiniband_100g(),
+            lost_devices: Vec::new(),
         }
     }
 
@@ -101,6 +107,83 @@ impl ClusterSpec {
             self.link_between(a, b).transfer_time(bytes)
         }
     }
+
+    /// True when `rank` is marked failed.
+    pub fn is_lost(&self, rank: DeviceRank) -> bool {
+        self.lost_devices.contains(&rank)
+    }
+
+    /// Derive the cluster after losing one device. Idempotent; panics if
+    /// the rank is outside the cluster's shape.
+    pub fn without_device(&self, rank: DeviceRank) -> ClusterSpec {
+        assert!(
+            rank.node < self.nodes && rank.local < self.node.devices,
+            "device {rank:?} outside cluster shape"
+        );
+        let mut degraded = self.clone();
+        if !degraded.is_lost(rank) {
+            degraded.lost_devices.push(rank);
+        }
+        degraded
+    }
+
+    /// Derive the cluster after losing a whole node (switch failure,
+    /// host crash). Panics if the node index is outside the cluster.
+    pub fn without_node(&self, node: usize) -> ClusterSpec {
+        assert!(node < self.nodes, "node {node} outside cluster shape");
+        let mut degraded = self.clone();
+        for local in 0..self.node.devices {
+            let rank = DeviceRank { node, local };
+            if !degraded.is_lost(rank) {
+                degraded.lost_devices.push(rank);
+            }
+        }
+        degraded
+    }
+
+    /// Healthy devices on one node.
+    pub fn healthy_on_node(&self, node: usize) -> usize {
+        self.node.devices
+            - self
+                .lost_devices
+                .iter()
+                .filter(|r| r.node == node)
+                .count()
+                .min(self.node.devices)
+    }
+
+    /// Healthy device count across the cluster.
+    pub fn healthy_devices(&self) -> usize {
+        (0..self.nodes).map(|n| self.healthy_on_node(n)).sum()
+    }
+
+    /// The homogeneous cluster the partitioner may plan against.
+    ///
+    /// Algorithm 2 assumes identical nodes, so the view is conservative:
+    /// nodes that kept at least one healthy device survive, and every
+    /// surviving node is shrunk to the *minimum* healthy device count
+    /// among them. Capacity is understated, never overstated — a plan
+    /// valid on the view is valid on the degraded cluster.
+    pub fn planning_view(&self) -> ClusterSpec {
+        if self.lost_devices.is_empty() {
+            return self.clone();
+        }
+        let healthy: Vec<usize> = (0..self.nodes)
+            .map(|n| self.healthy_on_node(n))
+            .filter(|&h| h > 0)
+            .collect();
+        let min_devices = healthy.iter().copied().min().unwrap_or(0);
+        ClusterSpec {
+            nodes: healthy.len(),
+            node: NodeSpec {
+                devices: min_devices,
+                intra_link: self.node.intra_link,
+            },
+            device: self.device.clone(),
+            inter_link: self.inter_link,
+            lost_devices: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +218,53 @@ mod tests {
     fn planning_link_is_intra_node() {
         let c = ClusterSpec::v100_cluster(4);
         assert_eq!(c.planning_link(), LinkSpec::nvlink());
+    }
+
+    #[test]
+    fn device_loss_degrades_planning_view() {
+        let c = ClusterSpec::v100_cluster(2);
+        let d = c.without_device(DeviceRank { node: 1, local: 3 });
+        // raw shape intact, ranks stay addressable
+        assert_eq!(d.total_devices(), 16);
+        assert_eq!(d.healthy_devices(), 15);
+        assert!(d.is_lost(DeviceRank { node: 1, local: 3 }));
+        // conservative homogeneous view: both nodes survive at min(8, 7)
+        let view = d.planning_view();
+        assert_eq!(view.nodes, 2);
+        assert_eq!(view.node.devices, 7);
+        assert!(view.lost_devices.is_empty());
+        assert!(view.total_devices() <= d.healthy_devices());
+    }
+
+    #[test]
+    fn without_device_is_idempotent() {
+        let c = ClusterSpec::v100_cluster(1);
+        let r = DeviceRank { node: 0, local: 0 };
+        let d = c.without_device(r).without_device(r);
+        assert_eq!(d.healthy_devices(), 7);
+    }
+
+    #[test]
+    fn node_loss_removes_whole_node_from_view() {
+        let c = ClusterSpec::v100_cluster(4);
+        let d = c.without_node(2);
+        assert_eq!(d.healthy_devices(), 24);
+        let view = d.planning_view();
+        assert_eq!(view.nodes, 3);
+        assert_eq!(view.node.devices, 8);
+    }
+
+    #[test]
+    fn healthy_view_is_identity() {
+        let c = ClusterSpec::v100_cluster(4);
+        assert_eq!(c.planning_view(), c);
+    }
+
+    #[test]
+    fn losing_everything_yields_empty_view() {
+        let c = ClusterSpec::v100_cluster(1);
+        let d = c.without_node(0);
+        assert_eq!(d.healthy_devices(), 0);
+        assert_eq!(d.planning_view().total_devices(), 0);
     }
 }

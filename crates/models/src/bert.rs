@@ -270,10 +270,7 @@ mod tests {
         // the tied decoder transpose reads only a Param value
         let g = bert_graph(&BertConfig::tiny());
         let has_const_transpose = g.tasks().any(|(_, t)| {
-            t.op == OpKind::Transpose
-                && t.inputs
-                    .iter()
-                    .all(|&v| g.value(v).kind.is_static())
+            t.op == OpKind::Transpose && t.inputs.iter().all(|&v| g.value(v).kind.is_static())
         });
         assert!(has_const_transpose);
     }

@@ -111,7 +111,14 @@ fn bottleneck(
     );
     let c2 = b.batch_norm(&format!("{prefix}.bn2"), c2);
     let c2 = b.unary(OpKind::Relu, c2);
-    let c3 = b.conv2d(&format!("{prefix}.conv3"), c2, out_ch, (1, 1), (1, 1), (0, 0));
+    let c3 = b.conv2d(
+        &format!("{prefix}.conv3"),
+        c2,
+        out_ch,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
     let c3 = b.batch_norm(&format!("{prefix}.bn3"), c3);
     let shortcut = if in_ch != out_ch || stride != 1 {
         let s = b.conv2d(

@@ -259,10 +259,7 @@ mod tests {
         // T5-11B's parameter count is dominated by the 65536-wide FFNs
         let g = t5_graph(&T5Config::xxl());
         let n = g.param_count();
-        assert!(
-            (9_000_000_000..13_500_000_000).contains(&n),
-            "params = {n}"
-        );
+        assert!((9_000_000_000..13_500_000_000).contains(&n), "params = {n}");
     }
 
     #[test]

@@ -107,7 +107,11 @@ mod tests {
         // 2B params -> 32 GB of states alone exceeds a 32 GB device (plus
         // overhead); data parallelism must report OOM.
         let g = bert_graph(&BertConfig::enlarged(256, 4)); // small graph but...
-        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb().with_memory(1 << 28), ProfilerOptions::fp32());
+        let profiler = Profiler::new(
+            &g,
+            DeviceSpec::v100_32gb().with_memory(1 << 28),
+            ProfilerOptions::fp32(),
+        );
         let cluster = ClusterSpec {
             device: DeviceSpec::v100_32gb().with_memory(1 << 28),
             ..ClusterSpec::v100_cluster(1)

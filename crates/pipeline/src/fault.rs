@@ -1,0 +1,464 @@
+//! Fault-aware campaign simulation: goodput and MTTR under failures.
+//!
+//! [`simulate_faulted`] runs a whole training *campaign* (many
+//! iterations) of a partition plan on a cluster while consuming a seeded
+//! [`FaultPlan`]. Latency faults (stragglers, link degradation, transient
+//! communication errors) are folded into the per-iteration cost model;
+//! permanent device failures trigger a recovery whose cost depends on the
+//! configured policy:
+//!
+//! * [`RecoveryPolicy::Degrade`] — keep the plan. If a hot spare absorbs
+//!   the loss, nothing changes; otherwise drop one whole pipeline replica
+//!   (`R → R − 1`), stretching the iteration by `R / (R − 1)`. With no
+//!   redundancy left (`R = 1`) the campaign halts.
+//! * [`RecoveryPolicy::Replan`] — pay a re-planning cost and run
+//!   [`Rannc::repartition`] against the degraded cluster's conservative
+//!   planning view, then continue on the elastically re-partitioned plan.
+//!
+//! Every recovery also pays the failure-detection timeout, the
+//! checkpoint-restore cost, and the re-execution of iterations lost since
+//! the last checkpoint. The report exposes **goodput** (useful samples
+//! per wall-clock second, re-executed work excluded) and **MTTR** (mean
+//! time from failure to the pipeline doing useful work again).
+//!
+//! Everything is deterministic: the fault plan is an explicit script and
+//! probabilistic events enter only through their seeded expectation.
+
+use crate::spec::PipelineSpec;
+use crate::sync::{simulate_sync, SyncSchedule};
+use crate::{spec_from_plan, PlanSpecError};
+use rannc_core::{PartitionPlan, Rannc};
+use rannc_faults::FaultPlan;
+use rannc_hw::ClusterSpec;
+use rannc_profile::Profiler;
+
+/// How the campaign reacts to a permanent device loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Keep the plan; shed a pipeline replica when no spare is available.
+    Degrade,
+    /// Re-partition for the surviving devices (elastic recovery).
+    Replan,
+}
+
+/// Knobs of a fault-injected campaign simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSimConfig {
+    /// Iterations the campaign must complete.
+    pub iterations: usize,
+    /// A checkpoint is taken every this many iterations (at iteration
+    /// boundaries; iteration 0 is always checkpointed).
+    pub checkpoint_every: usize,
+    /// Wall time from a device dying to the failure being detected, s.
+    pub detect_timeout: f64,
+    /// Wall time to load the last checkpoint onto the survivors, s.
+    pub restore_cost: f64,
+    /// Extra wall time the [`RecoveryPolicy::Replan`] policy pays for
+    /// re-partitioning and re-deploying stages, s.
+    pub replan_cost: f64,
+    /// The recovery policy.
+    pub policy: RecoveryPolicy,
+}
+
+impl Default for FaultSimConfig {
+    fn default() -> Self {
+        FaultSimConfig {
+            iterations: 100,
+            checkpoint_every: 10,
+            detect_timeout: 5.0,
+            restore_cost: 2.0,
+            replan_cost: 15.0,
+            policy: RecoveryPolicy::Replan,
+        }
+    }
+}
+
+/// One recovery the campaign went through.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// Global rank of the failed device.
+    pub rank: usize,
+    /// Iteration at which the failure struck.
+    pub at_iter: usize,
+    /// Iterations of progress discarded (since the last checkpoint).
+    pub lost_iters: usize,
+    /// Wall time from failure to useful work resuming: detection +
+    /// restore (+ replan) + re-execution of the lost iterations.
+    pub downtime: f64,
+    /// Per-iteration wall time after the recovery, s.
+    pub new_iteration_time: f64,
+    /// Whether the plan was re-partitioned (vs. kept/degraded).
+    pub replanned: bool,
+}
+
+/// What a fault-injected campaign reports.
+#[derive(Debug, Clone)]
+pub struct FaultSimReport {
+    /// Total wall time of the campaign, s.
+    pub wall_time: f64,
+    /// Iterations actually completed (== the target unless halted).
+    pub completed_iterations: usize,
+    /// Useful samples per wall second: `completed × batch / wall`.
+    pub goodput: f64,
+    /// Every recovery, in order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// True when the campaign stopped early (no redundancy left under
+    /// [`RecoveryPolicy::Degrade`], or replanning found no feasible plan).
+    pub halted: bool,
+}
+
+impl FaultSimReport {
+    /// Mean time to recovery across all recoveries (0 when fault-free).
+    pub fn mttr(&self) -> f64 {
+        if self.recoveries.is_empty() {
+            0.0
+        } else {
+            self.recoveries.iter().map(|r| r.downtime).sum::<f64>() / self.recoveries.len() as f64
+        }
+    }
+}
+
+/// Per-iteration wall time of `plan` on `cluster` with the fault plan's
+/// latency events folded in.
+fn faulted_iteration_time(
+    plan: &PartitionPlan,
+    profiler: &Profiler<'_>,
+    cluster: &ClusterSpec,
+    faults: &FaultPlan,
+) -> Result<f64, PlanSpecError> {
+    let mut spec = spec_from_plan(plan, profiler, cluster)?;
+    apply_latency_faults(&mut spec, plan, cluster, faults);
+    Ok(simulate_sync(&spec, SyncSchedule::FillDrain, false)
+        .result
+        .iteration_time)
+}
+
+/// Fold stragglers, link degradation and transient-error retries into a
+/// spec's costs. Deterministic: transient errors enter as the expected
+/// retransmission factor `1 / (1 − p)`.
+fn apply_latency_faults(
+    spec: &mut PipelineSpec,
+    plan: &PartitionPlan,
+    cluster: &ClusterSpec,
+    faults: &FaultPlan,
+) {
+    // A straggler slows the stage its rank is assigned to; synchronous
+    // training waits for the slowest replica, so any replica straggling
+    // slows the whole stage. Stragglers on unassigned (spare) ranks are
+    // harmless.
+    let assignment = plan.device_assignment(cluster);
+    for replica in &assignment {
+        for (stage, ranks) in replica.iter().enumerate() {
+            let worst = ranks
+                .iter()
+                .map(|&r| faults.slowdown_for(r))
+                .fold(1.0f64, f64::max);
+            if worst > 1.0 {
+                spec.stages[stage].fwd_time *= worst;
+                spec.stages[stage].bwd_time *= worst;
+            }
+        }
+    }
+    // Link degradation and expected transient-error retries stretch every
+    // transfer; both are modelled by inflating the byte counts the cost
+    // model converts to time.
+    let stretch = (1.0 / faults.link_factor()) * (1.0 / (1.0 - faults.comm_error_prob()));
+    if stretch > 1.0 {
+        for st in &mut spec.stages {
+            st.comm_to_next_bytes = (st.comm_to_next_bytes as f64 * stretch).ceil() as usize;
+            st.grad_bytes = (st.grad_bytes as f64 * stretch).ceil() as usize;
+        }
+    }
+}
+
+/// Simulate a training campaign of `cfg.iterations` iterations under a
+/// seeded fault plan. Fault-plan ranks are *global device ranks*.
+///
+/// Deterministic: the same `(plan, cluster, faults, cfg)` always yields
+/// the same report.
+pub fn simulate_faulted(
+    rannc: &Rannc,
+    plan: &PartitionPlan,
+    profiler: &Profiler<'_>,
+    cluster: &ClusterSpec,
+    faults: &FaultPlan,
+    cfg: &FaultSimConfig,
+) -> Result<FaultSimReport, PlanSpecError> {
+    assert!(cfg.checkpoint_every > 0, "checkpoint_every must be > 0");
+    let graph = profiler.graph();
+    let mut cluster = cluster.clone();
+    let mut plan = plan.clone();
+    let mut iter_time = faulted_iteration_time(&plan, profiler, &cluster, faults)?;
+
+    let mut wall = 0.0f64;
+    let mut done = 0usize;
+    let mut recoveries = Vec::new();
+    let mut halted = false;
+
+    for (rank, at_iter) in faults.device_failures() {
+        let at = at_iter.min(cfg.iterations);
+        wall += (at - done) as f64 * iter_time;
+        done = at;
+        if done >= cfg.iterations {
+            break;
+        }
+
+        let ckpt_iter = (at / cfg.checkpoint_every) * cfg.checkpoint_every;
+        let lost = at - ckpt_iter;
+        let mut downtime = cfg.detect_timeout + cfg.restore_cost;
+        cluster = cluster.without_device(cluster.rank(rank));
+        let mut replanned = false;
+
+        match cfg.policy {
+            RecoveryPolicy::Degrade => {
+                if cluster.healthy_devices() >= plan.total_devices() {
+                    // a hot spare absorbs the loss; the plan still fits
+                } else if plan.replica_factor > 1 {
+                    // shed one whole pipeline replica: the same global
+                    // batch over R−1 replicas stretches the iteration
+                    let r = plan.replica_factor as f64;
+                    plan.replica_factor -= 1;
+                    iter_time *= r / (r - 1.0);
+                } else {
+                    // no redundancy left: the campaign cannot continue
+                    recoveries.push(RecoveryEvent {
+                        rank,
+                        at_iter: at,
+                        lost_iters: lost,
+                        downtime,
+                        new_iteration_time: f64::INFINITY,
+                        replanned: false,
+                    });
+                    wall += downtime;
+                    halted = true;
+                    break;
+                }
+            }
+            RecoveryPolicy::Replan => {
+                downtime += cfg.replan_cost;
+                match rannc.repartition(graph, &plan, &cluster) {
+                    Ok(new_plan) => {
+                        // evaluate the new plan on the conservative view
+                        // it was planned for
+                        let view = cluster.planning_view();
+                        iter_time = faulted_iteration_time(&new_plan, profiler, &view, faults)?;
+                        plan = new_plan;
+                        replanned = true;
+                    }
+                    Err(_) => {
+                        recoveries.push(RecoveryEvent {
+                            rank,
+                            at_iter: at,
+                            lost_iters: lost,
+                            downtime,
+                            new_iteration_time: f64::INFINITY,
+                            replanned: false,
+                        });
+                        wall += downtime;
+                        halted = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // re-execute the iterations lost since the checkpoint at the
+        // post-recovery speed; they are wall time but not fresh progress
+        downtime += lost as f64 * iter_time;
+        wall += downtime;
+        recoveries.push(RecoveryEvent {
+            rank,
+            at_iter: at,
+            lost_iters: lost,
+            downtime,
+            new_iteration_time: iter_time,
+            replanned,
+        });
+    }
+
+    if !halted {
+        wall += (cfg.iterations - done) as f64 * iter_time;
+        done = cfg.iterations;
+    }
+
+    let goodput = if wall > 0.0 {
+        done as f64 * plan.batch_size as f64 / wall
+    } else {
+        0.0
+    };
+    Ok(FaultSimReport {
+        wall_time: wall,
+        completed_iterations: done,
+        goodput,
+        recoveries,
+        halted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rannc_core::PartitionConfig;
+    use rannc_faults::FaultEvent;
+    use rannc_hw::DeviceSpec;
+    use rannc_models::{mlp_graph, MlpConfig};
+    use rannc_profile::ProfilerOptions;
+
+    fn setup(nodes: usize) -> (rannc_graph::TaskGraph, ClusterSpec, Rannc) {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(nodes);
+        let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
+        (g, cluster, rannc)
+    }
+
+    fn run(policy: RecoveryPolicy, faults: &FaultPlan, nodes: usize) -> FaultSimReport {
+        let (g, cluster, rannc) = setup(nodes);
+        let plan = rannc.partition(&g, &cluster).unwrap();
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        // long campaign: recovery overheads must not dominate the
+        // steady-state throughput difference between the policies (the
+        // simulation is O(#failures), so campaign length is free)
+        let cfg = FaultSimConfig {
+            iterations: 200_000,
+            checkpoint_every: 1000,
+            policy,
+            ..FaultSimConfig::default()
+        };
+        simulate_faulted(&rannc, &plan, &profiler, &cluster, faults, &cfg).unwrap()
+    }
+
+    fn one_failure() -> FaultPlan {
+        FaultPlan::new(7).with_event(FaultEvent::DeviceFail {
+            rank: 0,
+            at_iter: 50_000,
+        })
+    }
+
+    #[test]
+    fn fault_free_campaign_has_no_recoveries() {
+        let r = run(RecoveryPolicy::Replan, &FaultPlan::new(1), 2);
+        assert!(r.recoveries.is_empty());
+        assert!(!r.halted);
+        assert_eq!(r.completed_iterations, 200_000);
+        assert_eq!(r.mttr(), 0.0);
+        assert!(r.goodput > 0.0);
+    }
+
+    #[test]
+    fn simulation_is_seed_deterministic() {
+        let faults = one_failure();
+        let a = run(RecoveryPolicy::Replan, &faults, 2);
+        let b = run(RecoveryPolicy::Replan, &faults, 2);
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.goodput, b.goodput);
+        assert_eq!(a.mttr(), b.mttr());
+        assert_eq!(a.recoveries.len(), b.recoveries.len());
+    }
+
+    #[test]
+    fn replan_beats_degrade_on_device_loss() {
+        let faults = one_failure();
+        let degrade = run(RecoveryPolicy::Degrade, &faults, 2);
+        let replan = run(RecoveryPolicy::Replan, &faults, 2);
+        assert!(!degrade.halted && !replan.halted);
+        assert_eq!(degrade.recoveries.len(), 1);
+        assert_eq!(replan.recoveries.len(), 1);
+        assert!(replan.recoveries[0].replanned);
+        assert!(
+            replan.goodput > degrade.goodput,
+            "replan {} should beat degrade {}",
+            replan.goodput,
+            degrade.goodput
+        );
+    }
+
+    #[test]
+    fn recovery_accounts_detection_restore_and_rework() {
+        let faults = one_failure();
+        let clean = run(RecoveryPolicy::Replan, &FaultPlan::new(1), 2);
+        let faulted = run(RecoveryPolicy::Replan, &faults, 2);
+        let rec = &faulted.recoveries[0];
+        assert_eq!(rec.at_iter, 50_000);
+        assert_eq!(rec.lost_iters, 0, "failure lands on a checkpoint");
+        // downtime at least detection + restore + replan
+        assert!(rec.downtime >= 5.0 + 2.0 + 15.0 - 1e-9);
+        assert!(faulted.wall_time > clean.wall_time);
+        assert!(faulted.goodput < clean.goodput);
+        assert!(faulted.mttr() >= rec.downtime - 1e-9);
+    }
+
+    #[test]
+    fn lost_work_since_checkpoint_is_paid() {
+        let mid = FaultPlan::new(7).with_event(FaultEvent::DeviceFail {
+            rank: 0,
+            at_iter: 50_700,
+        });
+        let r = run(RecoveryPolicy::Replan, &mid, 2);
+        assert_eq!(r.recoveries[0].lost_iters, 700);
+        let on_ckpt = run(RecoveryPolicy::Replan, &one_failure(), 2);
+        assert!(r.mttr() > on_ckpt.mttr());
+    }
+
+    #[test]
+    fn degrade_without_redundancy_halts() {
+        // a single node: the plan has replica_factor limited; engineer a
+        // cascade that exhausts redundancy
+        let faults = FaultPlan::new(3)
+            .with_event(FaultEvent::DeviceFail {
+                rank: 0,
+                at_iter: 20,
+            })
+            .with_event(FaultEvent::DeviceFail {
+                rank: 1,
+                at_iter: 40,
+            })
+            .with_event(FaultEvent::DeviceFail {
+                rank: 2,
+                at_iter: 60,
+            })
+            .with_event(FaultEvent::DeviceFail {
+                rank: 3,
+                at_iter: 80,
+            })
+            .with_event(FaultEvent::DeviceFail {
+                rank: 4,
+                at_iter: 100,
+            })
+            .with_event(FaultEvent::DeviceFail {
+                rank: 5,
+                at_iter: 120,
+            })
+            .with_event(FaultEvent::DeviceFail {
+                rank: 6,
+                at_iter: 140,
+            })
+            .with_event(FaultEvent::DeviceFail {
+                rank: 7,
+                at_iter: 160,
+            });
+        let r = run(RecoveryPolicy::Degrade, &faults, 1);
+        assert!(r.halted, "losing every device must halt a degrade-only run");
+        assert!(r.completed_iterations < 200_000);
+    }
+
+    #[test]
+    fn latency_faults_slow_the_campaign_without_recovery() {
+        let slow = FaultPlan::new(9)
+            .with_event(FaultEvent::Straggler {
+                rank: 0,
+                slowdown: 3.0,
+            })
+            .with_event(FaultEvent::LinkDegrade { factor: 0.25 })
+            .with_event(FaultEvent::TransientCommError { prob: 0.2 });
+        let clean = run(RecoveryPolicy::Replan, &FaultPlan::new(1), 2);
+        let degraded = run(RecoveryPolicy::Replan, &slow, 2);
+        assert!(degraded.recoveries.is_empty());
+        assert!(!degraded.halted);
+        assert!(
+            degraded.goodput < clean.goodput,
+            "latency faults must cost goodput: {} vs {}",
+            degraded.goodput,
+            clean.goodput
+        );
+    }
+}

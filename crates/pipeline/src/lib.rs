@@ -19,17 +19,50 @@
 
 pub mod async2bw;
 pub mod dataparallel;
+pub mod fault;
 pub mod spec;
 pub mod sync;
 pub mod viz;
 
-pub use spec::{PipelineSpec, SimResult, StageSpec};
+pub use fault::{simulate_faulted, FaultSimConfig, FaultSimReport, RecoveryEvent, RecoveryPolicy};
+pub use spec::{PipelineSpec, SimResult, SpecError, StageSpec};
 pub use sync::{simulate_sync, SyncSchedule, TimelineEvent, WorkKind};
 
 use rannc_core::PartitionPlan;
 use rannc_graph::traverse;
 use rannc_hw::ClusterSpec;
 use rannc_profile::Profiler;
+
+/// Why a partition plan could not be turned into a simulator spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanSpecError {
+    /// Stages `stage` and `stage + 1` are adjacent in the task graph but
+    /// no activation traffic was measured between them — the plan's stage
+    /// sets are corrupted or out of pipeline order.
+    InconsistentAdjacency {
+        /// Index of the earlier stage of the offending pair.
+        stage: usize,
+    },
+    /// The derived spec is structurally unusable (empty stages, zero
+    /// replicas, …).
+    BadSpec(SpecError),
+}
+
+impl std::fmt::Display for PlanSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanSpecError::InconsistentAdjacency { stage } => write!(
+                f,
+                "stages {stage} and {} are graph-adjacent but exchange no \
+                 activations: stage sets corrupted or reordered",
+                stage + 1
+            ),
+            PlanSpecError::BadSpec(e) => write!(f, "plan yields invalid spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanSpecError {}
 
 /// Build a [`PipelineSpec`] for a RaNNC partition plan and simulate one
 /// training iteration under the synchronous fill–drain schedule.
@@ -41,9 +74,9 @@ pub fn simulate_plan(
     plan: &PartitionPlan,
     profiler: &Profiler<'_>,
     cluster: &ClusterSpec,
-) -> SimResult {
-    let spec = spec_from_plan(plan, profiler, cluster);
-    simulate_sync(&spec, SyncSchedule::FillDrain, false).result
+) -> Result<SimResult, PlanSpecError> {
+    let spec = spec_from_plan(plan, profiler, cluster)?;
+    Ok(simulate_sync(&spec, SyncSchedule::FillDrain, false).result)
 }
 
 /// Convert a partition plan into the simulator's input description.
@@ -57,7 +90,7 @@ pub fn spec_from_plan(
     plan: &PartitionPlan,
     profiler: &Profiler<'_>,
     cluster: &ClusterSpec,
-) -> PipelineSpec {
+) -> Result<PipelineSpec, PlanSpecError> {
     let g = profiler.graph();
     let ckpt = plan.stages.len() > 1;
     let mut stages = Vec::with_capacity(plan.stages.len());
@@ -68,12 +101,15 @@ pub fn spec_from_plan(
         } else {
             0
         };
-        // sanity: the plan's stage sets must actually be adjacent in order
-        debug_assert!(
-            i + 1 >= plan.stages.len()
-                || comm_to_next_bytes > 0
-                || !traverse::adjacent(g, &st.set, &plan.stages[i + 1].set),
-        );
+        // the plan's stage sets must actually be adjacent in order; a
+        // decoded-but-corrupted or hand-edited plan fails here rather
+        // than silently simulating a pipeline with free communication
+        if i + 1 < plan.stages.len()
+            && comm_to_next_bytes == 0
+            && traverse::adjacent(g, &st.set, &plan.stages[i + 1].set)
+        {
+            return Err(PlanSpecError::InconsistentAdjacency { stage: i });
+        }
         stages.push(StageSpec {
             fwd_time: prof.fwd_time,
             bwd_time: prof.bwd_time,
@@ -82,14 +118,16 @@ pub fn spec_from_plan(
             replicas: st.replicas,
         });
     }
-    PipelineSpec {
+    let spec = PipelineSpec {
         stages,
         microbatches: plan.microbatches,
         replica_factor: plan.replica_factor,
         batch_size: plan.batch_size,
         link: cluster.planning_link(),
         cluster: cluster.clone(),
-    }
+    };
+    spec.validate().map_err(PlanSpecError::BadSpec)?;
+    Ok(spec)
 }
 
 #[cfg(test)]
@@ -108,11 +146,61 @@ mod tests {
             .partition(&g, &cluster)
             .unwrap();
         let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
-        let res = simulate_plan(&plan, &profiler, &cluster);
+        let res = simulate_plan(&plan, &profiler, &cluster).unwrap();
         assert!(res.iteration_time > 0.0);
         assert!(res.throughput > 0.0);
         // simulated time is at least the analytic bottleneck estimate's
         // core term and within a sane factor of it
         assert!(res.iteration_time < plan.est_iteration_time * 10.0 + 1.0);
+    }
+
+    /// A plan whose stages were forced apart enough to be multi-stage.
+    fn multi_stage_plan() -> (
+        rannc_graph::TaskGraph,
+        ClusterSpec,
+        rannc_core::PartitionPlan,
+    ) {
+        let g = mlp_graph(&MlpConfig::deep(512, 512, 12, 10));
+        let mem = (1usize << 30) + 40 * (1 << 20);
+        let mut cluster = ClusterSpec::v100_cluster(1);
+        cluster.device = cluster.device.with_memory(mem);
+        let plan = Rannc::new(PartitionConfig::new(32).with_k(8))
+            .partition(&g, &cluster)
+            .unwrap();
+        assert!(plan.stages.len() >= 2, "need a multi-stage plan");
+        (g, cluster, plan)
+    }
+
+    #[test]
+    fn reordered_plan_is_rejected() {
+        let (g, cluster, mut plan) = multi_stage_plan();
+        plan.stages.reverse();
+        let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+        match spec_from_plan(&plan, &profiler, &cluster) {
+            Err(PlanSpecError::InconsistentAdjacency { .. }) => {}
+            other => panic!("expected InconsistentAdjacency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_replica_plan_is_rejected() {
+        let (g, cluster, mut plan) = multi_stage_plan();
+        plan.stages[0].replicas = 0;
+        let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+        assert_eq!(
+            spec_from_plan(&plan, &profiler, &cluster).unwrap_err(),
+            PlanSpecError::BadSpec(SpecError::ZeroReplicas { stage: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_rejected() {
+        let (g, cluster, mut plan) = multi_stage_plan();
+        plan.stages.clear();
+        let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+        assert_eq!(
+            spec_from_plan(&plan, &profiler, &cluster).unwrap_err(),
+            PlanSpecError::BadSpec(SpecError::NoStages)
+        );
     }
 }

@@ -37,7 +37,62 @@ pub struct PipelineSpec {
     pub cluster: ClusterSpec,
 }
 
+/// Why a [`PipelineSpec`] is not simulatable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec has no stages.
+    NoStages,
+    /// The spec schedules zero micro-batches.
+    NoMicrobatches,
+    /// A stage has zero data-parallel replicas.
+    ZeroReplicas {
+        /// Offending stage index.
+        stage: usize,
+    },
+    /// The spec has zero whole-pipeline replicas.
+    ZeroReplicaFactor,
+    /// The spec reports a zero global batch size.
+    ZeroBatch,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoStages => write!(f, "pipeline spec has no stages"),
+            SpecError::NoMicrobatches => write!(f, "pipeline spec has zero micro-batches"),
+            SpecError::ZeroReplicas { stage } => {
+                write!(f, "stage {stage} has zero replicas")
+            }
+            SpecError::ZeroReplicaFactor => write!(f, "zero pipeline replicas"),
+            SpecError::ZeroBatch => write!(f, "zero batch size"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 impl PipelineSpec {
+    /// Reject structurally impossible specs before simulation: empty
+    /// stage lists, zero micro-batches, zero-replica stages.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.stages.is_empty() {
+            return Err(SpecError::NoStages);
+        }
+        if self.microbatches == 0 {
+            return Err(SpecError::NoMicrobatches);
+        }
+        if self.replica_factor == 0 {
+            return Err(SpecError::ZeroReplicaFactor);
+        }
+        if self.batch_size == 0 {
+            return Err(SpecError::ZeroBatch);
+        }
+        if let Some(stage) = self.stages.iter().position(|s| s.replicas == 0) {
+            return Err(SpecError::ZeroReplicas { stage });
+        }
+        Ok(())
+    }
+
     /// Transfer time of stage `i`'s activations to stage `i+1`.
     pub fn comm_time(&self, i: usize) -> f64 {
         let bytes = self.stages[i].comm_to_next_bytes;
@@ -83,12 +138,7 @@ impl PipelineSpec {
     /// Optimizer-step time: Adam reads/writes ~4 words per parameter, so
     /// the update is memory-bandwidth bound on the largest stage.
     pub fn optimizer_time(&self) -> f64 {
-        let worst = self
-            .stages
-            .iter()
-            .map(|s| s.grad_bytes)
-            .max()
-            .unwrap_or(0);
+        let worst = self.stages.iter().map(|s| s.grad_bytes).max().unwrap_or(0);
         // weights + grads + 2 Adam moments, read and write
         (worst as f64 * 8.0) / self.cluster.device.mem_bandwidth
     }
@@ -170,6 +220,41 @@ mod tests {
         let r = SimResult::new(1.0, 32, vec![0.5, 0.9]);
         assert!((r.utilization - 0.7).abs() < 1e-12);
         assert_eq!(r.throughput, 32.0);
+    }
+
+    #[test]
+    fn validate_accepts_sane_spec() {
+        assert_eq!(toy_spec(2, 4).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty_stages() {
+        let mut s = toy_spec(2, 4);
+        s.stages.clear();
+        assert_eq!(s.validate(), Err(SpecError::NoStages));
+    }
+
+    #[test]
+    fn validate_rejects_zero_microbatches() {
+        let s = toy_spec(2, 0);
+        assert_eq!(s.validate(), Err(SpecError::NoMicrobatches));
+    }
+
+    #[test]
+    fn validate_rejects_zero_replica_stage() {
+        let mut s = toy_spec(3, 4);
+        s.stages[1].replicas = 0;
+        assert_eq!(s.validate(), Err(SpecError::ZeroReplicas { stage: 1 }));
+    }
+
+    #[test]
+    fn validate_rejects_zero_replica_factor_and_batch() {
+        let mut s = toy_spec(1, 1);
+        s.replica_factor = 0;
+        assert_eq!(s.validate(), Err(SpecError::ZeroReplicaFactor));
+        let mut s = toy_spec(1, 1);
+        s.batch_size = 0;
+        assert_eq!(s.validate(), Err(SpecError::ZeroBatch));
     }
 
     #[test]

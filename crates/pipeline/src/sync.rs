@@ -61,7 +61,12 @@ pub struct SyncSimOutput {
 }
 
 /// Build the per-stage work order.
-fn work_order(schedule: SyncSchedule, stage: usize, stages: usize, mb: usize) -> Vec<(WorkKind, usize)> {
+fn work_order(
+    schedule: SyncSchedule,
+    stage: usize,
+    stages: usize,
+    mb: usize,
+) -> Vec<(WorkKind, usize)> {
     let mut seq = Vec::with_capacity(2 * mb);
     match schedule {
         SyncSchedule::FillDrain => {
@@ -107,9 +112,11 @@ pub fn simulate_sync(
     schedule: SyncSchedule,
     want_timeline: bool,
 ) -> SyncSimOutput {
+    if let Err(e) = spec.validate() {
+        panic!("invalid pipeline spec: {e}");
+    }
     let s_count = spec.stages.len();
     let mb = spec.microbatches;
-    assert!(s_count > 0 && mb > 0, "empty pipeline");
 
     let seqs: Vec<Vec<(WorkKind, usize)>> = (0..s_count)
         .map(|s| {
@@ -256,8 +263,12 @@ mod tests {
     fn bubble_fraction_shrinks_with_more_microbatches() {
         let s4 = spec(4, 4, 0.01, 0.02);
         let s32 = spec(4, 32, 0.01, 0.02);
-        let u4 = simulate_sync(&s4, SyncSchedule::FillDrain, false).result.utilization;
-        let u32 = simulate_sync(&s32, SyncSchedule::FillDrain, false).result.utilization;
+        let u4 = simulate_sync(&s4, SyncSchedule::FillDrain, false)
+            .result
+            .utilization;
+        let u32 = simulate_sync(&s32, SyncSchedule::FillDrain, false)
+            .result
+            .utilization;
         assert!(u32 > u4, "u4={u4} u32={u32}");
         // theory: busy fraction = MB / (MB + S - 1)
         let theory = 32.0 / (32.0 + 3.0);
@@ -281,10 +292,10 @@ mod tests {
             let fd = simulate_sync(&s, SyncSchedule::FillDrain, false).result;
             let ofob = simulate_sync(&s, SyncSchedule::OneFOneB, false).result;
             // same total work
-            assert!((fd.stage_busy.iter().sum::<f64>()
-                - ofob.stage_busy.iter().sum::<f64>())
-            .abs()
-                < 1e-9);
+            assert!(
+                (fd.stage_busy.iter().sum::<f64>() - ofob.stage_busy.iter().sum::<f64>()).abs()
+                    < 1e-9
+            );
             // 1F1B can reorder but not change the critical path length by
             // much; sanity: within 1.5x of each other
             let ratio = ofob.iteration_time / fd.iteration_time;

@@ -131,9 +131,8 @@ mod tests {
     #[test]
     fn checkpointing_reduces_activation_memory() {
         let base = (1_000_000usize, 1_000, 10_000_000usize, 4usize);
-        let with = MemoryParams::pipeline(Precision::FP32, 8).stage_bytes(
-            base.0, base.1, base.2, base.3,
-        );
+        let with =
+            MemoryParams::pipeline(Precision::FP32, 8).stage_bytes(base.0, base.1, base.2, base.3);
         let without = MemoryParams {
             precision: Precision::FP32,
             checkpointing: false,

@@ -2,11 +2,11 @@
 
 use crate::flops::task_flops;
 use crate::memory::MemoryParams;
-use parking_lot::Mutex;
 use rannc_graph::{traverse, TaskGraph, TaskSet, ValueKind};
 use rannc_hw::{DeviceSpec, LinkSpec, Precision};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Tunables of the analytical profiler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,11 +127,7 @@ impl<'g> Profiler<'g> {
                 }
             }
             let end = param_vals.len() as u32;
-            let out_act_bytes = task
-                .outputs
-                .iter()
-                .map(|&v| g.value(v).size_bytes())
-                .sum();
+            let out_act_bytes = task.outputs.iter().map(|&v| g.value(v).size_bytes()).sum();
             let (act_bytes, static_bytes) = crate::flops::task_bytes_split(g, tid);
             costs.push(TaskCost {
                 flops: task_flops(g, tid),
@@ -171,7 +167,7 @@ impl<'g> Profiler<'g> {
 
     /// Number of memoised profiles (for diagnostics and benches).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().unwrap().len()
     }
 
     /// Forward time of one task at a given micro-batch size.
@@ -211,7 +207,7 @@ impl<'g> Profiler<'g> {
             inflight: inflight as u32,
             ckpt: checkpointing,
         };
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             return *hit;
         }
 
@@ -221,7 +217,7 @@ impl<'g> Profiler<'g> {
         let mut inter_act = 0usize;
         let mut param_elems = 0usize;
         {
-            let mut guard = self.scratch.lock();
+            let mut guard = self.scratch.lock().unwrap();
             let (stamps, stamp) = &mut *guard;
             *stamp = stamp.wrapping_add(1);
             if *stamp == 0 {
@@ -274,7 +270,7 @@ impl<'g> Profiler<'g> {
             param_elems,
             flops,
         };
-        self.cache.lock().insert(key, result);
+        self.cache.lock().unwrap().insert(key, result);
         result
     }
 
@@ -330,9 +326,8 @@ impl CommCost {
         if fp32_bytes == 0 {
             return 0.0;
         }
-        let bytes =
-            (fp32_bytes as f64 * batch as f64 * self.precision.activation_bytes() as f64 / 4.0)
-                as usize;
+        let bytes = (fp32_bytes as f64 * batch as f64 * self.precision.activation_bytes() as f64
+            / 4.0) as usize;
         self.link.transfer_time(bytes)
     }
 }

@@ -10,9 +10,8 @@ use rannc_profile::{Profiler, ProfilerOptions};
 
 fn graphs() -> impl Strategy<Value = TaskGraph> {
     prop_oneof![
-        (2usize..8, 16usize..64).prop_map(|(depth, width)| {
-            mlp_graph(&MlpConfig::deep(width, width, depth, 4))
-        }),
+        (2usize..8, 16usize..64)
+            .prop_map(|(depth, width)| { mlp_graph(&MlpConfig::deep(width, width, depth, 4)) }),
         (1usize..3).prop_map(|layers| {
             bert_graph(&BertConfig {
                 layers,

@@ -34,10 +34,12 @@
 //! | [`core`] | the paper's partitioner (atomic / block / stage phases) |
 //! | [`pipeline`] | event-driven schedule simulator (sync, 2BW, DP) |
 //! | [`baselines`] | Megatron-LM, GPipe-Hybrid/Model, PipeDream-2BW |
+//! | [`faults`] | seeded fault plans (device loss, stragglers, …) |
 //! | [`tensor`], [`train`] | numeric substrate + threaded pipeline trainer |
 
 pub use rannc_baselines as baselines;
 pub use rannc_core as core;
+pub use rannc_faults as faults;
 pub use rannc_graph as graph;
 pub use rannc_hw as hw;
 pub use rannc_models as models;
@@ -49,13 +51,17 @@ pub use rannc_train as train;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rannc_core::{PartitionConfig, PartitionError, PartitionPlan, Rannc};
+    pub use rannc_faults::{FaultEvent, FaultPlan};
     pub use rannc_graph::{GraphBuilder, OpKind, TaskGraph, TaskSet};
     pub use rannc_hw::{ClusterSpec, DeviceSpec, LinkSpec, NodeSpec, Precision};
     pub use rannc_models::{
-        bert_graph, gpt_graph, mlp_graph, resnet_graph, t5_graph, BertConfig, GptConfig,
-        MlpConfig, ResNetConfig, ResNetDepth, T5Config,
+        bert_graph, gpt_graph, mlp_graph, resnet_graph, t5_graph, BertConfig, GptConfig, MlpConfig,
+        ResNetConfig, ResNetDepth, T5Config,
     };
-    pub use rannc_pipeline::{simulate_plan, simulate_sync, SyncSchedule};
+    pub use rannc_pipeline::{
+        simulate_faulted, simulate_plan, simulate_sync, FaultSimConfig, RecoveryPolicy,
+        SyncSchedule,
+    };
     pub use rannc_profile::{Profiler, ProfilerOptions};
 }
 

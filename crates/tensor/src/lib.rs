@@ -15,6 +15,8 @@
 pub mod matrix;
 pub mod ops;
 pub mod optim;
+pub mod rng;
 
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
+pub use rng::Rng;

@@ -1,7 +1,6 @@
 //! The dense row-major `f32` matrix.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32` (`rows × cols`).
@@ -34,9 +33,9 @@ impl Matrix {
     /// Deterministic uniform init in `[-limit, limit]` (Xavier-style when
     /// `limit = sqrt(6 / (fan_in + fan_out))`).
     pub fn uniform(rows: usize, cols: usize, limit: f32, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let data = (0..rows * cols)
-            .map(|_| rng.gen_range(-limit..=limit))
+            .map(|_| rng.uniform_f32(-limit, limit))
             .collect();
         Matrix { rows, cols, data }
     }

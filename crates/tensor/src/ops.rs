@@ -8,7 +8,11 @@ use crate::matrix::Matrix;
 
 /// `C = A · B`, `[m,k] × [k,n] → [m,n]`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols, b.rows, "matmul dims: {}x{} × {}x{}", a.rows, a.cols, b.rows, b.cols);
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul dims: {}x{} × {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
     let mut c = Matrix::zeros(a.rows, b.cols);
     for i in 0..a.rows {
         for kk in 0..a.cols {

@@ -1,8 +1,6 @@
 //! Synthetic classification data with a deterministic teacher.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rannc_tensor::{ops, Matrix};
+use rannc_tensor::{ops, Matrix, Rng};
 
 /// A fixed synthetic dataset: features drawn uniformly, labels produced
 /// by a random linear teacher (so the task is learnable and loss curves
@@ -20,10 +18,10 @@ pub struct Dataset {
 impl Dataset {
     /// Generate `n` samples of dimension `dim` over `classes` classes.
     pub fn synthetic(n: usize, dim: usize, classes: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut inputs = Matrix::zeros(n, dim);
         for v in inputs.data.iter_mut() {
-            *v = rng.gen_range(-1.0..=1.0);
+            *v = rng.uniform_f32(-1.0, 1.0);
         }
         let teacher = Matrix::uniform(dim, classes, 1.0, seed ^ 0x5eed);
         let scores = ops::matmul(&inputs, &teacher);
@@ -60,14 +58,14 @@ impl Dataset {
     /// (position 0 predicts token 0). A causal-attention model solves
     /// this by attending one step back — a clean learnability check.
     pub fn copy_task(sequences: usize, seq_len: usize, vocab: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let n = sequences * seq_len;
         let mut inputs = Matrix::zeros(n, vocab);
         let mut labels = Vec::with_capacity(n);
         for s in 0..sequences {
             let mut prev = 0usize;
             for i in 0..seq_len {
-                let tok = rng.gen_range(0..vocab);
+                let tok = rng.below(vocab);
                 *inputs.get_mut(s * seq_len + i, tok) = 1.0;
                 labels.push(if i == 0 { tok } else { prev });
                 prev = tok;

@@ -1,0 +1,474 @@
+//! Fault-tolerant pipeline training: checkpoint, detect, restore, resume.
+//!
+//! The supervisor runs training as a sequence of **segments** between
+//! parameter checkpoints. Each segment executes on the thread-per-stage
+//! pipeline of [`crate::pipeline`]; a [`rannc_faults::FaultPlan`] scripts
+//! which stage threads die and when (`rank` = stage index here). When a
+//! segment fails, the supervisor classifies the failure, discards all
+//! partial state, restores the last checkpoint, and re-runs the segment —
+//! the scripted fault is consumed one-shot, modelling replacement
+//! hardware (or a spare) taking over the lost stage.
+//!
+//! **Recovery is exact.** A checkpoint captures every stage (weights +
+//! Adam moments) at an iteration boundary, where all micro-batch caches
+//! are empty; segment replay from a checkpoint is therefore the same
+//! deterministic computation the fault-free run performs, and the
+//! recovered loss trajectory is bit-identical to a fault-free run — the
+//! property [`FtReport::losses`] is tested against.
+//!
+//! Event semantics in the *trainer* (the analytical simulator in
+//! `rannc-pipeline` interprets the same plan on its cost model):
+//!
+//! * `DeviceFail { rank, at_iter }` — stage `rank`'s thread dies at the
+//!   start of iteration `at_iter` (return or panic, see
+//!   [`FtConfig::kill_by_panic`]);
+//! * `Straggler { rank, slowdown }` — stage `rank` sleeps proportionally
+//!   to `slowdown` per micro-batch (latency only, math unchanged);
+//! * `LinkDegrade { factor }` — every inter-stage transfer sleeps
+//!   proportionally to `1/factor − 1`;
+//! * `TransientCommError { prob }` — transfers pay a deterministic
+//!   retransmit delay with probability `prob` (stateless seeded draws,
+//!   so replays see identical faults). No event ever corrupts data.
+
+use crate::data::Dataset;
+use crate::error::TrainError;
+use crate::pipeline::{run_segment, Mode, StageFaultCtx, TrainConfig};
+use crate::stage::Stage;
+use rannc_faults::FaultPlan;
+use std::time::{Duration, Instant};
+
+/// Supervisor parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FtConfig {
+    /// Checkpoint the full pipeline state every this many iterations.
+    pub checkpoint_every: usize,
+    /// Channel timeout: the failure-detection bound. A dead stage is
+    /// detected within roughly this much wall time.
+    pub detect_timeout: Duration,
+    /// Keep every checkpoint in the report (tests restart runs from
+    /// them); otherwise only the latest is held.
+    pub keep_checkpoints: bool,
+    /// Inject `DeviceFail` as a thread panic instead of a clean exit,
+    /// exercising the supervisor's join-error detection path.
+    pub kill_by_panic: bool,
+    /// Abort after this many recovery attempts.
+    pub max_recoveries: usize,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            checkpoint_every: 5,
+            detect_timeout: Duration::from_millis(500),
+            keep_checkpoints: false,
+            kill_by_panic: false,
+            max_recoveries: 8,
+        }
+    }
+}
+
+/// A consistent snapshot of the whole pipeline at an iteration boundary.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// First iteration *not yet* covered by this snapshot.
+    pub next_iter: usize,
+    /// Every stage's weights and optimizer state.
+    pub stages: Vec<Stage>,
+}
+
+/// One detect→restore cycle.
+#[derive(Debug, Clone)]
+pub struct RecoveryRecord {
+    /// Stage whose thread died.
+    pub failed_stage: usize,
+    /// Iteration at which the fault fired (best known; panics report the
+    /// segment's start).
+    pub at_iter: usize,
+    /// Checkpoint iteration the run was restored from.
+    pub restored_from_iter: usize,
+    /// Iterations of work discarded by the rollback.
+    pub lost_iters: usize,
+    /// Wall time the failed attempt consumed (lost work + detection).
+    pub downtime: Duration,
+}
+
+/// Outcome of a fault-tolerant run.
+#[derive(Debug, Clone)]
+pub struct FtReport {
+    /// Per-iteration mean losses for the *completed* run — bit-identical
+    /// to a fault-free run of the same job.
+    pub losses: Vec<f32>,
+    /// Final trained stages.
+    pub stages: Vec<Stage>,
+    /// Every recovery performed, in order.
+    pub recoveries: Vec<RecoveryRecord>,
+    /// All checkpoints taken (only if [`FtConfig::keep_checkpoints`]).
+    pub checkpoints: Vec<Checkpoint>,
+    /// Total wall time of the run.
+    pub wall: Duration,
+}
+
+impl FtReport {
+    /// Mean time-to-recovery over the run's recoveries.
+    pub fn mttr(&self) -> Duration {
+        if self.recoveries.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.recoveries.iter().map(|r| r.downtime).sum();
+        total / self.recoveries.len() as u32
+    }
+}
+
+/// Train under a fault plan with checkpoint/restore recovery.
+///
+/// `plan` ranks are stage indices. Scripted `DeviceFail`s are consumed
+/// one-shot: after recovery the stage is considered re-hosted and the
+/// same failure does not refire.
+pub fn train_with_faults(
+    stages: Vec<Stage>,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    mode: Mode,
+    plan: &FaultPlan,
+    ft: &FtConfig,
+) -> Result<FtReport, TrainError> {
+    if ft.checkpoint_every == 0 {
+        return Err(TrainError::InvalidConfig("zero checkpoint interval".into()));
+    }
+    let n_stages = stages.len();
+    for &(rank, _) in plan.device_failures().iter() {
+        if rank >= n_stages {
+            return Err(TrainError::InvalidConfig(format!(
+                "fault plan targets stage {rank} but the pipeline has {n_stages} stages"
+            )));
+        }
+    }
+
+    let started = Instant::now();
+    let mut ckpt = Checkpoint {
+        next_iter: 0,
+        stages,
+    };
+    let mut checkpoints: Vec<Checkpoint> = Vec::new();
+    if ft.keep_checkpoints {
+        checkpoints.push(ckpt.clone());
+    }
+    let mut losses: Vec<f32> = Vec::with_capacity(cfg.iterations);
+    let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+    let mut remaining_failures = plan.device_failures();
+
+    while ckpt.next_iter < cfg.iterations {
+        let seg_end = (ckpt.next_iter + ft.checkpoint_every).min(cfg.iterations);
+        let faults = fault_ctxs(plan, &remaining_failures, n_stages, ft.kill_by_panic);
+        let attempt_started = Instant::now();
+        match run_segment(
+            ckpt.stages.clone(),
+            data,
+            cfg,
+            mode,
+            ckpt.next_iter..seg_end,
+            &faults,
+            ft.detect_timeout,
+        ) {
+            Ok((seg_losses, trained)) => {
+                losses.extend(seg_losses);
+                ckpt = Checkpoint {
+                    next_iter: seg_end,
+                    stages: trained,
+                };
+                if ft.keep_checkpoints {
+                    checkpoints.push(ckpt.clone());
+                }
+            }
+            Err(err) => {
+                if recoveries.len() >= ft.max_recoveries {
+                    return Err(TrainError::TooManyRecoveries {
+                        limit: ft.max_recoveries,
+                    });
+                }
+                // identify which scripted failure fired; anything not in
+                // the plan is a genuine error and propagates
+                let (failed_stage, at_iter) = match err {
+                    TrainError::StageKilled { stage, at_iter } => (stage, at_iter),
+                    TrainError::StagePanicked { stage } if ft.kill_by_panic => {
+                        // panics carry no iteration; attribute the first
+                        // scripted kill for this stage in the segment
+                        let at = remaining_failures
+                            .iter()
+                            .find(|&&(rank, at)| {
+                                rank == stage && at >= ckpt.next_iter && at < seg_end
+                            })
+                            .map(|&(_, at)| at);
+                        match at {
+                            Some(at) => (stage, at),
+                            None => return Err(TrainError::StagePanicked { stage }),
+                        }
+                    }
+                    other => return Err(other),
+                };
+                let fired = remaining_failures
+                    .iter()
+                    .position(|&(rank, at)| rank == failed_stage && at == at_iter);
+                match fired {
+                    Some(i) => {
+                        remaining_failures.remove(i);
+                    }
+                    // a kill we never scripted: surface it
+                    None => {
+                        return Err(TrainError::StageKilled {
+                            stage: failed_stage,
+                            at_iter,
+                        })
+                    }
+                }
+                recoveries.push(RecoveryRecord {
+                    failed_stage,
+                    at_iter,
+                    restored_from_iter: ckpt.next_iter,
+                    lost_iters: at_iter - ckpt.next_iter,
+                    downtime: attempt_started.elapsed(),
+                });
+                // restore: `ckpt` is untouched, the next loop pass
+                // re-runs the segment from it with the fault consumed
+            }
+        }
+    }
+
+    Ok(FtReport {
+        losses,
+        stages: ckpt.stages,
+        recoveries,
+        checkpoints,
+        wall: started.elapsed(),
+    })
+}
+
+/// Resume a fault-free run from a checkpoint to `iterations` — the
+/// reference the bit-identical recovery tests compare against.
+pub fn resume_from(
+    ckpt: &Checkpoint,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    mode: Mode,
+) -> Result<(Vec<f32>, Vec<Stage>), TrainError> {
+    run_segment(
+        ckpt.stages.clone(),
+        data,
+        cfg,
+        mode,
+        ckpt.next_iter..cfg.iterations,
+        &[],
+        Duration::from_secs(10),
+    )
+}
+
+fn fault_ctxs(
+    plan: &FaultPlan,
+    remaining_failures: &[(usize, usize)],
+    n_stages: usize,
+    kill_by_panic: bool,
+) -> Vec<StageFaultCtx> {
+    (0..n_stages)
+        .map(|s| {
+            let kill_at = remaining_failures
+                .iter()
+                .filter(|&&(rank, _)| rank == s)
+                .map(|&(_, at)| at)
+                .min();
+            StageFaultCtx {
+                kill_at,
+                kill_by_panic,
+                slowdown: plan.slowdown_for(s),
+                link_factor: plan.link_factor(),
+                comm_prob: plan.comm_error_prob(),
+                seed: plan.seed(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::train_pipeline;
+    use crate::stage::{build_mlp, split_into_stages};
+    use rannc_faults::FaultEvent;
+
+    const DIMS: [usize; 5] = [8, 32, 32, 32, 4];
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            iterations: 20,
+            batch_size: 16,
+            microbatches: 4,
+        }
+    }
+
+    fn stages() -> Vec<Stage> {
+        split_into_stages(build_mlp(&DIMS, 5), 3, 0.01)
+    }
+
+    fn data() -> Dataset {
+        Dataset::synthetic(64, 8, 4, 11)
+    }
+
+    #[test]
+    fn kill_mid_run_detect_restore_finish_bit_identical() {
+        // the acceptance test: a stage thread dies mid-run; the run
+        // detects it, restores the checkpoint, finishes, and the losses
+        // are bit-identical to the fault-free run
+        let data = data();
+        let (ref_losses, ref_stages) =
+            train_pipeline(stages(), &data, &cfg(), Mode::Synchronous).unwrap();
+
+        let plan = FaultPlan::new(7).with_event(FaultEvent::DeviceFail {
+            rank: 1,
+            at_iter: 12,
+        });
+        let ft = FtConfig {
+            checkpoint_every: 5,
+            keep_checkpoints: true,
+            ..FtConfig::default()
+        };
+        let report =
+            train_with_faults(stages(), &data, &cfg(), Mode::Synchronous, &plan, &ft).unwrap();
+
+        assert_eq!(report.recoveries.len(), 1);
+        let rec = &report.recoveries[0];
+        assert_eq!(rec.failed_stage, 1);
+        assert_eq!(rec.at_iter, 12);
+        assert_eq!(rec.restored_from_iter, 10);
+        assert_eq!(rec.lost_iters, 2);
+        assert!(report.mttr() > Duration::ZERO);
+
+        assert_eq!(
+            report.losses, ref_losses,
+            "recovered losses must be bit-identical"
+        );
+        for (a, b) in report.stages.iter().zip(&ref_stages) {
+            for (la, lb) in a.layers().iter().zip(b.layers()) {
+                if let (
+                    crate::layer::Layer::Linear { w: wa, .. },
+                    crate::layer::Layer::Linear { w: wb, .. },
+                ) = (la, lb)
+                {
+                    assert_eq!(wa.data, wb.data, "weights diverged after recovery");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_run_matches_fault_free_restart_from_same_checkpoint() {
+        // restart a fault-free run from the very checkpoint the faulty
+        // run recovered from — the tails must agree bitwise
+        let data = data();
+        let plan = FaultPlan::new(1).with_event(FaultEvent::DeviceFail {
+            rank: 2,
+            at_iter: 8,
+        });
+        let ft = FtConfig {
+            checkpoint_every: 5,
+            keep_checkpoints: true,
+            ..FtConfig::default()
+        };
+        let report =
+            train_with_faults(stages(), &data, &cfg(), Mode::Synchronous, &plan, &ft).unwrap();
+        let restore_iter = report.recoveries[0].restored_from_iter;
+        let ckpt = report
+            .checkpoints
+            .iter()
+            .find(|c| c.next_iter == restore_iter)
+            .expect("restore checkpoint kept");
+        let (tail_losses, _) = resume_from(ckpt, &data, &cfg(), Mode::Synchronous).unwrap();
+        assert_eq!(
+            &report.losses[restore_iter..],
+            &tail_losses[..],
+            "recovered tail must equal a fault-free restart from the same checkpoint"
+        );
+    }
+
+    #[test]
+    fn panic_kill_also_recovers() {
+        let data = data();
+        let (ref_losses, _) = train_pipeline(stages(), &data, &cfg(), Mode::Synchronous).unwrap();
+        let plan = FaultPlan::new(3).with_event(FaultEvent::DeviceFail {
+            rank: 0,
+            at_iter: 7,
+        });
+        let ft = FtConfig {
+            checkpoint_every: 4,
+            kill_by_panic: true,
+            ..FtConfig::default()
+        };
+        let report =
+            train_with_faults(stages(), &data, &cfg(), Mode::Synchronous, &plan, &ft).unwrap();
+        assert_eq!(report.recoveries.len(), 1);
+        assert_eq!(report.recoveries[0].failed_stage, 0);
+        assert_eq!(report.losses, ref_losses);
+    }
+
+    #[test]
+    fn multiple_failures_all_recovered() {
+        let data = data();
+        let (ref_losses, _) = train_pipeline(stages(), &data, &cfg(), Mode::Synchronous).unwrap();
+        let plan = FaultPlan::new(5)
+            .with_event(FaultEvent::DeviceFail {
+                rank: 0,
+                at_iter: 3,
+            })
+            .with_event(FaultEvent::DeviceFail {
+                rank: 2,
+                at_iter: 11,
+            })
+            .with_event(FaultEvent::Straggler {
+                rank: 1,
+                slowdown: 1.5,
+            });
+        let ft = FtConfig {
+            checkpoint_every: 5,
+            ..FtConfig::default()
+        };
+        let report =
+            train_with_faults(stages(), &data, &cfg(), Mode::Synchronous, &plan, &ft).unwrap();
+        assert_eq!(report.recoveries.len(), 2);
+        assert_eq!(report.losses, ref_losses);
+    }
+
+    #[test]
+    fn empty_plan_equals_plain_training() {
+        let data = data();
+        let (ref_losses, _) = train_pipeline(stages(), &data, &cfg(), Mode::Synchronous).unwrap();
+        let report = train_with_faults(
+            stages(),
+            &data,
+            &cfg(),
+            Mode::Synchronous,
+            &FaultPlan::new(0),
+            &FtConfig::default(),
+        )
+        .unwrap();
+        assert!(report.recoveries.is_empty());
+        assert_eq!(report.losses, ref_losses);
+    }
+
+    #[test]
+    fn out_of_range_fault_plan_is_rejected() {
+        let data = data();
+        let plan = FaultPlan::new(0).with_event(FaultEvent::DeviceFail {
+            rank: 9,
+            at_iter: 1,
+        });
+        match train_with_faults(
+            stages(),
+            &data,
+            &cfg(),
+            Mode::Synchronous,
+            &plan,
+            &FtConfig::default(),
+        ) {
+            Err(TrainError::InvalidConfig(_)) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+}

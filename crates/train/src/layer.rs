@@ -102,11 +102,7 @@ impl Layer {
     pub fn backward(&mut self, mb: usize, dy: Matrix) -> Matrix {
         match self {
             Layer::Linear {
-                w,
-                cache,
-                dw,
-                db,
-                ..
+                w, cache, dw, db, ..
             } => {
                 let x = cache.remove(&mb).expect("no stashed forward for mb");
                 dw.insert(mb, ops::matmul_tn(&x, &dy));

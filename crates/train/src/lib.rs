@@ -14,7 +14,10 @@
 //! **asynchronous** pipeline that applies updates between a micro-batch's
 //! forward and backward (PipeDream-style staleness — the losses drift).
 
+pub mod channel;
 pub mod data;
+pub mod error;
+pub mod ft;
 pub mod layer;
 pub mod pipeline;
 pub mod stage;
@@ -22,6 +25,8 @@ pub mod transformer;
 pub mod validate;
 
 pub use data::Dataset;
+pub use error::TrainError;
+pub use ft::{train_with_faults, Checkpoint, FtConfig, FtReport, RecoveryRecord};
 pub use layer::Layer;
 pub use pipeline::{train_pipeline, Mode, TrainConfig};
 pub use stage::Stage;

@@ -1,7 +1,7 @@
 //! The threaded pipeline-parallel trainer.
 //!
 //! Each stage runs on its own OS thread; activations and gradients travel
-//! through crossbeam channels, exactly mirroring Fig. 1 of the paper:
+//! through bounded channels, exactly mirroring Fig. 1 of the paper:
 //! micro-batches flow forward through the stages, then their gradients
 //! flow back, then (synchronous mode) every stage applies one optimizer
 //! step — so the parameters every micro-batch saw are identical and the
@@ -12,11 +12,18 @@
 //! backward completes, so micro-batches that were forwarded earlier are
 //! backpropagated against *newer* weights — PipeDream-style parameter
 //! staleness, without weight stashing.
+//!
+//! Every channel operation carries a timeout and every failure path is a
+//! typed [`TrainError`]: a dead or hung stage unwinds the whole pipeline
+//! within one timeout instead of deadlocking it, which is what the
+//! fault-tolerant supervisor in [`crate::ft`] builds on.
 
+use crate::channel::{bounded, RecvError, SendError, Sender};
 use crate::data::Dataset;
+use crate::error::TrainError;
 use crate::stage::Stage;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use rannc_tensor::{ops, Matrix};
+use std::time::Duration;
 
 /// Update discipline of the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,50 +47,166 @@ pub struct TrainConfig {
     pub microbatches: usize,
 }
 
+impl TrainConfig {
+    fn validate(&self, n_stages: usize) -> Result<(), TrainError> {
+        if n_stages == 0 {
+            return Err(TrainError::InvalidConfig("no stages".into()));
+        }
+        if self.microbatches == 0 {
+            return Err(TrainError::InvalidConfig("zero micro-batches".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(TrainError::InvalidConfig("zero batch size".into()));
+        }
+        if !self.batch_size.is_multiple_of(self.microbatches) {
+            return Err(TrainError::InvalidConfig(format!(
+                "batch size {} not divisible by {} micro-batches",
+                self.batch_size, self.microbatches
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Per-stage fault-injection context (neutral by default). Built from a
+/// `rannc_faults::FaultPlan` by [`crate::ft`]; the plain trainer runs with
+/// all-neutral contexts.
+#[derive(Debug, Clone)]
+pub(crate) struct StageFaultCtx {
+    /// Die at the start of this global iteration.
+    pub kill_at: Option<usize>,
+    /// Die by panicking instead of returning (exercises the supervisor's
+    /// join-error path).
+    pub kill_by_panic: bool,
+    /// Compute slowdown factor (`>= 1`; sleeps, does not change math).
+    pub slowdown: f64,
+    /// Remaining link bandwidth fraction (`(0, 1]`; sleeps on sends).
+    pub link_factor: f64,
+    /// Per-transfer transient failure probability (adds a deterministic
+    /// retry delay, never loses data).
+    pub comm_prob: f64,
+    /// Seed for the stateless transient-failure draws.
+    pub seed: u64,
+}
+
+impl Default for StageFaultCtx {
+    fn default() -> Self {
+        StageFaultCtx {
+            kill_at: None,
+            kill_by_panic: false,
+            slowdown: 1.0,
+            link_factor: 1.0,
+            comm_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl StageFaultCtx {
+    /// Nominal per-micro-batch compute used to scale straggler sleeps.
+    const COMPUTE_TICK: Duration = Duration::from_micros(200);
+    /// Nominal per-transfer latency used to scale link-degrade sleeps.
+    const COMM_TICK: Duration = Duration::from_micros(100);
+
+    fn compute_delay(&self) {
+        if self.slowdown > 1.0 {
+            std::thread::sleep(Self::COMPUTE_TICK.mul_f64(self.slowdown - 1.0));
+        }
+    }
+
+    /// Delay one inter-stage transfer: link degradation stretches it,
+    /// and a transient failure (a stateless deterministic draw keyed on
+    /// the transfer's coordinates, so replays see identical faults
+    /// regardless of thread timing) costs one retransmit.
+    fn comm_delay(&self, it: usize, mb: usize, stage: usize) {
+        if self.link_factor < 1.0 {
+            std::thread::sleep(Self::COMM_TICK.mul_f64(1.0 / self.link_factor - 1.0));
+        }
+        if self.comm_prob > 0.0 {
+            let h = splitmix(self.seed ^ (it as u64) << 40 ^ (mb as u64) << 20 ^ stage as u64);
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < self.comm_prob {
+                std::thread::sleep(Self::COMM_TICK); // retransmit
+            }
+        }
+    }
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 enum Msg {
     Fwd(usize, Matrix),
     Bwd(usize, Matrix),
 }
 
+/// How a stage thread died (stage index is its position in the results).
+enum StageFail {
+    /// Injected `DeviceFail` fired at this global iteration.
+    Killed { at_iter: usize },
+    /// A channel operation timed out (hung neighbour).
+    Stalled,
+    /// A neighbour's endpoint dropped (cascade from another failure).
+    Disconnected,
+}
+
+/// Channel timeout for plain (non-fault-injected) training runs.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Train `stages` as a thread-per-stage pipeline over `data`.
 ///
 /// Returns the per-iteration mean losses and the trained stages (so
-/// callers can inspect final weights).
+/// callers can inspect final weights). Any stage failure — panic, hang,
+/// or dropped channel — surfaces as a typed [`TrainError`] instead of
+/// poisoning the thread scope.
 pub fn train_pipeline(
-    mut stages: Vec<Stage>,
+    stages: Vec<Stage>,
     data: &Dataset,
     cfg: &TrainConfig,
     mode: Mode,
-) -> (Vec<f32>, Vec<Stage>) {
-    assert!(cfg.batch_size.is_multiple_of(cfg.microbatches));
+) -> Result<(Vec<f32>, Vec<Stage>), TrainError> {
+    run_segment(
+        stages,
+        data,
+        cfg,
+        mode,
+        0..cfg.iterations,
+        &[],
+        DEFAULT_TIMEOUT,
+    )
+}
+
+/// Run iterations `range` of a training job: the unit of work between two
+/// checkpoints. Shared by [`train_pipeline`] (whole job, no faults) and
+/// the fault-tolerant supervisor (one segment per call, with injection).
+pub(crate) fn run_segment(
+    stages: Vec<Stage>,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    mode: Mode,
+    range: std::ops::Range<usize>,
+    faults: &[StageFaultCtx],
+    timeout: Duration,
+) -> Result<(Vec<f32>, Vec<Stage>), TrainError> {
+    cfg.validate(stages.len())?;
     let n_stages = stages.len();
-    assert!(n_stages >= 1);
-    if n_stages == 1 {
-        // degenerate pipeline: just run locally
-        let losses = train_single(&mut stages[0], data, cfg, mode);
-        return (losses, stages);
-    }
+    assert!(
+        faults.is_empty() || faults.len() == n_stages,
+        "fault contexts must match stage count"
+    );
     let micro = cfg.batch_size / cfg.microbatches;
+    let iters: Vec<usize> = range.collect();
 
-    // channels: fwd[s] feeds stage s; bwd[s] feeds stage s (from s+1)
-    let mut fwd_tx: Vec<Sender<Msg>> = Vec::new();
-    let mut fwd_rx: Vec<Receiver<Msg>> = Vec::new();
-    let mut bwd_tx: Vec<Sender<Msg>> = Vec::new();
-    let mut bwd_rx: Vec<Receiver<Msg>> = Vec::new();
-    for _ in 0..n_stages {
-        let (t, r) = unbounded();
-        fwd_tx.push(t);
-        fwd_rx.push(r);
-        let (t, r) = unbounded();
-        bwd_tx.push(t);
-        bwd_rx.push(r);
-    }
-    let (loss_tx, loss_rx) = unbounded::<f32>();
-
-    // labels for the last stage, precomputed per iteration/micro-batch
-    let mut labels_per_iter: Vec<Vec<Vec<usize>>> = Vec::with_capacity(cfg.iterations);
-    let mut inputs_per_iter: Vec<Vec<Matrix>> = Vec::with_capacity(cfg.iterations);
-    for it in 0..cfg.iterations {
+    // micro-batch inputs (driver side) and labels (last stage side),
+    // precomputed per iteration in the segment
+    let mut labels_per_iter: Vec<Vec<Vec<usize>>> = Vec::with_capacity(iters.len());
+    let mut inputs_per_iter: Vec<Vec<Matrix>> = Vec::with_capacity(iters.len());
+    for &it in &iters {
         let (x, y) = data.batch(it, cfg.batch_size);
         let mut xs = Vec::with_capacity(cfg.microbatches);
         let mut ys = Vec::with_capacity(cfg.microbatches);
@@ -94,55 +217,113 @@ pub fn train_pipeline(
         inputs_per_iter.push(xs);
         labels_per_iter.push(ys);
     }
+    let labels_per_iter = &labels_per_iter;
+    let iters_ref = &iters;
 
-    let trained: Vec<Stage> = std::thread::scope(|scope| {
+    // channels: fwd[s] feeds stage s; bwd[s] feeds stage s (from s+1)
+    let cap = cfg.microbatches;
+    let mut fwd_tx = Vec::with_capacity(n_stages);
+    let mut fwd_rx = Vec::with_capacity(n_stages);
+    let mut bwd_tx = Vec::with_capacity(n_stages);
+    let mut bwd_rx = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        let (t, r) = bounded::<Msg>(cap);
+        fwd_tx.push(Some(t));
+        fwd_rx.push(Some(r));
+        let (t, r) = bounded::<Msg>(cap);
+        bwd_tx.push(Some(t));
+        bwd_rx.push(Some(r));
+    }
+    let (loss_tx, loss_rx) = bounded::<f32>(cap);
+    let mut loss_tx = Some(loss_tx);
+
+    type StageOutcome = Result<Stage, StageFail>;
+    let (outcomes, losses_flat, driver_err) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_stages);
         for (s, mut stage) in stages.into_iter().enumerate() {
-            let my_fwd = fwd_rx[s].clone();
-            let my_bwd = bwd_rx[s].clone();
-            let next_fwd = (s + 1 < n_stages).then(|| fwd_tx[s + 1].clone());
-            let prev_bwd = (s > 0).then(|| bwd_tx[s - 1].clone());
-            let loss_tx = loss_tx.clone();
-            let labels = labels_per_iter.clone();
+            let my_fwd = fwd_rx[s].take().expect("fwd receiver");
+            let my_bwd = bwd_rx[s].take().expect("bwd receiver");
+            let next_fwd = (s + 1 < n_stages).then(|| fwd_tx[s + 1].as_ref().unwrap().clone());
+            let prev_bwd = (s > 0).then(|| bwd_tx[s - 1].as_ref().unwrap().clone());
+            let my_loss = (s + 1 == n_stages).then(|| loss_tx.as_ref().unwrap().clone());
+            let fault = faults.get(s).cloned().unwrap_or_default();
             let cfg = *cfg;
-            handles.push(scope.spawn(move || {
-                #[allow(clippy::needless_range_loop)] // `it` also tags iterations conceptually
-                for it in 0..cfg.iterations {
+            handles.push(scope.spawn(move || -> StageOutcome {
+                let send = |tx: &Sender<Msg>, msg: Msg| -> Result<(), StageFail> {
+                    match tx.send_timeout(msg, timeout) {
+                        Ok(()) => Ok(()),
+                        Err(SendError::Timeout(_)) => Err(StageFail::Stalled),
+                        Err(SendError::Disconnected(_)) => Err(StageFail::Disconnected),
+                    }
+                };
+                for &it in iters_ref.iter() {
+                    if fault.kill_at == Some(it) {
+                        if fault.kill_by_panic {
+                            panic!("injected fault: stage {s} dies at iteration {it}");
+                        }
+                        return Err(StageFail::Killed { at_iter: it });
+                    }
+                    let idx = it - iters_ref[0];
                     // ---- forward phase ----
                     for m in 0..cfg.microbatches {
-                        let Msg::Fwd(mb, x) = my_fwd.recv().expect("fwd channel") else {
-                            panic!("expected Fwd")
+                        let msg = match my_fwd.recv_timeout(timeout) {
+                            Ok(msg) => msg,
+                            Err(RecvError::Timeout) => return Err(StageFail::Stalled),
+                            Err(RecvError::Disconnected) => return Err(StageFail::Disconnected),
+                        };
+                        let Msg::Fwd(mb, x) = msg else {
+                            return Err(StageFail::Disconnected);
                         };
                         debug_assert_eq!(mb, m);
+                        fault.compute_delay();
                         let y = stage.forward(mb, x);
                         if let Some(next) = &next_fwd {
-                            next.send(Msg::Fwd(mb, y)).expect("send fwd");
+                            fault.comm_delay(it, mb, s);
+                            send(next, Msg::Fwd(mb, y))?;
                         } else {
                             // last stage: loss + gradient, start backward
                             let (loss, dlogits) =
-                                ops::softmax_cross_entropy(&y, &labels[it][mb]);
-                            loss_tx.send(loss).expect("send loss");
+                                ops::softmax_cross_entropy(&y, &labels_per_iter[idx][mb]);
+                            if let Some(loss_tx) = &my_loss {
+                                match loss_tx.send_timeout(loss, timeout) {
+                                    Ok(()) => {}
+                                    Err(SendError::Timeout(_)) => return Err(StageFail::Stalled),
+                                    Err(SendError::Disconnected(_)) => {
+                                        return Err(StageFail::Disconnected)
+                                    }
+                                }
+                            }
                             let dy = stage.backward(mb, dlogits);
                             if mode == Mode::Asynchronous {
                                 stage.step_immediate(mb);
                             }
                             if let Some(prev) = &prev_bwd {
-                                prev.send(Msg::Bwd(mb, dy)).expect("send bwd");
+                                fault.comm_delay(it, mb, s);
+                                send(prev, Msg::Bwd(mb, dy))?;
                             }
                         }
                     }
                     // ---- backward phase (non-last stages) ----
                     if next_fwd.is_some() {
                         for _ in 0..cfg.microbatches {
-                            let Msg::Bwd(mb, g) = my_bwd.recv().expect("bwd channel") else {
-                                panic!("expected Bwd")
+                            let msg = match my_bwd.recv_timeout(timeout) {
+                                Ok(msg) => msg,
+                                Err(RecvError::Timeout) => return Err(StageFail::Stalled),
+                                Err(RecvError::Disconnected) => {
+                                    return Err(StageFail::Disconnected)
+                                }
                             };
+                            let Msg::Bwd(mb, g) = msg else {
+                                return Err(StageFail::Disconnected);
+                            };
+                            fault.compute_delay();
                             let dy = stage.backward(mb, g);
                             if mode == Mode::Asynchronous {
                                 stage.step_immediate(mb);
                             }
                             if let Some(prev) = &prev_bwd {
-                                prev.send(Msg::Bwd(mb, dy)).expect("send bwd");
+                                fault.comm_delay(it, mb, s);
+                                send(prev, Msg::Bwd(mb, dy))?;
                             }
                         }
                     }
@@ -151,39 +332,102 @@ pub fn train_pipeline(
                         stage.step();
                     }
                 }
-                stage
+                Ok(stage)
             }));
         }
-        drop(loss_tx);
+        // the supervisor keeps only its injector; dropping every other
+        // original sender arms the disconnect cascade
+        let injector = fwd_tx[0].take().expect("injector");
+        for tx in fwd_tx.iter_mut().skip(1) {
+            *tx = None;
+        }
+        for tx in bwd_tx.iter_mut() {
+            *tx = None;
+        }
+        loss_tx = None;
 
-        // driver: inject micro-batches into stage 0
-        for xs in inputs_per_iter {
+        // supervisor loop: feed one iteration, collect its losses — any
+        // stage death or hang surfaces here within one timeout
+        let mut losses_flat: Vec<f32> = Vec::with_capacity(iters_ref.len() * cfg.microbatches);
+        let mut driver_err: Option<TrainError> = None;
+        'drive: for (idx, xs) in inputs_per_iter.into_iter().enumerate() {
+            let it = iters_ref[idx];
             for (m, x) in xs.into_iter().enumerate() {
-                fwd_tx[0].send(Msg::Fwd(m, x)).expect("inject");
+                if injector.send_timeout(Msg::Fwd(m, x), timeout).is_err() {
+                    driver_err = Some(TrainError::SupervisorTimeout { at_iter: it });
+                    break 'drive;
+                }
+            }
+            for _ in 0..cfg.microbatches {
+                match loss_rx.recv_timeout(timeout) {
+                    Ok(loss) => losses_flat.push(loss),
+                    Err(_) => {
+                        driver_err = Some(TrainError::SupervisorTimeout { at_iter: it });
+                        break 'drive;
+                    }
+                }
             }
         }
-
-        handles.into_iter().map(|h| h.join().expect("stage thread")).collect()
+        // unwind: dropping the injector (and later the loss receiver)
+        // lets surviving threads observe disconnects and exit
+        drop(injector);
+        let outcomes: Vec<Result<StageOutcome, ()>> = handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| ()))
+            .collect();
+        (outcomes, losses_flat, driver_err)
     });
 
-    // mean loss per iteration
-    let all_losses: Vec<f32> = loss_rx.iter().collect();
-    assert_eq!(all_losses.len(), cfg.iterations * cfg.microbatches);
-    let losses = all_losses
+    // classify the run: injected kills dominate, then panics, then the
+    // supervisor's own timeout, then secondary stalls/disconnects
+    let mut killed: Option<(usize, usize)> = None;
+    let mut panicked: Option<usize> = None;
+    let mut stalled: Option<usize> = None;
+    for (s, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Err(()) => panicked = panicked.or(Some(s)),
+            Ok(Err(StageFail::Killed { at_iter })) => {
+                if killed.map(|(_, at)| *at_iter < at).unwrap_or(true) {
+                    killed = Some((s, *at_iter));
+                }
+            }
+            Ok(Err(StageFail::Stalled)) | Ok(Err(StageFail::Disconnected)) => {
+                stalled = stalled.or(Some(s))
+            }
+            Ok(Ok(_)) => {}
+        }
+    }
+    if let Some((stage, at_iter)) = killed {
+        return Err(TrainError::StageKilled { stage, at_iter });
+    }
+    if let Some(stage) = panicked {
+        return Err(TrainError::StagePanicked { stage });
+    }
+    if let Some(err) = driver_err {
+        return Err(err);
+    }
+    if let Some(stage) = stalled {
+        return Err(TrainError::StageStalled { stage });
+    }
+
+    let trained: Vec<Stage> = outcomes
+        .into_iter()
+        .map(|o| match o {
+            Ok(Ok(stage)) => stage,
+            _ => unreachable!("failures classified above"),
+        })
+        .collect();
+    debug_assert_eq!(losses_flat.len(), iters.len() * cfg.microbatches);
+    let losses = losses_flat
         .chunks(cfg.microbatches)
         .map(|c| c.iter().sum::<f32>() / c.len() as f32)
         .collect();
-    (losses, trained)
+    Ok((losses, trained))
 }
 
 /// Single-device reference: identical math to the synchronous pipeline
 /// (same micro-batch split, same gradient summation order).
-pub fn train_single(
-    stage: &mut Stage,
-    data: &Dataset,
-    cfg: &TrainConfig,
-    mode: Mode,
-) -> Vec<f32> {
+pub fn train_single(stage: &mut Stage, data: &Dataset, cfg: &TrainConfig, mode: Mode) -> Vec<f32> {
     let micro = cfg.batch_size / cfg.microbatches;
     let mut losses = Vec::with_capacity(cfg.iterations);
     for it in 0..cfg.iterations {
@@ -230,9 +474,9 @@ mod tests {
         let mut single = Stage::new(build_mlp(&dims, 5), 0.01);
         let ref_losses = train_single(&mut single, &data, &cfg(), Mode::Synchronous);
 
-        for n_stages in [2usize, 3, 4] {
+        for n_stages in [1usize, 2, 3, 4] {
             let stages = split_into_stages(build_mlp(&dims, 5), n_stages, 0.01);
-            let (losses, _) = train_pipeline(stages, &data, &cfg(), Mode::Synchronous);
+            let (losses, _) = train_pipeline(stages, &data, &cfg(), Mode::Synchronous).unwrap();
             assert_eq!(
                 losses, ref_losses,
                 "sync pipeline with {n_stages} stages diverged from reference"
@@ -247,7 +491,7 @@ mod tests {
         let mut single = Stage::new(build_mlp(&dims, 5), 0.01);
         let ref_losses = train_single(&mut single, &data, &cfg(), Mode::Synchronous);
         let stages = split_into_stages(build_mlp(&dims, 5), 3, 0.01);
-        let (losses, _) = train_pipeline(stages, &data, &cfg(), Mode::Asynchronous);
+        let (losses, _) = train_pipeline(stages, &data, &cfg(), Mode::Asynchronous).unwrap();
         let max_diff = losses
             .iter()
             .zip(&ref_losses)
@@ -265,7 +509,7 @@ mod tests {
             batch_size: 32,
             microbatches: 4,
         };
-        let (losses, _) = train_pipeline(stages, &data, &c, Mode::Synchronous);
+        let (losses, _) = train_pipeline(stages, &data, &c, Mode::Synchronous).unwrap();
         let head: f32 = losses[..5].iter().sum::<f32>() / 5.0;
         let tail: f32 = losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
         assert!(tail < head * 0.8, "no learning: head {head} tail {tail}");
@@ -278,7 +522,7 @@ mod tests {
         let mut single = Stage::new(build_mlp(&dims, 5), 0.01);
         let _ = train_single(&mut single, &data, &cfg(), Mode::Synchronous);
         let stages = split_into_stages(build_mlp(&dims, 5), 2, 0.01);
-        let (_, trained) = train_pipeline(stages, &data, &cfg(), Mode::Synchronous);
+        let (_, trained) = train_pipeline(stages, &data, &cfg(), Mode::Synchronous).unwrap();
         // concatenate trained pipeline weights in layer order and compare
         let mut single_linears = Vec::new();
         for l in single.layers() {
@@ -298,5 +542,101 @@ mod tests {
         for (a, b) in single_linears.iter().zip(&pipe_linears) {
             assert_eq!(a.data, b.data, "weights diverged");
         }
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let data = Dataset::synthetic(16, 8, 4, 1);
+        let stages = split_into_stages(build_mlp(&[8, 16, 4], 1), 2, 0.01);
+        let bad = TrainConfig {
+            iterations: 2,
+            batch_size: 10,
+            microbatches: 4, // does not divide 10
+        };
+        match train_pipeline(stages, &data, &bad, Mode::Synchronous) {
+            Err(TrainError::InvalidConfig(_)) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let empty: Vec<Stage> = Vec::new();
+        match train_pipeline(empty, &data, &cfg(), Mode::Synchronous) {
+            Err(TrainError::InvalidConfig(_)) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_kill_is_detected_and_typed() {
+        let data = Dataset::synthetic(64, 8, 4, 11);
+        let stages = split_into_stages(build_mlp(&[8, 32, 32, 4], 5), 3, 0.01);
+        let mut faults = vec![StageFaultCtx::default(); 3];
+        faults[1].kill_at = Some(4);
+        let err = run_segment(
+            stages,
+            &data,
+            &cfg(),
+            Mode::Synchronous,
+            0..10,
+            &faults,
+            Duration::from_millis(300),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::StageKilled {
+                stage: 1,
+                at_iter: 4
+            }
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_detected_and_typed() {
+        let data = Dataset::synthetic(64, 8, 4, 11);
+        let stages = split_into_stages(build_mlp(&[8, 32, 32, 4], 5), 3, 0.01);
+        let mut faults = vec![StageFaultCtx::default(); 3];
+        faults[2].kill_at = Some(3);
+        faults[2].kill_by_panic = true;
+        let err = run_segment(
+            stages,
+            &data,
+            &cfg(),
+            Mode::Synchronous,
+            0..10,
+            &faults,
+            Duration::from_millis(300),
+        )
+        .unwrap_err();
+        assert_eq!(err, TrainError::StagePanicked { stage: 2 });
+    }
+
+    #[test]
+    fn straggler_and_comm_faults_do_not_change_math() {
+        let data = Dataset::synthetic(64, 8, 4, 11);
+        let dims = [8usize, 32, 32, 4];
+        let clean = train_pipeline(
+            split_into_stages(build_mlp(&dims, 5), 2, 0.01),
+            &data,
+            &cfg(),
+            Mode::Synchronous,
+        )
+        .unwrap()
+        .0;
+        let mut faults = vec![StageFaultCtx::default(); 2];
+        faults[0].slowdown = 2.0;
+        faults[1].link_factor = 0.5;
+        faults[1].comm_prob = 0.3;
+        faults[1].seed = 99;
+        let slowed = run_segment(
+            split_into_stages(build_mlp(&dims, 5), 2, 0.01),
+            &data,
+            &cfg(),
+            Mode::Synchronous,
+            0..10,
+            &faults,
+            Duration::from_secs(10),
+        )
+        .unwrap()
+        .0;
+        assert_eq!(clean, slowed, "latency faults must not alter results");
     }
 }

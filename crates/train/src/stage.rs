@@ -72,7 +72,11 @@ pub fn build_mlp(dims: &[usize], seed: u64) -> Vec<Layer> {
     assert!(dims.len() >= 2);
     let mut layers = Vec::new();
     for i in 0..dims.len() - 1 {
-        layers.push(Layer::linear(dims[i], dims[i + 1], seed.wrapping_add(i as u64)));
+        layers.push(Layer::linear(
+            dims[i],
+            dims[i + 1],
+            seed.wrapping_add(i as u64),
+        ));
         if i + 2 < dims.len() {
             layers.push(Layer::relu());
         }
@@ -117,7 +121,10 @@ mod tests {
         let total: usize = layers.iter().map(Layer::param_count).sum();
         let stages = split_into_stages(layers, 3, 0.01);
         assert_eq!(stages.len(), 3);
-        assert_eq!(stages.iter().map(|s| s.layers().len()).sum::<usize>(), n_layers);
+        assert_eq!(
+            stages.iter().map(|s| s.layers().len()).sum::<usize>(),
+            n_layers
+        );
         assert_eq!(stages.iter().map(Stage::param_count).sum::<usize>(), total);
     }
 

@@ -84,8 +84,7 @@ impl LayerNorm {
             for c in 0..cols {
                 let dxhat = dy.get(r, c) * self.gamma[c];
                 let xh = cache.xhat.get(r, c);
-                *dx.get_mut(r, c) =
-                    istd * (dxhat - sum_dxhat / n - xh * sum_dxhat_xhat / n);
+                *dx.get_mut(r, c) = istd * (dxhat - sum_dxhat / n - xh * sum_dxhat_xhat / n);
             }
         }
         (dx, dgamma, dbeta)

@@ -72,10 +72,12 @@ pub fn loss_validation(
     let reference = train_single(&mut single, &data, &cfg, Mode::Synchronous);
 
     let sync_stages = split_into_stages(build_mlp(dims, seed ^ 0xabc), stages, lr);
-    let (synchronous, _) = train_pipeline(sync_stages, &data, &cfg, Mode::Synchronous);
+    let (synchronous, _) =
+        train_pipeline(sync_stages, &data, &cfg, Mode::Synchronous).expect("sync pipeline");
 
     let async_stages = split_into_stages(build_mlp(dims, seed ^ 0xabc), stages, lr);
-    let (asynchronous, _) = train_pipeline(async_stages, &data, &cfg, Mode::Asynchronous);
+    let (asynchronous, _) =
+        train_pipeline(async_stages, &data, &cfg, Mode::Asynchronous).expect("async pipeline");
 
     LossValidation {
         reference,
@@ -121,10 +123,20 @@ pub fn loss_validation_transformer(
     let mut single = Stage::new(build(), lr);
     let reference = train_single(&mut single, &data, &cfg, Mode::Synchronous);
 
-    let (synchronous, _) =
-        train_pipeline(split_into_stages(build(), stages, lr), &data, &cfg, Mode::Synchronous);
-    let (asynchronous, _) =
-        train_pipeline(split_into_stages(build(), stages, lr), &data, &cfg, Mode::Asynchronous);
+    let (synchronous, _) = train_pipeline(
+        split_into_stages(build(), stages, lr),
+        &data,
+        &cfg,
+        Mode::Synchronous,
+    )
+    .expect("sync pipeline");
+    let (asynchronous, _) = train_pipeline(
+        split_into_stages(build(), stages, lr),
+        &data,
+        &cfg,
+        Mode::Asynchronous,
+    )
+    .expect("async pipeline");
 
     LossValidation {
         reference,
@@ -172,10 +184,7 @@ mod tests {
         let v = loss_validation_transformer(8, 32, 2, 2, 120, 5);
         let head = v.reference[0];
         let tail = *v.reference.last().unwrap();
-        assert!(
-            tail < head * 0.5,
-            "copy task not learned: {head} -> {tail}"
-        );
+        assert!(tail < head * 0.5, "copy task not learned: {head} -> {tail}");
         // sync pipeline identical all the way through training
         assert_eq!(v.sync_divergence(), 0.0);
     }

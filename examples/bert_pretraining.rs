@@ -48,7 +48,12 @@ fn main() {
             }
             DataParallelOutcome::OutOfMemory { .. } => "OOM".into(),
         };
-        let mega = match megatron(&TransformerDims::from(&cfg), &cluster, batch, Precision::FP32) {
+        let mega = match megatron(
+            &TransformerDims::from(&cfg),
+            &cluster,
+            batch,
+            Precision::FP32,
+        ) {
             BaselineOutcome::Feasible { result, .. } => {
                 largest[1].1 = largest[1].1.max(params);
                 format!("{:.1}/s", result.throughput)
@@ -65,7 +70,8 @@ fn main() {
         let ra = match Rannc::new(PartitionConfig::new(batch).with_k(32)).partition(&g, &cluster) {
             Ok(plan) => {
                 largest[3].1 = largest[3].1.max(params);
-                let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+                let sim =
+                    rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).expect("valid plan");
                 format!("{:.1}/s", sim.throughput)
             }
             Err(_) => "OOM".into(),

@@ -28,9 +28,9 @@ fn main() {
         let batch = 64 * nodes; // scale batch with the cluster
         match Rannc::new(PartitionConfig::new(batch).with_k(32)).partition(&g, &cluster) {
             Ok(plan) => {
-                let profiler =
-                    Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
-                let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+                let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+                let sim =
+                    rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).expect("valid plan");
                 println!(
                     "{:>6} {:>8} {:>8} {:>10} {:>8} {:>12.1} {:>9.0}%",
                     nodes,

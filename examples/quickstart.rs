@@ -35,7 +35,7 @@ fn main() {
 
     // Simulate one training iteration of the resulting pipeline.
     let profiler = Profiler::new(&graph, cluster.device.clone(), ProfilerOptions::fp32());
-    let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+    let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).expect("valid plan");
     println!(
         "simulated: {:.1} samples/s at {:.1}% mean stage utilization",
         sim.throughput,

@@ -34,7 +34,8 @@ fn main() {
 
         match Rannc::new(PartitionConfig::new(batch).with_k(32)).partition(&g, &cluster) {
             Ok(plan) => {
-                let sim = rannc::pipeline::simulate_plan(&plan, &profiler, &cluster);
+                let sim =
+                    rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).expect("valid plan");
                 println!(
                     "RaNNC       : {:>8.1} samples/s  ({} stages x{} replicas, MB={}, util {:.0}%)",
                     sim.throughput,

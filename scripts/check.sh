@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run. Referenced from README.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "All checks passed."

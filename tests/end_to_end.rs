@@ -9,7 +9,7 @@ fn run(g: &TaskGraph, cluster: &ClusterSpec, batch: usize, k: usize) -> (Partiti
         .partition(g, cluster)
         .expect("feasible");
     let profiler = Profiler::new(g, cluster.device.clone(), ProfilerOptions::fp32());
-    let sim = rannc::pipeline::simulate_plan(&plan, &profiler, cluster);
+    let sim = rannc::pipeline::simulate_plan(&plan, &profiler, cluster).expect("valid plan");
     (plan, sim.throughput)
 }
 
@@ -85,17 +85,17 @@ fn mixed_precision_plan_is_faster() {
     let g = bert_graph(&BertConfig::enlarged(128, 4));
     let cluster = ClusterSpec::v100_cluster(1);
     let thr = |precision| {
-        let plan = Rannc::new(
-            PartitionConfig::new(64).with_k(8).with_precision(precision),
-        )
-        .partition(&g, &cluster)
-        .unwrap();
+        let plan = Rannc::new(PartitionConfig::new(64).with_k(8).with_precision(precision))
+            .partition(&g, &cluster)
+            .unwrap();
         let opts = match precision {
             Precision::FP32 => ProfilerOptions::fp32(),
             Precision::Mixed => ProfilerOptions::mixed(),
         };
         let profiler = Profiler::new(&g, cluster.device.clone(), opts);
-        rannc::pipeline::simulate_plan(&plan, &profiler, &cluster).throughput
+        rannc::pipeline::simulate_plan(&plan, &profiler, &cluster)
+            .expect("valid plan")
+            .throughput
     };
     assert!(thr(Precision::Mixed) > thr(Precision::FP32));
 }
@@ -113,10 +113,17 @@ fn plan_is_robust_to_profiling_noise() {
         .partition(&g, &cluster)
         .unwrap();
     let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
-    let t_clean = rannc::pipeline::simulate_plan(&clean, &profiler, &cluster).throughput;
-    let t_noisy = rannc::pipeline::simulate_plan(&noisy, &profiler, &cluster).throughput;
+    let t_clean = rannc::pipeline::simulate_plan(&clean, &profiler, &cluster)
+        .expect("valid plan")
+        .throughput;
+    let t_noisy = rannc::pipeline::simulate_plan(&noisy, &profiler, &cluster)
+        .expect("valid plan")
+        .throughput;
     let ratio = t_noisy / t_clean;
-    assert!((0.5..=2.0).contains(&ratio), "noise destabilized plan: {ratio}");
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "noise destabilized plan: {ratio}"
+    );
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! grids run in `rannc-bench`).
 
 use rannc::baselines::{
-    gpipe_hybrid, gpipe_model, megatron, pipedream_2bw, simulate_data_parallel,
-    BaselineOutcome, DataParallelOutcome, TransformerDims,
+    gpipe_hybrid, gpipe_model, megatron, pipedream_2bw, simulate_data_parallel, BaselineOutcome,
+    DataParallelOutcome, TransformerDims,
 };
 use rannc::prelude::*;
 use rannc::train::loss_validation;
@@ -14,7 +14,11 @@ fn rannc_throughput(g: &TaskGraph, cluster: &ClusterSpec, batch: usize, k: usize
         .partition(g, cluster)
         .ok()?;
     let profiler = Profiler::new(g, cluster.device.clone(), ProfilerOptions::fp32());
-    Some(rannc::pipeline::simulate_plan(&plan, &profiler, cluster).throughput)
+    Some(
+        rannc::pipeline::simulate_plan(&plan, &profiler, cluster)
+            .expect("valid plan")
+            .throughput,
+    )
 }
 
 /// §IV-B: "RaNNC successfully trained models five times larger than those
@@ -119,7 +123,9 @@ fn data_parallel_hits_the_memory_wall_first() {
     let small = bert_graph(&BertConfig::enlarged(1024, 24));
     let profiler = Profiler::new(&small, cluster.device.clone(), ProfilerOptions::fp32());
     assert!(
-        simulate_data_parallel(&small, &profiler, &cluster, 256).ok().is_some(),
+        simulate_data_parallel(&small, &profiler, &cluster, 256)
+            .ok()
+            .is_some(),
         "BERT-Large must be data-parallel trainable"
     );
     let big = bert_graph(&BertConfig::enlarged(1024, 96));
@@ -151,7 +157,11 @@ fn loss_validation_claim() {
 fn t5_11b_scale_partitionable() {
     let cfg = T5Config::xxl();
     let g = t5_graph(&cfg);
-    assert!(g.param_count() > 9_000_000_000, "params = {}", g.param_count());
+    assert!(
+        g.param_count() > 9_000_000_000,
+        "params = {}",
+        g.param_count()
+    );
     let cluster = ClusterSpec::v100_cluster(4);
     let plan = Rannc::new(PartitionConfig::new(128).with_k(32))
         .partition(&g, &cluster)
@@ -185,8 +195,12 @@ fn mixed_precision_speedup_band() {
     .unwrap();
     let p32 = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
     let p16 = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::mixed());
-    let t32 = rannc::pipeline::simulate_plan(&plan32, &p32, &cluster).throughput;
-    let t16 = rannc::pipeline::simulate_plan(&plan16, &p16, &cluster).throughput;
+    let t32 = rannc::pipeline::simulate_plan(&plan32, &p32, &cluster)
+        .expect("valid plan")
+        .throughput;
+    let t16 = rannc::pipeline::simulate_plan(&plan16, &p16, &cluster)
+        .expect("valid plan")
+        .throughput;
     let ratio = t16 / t32;
     assert!((1.5..6.0).contains(&ratio), "mixed/fp32 ratio = {ratio:.2}");
 }

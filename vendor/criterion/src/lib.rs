@@ -1,0 +1,140 @@
+//! Offline stub of `criterion`: wall-clock micro-benchmarks with the
+//! `Criterion`/`BenchmarkGroup`/`Bencher` API surface the workspace's
+//! benches use. Each benchmark runs a short warmup, then measures for a
+//! fixed budget and prints mean ns/iteration to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement driver passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly; the mean time is recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        self.samples.push(per_iter);
+    }
+}
+
+/// Identifier of one parameterized benchmark case.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len().max(1) as f64;
+        println!("{}/{label}: {:.0} ns/iter", self.name, mean);
+    }
+
+    /// Benchmark a closure under a label.
+    pub fn bench_function(&mut self, label: impl Display, f: impl FnMut(&mut Bencher)) {
+        let mut f = f;
+        self.run(&label.to_string(), |b| f(b));
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut f = f;
+        self.run(&id.label.clone(), |b| f(b, input));
+    }
+
+    /// Accepted for API parity; the stub's sampling budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// End the group (layout parity with the real crate).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: name.to_string(),
+        };
+        let mut f = f;
+        group.run("", |b| f(b));
+        self
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

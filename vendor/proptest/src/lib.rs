@@ -1,0 +1,353 @@
+//! Offline stub of `proptest`: a deterministic, seeded property-testing
+//! framework implementing the API subset this workspace uses.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * case generation is derived from a **fixed seed** mixed with the case
+//!   index, so every run of a test samples the identical inputs — failures
+//!   reproduce without persistence files;
+//! * no shrinking — the failing case's index is reported instead.
+
+pub mod test_runner {
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator used for all sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded construction; the `proptest!` macro derives the seed
+        /// from the case index.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit draw (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Choose uniformly among `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draw an arbitrary value of the type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over a type's full domain.
+    pub struct Any<T>(::std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` constructor.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(::std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: ::std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: ::std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property (panics; the runner reports the case index).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategy arms with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define seeded property tests. Each `fn name(pat in strategy, ...)` item
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    0x5eed_0f_ab1e_u64 ^ (case as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
+                );
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let mut __case = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(e) = __case() {
+                    panic!("property {} case {case} failed: {e}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}

@@ -1,0 +1,14 @@
+//! Offline stub of `serde`: marker traits plus the derive re-exports.
+//!
+//! The workspace derives these traits but never serializes through them
+//! (plan persistence uses the hand-rolled codec in `rannc-core::plan_io`),
+//! so empty marker traits keep every `#[derive(Serialize, Deserialize)]`
+//! compiling without the real serde data model.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,53 @@
+//! Offline stub of `serde_derive`: emits empty marker-trait impls.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize`; nothing calls
+//! into serde's data model, so an empty impl of the stub traits in the
+//! sibling `serde` stub crate is sufficient. The macro extracts the type
+//! name from the raw token stream (no `syn`); generic types are rejected
+//! with a compile error since no workspace type needs them.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the identifier following the `struct`/`enum`/`union` keyword and
+/// assert the type is non-generic.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "vendored serde stub supports non-generic types only \
+                                     (deriving on `{name}`)"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde derive: no struct/enum/union found in input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
