@@ -8,10 +8,17 @@ rannc-plan — automatic model partitioning (RaNNC reproduction)
 USAGE:
   rannc-plan --model <bert|gpt|t5|resnet|mlp> [OPTIONS]
   rannc-plan faults --model <...> [OPTIONS] [FAULT OPTIONS]
+  rannc-plan verify --model <...> [OPTIONS]
 
 The `faults` subcommand partitions the model, then simulates a long
 training campaign under an injected fault plan with BOTH recovery
 policies (degrade-only vs elastic replan) and reports goodput and MTTR.
+
+The `verify` subcommand runs the static verifier (rannc-verify) over
+the model's task graph, a partition plan (freshly computed, or a
+deployment file via --load), and both synchronous pipeline schedules.
+Every diagnostic is printed as `severity[RV0xx]: location: message`;
+the exit code is nonzero iff any error-severity diagnostic was found.
 
 MODEL OPTIONS:
   --hidden <N>        hidden size (transformers/mlp; default 1024)
@@ -55,6 +62,8 @@ pub enum Command {
     Plan,
     /// Fault-injection campaign: degrade vs replan report.
     Faults,
+    /// Static verification of graph, plan, and schedules.
+    Verify,
 }
 
 /// Supported model families.
@@ -147,9 +156,16 @@ impl Args {
         let mut a = Args::default();
         let mut model_given = false;
         // subcommand dispatch on the first positional argument
-        if it.peek().map(|s| s == "faults").unwrap_or(false) {
-            it.next();
-            a.command = Command::Faults;
+        match it.peek().map(String::as_str) {
+            Some("faults") => {
+                it.next();
+                a.command = Command::Faults;
+            }
+            Some("verify") => {
+                it.next();
+                a.command = Command::Verify;
+            }
+            _ => {}
         }
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -333,6 +349,15 @@ mod tests {
     #[test]
     fn plan_is_default_command() {
         assert_eq!(parse("--model bert").unwrap().command, Command::Plan);
+    }
+
+    #[test]
+    fn verify_subcommand() {
+        let a = parse("verify --model mlp --nodes 2 --k 8").unwrap();
+        assert_eq!(a.command, Command::Verify);
+        assert_eq!(a.nodes, 2);
+        let a = parse("verify --model bert --load /tmp/p.rncp").unwrap();
+        assert_eq!(a.load.as_deref(), Some("/tmp/p.rncp"));
     }
 
     #[test]

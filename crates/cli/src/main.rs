@@ -18,6 +18,16 @@
 //! rannc-plan faults --model mlp --hidden 64 --layers 8 --nodes 2 \
 //!     --batch 32 --k 8 --fail 0@50000
 //! ```
+//!
+//! The `verify` subcommand statically checks the task graph, the
+//! partition plan (fresh, or a deployment file via `--load`) and both
+//! synchronous schedules, printing `RV0xx` diagnostics and exiting
+//! nonzero on any error:
+//!
+//! ```sh
+//! rannc-plan verify --model bert --nodes 4 --batch 256
+//! rannc-plan verify --model bert --nodes 4 --load plan.rncp
+//! ```
 
 mod args;
 
@@ -64,7 +74,14 @@ fn main() {
     let config = PartitionConfig::new(args.batch)
         .with_k(args.k)
         .with_precision(precision)
-        .with_noise(args.noise, 42);
+        .with_noise(args.noise, 42)
+        // the verify subcommand reports the full diagnostic set itself
+        // rather than letting the partitioner's post-pass abort early
+        .with_verify(if args.command == Command::Verify {
+            VerifyMode::Off
+        } else {
+            VerifyMode::Fail
+        });
 
     let rannc = Rannc::new(config);
     let plan = if let Some(path) = &args.load {
@@ -101,6 +118,10 @@ fn main() {
     }
     println!("{}", plan.summary());
 
+    if args.command == Command::Verify {
+        run_verify(&graph, &plan, &cluster);
+        return;
+    }
     let opts = if args.mixed {
         ProfilerOptions::mixed()
     } else {
@@ -130,6 +151,30 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote partitioned graph to {path}");
+    }
+}
+
+/// The `verify` subcommand: run all three static passes and report.
+fn run_verify(graph: &TaskGraph, plan: &rannc::core::PartitionPlan, cluster: &ClusterSpec) {
+    use rannc::verify::{verify_graph, verify_plan, verify_schedule};
+    let mut report = verify_graph(graph);
+    report.merge(verify_plan(graph, &plan.view(), cluster));
+    for schedule in [SyncSchedule::FillDrain, SyncSchedule::OneFOneB] {
+        report.merge(verify_schedule(&rannc::pipeline::schedule_model(
+            schedule,
+            plan.stages.len(),
+            plan.microbatches,
+        )));
+    }
+    let (errors, warnings) = report.counts();
+    if report.is_clean() {
+        println!("verification clean: graph, plan, and both schedules pass");
+    } else {
+        print!("{}", report.render());
+        println!("{errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 {
+        std::process::exit(1);
     }
 }
 

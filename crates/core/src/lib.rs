@@ -48,13 +48,28 @@ pub mod uncoarsen;
 pub use atomic::{atomic_partition, AtomicPartition};
 pub use blocks::{block_partition, Block, BlockLimits};
 pub use dp::{form_stage_dp, DpParams, DpSolution, DpStage};
-pub use plan::{PartitionPlan, StagePlan};
+pub use plan::{PartitionPlan, PlanError, StagePlan};
 pub use plan_io::{decode_plan, encode_plan, load_plan, save_plan, PlanIoError};
 pub use search::form_stage;
 
 use rannc_graph::TaskGraph;
 use rannc_hw::{ClusterSpec, Precision};
 use rannc_profile::{Profiler, ProfilerOptions};
+use rannc_verify::Report;
+
+/// How [`Rannc::partition`] treats its verification post-pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Skip the post-pass entirely.
+    Off,
+    /// Run it; print diagnostics to stderr but keep the plan.
+    Warn,
+    /// Run it; reject the plan with
+    /// [`PartitionError::FailedVerification`] on any error-severity
+    /// diagnostic (warnings never reject).
+    #[default]
+    Fail,
+}
 
 /// User-facing configuration of a partitioning run.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +86,8 @@ pub struct PartitionConfig {
     pub noise_sigma: f64,
     /// Profiling-noise seed.
     pub noise_seed: u64,
+    /// Static-verification post-pass behaviour (default: [`VerifyMode::Fail`]).
+    pub verify: VerifyMode,
 }
 
 impl PartitionConfig {
@@ -83,6 +100,7 @@ impl PartitionConfig {
             profile_batch: 1,
             noise_sigma: 0.0,
             noise_seed: 0,
+            verify: VerifyMode::default(),
         }
     }
 
@@ -104,6 +122,12 @@ impl PartitionConfig {
         self.noise_seed = seed;
         self
     }
+
+    /// Set the verification post-pass mode.
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
+    }
 }
 
 /// Why partitioning failed.
@@ -116,6 +140,9 @@ pub enum PartitionError {
     Infeasible,
     /// The cluster has no healthy devices left to plan against.
     ClusterEmpty,
+    /// The produced plan failed the static verification post-pass
+    /// ([`VerifyMode::Fail`]); the full report is attached.
+    FailedVerification(Report),
 }
 
 impl std::fmt::Display for PartitionError {
@@ -127,6 +154,17 @@ impl std::fmt::Display for PartitionError {
             }
             PartitionError::ClusterEmpty => {
                 write!(f, "cluster has no healthy devices")
+            }
+            PartitionError::FailedVerification(report) => {
+                let (e, w) = report.counts();
+                write!(
+                    f,
+                    "plan failed static verification ({e} error(s), {w} warning(s)):"
+                )?;
+                for d in report.errors() {
+                    write!(f, "\n  {}", d.render())?;
+                }
+                Ok(())
             }
         }
     }
@@ -184,11 +222,37 @@ impl Rannc {
         );
         let sol = form_stage(graph, &profiler, &blocks, cluster, self.config.batch_size)
             .ok_or(PartitionError::Infeasible)?;
-        Ok(PartitionPlan::from_solution(
-            graph.name.clone(),
-            &sol,
-            self.config.batch_size,
-        ))
+        let plan = PartitionPlan::from_solution(graph.name.clone(), &sol, self.config.batch_size);
+        self.verified(graph, cluster, plan)
+    }
+
+    /// The static-verification post-pass, per [`PartitionConfig::verify`].
+    fn verified(
+        &self,
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+        plan: PartitionPlan,
+    ) -> Result<PartitionPlan, PartitionError> {
+        if self.config.verify == VerifyMode::Off {
+            return Ok(plan);
+        }
+        let report = rannc_verify::verify_plan(graph, &plan.view(), cluster);
+        match self.config.verify {
+            VerifyMode::Off => unreachable!(),
+            VerifyMode::Warn => {
+                if !report.is_clean() {
+                    eprintln!("{}", report.render());
+                }
+                Ok(plan)
+            }
+            VerifyMode::Fail => {
+                if report.has_errors() {
+                    Err(PartitionError::FailedVerification(report))
+                } else {
+                    Ok(plan)
+                }
+            }
+        }
     }
 
     /// Re-partition `graph` after device loss, warm-started from a
@@ -241,11 +305,13 @@ impl Rannc {
             })
             .collect();
         match form_stage(graph, &profiler, &blocks, &view, self.config.batch_size) {
-            Some(sol) => Ok(PartitionPlan::from_solution(
-                graph.name.clone(),
-                &sol,
-                self.config.batch_size,
-            )),
+            Some(sol) => {
+                let plan =
+                    PartitionPlan::from_solution(graph.name.clone(), &sol, self.config.batch_size);
+                // Verify against the planning view: that is the capacity
+                // the warm-started search was allowed to use.
+                self.verified(graph, &view, plan)
+            }
             // Coarse warm-start blocks can be infeasible where finer ones
             // are not — fall back to the full pipeline.
             None => self.partition(graph, &view),
@@ -361,6 +427,33 @@ mod tests {
         let plan = rannc.partition(&g, &cluster).unwrap();
         let replanned = rannc.repartition(&g, &plan, &cluster).unwrap();
         assert!(replanned.total_devices() <= cluster.total_devices());
+    }
+
+    #[test]
+    fn partition_post_pass_verifies_clean_by_default() {
+        // default mode is Fail: partition() itself proves the plan clean
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(1);
+        let cfg = PartitionConfig::new(32).with_k(8);
+        assert_eq!(cfg.verify, VerifyMode::Fail);
+        let plan = Rannc::new(cfg).partition(&g, &cluster).unwrap();
+        // and an explicit re-check through the library API agrees
+        let report = rannc_verify::verify_plan(&g, &plan.view(), &cluster);
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn failed_verification_renders_diagnostics() {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(1);
+        let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
+        let mut plan = rannc.partition(&g, &cluster).unwrap();
+        plan.stages[0].set.remove(rannc_graph::TaskId(0));
+        let report = rannc_verify::verify_plan(&g, &plan.view(), &cluster);
+        let err = PartitionError::FailedVerification(report);
+        let text = err.to_string();
+        assert!(text.contains("failed static verification"), "{text}");
+        assert!(text.contains("RV023"), "{text}");
     }
 
     #[test]

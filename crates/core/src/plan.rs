@@ -3,7 +3,36 @@
 use crate::dp::DpSolution;
 use rannc_graph::TaskSet;
 use rannc_hw::ClusterSpec;
+use rannc_verify::{PlanView, StageView};
 use serde::{Deserialize, Serialize};
+
+/// A plan/cluster combination that cannot be materialised.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// The plan needs more device ranks than the cluster has.
+    ClusterOversubscribed {
+        /// Ranks the plan would assign.
+        required: usize,
+        /// Ranks the cluster provides.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ClusterOversubscribed {
+                required,
+                available,
+            } => write!(
+                f,
+                "plan needs {required} device(s) but the cluster has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// One pipeline stage of the final plan.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -90,8 +119,20 @@ impl PartitionPlan {
     /// contiguous group of nodes so that stage-to-stage traffic stays on
     /// the intra-node link wherever possible (paper footnote 3).
     ///
-    /// Returns `assignment[pipeline_replica][stage] = global ranks`.
-    pub fn device_assignment(&self, cluster: &ClusterSpec) -> Vec<Vec<Vec<usize>>> {
+    /// Returns `assignment[pipeline_replica][stage] = global ranks`, or
+    /// [`PlanError::ClusterOversubscribed`] when the plan wants more
+    /// ranks than the cluster's raw shape provides (a release-mode check:
+    /// handing out phantom ranks would crash collectives much later).
+    pub fn device_assignment(
+        &self,
+        cluster: &ClusterSpec,
+    ) -> Result<Vec<Vec<Vec<usize>>>, PlanError> {
+        if self.total_devices() > cluster.total_devices() {
+            return Err(PlanError::ClusterOversubscribed {
+                required: self.total_devices(),
+                available: cluster.total_devices(),
+            });
+        }
         let per_replica = self.devices_per_replica();
         let mut out = Vec::with_capacity(self.replica_factor);
         for r in 0..self.replica_factor {
@@ -105,8 +146,29 @@ impl PartitionPlan {
             }
             out.push(stages);
         }
-        debug_assert!(self.total_devices() <= cluster.total_devices());
-        out
+        Ok(out)
+    }
+
+    /// Borrow the plan in the shape `rannc-verify` checks.
+    pub fn view(&self) -> PlanView<'_> {
+        PlanView {
+            model: &self.model,
+            stages: self
+                .stages
+                .iter()
+                .map(|s| StageView {
+                    set: &s.set,
+                    replicas: s.replicas,
+                    micro_batch: s.micro_batch,
+                    fwd_time: s.fwd_time,
+                    bwd_time: s.bwd_time,
+                    mem_bytes: s.mem_bytes,
+                })
+                .collect(),
+            microbatches: self.microbatches,
+            replica_factor: self.replica_factor,
+            batch_size: self.batch_size,
+        }
     }
 
     /// A human-readable multi-line summary (used by examples and benches).
@@ -191,7 +253,7 @@ mod tests {
     fn device_assignment_is_disjoint_and_complete() {
         let plan = PartitionPlan::from_solution("toy", &fake_solution(), 64);
         let cluster = ClusterSpec::v100_cluster(1); // 8 devices
-        let asg = plan.device_assignment(&cluster);
+        let asg = plan.device_assignment(&cluster).unwrap();
         assert_eq!(asg.len(), 2); // pipeline replicas
         let mut seen = std::collections::HashSet::new();
         for replica in &asg {
@@ -204,6 +266,33 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), plan.total_devices());
+    }
+
+    #[test]
+    fn oversubscribed_assignment_is_a_typed_error() {
+        let mut plan = PartitionPlan::from_solution("toy", &fake_solution(), 64);
+        plan.replica_factor = 100; // 400 devices on an 8-device cluster
+        let err = plan
+            .device_assignment(&ClusterSpec::v100_cluster(1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::ClusterOversubscribed {
+                required: 400,
+                available: 8
+            }
+        );
+        assert!(err.to_string().contains("400"));
+    }
+
+    #[test]
+    fn view_mirrors_plan() {
+        let plan = PartitionPlan::from_solution("toy", &fake_solution(), 64);
+        let v = plan.view();
+        assert_eq!(v.model, "toy");
+        assert_eq!(v.stages.len(), 2);
+        assert_eq!(v.stages[1].replicas, 3);
+        assert_eq!(v.batch_size, 64);
     }
 
     #[test]

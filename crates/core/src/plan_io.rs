@@ -11,6 +11,7 @@
 
 use crate::plan::{PartitionPlan, StagePlan};
 use rannc_graph::{TaskId, TaskSet};
+use rannc_verify::Report;
 
 const MAGIC: &[u8; 4] = b"RNCP";
 const VERSION: u32 = 1;
@@ -26,6 +27,9 @@ pub enum PlanIoError {
     Truncated,
     /// Checksum mismatch (corrupted file).
     Corrupted,
+    /// The payload decoded but describes an invalid plan (the structural
+    /// subset of `rannc-verify` — no graph or cluster at hand here).
+    FailedVerification(Report),
 }
 
 impl std::fmt::Display for PlanIoError {
@@ -35,6 +39,14 @@ impl std::fmt::Display for PlanIoError {
             PlanIoError::BadVersion(v) => write!(f, "unsupported plan version {v}"),
             PlanIoError::Truncated => write!(f, "plan file truncated"),
             PlanIoError::Corrupted => write!(f, "plan file checksum mismatch"),
+            PlanIoError::FailedVerification(report) => {
+                let (e, _) = report.counts();
+                write!(f, "plan file decodes to an invalid plan ({e} error(s)):")?;
+                for d in report.errors() {
+                    write!(f, "\n  {}", d.render())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -121,7 +133,7 @@ pub fn decode_plan(mut data: &[u8]) -> Result<PartitionPlan, PlanIoError> {
             param_elems: get_usize(&mut data)?,
         });
     }
-    Ok(PartitionPlan {
+    let plan = PartitionPlan {
         model,
         stages,
         microbatches,
@@ -129,7 +141,15 @@ pub fn decode_plan(mut data: &[u8]) -> Result<PartitionPlan, PlanIoError> {
         batch_size,
         bottleneck,
         est_iteration_time,
-    })
+    };
+    // A checksum only proves the bytes survived transit; verify the
+    // *meaning* too, so a stale or hand-edited deployment file cannot
+    // smuggle a nonsense plan into a training job.
+    let report = rannc_verify::verify_plan_structure(&plan.view());
+    if report.has_errors() {
+        return Err(PlanIoError::FailedVerification(report));
+    }
+    Ok(plan)
 }
 
 /// Save a plan to a file.
@@ -224,7 +244,7 @@ mod tests {
             stages: vec![mk(&[0, 1, 2, 63, 64], 3), mk(&[70, 99], 5)],
             microbatches: 8,
             replica_factor: 4,
-            batch_size: 256,
+            batch_size: 512,
             bottleneck: 0.1,
             est_iteration_time: 1.5,
         }
@@ -284,6 +304,20 @@ mod tests {
             decode_plan(&bytes).unwrap_err(),
             PlanIoError::BadVersion(99)
         );
+    }
+
+    #[test]
+    fn invalid_decoded_plan_rejected() {
+        // valid bytes, invalid meaning: a stage with zero replicas
+        let mut plan = sample_plan();
+        plan.stages[0].replicas = 0;
+        let err = decode_plan(&encode_plan(&plan)).unwrap_err();
+        match err {
+            PlanIoError::FailedVerification(report) => {
+                assert!(report.has_code(rannc_verify::Code::DegenerateCounts));
+            }
+            other => panic!("expected FailedVerification, got {other:?}"),
+        }
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl TaskSet {
 
     /// In-place union.
     pub fn union_with(&mut self, other: &TaskSet) {
-        debug_assert_eq!(self.universe, other.universe);
+        assert_eq!(
+            self.universe, other.universe,
+            "TaskSet universe mismatch: set algebra across graphs of different size \
+             silently corrupts membership"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
@@ -106,7 +110,11 @@ impl TaskSet {
 
     /// In-place difference (`self -= other`).
     pub fn difference_with(&mut self, other: &TaskSet) {
-        debug_assert_eq!(self.universe, other.universe);
+        assert_eq!(
+            self.universe, other.universe,
+            "TaskSet universe mismatch: set algebra across graphs of different size \
+             silently corrupts membership"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= !b;
         }
@@ -114,13 +122,21 @@ impl TaskSet {
 
     /// Whether the two sets share any id.
     pub fn intersects(&self, other: &TaskSet) -> bool {
-        debug_assert_eq!(self.universe, other.universe);
+        assert_eq!(
+            self.universe, other.universe,
+            "TaskSet universe mismatch: set algebra across graphs of different size \
+             silently corrupts membership"
+        );
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Whether `self` is a subset of `other`.
     pub fn is_subset(&self, other: &TaskSet) -> bool {
-        debug_assert_eq!(self.universe, other.universe);
+        assert_eq!(
+            self.universe, other.universe,
+            "TaskSet universe mismatch: set algebra across graphs of different size \
+             silently corrupts membership"
+        );
         self.words
             .iter()
             .zip(&other.words)
@@ -235,5 +251,24 @@ mod tests {
         let s: TaskSet = ids(&[5, 9]).into_iter().collect();
         assert_eq!(s.universe(), 10);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics_in_release_too() {
+        // assert_eq!, not debug_assert_eq!: sets sized for different
+        // graphs must never be combined — word-wise ops would silently
+        // truncate or corrupt membership in release builds.
+        let mut a = TaskSet::new(64);
+        let b = TaskSet::new(65);
+        a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics_on_queries() {
+        let a = TaskSet::new(10);
+        let b = TaskSet::new(20);
+        let _ = a.is_subset(&b);
     }
 }

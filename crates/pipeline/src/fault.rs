@@ -127,7 +127,10 @@ fn faulted_iteration_time(
     faults: &FaultPlan,
 ) -> Result<f64, PlanSpecError> {
     let mut spec = spec_from_plan(plan, profiler, cluster)?;
-    apply_latency_faults(&mut spec, plan, cluster, faults);
+    let assignment = plan
+        .device_assignment(cluster)
+        .map_err(PlanSpecError::BadAssignment)?;
+    apply_latency_faults(&mut spec, &assignment, faults);
     Ok(simulate_sync(&spec, SyncSchedule::FillDrain, false)
         .result
         .iteration_time)
@@ -138,16 +141,14 @@ fn faulted_iteration_time(
 /// retransmission factor `1 / (1 − p)`.
 fn apply_latency_faults(
     spec: &mut PipelineSpec,
-    plan: &PartitionPlan,
-    cluster: &ClusterSpec,
+    assignment: &[Vec<Vec<usize>>],
     faults: &FaultPlan,
 ) {
     // A straggler slows the stage its rank is assigned to; synchronous
     // training waits for the slowest replica, so any replica straggling
     // slows the whole stage. Stragglers on unassigned (spare) ranks are
     // harmless.
-    let assignment = plan.device_assignment(cluster);
-    for replica in &assignment {
+    for replica in assignment {
         for (stage, ranks) in replica.iter().enumerate() {
             let worst = ranks
                 .iter()

@@ -26,7 +26,9 @@ pub mod viz;
 
 pub use fault::{simulate_faulted, FaultSimConfig, FaultSimReport, RecoveryEvent, RecoveryPolicy};
 pub use spec::{PipelineSpec, SimResult, SpecError, StageSpec};
-pub use sync::{simulate_sync, SyncSchedule, TimelineEvent, WorkKind};
+pub use sync::{
+    schedule_model, simulate_sync, sync_work_orders, SyncSchedule, TimelineEvent, WorkKind,
+};
 
 use rannc_core::PartitionPlan;
 use rannc_graph::traverse;
@@ -46,6 +48,8 @@ pub enum PlanSpecError {
     /// The derived spec is structurally unusable (empty stages, zero
     /// replicas, …).
     BadSpec(SpecError),
+    /// The plan cannot be mapped onto the cluster's device ranks.
+    BadAssignment(rannc_core::PlanError),
 }
 
 impl std::fmt::Display for PlanSpecError {
@@ -58,6 +62,7 @@ impl std::fmt::Display for PlanSpecError {
                 stage + 1
             ),
             PlanSpecError::BadSpec(e) => write!(f, "plan yields invalid spec: {e}"),
+            PlanSpecError::BadAssignment(e) => write!(f, "plan not mappable to devices: {e}"),
         }
     }
 }

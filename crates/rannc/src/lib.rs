@@ -35,6 +35,7 @@
 //! | [`pipeline`] | event-driven schedule simulator (sync, 2BW, DP) |
 //! | [`baselines`] | Megatron-LM, GPipe-Hybrid/Model, PipeDream-2BW |
 //! | [`faults`] | seeded fault plans (device loss, stragglers, …) |
+//! | [`verify`] | static graph/plan/schedule verifier (`RV0xx` diagnostics) |
 //! | [`tensor`], [`train`] | numeric substrate + threaded pipeline trainer |
 
 pub use rannc_baselines as baselines;
@@ -47,10 +48,11 @@ pub use rannc_pipeline as pipeline;
 pub use rannc_profile as profile;
 pub use rannc_tensor as tensor;
 pub use rannc_train as train;
+pub use rannc_verify as verify;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use rannc_core::{PartitionConfig, PartitionError, PartitionPlan, Rannc};
+    pub use rannc_core::{PartitionConfig, PartitionError, PartitionPlan, Rannc, VerifyMode};
     pub use rannc_faults::{FaultEvent, FaultPlan};
     pub use rannc_graph::{GraphBuilder, OpKind, TaskGraph, TaskSet};
     pub use rannc_hw::{ClusterSpec, DeviceSpec, LinkSpec, NodeSpec, Precision};

@@ -1,0 +1,33 @@
+//! Static verifier for RaNNC artifacts: task graphs, partition plans,
+//! and pipeline schedules.
+//!
+//! The partitioner (paper §III) emits three artifacts whose correctness
+//! is a *static* property: the task graph must be a well-formed DAG, the
+//! plan's stages must tile it convexly in data-flow order within device
+//! budgets, and the pipeline schedule must be provably deadlock-free.
+//! This crate checks all three and reports violations as structured
+//! [`Diagnostic`]s — stable `RV0xx` codes, [`Severity`], a [`Location`],
+//! and a human rendering — instead of panicking, so callers can fail,
+//! warn, or machine-read as they choose.
+//!
+//! Entry points, one per artifact:
+//!
+//! | artifact | entry point | codes |
+//! |---|---|---|
+//! | task graph | [`verify_graph`] | `RV001`–`RV008` |
+//! | partition plan | [`verify_plan`] / [`verify_plan_structure`] | `RV020`–`RV042` |
+//! | pipeline schedule | [`verify_schedule`] | `RV050`–`RV052` |
+//!
+//! The crate sits *below* `rannc-core` so the partitioner can run it as
+//! a post-pass; plans are therefore checked through the borrowed
+//! [`PlanView`] rather than the concrete plan type.
+
+pub mod diag;
+pub mod graph_checks;
+pub mod plan_checks;
+pub mod schedule_checks;
+
+pub use diag::{Code, Diagnostic, Location, Report, Severity};
+pub use graph_checks::verify_graph;
+pub use plan_checks::{verify_plan, verify_plan_structure, PlanView, StageView};
+pub use schedule_checks::{verify_schedule, PhaseKind, ScheduleModel};

@@ -1,0 +1,652 @@
+//! Plan validity: coverage, convexity, ordering, memory, device and
+//! micro-batch accounting of a partition plan.
+//!
+//! The verifier lives *below* `rannc-core` in the crate graph (so the
+//! partitioner can run it as a post-pass), so it cannot name
+//! `PartitionPlan` directly. Instead it checks a borrowed [`PlanView`]
+//! that `rannc-core` derives from a plan — the shape of a plan without
+//! the plan type.
+
+use crate::diag::{Code, Diagnostic, Location, Report};
+use rannc_graph::convex::ConvexChecker;
+use rannc_graph::{traverse, TaskGraph, TaskSet};
+use rannc_hw::ClusterSpec;
+
+/// One stage of a plan, borrowed.
+#[derive(Debug, Clone, Copy)]
+pub struct StageView<'a> {
+    /// Tasks assigned to the stage.
+    pub set: &'a TaskSet,
+    /// Data-parallel replicas of the stage inside one pipeline replica.
+    pub replicas: usize,
+    /// Per-replica micro-batch size.
+    pub micro_batch: usize,
+    /// Profiled forward time per micro-batch, seconds.
+    pub fwd_time: f64,
+    /// Profiled backward time per micro-batch, seconds.
+    pub bwd_time: f64,
+    /// Profiled peak memory, bytes.
+    pub mem_bytes: usize,
+}
+
+/// A partition plan, borrowed (see `PartitionPlan::view` in `rannc-core`).
+#[derive(Debug, Clone)]
+pub struct PlanView<'a> {
+    /// Name of the partitioned model.
+    pub model: &'a str,
+    /// Stages in pipeline order.
+    pub stages: Vec<StageView<'a>>,
+    /// Micro-batch count per iteration.
+    pub microbatches: usize,
+    /// Whole-pipeline replicas.
+    pub replica_factor: usize,
+    /// Global mini-batch size.
+    pub batch_size: usize,
+}
+
+/// Full plan validity: structural accounting plus every graph-dependent
+/// invariant (coverage, convexity, forward-only stage order) and the
+/// cluster-dependent ones (memory capacity, device budget).
+pub fn verify_plan(g: &TaskGraph, plan: &PlanView<'_>, cluster: &ClusterSpec) -> Report {
+    let mut r = verify_plan_structure(plan);
+    check_universes(g, plan, &mut r);
+    // Graph-dependent checks index by task id and need a topo order; skip
+    // them (rather than panic) when the graph itself is broken or the
+    // stage sets are not id-compatible with it.
+    let acyclic = traverse::topo_order(g).len() == g.num_tasks();
+    if !acyclic {
+        r.push(Diagnostic::new(
+            Code::GraphCycle,
+            Location::Model,
+            "task graph has a cycle; graph-dependent plan checks skipped",
+        ));
+    }
+    let compatible: Vec<bool> = plan
+        .stages
+        .iter()
+        .map(|s| s.set.universe() == g.num_tasks())
+        .collect();
+    if acyclic {
+        check_coverage(g, plan, &compatible, &mut r);
+        check_duplicates(g, plan, &compatible, &mut r);
+        check_convexity(g, plan, &compatible, &mut r);
+        check_stage_order(g, plan, &compatible, &mut r);
+        check_zero_compute(g, plan, &compatible, &mut r);
+    }
+    check_memory(plan, cluster, &mut r);
+    check_devices(plan, cluster, &mut r);
+    r
+}
+
+/// Graph- and cluster-free subset: everything that can be checked from
+/// the plan's own numbers. Used when decoding a deployment file, where no
+/// graph is available yet.
+pub fn verify_plan_structure(plan: &PlanView<'_>) -> Report {
+    let mut r = Report::new();
+    if plan.stages.is_empty() {
+        r.push(Diagnostic::new(
+            Code::NoStages,
+            Location::Model,
+            format!("plan for `{}` has no stages", plan.model),
+        ));
+        return r;
+    }
+    // stages must agree on the task-id universe even without a graph
+    let u0 = plan.stages[0].set.universe();
+    for (i, s) in plan.stages.iter().enumerate().skip(1) {
+        if s.set.universe() != u0 {
+            r.push(Diagnostic::new(
+                Code::UniverseMismatch,
+                Location::Stage(i),
+                format!(
+                    "stage universe {} disagrees with stage 0's universe {u0}",
+                    s.set.universe()
+                ),
+            ));
+        }
+    }
+    for (i, s) in plan.stages.iter().enumerate() {
+        if s.set.is_empty() {
+            r.push(Diagnostic::new(
+                Code::EmptyStage,
+                Location::Stage(i),
+                "stage contains no tasks",
+            ));
+        }
+    }
+    check_counts(plan, &mut r);
+    check_microbatching(plan, &mut r);
+    check_imbalance(plan, &mut r);
+    r
+}
+
+/// RV029: zero anywhere in the replication/micro-batch accounting makes
+/// the plan meaningless.
+fn check_counts(plan: &PlanView<'_>, r: &mut Report) {
+    if plan.replica_factor == 0 {
+        r.push(Diagnostic::new(
+            Code::DegenerateCounts,
+            Location::Model,
+            "zero pipeline replicas",
+        ));
+    }
+    if plan.microbatches == 0 {
+        r.push(Diagnostic::new(
+            Code::DegenerateCounts,
+            Location::Model,
+            "zero micro-batches",
+        ));
+    }
+    if plan.batch_size == 0 {
+        r.push(Diagnostic::new(
+            Code::DegenerateCounts,
+            Location::Model,
+            "zero global batch size",
+        ));
+    }
+    for (i, s) in plan.stages.iter().enumerate() {
+        if s.replicas == 0 {
+            r.push(Diagnostic::new(
+                Code::DegenerateCounts,
+                Location::Stage(i),
+                "stage has zero replicas",
+            ));
+        }
+    }
+}
+
+/// RV030 / RV042: each stage processes the whole global batch per
+/// iteration as `micro_batch x replicas x microbatches x replica_factor`
+/// samples. More than `batch_size` is impossible (the DP in
+/// `rannc-core::dp` floors the division, so a valid plan never exceeds
+/// it); less is a warning (remainder samples are dropped).
+fn check_microbatching(plan: &PlanView<'_>, r: &mut Report) {
+    for (i, s) in plan.stages.iter().enumerate() {
+        if s.replicas == 0 || plan.replica_factor == 0 || plan.microbatches == 0 {
+            continue; // RV029 already reported
+        }
+        if s.micro_batch == 0 {
+            r.push(Diagnostic::new(
+                Code::MicrobatchInfeasible,
+                Location::Stage(i),
+                format!(
+                    "per-replica micro-batch is 0: batch {} cannot feed {} replica(s) x {} \
+                     micro-batch(es) x {} pipeline replica(s)",
+                    plan.batch_size, s.replicas, plan.microbatches, plan.replica_factor
+                ),
+            ));
+            continue;
+        }
+        let used = s.micro_batch * s.replicas * plan.microbatches * plan.replica_factor;
+        if used > plan.batch_size {
+            r.push(Diagnostic::new(
+                Code::MicrobatchInfeasible,
+                Location::Stage(i),
+                format!(
+                    "stage consumes {used} samples per iteration \
+                     ({} x {} x {} x {}) but the global batch is only {}",
+                    s.micro_batch,
+                    s.replicas,
+                    plan.microbatches,
+                    plan.replica_factor,
+                    plan.batch_size
+                ),
+            ));
+        } else if used < plan.batch_size {
+            r.push(Diagnostic::new(
+                Code::UnevenBatchSplit,
+                Location::Stage(i),
+                format!(
+                    "micro-batch tiling covers {used} of {} samples; the remainder is dropped",
+                    plan.batch_size
+                ),
+            ));
+        }
+    }
+}
+
+/// RV041: a stage more than 2x slower than the fastest starves the rest
+/// of the pipeline (paper Fig. 6 shows throughput tracks the bottleneck).
+fn check_imbalance(plan: &PlanView<'_>, r: &mut Report) {
+    if plan.stages.len() < 2 {
+        return;
+    }
+    let time = |s: &StageView<'_>| s.fwd_time + s.bwd_time;
+    let (mut min_i, mut max_i) = (0usize, 0usize);
+    for (i, s) in plan.stages.iter().enumerate() {
+        if time(s) < time(&plan.stages[min_i]) {
+            min_i = i;
+        }
+        if time(s) > time(&plan.stages[max_i]) {
+            max_i = i;
+        }
+    }
+    let (lo, hi) = (time(&plan.stages[min_i]), time(&plan.stages[max_i]));
+    if lo > 0.0 && hi > 2.0 * lo {
+        r.push(Diagnostic::new(
+            Code::BottleneckImbalance,
+            Location::StagePair(min_i, max_i),
+            format!(
+                "stage {max_i} is {:.1}x slower than stage {min_i} \
+                 ({:.3} ms vs {:.3} ms per micro-batch)",
+                hi / lo,
+                hi * 1e3,
+                lo * 1e3
+            ),
+        ));
+    }
+}
+
+/// RV021: every stage set must use the graph's task count as universe —
+/// set algebra on mismatched universes is the silent-corruption hazard
+/// the `TaskSet` asserts now panic on.
+fn check_universes(g: &TaskGraph, plan: &PlanView<'_>, r: &mut Report) {
+    for (i, s) in plan.stages.iter().enumerate() {
+        if s.set.universe() != g.num_tasks() {
+            r.push(Diagnostic::new(
+                Code::UniverseMismatch,
+                Location::Stage(i),
+                format!(
+                    "stage universe {} does not match the graph's {} tasks",
+                    s.set.universe(),
+                    g.num_tasks()
+                ),
+            ));
+        }
+    }
+}
+
+/// RV023: the union of all stages must cover every task.
+fn check_coverage(g: &TaskGraph, plan: &PlanView<'_>, compatible: &[bool], r: &mut Report) {
+    let mut covered = TaskSet::new(g.num_tasks());
+    for (s, ok) in plan.stages.iter().zip(compatible) {
+        if *ok {
+            covered.union_with(s.set);
+        }
+    }
+    let missing: Vec<String> = g
+        .task_ids()
+        .filter(|&t| !covered.contains(t))
+        .map(|t| t.to_string())
+        .collect();
+    if !missing.is_empty() {
+        let shown = missing
+            .iter()
+            .take(5)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ");
+        r.push(Diagnostic::new(
+            Code::CoverageHole,
+            Location::Model,
+            format!(
+                "{} of {} tasks belong to no stage: {shown}{}",
+                missing.len(),
+                g.num_tasks(),
+                if missing.len() > 5 { ", …" } else { "" }
+            ),
+        ));
+    }
+}
+
+/// RV024: only constant tasks (cloned into each consumer by atomic-level
+/// partitioning, paper §III-A) may appear in more than one stage.
+fn check_duplicates(g: &TaskGraph, plan: &PlanView<'_>, compatible: &[bool], r: &mut Report) {
+    let non_constant = traverse::non_constant_tasks(g);
+    let mut owner: Vec<Option<usize>> = vec![None; g.num_tasks()];
+    for (i, (s, ok)) in plan.stages.iter().zip(compatible).enumerate() {
+        if !*ok {
+            continue;
+        }
+        for t in s.set.iter() {
+            match owner[t.index()] {
+                Some(first) if non_constant[t.index()] => {
+                    r.push(Diagnostic::new(
+                        Code::DuplicateAssignment,
+                        Location::Task(t.0),
+                        format!(
+                            "non-constant task `{}` assigned to both stage {first} and stage {i}",
+                            g.task(t).name
+                        ),
+                    ));
+                }
+                Some(_) => {} // shared constant-task clone: allowed
+                None => owner[t.index()] = Some(i),
+            }
+        }
+    }
+}
+
+/// RV025: every stage must be convex (paper §III-B: a non-convex stage
+/// can deadlock the pipeline).
+fn check_convexity(g: &TaskGraph, plan: &PlanView<'_>, compatible: &[bool], r: &mut Report) {
+    let mut ck = ConvexChecker::new(g);
+    for (i, (s, ok)) in plan.stages.iter().zip(compatible).enumerate() {
+        if *ok && !ck.is_convex(s.set) {
+            r.push(Diagnostic::new(
+                Code::NonConvexStage,
+                Location::Stage(i),
+                format!(
+                    "a path leaves the stage's {} task(s) and re-enters it",
+                    s.set.len()
+                ),
+            ));
+        }
+    }
+}
+
+/// RV026: data must flow forward: no value produced in a later stage may
+/// be consumed in an earlier one. Clone-aware: a constant task shared by
+/// both stages is not an edge between them.
+fn check_stage_order(g: &TaskGraph, plan: &PlanView<'_>, compatible: &[bool], r: &mut Report) {
+    for (i, (a, a_ok)) in plan.stages.iter().zip(compatible).enumerate() {
+        if !*a_ok {
+            continue;
+        }
+        for (j, (b, b_ok)) in plan.stages.iter().zip(compatible).enumerate().skip(i + 1) {
+            if !*b_ok {
+                continue;
+            }
+            'pair: for t in b.set.iter() {
+                if a.set.contains(t) {
+                    continue; // shared constant-task clone
+                }
+                for s in g.task_successors(t) {
+                    if a.set.contains(s) && !b.set.contains(s) {
+                        r.push(Diagnostic::new(
+                            Code::BackwardStageEdge,
+                            Location::StagePair(i, j),
+                            format!(
+                                "task `{}` in stage {j} feeds task `{}` in earlier stage {i}",
+                                g.task(t).name,
+                                g.task(s).name
+                            ),
+                        ));
+                        break 'pair; // one witness per stage pair
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// RV040: a stage of pure layout ops contributes devices but no compute.
+fn check_zero_compute(g: &TaskGraph, plan: &PlanView<'_>, compatible: &[bool], r: &mut Report) {
+    if plan.stages.len() < 2 {
+        return; // a single-stage plan has nowhere to shed the stage
+    }
+    for (i, (s, ok)) in plan.stages.iter().zip(compatible).enumerate() {
+        if *ok && !s.set.is_empty() && s.set.iter().all(|t| g.task(t).op.is_layout_only()) {
+            r.push(Diagnostic::new(
+                Code::ZeroComputeStage,
+                Location::Stage(i),
+                format!(
+                    "all {} task(s) are layout-only; the stage occupies {} device(s) \
+                     without arithmetic",
+                    s.set.len(),
+                    s.replicas
+                ),
+            ));
+        }
+    }
+}
+
+/// RV027: profiled peak memory must fit the device the stage runs on.
+fn check_memory(plan: &PlanView<'_>, cluster: &ClusterSpec, r: &mut Report) {
+    let cap = cluster.device.memory_bytes;
+    for (i, s) in plan.stages.iter().enumerate() {
+        if s.mem_bytes > cap {
+            r.push(Diagnostic::new(
+                Code::MemoryOverCapacity,
+                Location::Stage(i),
+                format!(
+                    "stage needs {} MiB but the device has {} MiB",
+                    s.mem_bytes >> 20,
+                    cap >> 20
+                ),
+            ));
+        }
+    }
+}
+
+/// RV028: the plan may not consume more devices than are healthy.
+fn check_devices(plan: &PlanView<'_>, cluster: &ClusterSpec, r: &mut Report) {
+    let per_replica: usize = plan.stages.iter().map(|s| s.replicas).sum();
+    let required = per_replica * plan.replica_factor;
+    let available = cluster.healthy_devices();
+    if required > available {
+        r.push(Diagnostic::new(
+            Code::DeviceOversubscription,
+            Location::Model,
+            format!(
+                "plan needs {required} device(s) \
+                 ({per_replica} per pipeline x {} replica(s)) but only {available} are healthy",
+                plan.replica_factor
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rannc_graph::{DType, GraphBuilder, OpKind, TaskId};
+
+    /// A 6-task chain graph and a clean 2-stage view over it.
+    fn chain() -> TaskGraph {
+        let mut b = GraphBuilder::new("chain");
+        let mut x = b.input("x", [8], DType::F32);
+        for _ in 0..6 {
+            x = b.unary(OpKind::Relu, x);
+        }
+        b.output(x);
+        b.finish()
+    }
+
+    struct Owned {
+        sets: Vec<TaskSet>,
+        microbatches: usize,
+        replica_factor: usize,
+        batch_size: usize,
+    }
+
+    impl Owned {
+        fn two_stage(g: &TaskGraph) -> Owned {
+            let n = g.num_tasks();
+            Owned {
+                sets: vec![
+                    TaskSet::from_ids(n, (0..3).map(TaskId)),
+                    TaskSet::from_ids(n, (3..6).map(TaskId)),
+                ],
+                microbatches: 4,
+                replica_factor: 1,
+                batch_size: 8,
+            }
+        }
+
+        fn view(&self) -> PlanView<'_> {
+            PlanView {
+                model: "chain",
+                stages: self
+                    .sets
+                    .iter()
+                    .map(|s| StageView {
+                        set: s,
+                        replicas: 1,
+                        micro_batch: 2,
+                        fwd_time: 0.01,
+                        bwd_time: 0.02,
+                        mem_bytes: 1 << 30,
+                    })
+                    .collect(),
+                microbatches: self.microbatches,
+                replica_factor: self.replica_factor,
+                batch_size: self.batch_size,
+            }
+        }
+    }
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::v100_cluster(1)
+    }
+
+    #[test]
+    fn clean_plan_verifies_clean() {
+        let g = chain();
+        let p = Owned::two_stage(&g);
+        let r = verify_plan(&g, &p.view(), &cluster());
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn coverage_hole_reported() {
+        let g = chain();
+        let mut p = Owned::two_stage(&g);
+        p.sets[1].remove(TaskId(5));
+        let r = verify_plan(&g, &p.view(), &cluster());
+        assert!(r.has_code(Code::CoverageHole), "{}", r.render());
+    }
+
+    #[test]
+    fn non_convex_stage_reported() {
+        let g = chain();
+        let mut p = Owned::two_stage(&g);
+        // stage 0 = {0, 2}: task 1 is outside, path 0 -> 1 -> 2 re-enters
+        p.sets[0] = TaskSet::from_ids(g.num_tasks(), [TaskId(0), TaskId(2)]);
+        p.sets[1] = TaskSet::from_ids(g.num_tasks(), [1, 3, 4, 5].map(TaskId));
+        let r = verify_plan(&g, &p.view(), &cluster());
+        assert!(r.has_code(Code::NonConvexStage), "{}", r.render());
+    }
+
+    #[test]
+    fn reversed_stages_reported() {
+        let g = chain();
+        let mut p = Owned::two_stage(&g);
+        p.sets.reverse();
+        let r = verify_plan(&g, &p.view(), &cluster());
+        assert!(r.has_code(Code::BackwardStageEdge), "{}", r.render());
+    }
+
+    #[test]
+    fn duplicate_non_constant_task_reported() {
+        let g = chain();
+        let mut p = Owned::two_stage(&g);
+        p.sets[1].insert(TaskId(2)); // also in stage 0, and non-constant
+        let r = verify_plan(&g, &p.view(), &cluster());
+        assert!(r.has_code(Code::DuplicateAssignment), "{}", r.render());
+    }
+
+    #[test]
+    fn universe_mismatch_reported_without_panicking() {
+        let g = chain();
+        let mut p = Owned::two_stage(&g);
+        p.sets[0] = TaskSet::from_ids(g.num_tasks() + 5, (0..3).map(TaskId));
+        let r = verify_plan(&g, &p.view(), &cluster());
+        assert!(r.has_code(Code::UniverseMismatch), "{}", r.render());
+    }
+
+    #[test]
+    fn memory_and_devices_checked() {
+        let g = chain();
+        let p = Owned::two_stage(&g);
+        let mut small = cluster();
+        small.device = small.device.clone().with_memory(1 << 20);
+        let r = verify_plan(&g, &p.view(), &small);
+        assert!(r.has_code(Code::MemoryOverCapacity), "{}", r.render());
+
+        let mut big_rf = Owned::two_stage(&g);
+        big_rf.replica_factor = 1000;
+        big_rf.batch_size = 1 << 20;
+        let r = verify_plan(&g, &big_rf.view(), &cluster());
+        assert!(r.has_code(Code::DeviceOversubscription), "{}", r.render());
+    }
+
+    #[test]
+    fn microbatch_accounting_checked() {
+        let g = chain();
+        let mut p = Owned::two_stage(&g);
+        p.batch_size = 4; // 2 x 1 x 4 x 1 = 8 > 4
+        let r = verify_plan_structure(&p.view());
+        assert!(r.has_code(Code::MicrobatchInfeasible), "{}", r.render());
+
+        let mut p = Owned::two_stage(&g);
+        p.batch_size = 100; // 8 < 100: remainder dropped
+        let r = verify_plan_structure(&p.view());
+        assert!(r.has_code(Code::UnevenBatchSplit), "{}", r.render());
+        assert!(!r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn degenerate_counts_checked() {
+        let g = chain();
+        let mut p = Owned::two_stage(&g);
+        p.replica_factor = 0;
+        p.microbatches = 0;
+        let r = verify_plan_structure(&p.view());
+        assert!(r.has_code(Code::DegenerateCounts), "{}", r.render());
+    }
+
+    #[test]
+    fn empty_plan_and_empty_stage_reported() {
+        let g = chain();
+        let empty = PlanView {
+            model: "none",
+            stages: Vec::new(),
+            microbatches: 1,
+            replica_factor: 1,
+            batch_size: 1,
+        };
+        assert!(verify_plan(&g, &empty, &cluster()).has_code(Code::NoStages));
+
+        let mut p = Owned::two_stage(&g);
+        p.sets[0] = TaskSet::new(g.num_tasks());
+        let r = verify_plan(&g, &p.view(), &cluster());
+        assert!(r.has_code(Code::EmptyStage), "{}", r.render());
+    }
+
+    #[test]
+    fn zero_compute_stage_warned() {
+        let mut b = GraphBuilder::new("layout");
+        let x = b.input("x", [4, 4], DType::F32);
+        let t = b.transpose(x, [4, 4]);
+        let y = b.unary(OpKind::Relu, t);
+        b.output(y);
+        let g = b.finish();
+        let sets = [
+            TaskSet::from_ids(2, [TaskId(0)]),
+            TaskSet::from_ids(2, [TaskId(1)]),
+        ];
+        let view = PlanView {
+            model: "layout",
+            stages: sets
+                .iter()
+                .map(|s| StageView {
+                    set: s,
+                    replicas: 1,
+                    micro_batch: 1,
+                    fwd_time: 0.0,
+                    bwd_time: 0.0,
+                    mem_bytes: 1,
+                })
+                .collect(),
+            microbatches: 1,
+            replica_factor: 1,
+            batch_size: 1,
+        };
+        let r = verify_plan(&g, &view, &cluster());
+        assert!(r.has_code(Code::ZeroComputeStage), "{}", r.render());
+        assert!(!r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn imbalance_warned() {
+        let g = chain();
+        let p = Owned::two_stage(&g);
+        let mut view = p.view();
+        view.stages[1].fwd_time = 0.1;
+        view.stages[1].bwd_time = 0.2;
+        let r = verify_plan_structure(&view);
+        assert!(r.has_code(Code::BottleneckImbalance), "{}", r.render());
+        assert!(!r.has_errors(), "{}", r.render());
+    }
+}

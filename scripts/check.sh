@@ -9,6 +9,22 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> verifier smoke-gate (rannc-plan verify, all models x 16/32 devices)"
+for nodes in 2 4; do
+    for model in mlp bert gpt t5 resnet; do
+        case "$model" in
+            mlp)    flags="--hidden 256 --layers 8" ;;
+            resnet) flags="--layers 50 --width-factor 1" ;;
+            *)      flags="--hidden 256 --layers 4" ;;
+        esac
+        # shellcheck disable=SC2086
+        ./target/release/rannc-plan verify --model "$model" $flags \
+            --nodes "$nodes" --batch 256 --k 8 >/dev/null \
+            || { echo "verify FAILED: $model on $nodes nodes"; exit 1; }
+        echo "    verify clean: $model on $nodes node(s)"
+    done
+done
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

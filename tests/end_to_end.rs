@@ -131,7 +131,7 @@ fn device_assignment_covers_plan() {
     let g = bert_graph(&BertConfig::tiny());
     let cluster = ClusterSpec::v100_cluster(2);
     let (plan, _) = run(&g, &cluster, 64, 8);
-    let asg = plan.device_assignment(&cluster);
+    let asg = plan.device_assignment(&cluster).unwrap();
     let mut used = std::collections::HashSet::new();
     for replica in &asg {
         for stage_ranks in replica {

@@ -1,41 +1,34 @@
 //! Cross-crate invariants of the partitioning pipeline, including
 //! property-based tests over random models.
+//!
+//! Plan-level invariants (coverage, convexity, stage ordering, memory and
+//! device budgets) are checked by driving the `rannc-verify` static
+//! analyser rather than a local helper: any error-severity `RV0xx`
+//! diagnostic fails the test, so the partitioner and the verifier are
+//! held to the same contract. The seeded-corruption counterpart lives in
+//! `tests/verify_mutations.rs`.
 
 use proptest::prelude::*;
 use rannc::core::{atomic_partition, block_partition, BlockLimits};
 use rannc::graph::convex::ConvexChecker;
 use rannc::prelude::*;
+use rannc::verify::{verify_graph, verify_plan};
 
-/// Every phase output must cover all tasks, be convex, and stages must be
-/// topologically ordered.
-fn check_plan(g: &TaskGraph, plan: &PartitionPlan) {
-    let n = g.num_tasks();
-    let mut ck = ConvexChecker::new(g);
-    let mut covered = TaskSet::new(n);
-    for st in &plan.stages {
-        assert!(!st.set.is_empty(), "empty stage");
-        assert!(ck.is_convex(&st.set), "non-convex stage");
-        covered.union_with(&st.set);
-    }
-    assert_eq!(covered.len(), n, "stages do not cover the graph");
-    // stage order respects data flow: no value produced in a later stage
-    // is consumed in an earlier one (clone-aware: skip producers the
-    // consumer stage contains itself)
-    for (i, a) in plan.stages.iter().enumerate() {
-        for b in plan.stages.iter().skip(i + 1) {
-            for t in b.set.iter() {
-                if a.set.contains(t) {
-                    continue; // constant-task clone shared by both stages
-                }
-                for s in g.task_successors(t) {
-                    assert!(
-                        !a.set.contains(s) || b.set.contains(s),
-                        "backward edge across stages: {t} -> {s}"
-                    );
-                }
-            }
-        }
-    }
+/// Every plan must satisfy the full verifier: graph well-formed, stages
+/// covering/convex/ordered, memory and device budgets respected.
+fn check_plan(g: &TaskGraph, plan: &PartitionPlan, cluster: &ClusterSpec) {
+    let graph_report = verify_graph(g);
+    assert!(
+        !graph_report.has_errors(),
+        "graph verification failed:\n{}",
+        graph_report.render()
+    );
+    let report = verify_plan(g, &plan.view(), cluster);
+    assert!(
+        !report.has_errors(),
+        "plan verification failed:\n{}",
+        report.render()
+    );
 }
 
 #[test]
@@ -45,7 +38,7 @@ fn bert_plan_invariants() {
     let plan = Rannc::new(PartitionConfig::new(64).with_k(8))
         .partition(&g, &cluster)
         .unwrap();
-    check_plan(&g, &plan);
+    check_plan(&g, &plan, &cluster);
 }
 
 #[test]
@@ -55,7 +48,7 @@ fn resnet_plan_invariants() {
     let plan = Rannc::new(PartitionConfig::new(64).with_k(8))
         .partition(&g, &cluster)
         .unwrap();
-    check_plan(&g, &plan);
+    check_plan(&g, &plan, &cluster);
 }
 
 /// Random-MLP strategy: depth and width vary; batch always divisible.
@@ -67,7 +60,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// For random model shapes, the full pipeline (atomic → blocks →
-    /// stages) preserves coverage, convexity and ordering.
+    /// stages) produces plans the static verifier certifies clean of
+    /// errors.
     #[test]
     fn random_mlp_plan_invariants((depth, width, k_exp) in mlp_strategy()) {
         let g = mlp_graph(&MlpConfig::deep(width, width, depth, 4));
@@ -76,7 +70,8 @@ proptest! {
         let plan = Rannc::new(PartitionConfig::new(32).with_k(k))
             .partition(&g, &cluster)
             .unwrap();
-        check_plan(&g, &plan);
+        let report = verify_plan(&g, &plan.view(), &cluster);
+        prop_assert!(!report.has_errors(), "plan verification failed:\n{}", report.render());
     }
 
     /// Block-level partitioning alone: blocks cover, are convex, and
@@ -117,6 +112,27 @@ proptest! {
         let g = bert_graph(&cfg);
         let p = atomic_partition(&g);
         prop_assert!(rannc::core::atomic::check_invariants(&g, &p).is_ok());
+    }
+}
+
+#[test]
+fn all_model_builder_graphs_verify_clean() {
+    // every bundled builder emits a graph free of error diagnostics
+    let graphs = [
+        bert_graph(&BertConfig::tiny()),
+        gpt_graph(&GptConfig::tiny()),
+        t5_graph(&T5Config::tiny()),
+        resnet_graph(&ResNetConfig::tiny()),
+        mlp_graph(&MlpConfig::deep(64, 64, 8, 10)),
+    ];
+    for g in &graphs {
+        let report = verify_graph(g);
+        assert!(
+            !report.has_errors(),
+            "{}: graph verification failed:\n{}",
+            g.name,
+            report.render()
+        );
     }
 }
 

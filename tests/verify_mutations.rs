@@ -1,0 +1,285 @@
+//! Mutation suite for the static verifier.
+//!
+//! Take a known-good multi-stage plan, apply one seeded corruption at a
+//! time, and assert `rannc-verify` reports the *expected* diagnostic
+//! code — each mutation is the failure mode its `RV0xx` code names.
+//! The dual obligation (every clean bundled model × cluster combination
+//! verifies clean) lives at the bottom.
+
+use rannc::prelude::*;
+use rannc::verify::{
+    verify_graph, verify_plan, verify_plan_structure, verify_schedule, Code, PhaseKind, Report,
+    ScheduleModel,
+};
+
+/// A genuinely multi-stage plan: a deep MLP on a memory-constrained
+/// device so the partitioner is forced to split it.
+fn multi_stage_fixture() -> (TaskGraph, ClusterSpec, PartitionPlan) {
+    let g = mlp_graph(&MlpConfig::deep(512, 512, 12, 10));
+    let mem = (1usize << 30) + 40 * (1 << 20);
+    let mut cluster = ClusterSpec::v100_cluster(1);
+    cluster.device = cluster.device.clone().with_memory(mem);
+    let plan = Rannc::new(PartitionConfig::new(32).with_k(8))
+        .partition(&g, &cluster)
+        .unwrap();
+    assert!(plan.stages.len() >= 2, "fixture must be multi-stage");
+    (g, cluster, plan)
+}
+
+fn assert_code(report: &Report, code: Code, what: &str) {
+    assert!(
+        report.has_code(code),
+        "mutation `{what}` should raise {code:?}, got:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn baseline_fixture_is_clean() {
+    let (g, cluster, plan) = multi_stage_fixture();
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert!(!report.has_errors(), "{}", report.render());
+}
+
+#[test]
+fn mutation_dropped_task_is_coverage_hole() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    let victim = plan.stages[0].set.iter().next().unwrap();
+    plan.stages[0].set.remove(victim);
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::CoverageHole, "drop a task");
+}
+
+#[test]
+fn mutation_reversed_stages_is_backward_edge() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    plan.stages.reverse();
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::BackwardStageEdge, "reverse stage order");
+}
+
+#[test]
+fn mutation_inflated_mem_bytes_exceeds_capacity() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    plan.stages[0].mem_bytes = cluster.device.memory_bytes * 10;
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::MemoryOverCapacity, "inflate mem_bytes");
+}
+
+#[test]
+fn mutation_moved_interior_task_breaks_convexity() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    // Move stage 1's last task into stage 0: stage 0 then contains both
+    // endpoints of a path whose interior lives in stage 1.
+    let victim = plan.stages[1].set.iter().last().unwrap();
+    plan.stages[1].set.remove(victim);
+    plan.stages[0].set.insert(victim);
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::NonConvexStage, "move an interior task");
+}
+
+#[test]
+fn mutation_duplicated_task_is_double_assignment() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    // Copy a non-constant task of stage 1 into stage 0 as well.
+    let non_constant = rannc::graph::traverse::non_constant_tasks(&g);
+    let victim = plan.stages[1]
+        .set
+        .iter()
+        .find(|t| non_constant[t.index()])
+        .unwrap();
+    plan.stages[0].set.insert(victim);
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::DuplicateAssignment, "duplicate a task");
+}
+
+#[test]
+fn mutation_zero_replicas_is_degenerate() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    plan.stages[0].replicas = 0;
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::DegenerateCounts, "zero stage replicas");
+}
+
+#[test]
+fn mutation_foreign_universe_is_mismatch() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    // Rebuild stage 0's set against a universe 5 tasks larger, as if it
+    // came from a different build of the model.
+    let rebuilt = TaskSet::from_ids(g.num_tasks() + 5, plan.stages[0].set.iter());
+    plan.stages[0].set = rebuilt;
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::UniverseMismatch, "foreign universe");
+}
+
+#[test]
+fn mutation_replica_explosion_oversubscribes_devices() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    plan.stages[0].replicas += 1000;
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::DeviceOversubscription, "replica explosion");
+}
+
+#[test]
+fn mutation_inflated_micro_batch_is_infeasible() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    plan.stages[0].micro_batch = plan.batch_size; // x microbatches > batch
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::MicrobatchInfeasible, "inflate micro_batch");
+}
+
+#[test]
+fn mutation_emptied_stage_is_reported() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    plan.stages[0].set = TaskSet::new(g.num_tasks());
+    let report = verify_plan(&g, &plan.view(), &cluster);
+    assert_code(&report, Code::EmptyStage, "empty a stage");
+}
+
+#[test]
+fn structural_subset_catches_decode_visible_mutations() {
+    // the graph-free pass plan_io runs on load sees the same structural
+    // corruptions
+    let (_, _, mut plan) = multi_stage_fixture();
+    plan.replica_factor = 0;
+    let report = verify_plan_structure(&plan.view());
+    assert_code(&report, Code::DegenerateCounts, "zero replica_factor");
+}
+
+// ---- graph mutations ------------------------------------------------
+
+#[test]
+fn graph_mutation_cycle_detected() {
+    use rannc::graph::{DType, OpKind, TaskGraph, ValueKind};
+    // hand-assembled 2-cycle: t0 consumes b and produces a, t1 the reverse
+    let mut g = TaskGraph::new("cyclic");
+    let x = g.add_value("x", [4], DType::F32, ValueKind::Input);
+    let a = g.add_value("a", [4], DType::F32, ValueKind::Activation);
+    let b = g.add_value("b", [4], DType::F32, ValueKind::Activation);
+    g.add_task("t0", OpKind::Add, vec![x, b], vec![a]).unwrap();
+    g.add_task("t1", OpKind::Relu, vec![a], vec![b]).unwrap();
+    g.mark_output(b);
+    let report = verify_graph(&g);
+    assert!(report.has_code(Code::GraphCycle), "{}", report.render());
+}
+
+#[test]
+fn graph_mutation_bad_shape_detected() {
+    use rannc::graph::{DType, OpKind, TaskGraph, ValueKind};
+    // a matmul whose recorded output shape contradicts its inputs
+    let mut g = TaskGraph::new("bad-matmul");
+    let x = g.add_value("x", [4, 8], DType::F32, ValueKind::Input);
+    let w = g.add_value("w", [8, 16], DType::F32, ValueKind::Param);
+    let y = g.add_value("y", [4, 17], DType::F32, ValueKind::Activation);
+    g.add_task("mm", OpKind::MatMul, vec![x, w], vec![y])
+        .unwrap();
+    g.mark_output(y);
+    let report = verify_graph(&g);
+    assert!(
+        report.has_code(Code::ShapeRuleViolation),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn graph_mutation_mislabeled_static_detected() {
+    use rannc::graph::{DType, OpKind, TaskGraph, ValueKind};
+    // an Activation no task produces: its static marker lies
+    let mut g = TaskGraph::new("mislabeled");
+    let ghost = g.add_value("ghost", [4], DType::F32, ValueKind::Activation);
+    let y = g.add_value("y", [4], DType::F32, ValueKind::Activation);
+    g.add_task("t0", OpKind::Relu, vec![ghost], vec![y])
+        .unwrap();
+    g.mark_output(y);
+    let report = verify_graph(&g);
+    assert!(
+        report.has_code(Code::MislabeledStatic),
+        "{}",
+        report.render()
+    );
+}
+
+// ---- schedule mutations ---------------------------------------------
+
+#[test]
+fn schedule_mutation_truncated_order_is_incomplete() {
+    let mut model = rannc::pipeline::schedule_model(SyncSchedule::FillDrain, 3, 4);
+    model.orders[2].pop();
+    let report = verify_schedule(&model);
+    assert!(
+        report.has_code(Code::ScheduleIncomplete),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn schedule_mutation_warmup_mismatch_deadlocks() {
+    use PhaseKind::{Backward as B, Forward as F};
+    // stage 0 runs eager 1F1B (no warmup) while stage 1 expects
+    // fill-drain: a cross-stage wait cycle, caught statically
+    let model = ScheduleModel {
+        stages: 2,
+        microbatches: 2,
+        orders: vec![
+            vec![(F, 0), (B, 0), (F, 1), (B, 1)],
+            vec![(F, 0), (F, 1), (B, 0), (B, 1)],
+        ],
+    };
+    let report = verify_schedule(&model);
+    assert!(
+        report.has_code(Code::ScheduleDeadlock),
+        "{}",
+        report.render()
+    );
+}
+
+// ---- clean sweep: bundled models × clusters -------------------------
+
+#[test]
+fn all_bundled_models_verify_clean_on_16_and_32_devices() {
+    // the acceptance sweep: graph, plan and both schedules must be free
+    // of error diagnostics for every bundled model on 16- and 32-device
+    // clusters (warnings allowed)
+    let graphs = [
+        bert_graph(&BertConfig::tiny()),
+        gpt_graph(&GptConfig::tiny()),
+        t5_graph(&T5Config::tiny()),
+        resnet_graph(&ResNetConfig::tiny()),
+        mlp_graph(&MlpConfig::deep(256, 256, 8, 10)),
+    ];
+    for nodes in [2usize, 4] {
+        let cluster = ClusterSpec::v100_cluster(nodes);
+        for g in &graphs {
+            let graph_report = verify_graph(g);
+            assert!(
+                !graph_report.has_errors(),
+                "{} graph on {nodes} nodes:\n{}",
+                g.name,
+                graph_report.render()
+            );
+            let plan = Rannc::new(PartitionConfig::new(256).with_k(8))
+                .partition(g, &cluster)
+                .unwrap_or_else(|e| panic!("{} on {nodes} nodes failed: {e}", g.name));
+            let report = verify_plan(g, &plan.view(), &cluster);
+            assert!(
+                !report.has_errors(),
+                "{} plan on {nodes} nodes:\n{}",
+                g.name,
+                report.render()
+            );
+            for schedule in [SyncSchedule::FillDrain, SyncSchedule::OneFOneB] {
+                let model =
+                    rannc::pipeline::schedule_model(schedule, plan.stages.len(), plan.microbatches);
+                let sreport = verify_schedule(&model);
+                assert!(
+                    sreport.is_clean(),
+                    "{} {schedule:?} on {nodes} nodes:\n{}",
+                    g.name,
+                    sreport.render()
+                );
+            }
+        }
+    }
+}
