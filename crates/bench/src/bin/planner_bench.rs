@@ -1,0 +1,111 @@
+//! `planner_bench` — end-to-end partition-search timing.
+//!
+//! Times Algorithm 2 twice per bundled model: the sequential baseline
+//! (`form_stage_seq`) and the parallel engine (concurrent `(S, MB)`
+//! sweep + shared stage-cost cache), then writes `BENCH_partition.json`
+//! with wall-clock numbers, speedups, and cache counters.
+//!
+//! ```sh
+//! planner_bench                      # full grid, 4 threads
+//! planner_bench --quick --check      # CI smoke: small grid + self-validate
+//! planner_bench --threads 8 --out /tmp/bench.json
+//! ```
+//!
+//! With `--check` the binary exits nonzero if the emitted JSON is
+//! malformed, any engine plan differs from the sequential baseline, or
+//! the shared cache never hit (the memoization would be dead weight).
+
+use rannc_bench::planner;
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    let mut threads = 4usize;
+    let mut repeats = 3usize;
+    let mut out = String::from("BENCH_partition.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--repeat" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--repeat needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: planner_bench [--quick] [--check] [--threads N] [--repeat N] [--out FILE]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = planner::run(quick, threads, repeats);
+    let json = planner::to_json(&report);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "planner_bench: wrote {out} | geomean speedup {:.2}x over {} case(s)",
+        report.geomean_speedup(),
+        report.cases.len()
+    );
+
+    if check {
+        if let Err(e) = planner::validate_json(&json) {
+            eprintln!("check failed: emitted JSON is malformed: {e}");
+            std::process::exit(1);
+        }
+        let mut failed = false;
+        for c in &report.cases {
+            if !c.plans_identical {
+                eprintln!(
+                    "check failed: {} engine plan differs from baseline",
+                    c.model
+                );
+                failed = true;
+            }
+            if c.search.stage_cache.hits == 0 {
+                eprintln!("check failed: {} shared stage cache never hit", c.model);
+                failed = true;
+            }
+            if c.profiler_cache.hit_rate() <= 0.0 {
+                eprintln!("check failed: {} profiler cache hit rate is zero", c.model);
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check passed: valid JSON, identical plans, nonzero cache hit rates");
+    }
+}

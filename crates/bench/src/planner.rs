@@ -1,0 +1,499 @@
+//! Planner bench: end-to-end partition-search timing, sequential baseline
+//! vs the parallel engine, with cache observability.
+//!
+//! Each case builds a bundled model, runs the block phase once, then
+//! times Algorithm 2 twice over the *same* block list:
+//!
+//! 1. **baseline** — [`form_stage_seq`]: single thread, no cross-DP
+//!    cache (the historical scan);
+//! 2. **engine** — [`form_stage_with`]: the concurrent `(S, MB)` sweep
+//!    with the shared stage-cost cache.
+//!
+//! Both runs get a fresh profiler so neither inherits the other's memo
+//! state. The two plans are compared field-by-field (bit-identical
+//! objective values included) — the speedup claim is only meaningful if
+//! faster returns the *same* answer. Results are emitted as
+//! `BENCH_partition.json` so the perf trajectory is tracked PR over PR.
+
+use rannc::core::{
+    atomic_partition, block_partition, form_stage_seq, form_stage_with, Block, BlockLimits,
+    DpSolution, SearchOptions, SearchStats,
+};
+use rannc::graph::TaskGraph;
+use rannc::hw::ClusterSpec;
+use rannc::models::{
+    bert_graph, gpt_graph, mlp_graph, resnet_graph, BertConfig, GptConfig, MlpConfig, ResNetConfig,
+    ResNetDepth,
+};
+use rannc::profile::{CacheStats, Profiler, ProfilerOptions};
+use std::time::Instant;
+
+/// One benchmark configuration.
+pub struct BenchCase {
+    /// Human-readable model label (also the JSON `model` field).
+    pub name: String,
+    /// The model graph.
+    pub graph: TaskGraph,
+    /// Compute nodes (8 devices each).
+    pub nodes: usize,
+    /// Global mini-batch size.
+    pub batch: usize,
+    /// Block count `k`.
+    pub k: usize,
+}
+
+/// The bundled grid: BERT / ResNet / GPT at 16, 32 and 64 devices.
+/// `quick` swaps in small models for the CI smoke run.
+pub fn cases(quick: bool) -> Vec<BenchCase> {
+    if quick {
+        return vec![
+            BenchCase {
+                name: "mlp-12l".into(),
+                graph: mlp_graph(&MlpConfig::deep(128, 128, 12, 10)),
+                nodes: 2,
+                batch: 64,
+                k: 8,
+            },
+            BenchCase {
+                name: "bert-4l".into(),
+                graph: bert_graph(&BertConfig::enlarged(256, 4)),
+                nodes: 2,
+                batch: 64,
+                k: 8,
+            },
+        ];
+    }
+    vec![
+        // the acceptance config: 64-layer BERT
+        BenchCase {
+            name: "bert-64l".into(),
+            graph: bert_graph(&BertConfig::enlarged(1024, 64)),
+            nodes: 2,
+            batch: 64,
+            k: 16,
+        },
+        BenchCase {
+            name: "bert-24l".into(),
+            graph: bert_graph(&BertConfig::enlarged(1024, 24)),
+            nodes: 4,
+            batch: 128,
+            k: 16,
+        },
+        BenchCase {
+            name: "gpt-24l".into(),
+            graph: gpt_graph(&GptConfig::enlarged(1024, 24)),
+            nodes: 8,
+            batch: 256,
+            k: 16,
+        },
+        BenchCase {
+            name: "resnet50x2".into(),
+            graph: resnet_graph(&ResNetConfig::new(ResNetDepth::R50, 2)),
+            nodes: 2,
+            batch: 64,
+            k: 16,
+        },
+    ]
+}
+
+/// Timed outcome of one case.
+pub struct CaseResult {
+    /// Model label.
+    pub model: String,
+    /// Total devices in the cluster.
+    pub devices: usize,
+    /// Global batch size.
+    pub batch: usize,
+    /// Block count.
+    pub k: usize,
+    /// Tasks in the graph.
+    pub tasks: usize,
+    /// Blocks produced by the block phase.
+    pub blocks: usize,
+    /// Graph build + block phase, seconds (shared by both runs).
+    pub prep_seconds: f64,
+    /// Sequential baseline search, seconds.
+    pub seq_seconds: f64,
+    /// Parallel engine search, seconds.
+    pub engine_seconds: f64,
+    /// Whether the two searches produced identical plans.
+    pub plans_identical: bool,
+    /// Stage count of the chosen plan (0 = infeasible).
+    pub plan_stages: usize,
+    /// Engine search counters (incl. shared stage-cost cache).
+    pub search: SearchStats,
+    /// Engine-run profiler cache counters.
+    pub profiler_cache: CacheStats,
+}
+
+impl CaseResult {
+    /// Baseline time over engine time (1.0 when the engine measured 0).
+    pub fn speedup(&self) -> f64 {
+        if self.engine_seconds > 0.0 {
+            self.seq_seconds / self.engine_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A full bench run.
+pub struct BenchReport {
+    /// Worker threads the engine ran with.
+    pub threads: usize,
+    /// Quick (CI) grid or the full grid.
+    pub quick: bool,
+    /// Per-case results.
+    pub cases: Vec<CaseResult>,
+}
+
+impl BenchReport {
+    /// Geometric-mean speedup across cases (1.0 when empty).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.cases.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.cases.iter().map(|c| c.speedup().ln()).sum();
+        (log_sum / self.cases.len() as f64).exp()
+    }
+}
+
+fn solutions_identical(a: &Option<DpSolution>, b: &Option<DpSolution>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => {
+            a.value.to_bits() == b.value.to_bits()
+                && a.microbatches == b.microbatches
+                && a.replica_factor == b.replica_factor
+                && a.stages.len() == b.stages.len()
+                && a.stages.iter().zip(&b.stages).all(|(x, y)| {
+                    x.block_range == y.block_range
+                        && x.devices == y.devices
+                        && x.micro_batch == y.micro_batch
+                })
+        }
+        _ => false,
+    }
+}
+
+/// Run one case: block phase once, then baseline and engine searches on
+/// fresh profilers. Each side runs `repeats` times on a fresh profiler
+/// and the minimum wall time is reported — the minimum is the standard
+/// noise-robust estimator for a deterministic workload, and every
+/// repetition's plans are still compared.
+pub fn run_case(case: &BenchCase, threads: usize, repeats: usize) -> CaseResult {
+    let cluster = ClusterSpec::v100_cluster(case.nodes);
+    let mk_profiler =
+        || Profiler::new(&case.graph, cluster.device.clone(), ProfilerOptions::fp32());
+
+    let t0 = Instant::now();
+    let blocks: Vec<Block> = {
+        let profiler = mk_profiler();
+        let atomic = atomic_partition(&case.graph);
+        block_partition(
+            &case.graph,
+            &profiler,
+            &atomic,
+            BlockLimits {
+                k: case.k,
+                mem_limit: cluster.device.memory_bytes,
+                profile_batch: 1,
+            },
+        )
+    };
+    let prep_seconds = t0.elapsed().as_secs_f64();
+
+    let opts = SearchOptions {
+        threads,
+        shared_cache: true,
+    };
+    let mut seq_seconds = f64::INFINITY;
+    let mut engine_seconds = f64::INFINITY;
+    let mut plans_identical = true;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let seq_profiler = mk_profiler();
+        let t1 = Instant::now();
+        let seq = form_stage_seq(&case.graph, &seq_profiler, &blocks, &cluster, case.batch);
+        seq_seconds = seq_seconds.min(t1.elapsed().as_secs_f64());
+
+        let engine_profiler = mk_profiler();
+        let t2 = Instant::now();
+        let (eng, search) = form_stage_with(
+            &case.graph,
+            &engine_profiler,
+            &blocks,
+            &cluster,
+            case.batch,
+            &opts,
+        );
+        engine_seconds = engine_seconds.min(t2.elapsed().as_secs_f64());
+        plans_identical &= solutions_identical(&seq, &eng);
+        last = Some((eng, search, engine_profiler.cache_stats()));
+    }
+    let (eng, search, profiler_cache) = last.expect("at least one repetition");
+
+    CaseResult {
+        model: case.name.clone(),
+        devices: cluster.total_devices(),
+        batch: case.batch,
+        k: case.k,
+        tasks: case.graph.num_tasks(),
+        blocks: blocks.len(),
+        prep_seconds,
+        seq_seconds,
+        engine_seconds,
+        plans_identical,
+        plan_stages: eng.as_ref().map_or(0, |s| s.stages.len()),
+        search,
+        profiler_cache,
+    }
+}
+
+/// Run the whole grid.
+pub fn run(quick: bool, threads: usize, repeats: usize) -> BenchReport {
+    let mut results = Vec::new();
+    for case in cases(quick) {
+        eprintln!(
+            "planner_bench: {} on {} devices (batch {}, k {})...",
+            case.name,
+            case.nodes * 8,
+            case.batch,
+            case.k
+        );
+        let r = run_case(&case, threads, repeats);
+        eprintln!(
+            "  seq {:.3} s | engine {:.3} s | speedup {:.2}x | identical: {}",
+            r.seq_seconds,
+            r.engine_seconds,
+            r.speedup(),
+            r.plans_identical
+        );
+        results.push(r);
+    }
+    BenchReport {
+        threads,
+        quick,
+        cases: results,
+    }
+}
+
+fn json_cache(stats: &CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"contention\": {}, \
+         \"entries\": {}, \"shards\": {}}}",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.contention,
+        stats.entries(),
+        stats.shard_sizes.len(),
+    )
+}
+
+/// Render the report as `BENCH_partition.json` (hand-rolled: the offline
+/// dependency set has no JSON crate).
+pub fn to_json(report: &BenchReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"rannc_planner_search\",\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {:.6},\n",
+        report.geomean_speedup()
+    ));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in report.cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"devices\": {}, \"batch\": {}, \"k\": {}, \
+             \"tasks\": {}, \"blocks\": {},\n     \
+             \"prep_seconds\": {:.6}, \"seq_seconds\": {:.6}, \"engine_seconds\": {:.6}, \
+             \"speedup\": {:.6},\n     \
+             \"plans_identical\": {}, \"plan_stages\": {},\n     \
+             \"search\": {{\"candidates\": {}, \"feasible\": {}, \"node_tiers\": {}, \
+             \"threads\": {}}},\n     \
+             \"stage_cache\": {},\n     \
+             \"profiler_cache\": {}}}{}\n",
+            c.model,
+            c.devices,
+            c.batch,
+            c.k,
+            c.tasks,
+            c.blocks,
+            c.prep_seconds,
+            c.seq_seconds,
+            c.engine_seconds,
+            c.speedup(),
+            c.plans_identical,
+            c.plan_stages,
+            c.search.candidates,
+            c.search.feasible,
+            c.search.node_tiers,
+            c.search.threads,
+            json_cache(&c.search.stage_cache),
+            json_cache(&c.profiler_cache),
+            if i + 1 == report.cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal JSON well-formedness check (objects, arrays, strings, numbers,
+/// literals) — enough for the CI gate to reject a malformed emitter
+/// without pulling a JSON crate into the offline build.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            Ok(())
+        }
+        _ => {
+            for lit in ["true", "false", "null"] {
+                if b[*pos..].starts_with(lit.as_bytes()) {
+                    *pos += lit.len();
+                    return Ok(());
+                }
+            }
+            Err(format!("unexpected value at byte {pos}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_runs_and_serializes() {
+        let report = run(true, 2, 1);
+        assert_eq!(report.cases.len(), 2);
+        for c in &report.cases {
+            assert!(
+                c.plans_identical,
+                "{}: engine diverged from baseline",
+                c.model
+            );
+            assert!(c.plan_stages > 0, "{}: infeasible", c.model);
+            assert!(
+                c.search.stage_cache.hits > 0,
+                "{}: shared cache never hit",
+                c.model
+            );
+        }
+        let json = to_json(&report);
+        validate_json(&json).expect("emitted JSON is well-formed");
+        assert!(json.contains("\"cache_hit\"") || json.contains("\"hit_rate\""));
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        validate_json("{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}}").unwrap();
+        validate_json("  \"just a string\"  ").unwrap();
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("{\"a\": 1,}").is_err());
+        assert!(validate_json("[1, 2").is_err());
+        assert!(validate_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn geomean_of_empty_report_is_one() {
+        let r = BenchReport {
+            threads: 1,
+            quick: true,
+            cases: Vec::new(),
+        };
+        assert_eq!(r.geomean_speedup(), 1.0);
+    }
+}

@@ -36,6 +36,11 @@ TRAINING OPTIONS:
   --mixed             mixed-precision training (default fp32)
   --noise <SIGMA>     profiling noise amplitude (default 0)
 
+PLANNER ENGINE OPTIONS:
+  --threads <N>       worker threads for the partition search (default:
+                      RANNC_THREADS env var, else available parallelism)
+  --planner-stats     print search/cache statistics after partitioning
+
 FAULT OPTIONS (faults subcommand):
   --fail <RANK@ITER>      kill device RANK at iteration ITER (repeatable)
   --straggler <RANK@X>    rank RANK computes X times slower (repeatable)
@@ -96,6 +101,10 @@ pub struct Args {
     pub k: usize,
     pub mixed: bool,
     pub noise: f64,
+    /// Search-engine worker threads (0 = auto).
+    pub threads: usize,
+    /// Print planner cache/search statistics.
+    pub planner_stats: bool,
     pub timeline: bool,
     pub dot: Option<String>,
     pub save: Option<String>,
@@ -129,6 +138,8 @@ impl Default for Args {
             k: 32,
             mixed: false,
             noise: 0.0,
+            threads: 0,
+            planner_stats: false,
             timeline: false,
             dot: None,
             save: None,
@@ -195,6 +206,8 @@ impl Args {
                         .parse()
                         .map_err(|e| format!("--noise: {e}"))?
                 }
+                "--threads" => a.threads = num(&flag, &mut it)?,
+                "--planner-stats" => a.planner_stats = true,
                 "--timeline" => a.timeline = true,
                 "--dot" => a.dot = Some(value(&flag, &mut it)?),
                 "--save" => a.save = Some(value(&flag, &mut it)?),
@@ -368,6 +381,16 @@ mod tests {
         assert!(parse("faults --model mlp --link-degrade 0").is_err());
         assert!(parse("faults --model mlp --comm-error 1.0").is_err());
         assert!(parse("faults --model mlp --iterations 0").is_err());
+    }
+
+    #[test]
+    fn planner_engine_flags() {
+        let a = parse("--model bert --threads 4 --planner-stats").unwrap();
+        assert_eq!(a.threads, 4);
+        assert!(a.planner_stats);
+        let d = parse("--model bert").unwrap();
+        assert_eq!(d.threads, 0, "0 = auto-resolve");
+        assert!(!d.planner_stats);
     }
 
     #[test]

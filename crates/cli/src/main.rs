@@ -50,6 +50,9 @@ fn main() {
         return;
     }
 
+    if args.threads > 0 {
+        rannc::core::par::set_threads(args.threads);
+    }
     let graph = build_graph(&args);
     let mut cluster = ClusterSpec::v100_cluster(args.nodes);
     cluster.node.devices = args.gpus_per_node;
@@ -101,8 +104,18 @@ fn main() {
             }
         }
     } else {
-        match rannc.partition(&graph, &cluster) {
-            Ok(p) => p,
+        let started = std::time::Instant::now();
+        match rannc.partition_with_stats(&graph, &cluster) {
+            Ok((p, stats)) => {
+                if args.planner_stats {
+                    eprintln!(
+                        "{}\n  wall clock: {:.3} s",
+                        stats.render(),
+                        started.elapsed().as_secs_f64()
+                    );
+                }
+                p
+            }
             Err(e) => {
                 eprintln!("partitioning failed: {e}");
                 std::process::exit(1);

@@ -18,7 +18,8 @@
 //! smaller budget is tried again.
 
 use crate::blocks::Block;
-use rannc_graph::{traverse, TaskGraph, TaskSet};
+use crate::stagecache::{StageCostCache, StageEvalCtx};
+use rannc_graph::{TaskGraph, TaskSet};
 use rannc_hw::LinkSpec;
 use rannc_profile::Profiler;
 use serde::{Deserialize, Serialize};
@@ -97,118 +98,38 @@ impl DpSolution {
 
 const INF: f64 = f64::INFINITY;
 
-/// Memoised evaluator of candidate stages.
-///
-/// Caches block-range unions (with their egress byte counts) and the full
-/// `(from, to, replicas) → (fwd, bwd, mem, params)` evaluation so the
-/// O(S·B²·D²) DP loop never clones task sets or re-profiles on hot paths.
-struct StageEval<'a, 'g> {
-    g: &'g TaskGraph,
-    profiler: &'a Profiler<'g>,
-    blocks: &'a [Block],
-    p: &'a DpParams,
-    link: LinkSpec,
-    ckpt: bool,
-    act_scale: f64,
-    ranges: Vec<Option<(TaskSet, usize)>>,
-    memo: std::collections::HashMap<(u32, u32, u32), Option<StageCost>>,
-}
-
-/// Evaluated cost of one candidate stage.
-///
-/// The DP objective uses the communication-inclusive times (the paper:
-/// "the execution time required for the i-th stage includes both the
-/// computation time and the communication time to send the outputs to the
-/// following stage"); the reconstructed plan reports compute-only times so
-/// the downstream schedule simulator, which models transfers explicitly,
-/// does not double-count them.
-#[derive(Clone, Copy)]
-struct StageCost {
-    /// Forward time including egress transfer (objective term).
-    obj_f: f64,
-    /// Backward time including ingress-gradient transfer (objective term).
-    obj_b: f64,
-    /// Compute-only forward time.
-    comp_f: f64,
-    /// Compute-only backward time.
-    comp_b: f64,
-    mem: usize,
-    params: usize,
-}
-
-impl StageEval<'_, '_> {
-    /// Evaluate the stage of blocks `[from, to)` on `repl` devices.
-    /// `None` when the micro-batch would be empty or memory is exceeded.
-    fn eval(&mut self, from: usize, to: usize, repl: usize) -> Option<StageCost> {
-        let key = (from as u32, to as u32, repl as u32);
-        if let Some(hit) = self.memo.get(&key) {
-            return *hit;
-        }
-        let result = self.eval_uncached(from, to, repl);
-        self.memo.insert(key, result);
-        result
-    }
-
-    fn eval_uncached(&mut self, from: usize, to: usize, repl: usize) -> Option<StageCost> {
-        let micro = self.p.batch_size / self.p.replica_factor / self.p.microbatches / repl;
-        if micro == 0 {
-            return None;
-        }
-        let nb = self.blocks.len();
-        let ridx = from * nb + (to - 1);
-        if self.ranges[ridx].is_none() {
-            let mut set = self.blocks[from].set.clone();
-            for b in &self.blocks[from + 1..to] {
-                set.union_with(&b.set);
-            }
-            let egress = traverse::egress_bytes(self.g, &set);
-            self.ranges[ridx] = Some((set, egress));
-        }
-        let (set, egress) = self.ranges[ridx].as_ref().unwrap();
-        let prof = self
-            .profiler
-            .profile_set(set, micro, self.p.microbatches, self.ckpt);
-        if prof.mem_bytes > self.p.mem_limit {
-            return None;
-        }
-        // objective includes sending outputs onward (except the last stage)
-        let comm = if to < nb && *egress > 0 {
-            let bytes = (*egress as f64 * micro as f64 * self.act_scale) as usize;
-            self.link.transfer_time(bytes)
-        } else {
-            0.0
-        };
-        Some(StageCost {
-            obj_f: prof.fwd_time + comm,
-            obj_b: prof.bwd_time + comm,
-            comp_f: prof.fwd_time,
-            comp_b: prof.bwd_time,
-            mem: prof.mem_bytes,
-            params: prof.param_elems,
-        })
-    }
-
-    /// The cached task set of a block range (must have been evaluated).
-    fn set(&self, from: usize, to: usize) -> TaskSet {
-        let nb = self.blocks.len();
-        self.ranges[from * nb + (to - 1)]
-            .as_ref()
-            .expect("range cached during evaluation")
-            .0
-            .clone()
-    }
-}
-
 /// Algorithm 1: `form_stage_dp(B, S, D, BS, R, MB)`.
 ///
 /// Returns `None` when INFEASIBLE (no split of the blocks into `S`
 /// memory-feasible stages over exactly `D` devices exists).
+///
+/// Candidate-stage evaluations are memoised in a private
+/// [`StageCostCache`]; use [`form_stage_dp_cached`] to share one cache
+/// across DP invocations (Algorithm 2 does).
 pub fn form_stage_dp(
     g: &TaskGraph,
     profiler: &Profiler<'_>,
     blocks: &[Block],
     p: &DpParams,
     link: LinkSpec,
+) -> Option<DpSolution> {
+    form_stage_dp_cached(g, profiler, blocks, p, link, &StageCostCache::new())
+}
+
+/// Algorithm 1 with a caller-provided shared stage-cost cache.
+///
+/// The cache may be shared across any set of `(S, MB, R)` candidates over
+/// the *same* block list, batch size, memory limit and link — everything
+/// a stage cost depends on beyond those is part of the cache key. The
+/// result is bit-identical to [`form_stage_dp`]: cached evaluations are
+/// pure, so reuse cannot change any DP decision.
+pub fn form_stage_dp_cached(
+    g: &TaskGraph,
+    profiler: &Profiler<'_>,
+    blocks: &[Block],
+    p: &DpParams,
+    link: LinkSpec,
+    cache: &StageCostCache,
 ) -> Option<DpSolution> {
     let nb = blocks.len();
     let s_max = p.stages;
@@ -220,18 +141,7 @@ pub fn form_stage_dp(
     if p.batch_size / p.replica_factor / p.microbatches == 0 {
         return None;
     }
-    let ckpt = s_max > 1;
-    let mut eval = StageEval {
-        g,
-        profiler,
-        blocks,
-        p,
-        link,
-        ckpt,
-        act_scale: profiler.options().precision.activation_bytes() as f64 / 4.0,
-        ranges: vec![None; nb * nb],
-        memo: std::collections::HashMap::new(),
-    };
+    let eval = StageEvalCtx::new(g, profiler, blocks, p, link);
 
     // DP tables, flattened [s][b][d].
     let bs1 = nb + 1;
@@ -242,6 +152,13 @@ pub fn form_stage_dp(
     let mut tb = vec![0.0f64; (s_max + 1) * bs1 * ds1];
     let mut parent: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); (s_max + 1) * bs1 * ds1];
     v[idx(0, 0, 0)] = 0.0;
+
+    // Flat per-invocation memo over (b_prev, b, repl): the same triple is
+    // queried from every (s, d) cell, and an array index is an order of
+    // magnitude cheaper than the shared cache's hash + shard lock. The
+    // outer `None` means "never queried"; the inner option is the
+    // evaluation result itself.
+    let mut local: Vec<Option<Option<crate::stagecache::StageCost>>> = vec![None; nb * bs1 * ds1];
 
     let mut d_min = 1usize;
 
@@ -270,7 +187,16 @@ pub fn form_stage_dp(
                             saw_micro_zero = true;
                             continue;
                         }
-                        let Some(cost) = eval.eval(b_prev, b, repl) else {
+                        let li = (b_prev * bs1 + b) * ds1 + repl;
+                        let looked_up = match local[li] {
+                            Some(c) => c,
+                            None => {
+                                let c = eval.eval_cached(cache, b_prev, b, repl);
+                                local[li] = Some(c);
+                                c
+                            }
+                        };
+                        let Some(cost) = looked_up else {
                             continue; // over device memory
                         };
                         let cand_f = tf[idx(s - 1, b_prev, d_prev)].max(cost.obj_f);
@@ -313,9 +239,9 @@ pub fn form_stage_dp(
         let repl = d - d_prev;
         let micro = p.batch_size / p.replica_factor / p.microbatches / repl;
         let cost = eval
-            .eval(b_prev, b, repl)
+            .eval_cached(cache, b_prev, b, repl)
             .expect("reconstructed stage must be feasible");
-        let set = eval.set(b_prev, b);
+        let set = eval.range_of(cache, b_prev, b).set.clone();
         stages_rev.push(DpStage {
             set,
             block_range: (b_prev, b),

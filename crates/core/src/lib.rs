@@ -43,18 +43,20 @@ pub mod par;
 pub mod plan;
 pub mod plan_io;
 pub mod search;
+pub mod stagecache;
 pub mod uncoarsen;
 
 pub use atomic::{atomic_partition, AtomicPartition};
 pub use blocks::{block_partition, Block, BlockLimits};
-pub use dp::{form_stage_dp, DpParams, DpSolution, DpStage};
+pub use dp::{form_stage_dp, form_stage_dp_cached, DpParams, DpSolution, DpStage};
 pub use plan::{PartitionPlan, PlanError, StagePlan};
 pub use plan_io::{decode_plan, encode_plan, load_plan, save_plan, PlanIoError};
-pub use search::form_stage;
+pub use search::{form_stage, form_stage_seq, form_stage_with, SearchOptions, SearchStats};
+pub use stagecache::{StageCost, StageCostCache, StageEvalCtx, StageKey};
 
 use rannc_graph::TaskGraph;
 use rannc_hw::{ClusterSpec, Precision};
-use rannc_profile::{Profiler, ProfilerOptions};
+use rannc_profile::{CacheStats, Profiler, ProfilerOptions};
 use rannc_verify::Report;
 
 /// How [`Rannc::partition`] treats its verification post-pass.
@@ -88,6 +90,8 @@ pub struct PartitionConfig {
     pub noise_seed: u64,
     /// Static-verification post-pass behaviour (default: [`VerifyMode::Fail`]).
     pub verify: VerifyMode,
+    /// Partition-search engine options (thread count, cross-DP cache).
+    pub search: SearchOptions,
 }
 
 impl PartitionConfig {
@@ -101,6 +105,7 @@ impl PartitionConfig {
             noise_sigma: 0.0,
             noise_seed: 0,
             verify: VerifyMode::default(),
+            search: SearchOptions::default(),
         }
     }
 
@@ -127,6 +132,63 @@ impl PartitionConfig {
     pub fn with_verify(mut self, verify: VerifyMode) -> Self {
         self.verify = verify;
         self
+    }
+
+    /// Set the search-engine worker thread count (0 = auto-resolve via
+    /// [`par::max_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.search.threads = threads;
+        self
+    }
+
+    /// Set the full search-engine options.
+    pub fn with_search(mut self, search: SearchOptions) -> Self {
+        self.search = search;
+        self
+    }
+}
+
+/// Observability snapshot of one partitioning run, returned by
+/// [`Rannc::partition_with_stats`] and surfaced by the CLI's
+/// `--planner-stats` flag and the planner bench JSON.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerStats {
+    /// Profiling-oracle memo cache behaviour (hits/misses/contention,
+    /// per-shard sizes).
+    pub profiler_cache: CacheStats,
+    /// Search-engine counters, including the shared stage-cost cache.
+    pub search: SearchStats,
+}
+
+impl PlannerStats {
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let sc = &self.search.stage_cache;
+        let pc = &self.profiler_cache;
+        format!(
+            "planner stats:\n  \
+             search: {} DP candidate(s), {} feasible, {} node tier(s), {} thread(s)\n  \
+             stage cache: {} hits / {} misses ({:.1}% hit rate), {} entries, \
+             {} contended lock(s), max shard {}\n  \
+             profiler cache: {} hits / {} misses ({:.1}% hit rate), {} entries, \
+             {} contended lock(s), max shard {}",
+            self.search.candidates,
+            self.search.feasible,
+            self.search.node_tiers,
+            self.search.threads,
+            sc.hits,
+            sc.misses,
+            100.0 * sc.hit_rate(),
+            sc.entries(),
+            sc.contention,
+            sc.shard_sizes.iter().max().copied().unwrap_or(0),
+            pc.hits,
+            pc.misses,
+            100.0 * pc.hit_rate(),
+            pc.entries(),
+            pc.contention,
+            pc.shard_sizes.iter().max().copied().unwrap_or(0),
+        )
     }
 }
 
@@ -196,6 +258,16 @@ impl Rannc {
         graph: &TaskGraph,
         cluster: &ClusterSpec,
     ) -> Result<PartitionPlan, PartitionError> {
+        self.partition_with_stats(graph, cluster).map(|(p, _)| p)
+    }
+
+    /// [`Rannc::partition`], additionally returning planner observability
+    /// counters (cache hit rates, contention, search shape).
+    pub fn partition_with_stats(
+        &self,
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+    ) -> Result<(PartitionPlan, PlannerStats), PartitionError> {
         if graph.num_tasks() == 0 {
             return Err(PartitionError::EmptyGraph);
         }
@@ -220,10 +292,21 @@ impl Rannc {
                 profile_batch: self.config.profile_batch,
             },
         );
-        let sol = form_stage(graph, &profiler, &blocks, cluster, self.config.batch_size)
-            .ok_or(PartitionError::Infeasible)?;
+        let (sol, search) = form_stage_with(
+            graph,
+            &profiler,
+            &blocks,
+            cluster,
+            self.config.batch_size,
+            &self.config.search,
+        );
+        let stats = PlannerStats {
+            profiler_cache: profiler.cache_stats(),
+            search,
+        };
+        let sol = sol.ok_or(PartitionError::Infeasible)?;
         let plan = PartitionPlan::from_solution(graph.name.clone(), &sol, self.config.batch_size);
-        self.verified(graph, cluster, plan)
+        self.verified(graph, cluster, plan).map(|p| (p, stats))
     }
 
     /// The static-verification post-pass, per [`PartitionConfig::verify`].

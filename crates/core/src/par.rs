@@ -1,16 +1,59 @@
-//! Minimal scoped-thread parallel map for the profiling sweeps.
+//! Minimal scoped-thread parallel map for the profiling and search sweeps.
 //!
 //! The block-level phase profiles thousands of candidate groups per
-//! coarsening level; each evaluation is independent and the profiler is
-//! `Sync` (its memo cache is behind a mutex), so a chunked fork–join map
-//! over the standard library's scoped threads gives near-linear speedups
-//! on large graphs without pulling a task-scheduler dependency into the
-//! core crate.
+//! coarsening level and the stage-level search fans a whole `(S, MB)`
+//! candidate grid out at once; each evaluation is independent and the
+//! profiler is `Sync` (its memo cache is sharded behind per-shard
+//! mutexes), so a fork–join map over the standard library's scoped
+//! threads gives near-linear speedups on large graphs without pulling a
+//! task-scheduler dependency into the core crate.
+//!
+//! Work is claimed dynamically: workers pull fixed-size chunks from a
+//! shared atomic cursor (work-stealing-style), so uneven per-item cost —
+//! a DP invocation at `S = 8` costs far more than one at `S = 1` — does
+//! not leave threads idle behind a static partition.
+//!
+//! The worker count is resolved by [`max_threads`]: an explicit
+//! [`set_threads`] override wins, then the `RANNC_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`]. The first two
+//! make CI runs and benchmarks reproducible on shared runners.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the worker count used by [`parallel_map`] (0 clears the
+/// override). Exposed on the CLI as `--threads`.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count parallel sweeps will use: [`set_threads`] override,
+/// else `RANNC_THREADS`, else the machine's available parallelism.
+pub fn max_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("RANNC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Parallel map over a slice with deterministic output order.
 ///
 /// Falls back to a sequential map for small inputs where thread spawn
-/// overhead would dominate.
+/// overhead would dominate. For coarse-grained items where parallelism
+/// pays off even at small counts, use [`parallel_map_with`].
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -18,29 +61,55 @@ where
     F: Fn(&T) -> R + Sync,
 {
     const MIN_PARALLEL: usize = 64;
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if items.len() < MIN_PARALLEL || workers <= 1 {
+    if items.len() < MIN_PARALLEL {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(workers);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let out_chunks: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
+    parallel_map_with(items, max_threads(), f)
+}
+
+/// Parallel map with an explicit worker count and no minimum-size gate.
+///
+/// Workers claim chunks from a shared cursor, so per-item cost may be
+/// arbitrarily uneven; the output order always matches the input order.
+pub fn parallel_map_with<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Small chunks so slow items don't strand fast workers; large enough
+    // to amortize the cursor bump on fine-grained items.
+    let chunk = (items.len() / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out_chunks) {
-            let f = &f;
+        for _ in 0..workers {
+            let (f, cursor, done) = (&f, &cursor, &done);
             scope.spawn(move || {
-                for (i, item) in in_chunk.iter().enumerate() {
-                    out_chunk[i] = Some(f(item));
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    local.push((start, items[start..end].iter().map(f).collect()));
                 }
+                done.lock().unwrap().extend(local);
             });
         }
     });
-    out.into_iter()
-        .map(|r| r.expect("worker filled slot"))
-        .collect()
+    let mut chunks = done.into_inner().unwrap();
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, mut part) in chunks {
+        out.append(&mut part);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -80,5 +149,52 @@ mod tests {
         let items: Vec<u32> = (0..500).collect();
         let _ = parallel_map(&items, |_| counter.fetch_add(1, Ordering::Relaxed));
         assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn explicit_worker_count_parallelizes_small_inputs() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // 8 items is below parallel_map's gate, but parallel_map_with must
+        // still fan out: with 4 workers and blocking items, at least two
+        // distinct threads participate.
+        let items: Vec<u32> = (0..8).collect();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let out = parallel_map_with(&items, 4, |&x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            x * 2
+        });
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        assert!(seen.lock().unwrap().len() >= 2);
+    }
+
+    // One test for both resolution mechanisms: they share process-global
+    // state, so splitting them would race under the parallel test runner.
+    #[test]
+    fn thread_count_resolution_order() {
+        set_threads(3);
+        assert_eq!(max_threads(), 3, "explicit override wins");
+        set_threads(0);
+        std::env::set_var("RANNC_THREADS", "2");
+        assert_eq!(max_threads(), 2, "env var applies without override");
+        set_threads(5);
+        assert_eq!(max_threads(), 5, "override beats env var");
+        set_threads(0);
+        std::env::set_var("RANNC_THREADS", "not-a-number");
+        assert!(max_threads() >= 1, "garbage env var falls through");
+        std::env::remove_var("RANNC_THREADS");
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn uneven_chunks_still_cover_everything() {
+        for workers in [2usize, 3, 7] {
+            for n in [2usize, 5, 63, 64, 129] {
+                let items: Vec<usize> = (0..n).collect();
+                let out = parallel_map_with(&items, workers, |&x| x + 1);
+                assert_eq!(out, (1..=n).collect::<Vec<_>>(), "w={workers} n={n}");
+            }
+        }
     }
 }

@@ -11,12 +11,31 @@
 //!
 //! Aligning `D` to whole nodes keeps inter-stage traffic on NVLink, which
 //! is also why Algorithm 1 plans with the intra-node link (footnote 3).
+//!
+//! ## The parallel engine
+//!
+//! A node tier's `S × MB` candidate grid is embarrassingly parallel: each
+//! cell is one independent `form_stage_dp` invocation. [`form_stage_with`]
+//! fans the grid out over [`crate::par::parallel_map_with`] with all
+//! candidates sharing one [`StageCostCache`], so overlapping candidate
+//! stages are profiled once instead of once per DP invocation.
+//!
+//! **Determinism.** The chosen plan is bit-identical to the sequential
+//! scan's: candidate results come back in grid order (the map preserves
+//! input order), every DP result is a pure function of its parameters
+//! (cached stage costs equal fresh evaluations exactly), and the winner
+//! is the *first* candidate with the minimal score — the same
+//! tie-breaking `Iterator::min_by` applies in a sequential scan. The
+//! `determinism` integration suite pins this contract for every bundled
+//! model.
 
 use crate::blocks::Block;
-use crate::dp::{form_stage_dp, DpParams, DpSolution};
+use crate::dp::{form_stage_dp, form_stage_dp_cached, DpParams, DpSolution};
+use crate::par;
+use crate::stagecache::StageCostCache;
 use rannc_graph::TaskGraph;
 use rannc_hw::ClusterSpec;
-use rannc_profile::Profiler;
+use rannc_profile::{CacheStats, Profiler};
 
 /// Estimated wall time of one training iteration under the synchronous
 /// pipeline for a DP solution: fill–drain pipeline slots plus the
@@ -43,10 +62,59 @@ pub fn score_solution(sol: &DpSolution, cluster: &ClusterSpec) -> f64 {
     pipeline + allreduce
 }
 
+/// Tuning knobs of the partition-search engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Worker threads for the `(S, MB)` sweep; 0 resolves through
+    /// [`par::max_threads`] (override → `RANNC_THREADS` → hardware).
+    pub threads: usize,
+    /// Share one stage-cost cache across all DP invocations (cross-DP
+    /// memoization). Disabling reproduces the historical
+    /// one-memo-per-invocation behaviour — kept as the benchmark
+    /// baseline.
+    pub shared_cache: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            threads: 0,
+            shared_cache: true,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// The sequential reference configuration: one thread, no cross-DP
+    /// cache — exactly the historical scan.
+    pub fn sequential() -> Self {
+        SearchOptions {
+            threads: 1,
+            shared_cache: false,
+        }
+    }
+}
+
+/// Counters describing one [`form_stage_with`] run.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// DP invocations attempted (grid cells across all node tiers).
+    pub candidates: usize,
+    /// DP invocations that returned a feasible solution.
+    pub feasible: usize,
+    /// Node tiers (`n` values) examined.
+    pub node_tiers: usize,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// Shared stage-cost cache behaviour (zeroed when the cache is off).
+    pub stage_cache: CacheStats,
+}
+
 /// Algorithm 2: `form_stage(N, D_node, BS)`.
 ///
 /// Returns the best feasible solution, or `None` if the model cannot be
-/// partitioned onto the cluster at all (INFEASIBLE).
+/// partitioned onto the cluster at all (INFEASIBLE). Runs the parallel
+/// engine with default options; see [`form_stage_with`].
 pub fn form_stage(
     g: &TaskGraph,
     profiler: &Profiler<'_>,
@@ -54,46 +122,118 @@ pub fn form_stage(
     cluster: &ClusterSpec,
     batch_size: usize,
 ) -> Option<DpSolution> {
+    form_stage_with(
+        g,
+        profiler,
+        blocks,
+        cluster,
+        batch_size,
+        &SearchOptions::default(),
+    )
+    .0
+}
+
+/// Algorithm 2 on the sequential reference path (single thread, no
+/// cross-DP cache) — the baseline the determinism suite and the planner
+/// bench compare the engine against.
+pub fn form_stage_seq(
+    g: &TaskGraph,
+    profiler: &Profiler<'_>,
+    blocks: &[Block],
+    cluster: &ClusterSpec,
+    batch_size: usize,
+) -> Option<DpSolution> {
+    form_stage_with(
+        g,
+        profiler,
+        blocks,
+        cluster,
+        batch_size,
+        &SearchOptions::sequential(),
+    )
+    .0
+}
+
+/// Algorithm 2 with explicit engine options, returning search statistics
+/// alongside the solution.
+pub fn form_stage_with(
+    g: &TaskGraph,
+    profiler: &Profiler<'_>,
+    blocks: &[Block],
+    cluster: &ClusterSpec,
+    batch_size: usize,
+    opts: &SearchOptions,
+) -> (Option<DpSolution>, SearchStats) {
     let n_nodes = cluster.nodes;
     let d_node = cluster.node.devices;
     let mem_limit = cluster.device.memory_bytes;
     let link = cluster.planning_link();
+    let threads = if opts.threads == 0 {
+        par::max_threads()
+    } else {
+        opts.threads
+    };
+    let cache = StageCostCache::new();
+    let mut stats = SearchStats {
+        threads,
+        ..SearchStats::default()
+    };
 
     let mut n = 1usize;
     while n <= n_nodes {
+        stats.node_tiers += 1;
         let d = d_node * n;
         let r = (n_nodes / n).max(1);
-        // Collect candidates across every stage count of this node tier
-        // before choosing: for memory-tight models the minimum feasible S
-        // is often not the fastest one (more stages allow more
-        // micro-batches and finer balance), and the paper's "return Best
-        // sol in A" picks among all of a tier's solutions.
-        let mut candidates: Vec<DpSolution> = Vec::new();
+        // The tier's candidate grid, in deterministic (S asc, MB asc)
+        // order. All stage counts of the tier are collected before
+        // choosing: for memory-tight models the minimum feasible S is
+        // often not the fastest one (more stages allow more micro-batches
+        // and finer balance), and the paper's "return Best sol in A"
+        // picks among all of a tier's solutions.
+        let mut grid: Vec<DpParams> = Vec::new();
         for s in (d_node * (n - 1) + 1)..=(d_node * n) {
             let mut mb = 1usize;
             while mb <= batch_size / r {
-                let params = DpParams {
+                grid.push(DpParams {
                     stages: s,
                     devices: d,
                     batch_size,
                     replica_factor: r,
                     microbatches: mb,
                     mem_limit,
-                };
-                if let Some(sol) = form_stage_dp(g, profiler, blocks, &params, link) {
-                    candidates.push(sol);
-                }
+                });
                 mb *= 2;
             }
         }
+        stats.candidates += grid.len();
+        let run = |p: &DpParams| {
+            if opts.shared_cache {
+                form_stage_dp_cached(g, profiler, blocks, p, link, &cache)
+            } else {
+                form_stage_dp(g, profiler, blocks, p, link)
+            }
+        };
+        let solutions: Vec<Option<DpSolution>> = if threads > 1 {
+            par::parallel_map_with(&grid, threads, run)
+        } else {
+            grid.iter().map(run).collect()
+        };
+        let candidates: Vec<DpSolution> = solutions.into_iter().flatten().collect();
+        stats.feasible += candidates.len();
         if !candidates.is_empty() {
-            return candidates
+            // Deterministic tie-break: min_by keeps the *first* minimum in
+            // grid order, so the parallel sweep picks the exact candidate
+            // a sequential scan would.
+            let best = candidates
                 .into_iter()
                 .min_by(|a, b| score_solution(a, cluster).total_cmp(&score_solution(b, cluster)));
+            stats.stage_cache = cache.stats();
+            return (best, stats);
         }
         n *= 2;
     }
-    None
+    stats.stage_cache = cache.stats();
+    (None, stats)
 }
 
 #[cfg(test)]

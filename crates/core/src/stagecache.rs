@@ -1,0 +1,441 @@
+//! Shared, concurrent stage-cost cache for the partition search.
+//!
+//! Algorithm 2 invokes Algorithm 1 once per `(S, MB)` candidate, and the
+//! candidate stages those DP runs evaluate overlap massively: the same
+//! block range `[from, to)` at the same replica count reappears across
+//! every stage count of a node tier, and the same range union is needed
+//! by every micro-batch count. Historically each `form_stage_dp`
+//! invocation rebuilt its memo from zero; this module lifts both memo
+//! layers out of the DP so all candidates share them:
+//!
+//! * **range cache** — `(from, to) → (task-set union, egress bytes)`,
+//!   the expensive `TaskSet` unions, shared by *every* candidate;
+//! * **cost cache** — [`StageKey`] `→ Option<StageCost>`, the profiled
+//!   stage evaluations, keyed by everything a stage cost depends on:
+//!   block range, replica count, micro-batch size, in-flight micro-batch
+//!   count and checkpointing flag.
+//!
+//! Both maps are sharded N ways by key hash, so the parallel `(S, MB)`
+//! sweep scales instead of serializing on one mutex. Hit/miss/contention
+//! counters are exported as [`rannc_profile::CacheStats`] for
+//! `--planner-stats` and the planner bench.
+//!
+//! Determinism: a cached cost is bit-identical to a fresh evaluation
+//! (the evaluation is a pure function of the key plus search-constant
+//! context), so DP results — and therefore the chosen plan — cannot
+//! depend on which thread happened to fill an entry first. The property
+//! test `prop_stagecache.rs` holds this contract.
+
+use crate::blocks::Block;
+use crate::dp::DpParams;
+use rannc_graph::{traverse, TaskGraph, TaskSet};
+use rannc_hw::LinkSpec;
+use rannc_profile::{CacheStats, Profiler};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Shards per map; chosen by key hash.
+const SHARDS: usize = 16;
+
+/// Evaluated cost of one candidate stage.
+///
+/// The DP objective uses the communication-inclusive times (the paper:
+/// "the execution time required for the i-th stage includes both the
+/// computation time and the communication time to send the outputs to the
+/// following stage"); the reconstructed plan reports compute-only times so
+/// the downstream schedule simulator, which models transfers explicitly,
+/// does not double-count them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCost {
+    /// Forward time including egress transfer (objective term).
+    pub obj_f: f64,
+    /// Backward time including ingress-gradient transfer (objective term).
+    pub obj_b: f64,
+    /// Compute-only forward time.
+    pub comp_f: f64,
+    /// Compute-only backward time.
+    pub comp_b: f64,
+    /// Profiled memory, bytes.
+    pub mem: usize,
+    /// Parameter elements in the stage.
+    pub params: usize,
+}
+
+/// Everything a stage cost depends on, across all `(S, MB)` candidates
+/// of a search (the batch size, link and memory limit are constant for
+/// one search and live in [`StageEvalCtx`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageKey {
+    /// Start of the half-open block range.
+    pub from: u32,
+    /// End of the half-open block range.
+    pub to: u32,
+    /// Devices (data-parallel replicas) the stage runs on.
+    pub repl: u32,
+    /// Per-replica micro-batch size the stage is profiled at.
+    pub micro_batch: u32,
+    /// Micro-batches in flight at the memory peak (= `MB`).
+    pub inflight: u32,
+    /// Whether gradient checkpointing is active (`S > 1`).
+    pub ckpt: bool,
+}
+
+impl StageKey {
+    fn shard(&self) -> usize {
+        let mix = splitmix(
+            (self.from as u64)
+                | ((self.to as u64) << 16)
+                | ((self.repl as u64) << 32)
+                    ^ ((self.micro_batch as u64) << 40)
+                    ^ ((self.inflight as u64) << 52)
+                    ^ ((self.ckpt as u64) << 63),
+        );
+        (mix as usize) % SHARDS
+    }
+}
+
+/// Cached union of a block range.
+pub struct RangeInfo {
+    /// Union of the range's block task sets.
+    pub set: TaskSet,
+    /// FP32 bytes of one sample's values leaving the set.
+    pub egress: usize,
+}
+
+type RangeShard = Mutex<HashMap<(u32, u32), Arc<RangeInfo>>>;
+
+/// The shared, sharded two-layer cache. Cheap to create; create one per
+/// `form_stage` search and hand it to every DP invocation.
+pub struct StageCostCache {
+    cost: Vec<Mutex<HashMap<StageKey, Option<StageCost>>>>,
+    ranges: Vec<RangeShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    contention: AtomicU64,
+}
+
+impl Default for StageCostCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageCostCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StageCostCache {
+            cost: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            ranges: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_counting<'m, T>(&self, m: &'m Mutex<T>) -> MutexGuard<'m, T> {
+        match m.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                m.lock().unwrap()
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        }
+    }
+
+    /// Cached cost for `key`, or `None` if never evaluated. The inner
+    /// `Option` is the evaluation result (`None` = infeasible stage).
+    pub fn lookup(&self, key: &StageKey) -> Option<Option<StageCost>> {
+        let found = self
+            .lock_counting(&self.cost[key.shard()])
+            .get(key)
+            .copied();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record an evaluation. Concurrent duplicate inserts are harmless:
+    /// the evaluation is pure, so both threads computed the same value.
+    pub fn insert(&self, key: StageKey, value: Option<StageCost>) {
+        self.lock_counting(&self.cost[key.shard()])
+            .insert(key, value);
+    }
+
+    /// The union + egress of block range `[from, to)`, computing it with
+    /// `build` on first use.
+    pub fn range(
+        &self,
+        from: usize,
+        to: usize,
+        build: impl FnOnce() -> RangeInfo,
+    ) -> Arc<RangeInfo> {
+        let key = (from as u32, to as u32);
+        let shard = (splitmix((from as u64) << 20 | to as u64) as usize) % SHARDS;
+        if let Some(hit) = self.lock_counting(&self.ranges[shard]).get(&key) {
+            return Arc::clone(hit);
+        }
+        // Built outside the lock: unions are the expensive part.
+        let info = Arc::new(build());
+        let mut guard = self.lock_counting(&self.ranges[shard]);
+        Arc::clone(guard.entry(key).or_insert(info))
+    }
+
+    /// Snapshot of cost-cache behaviour (the range layer is bounded by
+    /// `B²` entries and not separately instrumented).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            contention: self.contention.load(Ordering::Relaxed),
+            shard_sizes: self.cost.iter().map(|s| s.lock().unwrap().len()).collect(),
+        }
+    }
+}
+
+/// Stage-evaluation context: the search-constant inputs of one
+/// `form_stage_dp` invocation, bundled so the DP, the shared cache and
+/// the property tests all evaluate candidate stages the same way.
+pub struct StageEvalCtx<'a, 'g> {
+    /// The task graph being partitioned.
+    pub g: &'g TaskGraph,
+    /// The profiling oracle.
+    pub profiler: &'a Profiler<'g>,
+    /// Topologically sorted blocks.
+    pub blocks: &'a [Block],
+    /// The DP parameters (`S`, `D`, `BS`, `R`, `MB`, memory bound).
+    pub p: DpParams,
+    /// Link used for inter-stage transfer terms.
+    pub link: LinkSpec,
+    /// Gradient checkpointing active (`S > 1`).
+    pub ckpt: bool,
+    /// Activation-precision scale relative to FP32.
+    pub act_scale: f64,
+}
+
+impl<'a, 'g> StageEvalCtx<'a, 'g> {
+    /// Build the context for one DP invocation.
+    pub fn new(
+        g: &'g TaskGraph,
+        profiler: &'a Profiler<'g>,
+        blocks: &'a [Block],
+        p: &DpParams,
+        link: LinkSpec,
+    ) -> Self {
+        StageEvalCtx {
+            g,
+            profiler,
+            blocks,
+            p: *p,
+            link,
+            ckpt: p.stages > 1,
+            act_scale: profiler.options().precision.activation_bytes() as f64 / 4.0,
+        }
+    }
+
+    /// Per-replica micro-batch size for a stage on `repl` devices
+    /// (`None` when the batch is too thin).
+    pub fn micro_batch(&self, repl: usize) -> Option<usize> {
+        let micro = self.p.batch_size / self.p.replica_factor / self.p.microbatches / repl;
+        if micro == 0 {
+            None
+        } else {
+            Some(micro)
+        }
+    }
+
+    /// The shared-cache key of a candidate stage, or `None` when the
+    /// micro-batch would be empty.
+    pub fn key(&self, from: usize, to: usize, repl: usize) -> Option<StageKey> {
+        Some(StageKey {
+            from: from as u32,
+            to: to as u32,
+            repl: repl as u32,
+            micro_batch: self.micro_batch(repl)? as u32,
+            inflight: self.p.microbatches as u32,
+            ckpt: self.ckpt,
+        })
+    }
+
+    /// Evaluate the stage of blocks `[from, to)` on `repl` devices through
+    /// the shared cache. `None` when the micro-batch would be empty or the
+    /// stage exceeds device memory.
+    pub fn eval_cached(
+        &self,
+        cache: &StageCostCache,
+        from: usize,
+        to: usize,
+        repl: usize,
+    ) -> Option<StageCost> {
+        let key = self.key(from, to, repl)?;
+        if let Some(hit) = cache.lookup(&key) {
+            return hit;
+        }
+        let range = self.range_of(cache, from, to);
+        let result = self.eval_range(&range.set, range.egress, to, key.micro_batch as usize);
+        cache.insert(key, result);
+        result
+    }
+
+    /// Evaluate the same stage without any cache — the reference the
+    /// shared cache must agree with exactly.
+    pub fn eval_fresh(&self, from: usize, to: usize, repl: usize) -> Option<StageCost> {
+        let micro = self.micro_batch(repl)?;
+        let info = self.build_range(from, to);
+        self.eval_range(&info.set, info.egress, to, micro)
+    }
+
+    /// The cached task-set union of a block range.
+    pub fn range_of(&self, cache: &StageCostCache, from: usize, to: usize) -> Arc<RangeInfo> {
+        cache.range(from, to, || self.build_range(from, to))
+    }
+
+    fn build_range(&self, from: usize, to: usize) -> RangeInfo {
+        let mut set = self.blocks[from].set.clone();
+        for b in &self.blocks[from + 1..to] {
+            set.union_with(&b.set);
+        }
+        let egress = traverse::egress_bytes(self.g, &set);
+        RangeInfo { set, egress }
+    }
+
+    fn eval_range(
+        &self,
+        set: &TaskSet,
+        egress: usize,
+        to: usize,
+        micro: usize,
+    ) -> Option<StageCost> {
+        let prof = self
+            .profiler
+            .profile_set(set, micro, self.p.microbatches, self.ckpt);
+        if prof.mem_bytes > self.p.mem_limit {
+            return None;
+        }
+        // objective includes sending outputs onward (except the last stage)
+        let comm = if to < self.blocks.len() && egress > 0 {
+            let bytes = (egress as f64 * micro as f64 * self.act_scale) as usize;
+            self.link.transfer_time(bytes)
+        } else {
+            0.0
+        };
+        Some(StageCost {
+            obj_f: prof.fwd_time + comm,
+            obj_b: prof.bwd_time + comm,
+            comp_f: prof.fwd_time,
+            comp_b: prof.bwd_time,
+            mem: prof.mem_bytes,
+            params: prof.param_elems,
+        })
+    }
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::atomic_partition;
+    use crate::blocks::{block_partition, BlockLimits};
+    use rannc_hw::{DeviceSpec, LinkSpec};
+    use rannc_models::{mlp_graph, MlpConfig};
+    use rannc_profile::ProfilerOptions;
+
+    fn setup() -> (rannc_graph::TaskGraph, Vec<Block>) {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 10, 10));
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let atomic = atomic_partition(&g);
+        let blocks = block_partition(
+            &g,
+            &profiler,
+            &atomic,
+            BlockLimits {
+                k: 6,
+                mem_limit: 32 << 30,
+                profile_batch: 4,
+            },
+        );
+        (g, blocks)
+    }
+
+    fn params(stages: usize) -> DpParams {
+        DpParams {
+            stages,
+            devices: 4,
+            batch_size: 64,
+            replica_factor: 1,
+            microbatches: 4,
+            mem_limit: 32 << 30,
+        }
+    }
+
+    #[test]
+    fn cached_equals_fresh_and_counts() {
+        let (g, blocks) = setup();
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let ctx = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink());
+        let cache = StageCostCache::new();
+        let nb = blocks.len();
+        for from in 0..nb {
+            for to in (from + 1)..=nb {
+                for repl in 1..=2usize {
+                    let cached = ctx.eval_cached(&cache, from, to, repl);
+                    let fresh = ctx.eval_fresh(from, to, repl);
+                    assert_eq!(cached, fresh, "({from},{to},{repl})");
+                    // second lookup must hit and agree
+                    assert_eq!(ctx.eval_cached(&cache, from, to, repl), fresh);
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.hits >= stats.misses, "every key queried twice");
+        assert!(stats.entries() > 0);
+    }
+
+    #[test]
+    fn keys_separate_stage_counts_via_ckpt() {
+        let (g, blocks) = setup();
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let single = StageEvalCtx::new(&g, &profiler, &blocks, &params(1), LinkSpec::nvlink());
+        let multi = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink());
+        let cache = StageCostCache::new();
+        let nb = blocks.len();
+        let a = single.eval_cached(&cache, 0, nb, 1).unwrap();
+        let b = multi.eval_cached(&cache, 0, nb, 1).unwrap();
+        // checkpointing (S > 1) adds recompute time: the cache must not
+        // conflate the two candidates
+        assert!(b.obj_b > a.obj_b);
+    }
+
+    #[test]
+    fn concurrent_fill_matches_sequential() {
+        let (g, blocks) = setup();
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let ctx = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink());
+        let cache = StageCostCache::new();
+        let nb = blocks.len();
+        let queries: Vec<(usize, usize, usize)> = (0..nb)
+            .flat_map(|f| ((f + 1)..=nb).flat_map(move |t| (1..=3usize).map(move |r| (f, t, r))))
+            .collect();
+        let par: Vec<_> = crate::par::parallel_map_with(&queries, 4, |&(f, t, r)| {
+            ctx.eval_cached(&cache, f, t, r)
+        });
+        for (i, &(f, t, r)) in queries.iter().enumerate() {
+            assert_eq!(par[i], ctx.eval_fresh(f, t, r), "({f},{t},{r})");
+        }
+    }
+}

@@ -26,4 +26,4 @@ pub mod memory;
 pub mod profiler;
 
 pub use memory::MemoryParams;
-pub use profiler::{CommCost, ProfileResult, Profiler, ProfilerOptions};
+pub use profiler::{CacheStats, CommCost, ProfileResult, Profiler, ProfilerOptions};

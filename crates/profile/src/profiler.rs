@@ -6,7 +6,13 @@ use rannc_graph::{traverse, TaskGraph, TaskSet, ValueKind};
 use rannc_hw::{DeviceSpec, LinkSpec, Precision};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Number of independently locked cache shards. A key's shard is chosen
+/// by its fingerprint hash, so concurrent `profile_set` callers touching
+/// different subcomponents almost never share a lock.
+const CACHE_SHARDS: usize = 16;
 
 /// Tunables of the analytical profiler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +104,87 @@ struct CacheKey {
     ckpt: bool,
 }
 
+impl CacheKey {
+    /// Shard index: mix every field so keys differing only in batch or
+    /// flags still spread across shards.
+    fn shard(&self) -> usize {
+        let mix = splitmix(
+            (self.fp as u64)
+                ^ (self.fp >> 64) as u64
+                ^ ((self.batch as u64) << 32)
+                ^ ((self.inflight as u64) << 1)
+                ^ self.ckpt as u64,
+        );
+        (mix as usize) % CACHE_SHARDS
+    }
+}
+
+/// Counters of a sharded memo cache, for `--planner-stats` and the bench
+/// JSON. `contention` counts lock acquisitions that found the shard busy
+/// (a `try_lock` failure before the blocking lock) — the observable the
+/// sharding exists to minimize.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then insert).
+    pub misses: u64,
+    /// Shard-lock acquisitions that initially found the lock held.
+    pub contention: u64,
+    /// Entry count per shard, in shard order.
+    pub shard_sizes: Vec<usize>,
+}
+
+impl CacheStats {
+    /// Total memoised entries across all shards.
+    pub fn entries(&self) -> usize {
+        self.shard_sizes.iter().sum()
+    }
+
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Reusable per-call scratch: a stamp vector for parameter deduplication.
+///
+/// Callers *take* a buffer (popping from the pool or allocating a fresh
+/// one), use it without holding any lock, and *put* it back. The pool
+/// lock is held only for the pop/push, so concurrent `profile_set` calls
+/// no longer serialize on a single shared buffer — the bug that made the
+/// block-profiling `parallel_map` sweep run single-file.
+struct ScratchPool {
+    bufs: Mutex<Vec<(Vec<u32>, u32)>>,
+    values: usize,
+}
+
+impl ScratchPool {
+    fn new(values: usize) -> Self {
+        ScratchPool {
+            bufs: Mutex::new(Vec::new()),
+            values,
+        }
+    }
+
+    fn take(&self) -> (Vec<u32>, u32) {
+        self.bufs
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| (vec![0u32; self.values], 0))
+    }
+
+    fn put(&self, buf: (Vec<u32>, u32)) {
+        self.bufs.lock().unwrap().push(buf);
+    }
+}
+
 /// Analytical stand-in for RaNNC's on-device profiler.
 ///
 /// Construction walks the graph once; each [`Profiler::profile_set`] call
@@ -109,8 +196,11 @@ pub struct Profiler<'g> {
     opts: ProfilerOptions,
     costs: Vec<TaskCost>,
     param_vals: Vec<u32>,
-    cache: Mutex<HashMap<CacheKey, ProfileResult>>,
-    scratch: Mutex<(Vec<u32>, u32)>,
+    cache: Vec<Mutex<HashMap<CacheKey, ProfileResult>>>,
+    scratch: ScratchPool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    contention: AtomicU64,
 }
 
 impl<'g> Profiler<'g> {
@@ -145,8 +235,25 @@ impl<'g> Profiler<'g> {
             opts,
             costs,
             param_vals,
-            cache: Mutex::new(HashMap::new()),
-            scratch: Mutex::new((vec![0u32; g.num_values()], 0)),
+            cache: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            scratch: ScratchPool::new(g.num_values()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock a cache shard, counting initial `try_lock` failures.
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, HashMap<CacheKey, ProfileResult>> {
+        match self.cache[shard].try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.cache[shard].lock().unwrap()
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
         }
     }
 
@@ -167,7 +274,18 @@ impl<'g> Profiler<'g> {
 
     /// Number of memoised profiles (for diagnostics and benches).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.cache.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Snapshot of cache behaviour since construction: hits, misses,
+    /// shard-lock contention, and per-shard entry counts.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            contention: self.contention.load(Ordering::Relaxed),
+            shard_sizes: self.cache.iter().map(|s| s.lock().unwrap().len()).collect(),
+        }
     }
 
     /// Forward time of one task at a given micro-batch size.
@@ -207,18 +325,22 @@ impl<'g> Profiler<'g> {
             inflight: inflight as u32,
             ckpt: checkpointing,
         };
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+        let shard = key.shard();
+        if let Some(hit) = self.lock_shard(shard).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
 
         let mut fwd = 0.0;
         let mut bwd = 0.0;
         let mut flops = 0.0;
         let mut inter_act = 0usize;
         let mut param_elems = 0usize;
+        let mut ingress = 0usize;
         {
-            let mut guard = self.scratch.lock().unwrap();
-            let (stamps, stamp) = &mut *guard;
+            let mut buf = self.scratch.take();
+            let (stamps, stamp) = &mut buf;
             *stamp = stamp.wrapping_add(1);
             if *stamp == 0 {
                 stamps.iter_mut().for_each(|s| *s = 0);
@@ -244,7 +366,29 @@ impl<'g> Profiler<'g> {
                         }
                     }
                 }
+                // Non-static ingress bytes, deduplicated by the same stamp
+                // epoch. Safe to share: this pass touches only non-static
+                // values, the parameter pass above only static ones, so the
+                // two never stamp the same id. Replaces a quadratic
+                // collect-then-filter over `ingress_values` that dominated
+                // the cost of a cache miss.
+                for &v in &self.g.task(t).inputs {
+                    let val = self.g.value(v);
+                    if val.kind.is_static() {
+                        continue;
+                    }
+                    let vi = v.0 as usize;
+                    if stamps[vi] == *stamp {
+                        continue;
+                    }
+                    stamps[vi] = *stamp;
+                    let produced_inside = val.producer.map(|p| set.contains(p)).unwrap_or(false);
+                    if !produced_inside {
+                        ingress += val.size_bytes();
+                    }
+                }
             }
+            self.scratch.put(buf);
         }
         // per-execution host overhead (sync, input staging)
         fwd += self.opts.invocation_overhead;
@@ -259,7 +403,6 @@ impl<'g> Profiler<'g> {
             checkpointing,
             inflight: inflight.max(1),
         };
-        let ingress = self.ingress_act_bytes(set);
         let mem_bytes = mem.stage_bytes(param_elems, ingress, inter_act, batch);
 
         let noise = self.noise_factor(key.fp ^ batch as u128);
@@ -270,17 +413,8 @@ impl<'g> Profiler<'g> {
             param_elems,
             flops,
         };
-        self.cache.lock().unwrap().insert(key, result);
+        self.lock_shard(shard).insert(key, result);
         result
-    }
-
-    /// FP32 bytes of one sample's non-static values entering `set`.
-    fn ingress_act_bytes(&self, set: &TaskSet) -> usize {
-        traverse::ingress_values(self.g, set)
-            .into_iter()
-            .filter(|&v| !self.g.value(v).kind.is_static())
-            .map(|v| self.g.value(v).size_bytes())
-            .sum()
     }
 
     /// Communication volume from `from` to `to` for one micro-batch of
@@ -436,6 +570,90 @@ mod tests {
         let r2 = p.profile_set(&s, 4, 2, true);
         assert_eq!(p.cache_len(), 1);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn cache_stats_track_hits_and_misses() {
+        let g = bert_graph(&BertConfig::tiny());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = whole_set(&g);
+        let _ = p.profile_set(&s, 4, 2, true);
+        let _ = p.profile_set(&s, 4, 2, true);
+        let _ = p.profile_set(&s, 8, 2, true);
+        let stats = p.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries(), 2);
+        assert_eq!(stats.shard_sizes.len(), CACHE_SHARDS);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_profiling_is_consistent() {
+        // Many threads profiling overlapping subcomponents must agree with
+        // a sequential profiler exactly (scratch pooling must not leak
+        // state between concurrent calls).
+        let g = bert_graph(&BertConfig::tiny());
+        let shared = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let fresh = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let n = g.num_tasks() as u32;
+        let sets: Vec<TaskSet> = (0..32u32)
+            .map(|i| {
+                let lo = (i * 7) % n;
+                let hi = (lo + 1 + (i * 13) % (n - lo)).min(n);
+                TaskSet::from_ids(n as usize, (lo..hi).map(rannc_graph::TaskId))
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for chunk in sets.chunks(8) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for s in chunk {
+                        let _ = shared.profile_set(s, 4, 2, true);
+                    }
+                });
+            }
+        });
+        for s in &sets {
+            let a = shared.profile_set(s, 4, 2, true);
+            let b = fresh.profile_set(s, 4, 2, true);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn inline_ingress_matches_reference() {
+        // The stamp-deduplicated ingress pass inside `profile_set` must
+        // agree with the straightforward collect-then-filter reference.
+        let g = bert_graph(&BertConfig::tiny());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let n = g.num_tasks() as u32;
+        for (lo, hi) in [(0, n / 2), (n / 4, 3 * n / 4), (n / 2, n), (0, n)] {
+            let set = TaskSet::from_ids(n as usize, (lo..hi).map(rannc_graph::TaskId));
+            let reference: usize = traverse::ingress_values(&g, &set)
+                .into_iter()
+                .filter(|&v| !g.value(v).kind.is_static())
+                .map(|v| g.value(v).size_bytes())
+                .sum();
+            let batch = 4;
+            let got = p.profile_set(&set, batch, 1, false);
+            let mem = MemoryParams {
+                precision: Precision::FP32,
+                checkpointing: false,
+                inflight: 1,
+            };
+            let inter: usize = set
+                .iter()
+                .filter(|t| traverse::non_constant_tasks(&g)[t.index()])
+                .flat_map(|t| g.task(t).outputs.clone())
+                .map(|v| g.value(v).size_bytes())
+                .sum();
+            assert_eq!(
+                got.mem_bytes,
+                mem.stage_bytes(got.param_elems, reference, inter, batch),
+                "range {lo}..{hi}"
+            );
+        }
     }
 
     #[test]

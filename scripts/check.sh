@@ -25,6 +25,14 @@ for nodes in 2 4; do
     done
 done
 
+echo "==> planner-bench smoke (engine vs sequential baseline, self-checked)"
+# --check exits nonzero on malformed JSON, a plan that differs from the
+# sequential baseline, or a zero cache hit rate.
+./target/release/planner_bench --quick --threads 4 --check \
+    --out BENCH_partition_quick.json \
+    || { echo "planner_bench smoke FAILED"; exit 1; }
+rm -f BENCH_partition_quick.json
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

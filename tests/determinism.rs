@@ -1,0 +1,188 @@
+//! Determinism suite for the parallel partition-search engine.
+//!
+//! The engine's contract is *bit-identical plans*: the concurrent
+//! `(S, MB)` sweep with cross-DP memoization must choose exactly the
+//! plan the historical sequential scan chooses — same stage boundaries,
+//! same device allocation, same micro-batching, same objective value to
+//! the last bit — for every bundled model and cluster size. Anything
+//! less would make planner performance a behaviour change.
+
+use rannc::core::{
+    atomic_partition, block_partition, form_stage_seq, form_stage_with, Block, BlockLimits,
+    DpSolution, PartitionConfig, Rannc, SearchOptions, VerifyMode,
+};
+use rannc::graph::TaskGraph;
+use rannc::hw::ClusterSpec;
+use rannc::models::{
+    bert_graph, gpt_graph, mlp_graph, resnet_graph, BertConfig, GptConfig, MlpConfig, ResNetConfig,
+};
+use rannc::profile::{Profiler, ProfilerOptions};
+
+fn bundled_models() -> Vec<TaskGraph> {
+    vec![
+        mlp_graph(&MlpConfig::deep(128, 128, 10, 10)),
+        bert_graph(&BertConfig::tiny()),
+        gpt_graph(&GptConfig::tiny()),
+        resnet_graph(&ResNetConfig::tiny()),
+    ]
+}
+
+fn prep<'g>(g: &'g TaskGraph, cluster: &ClusterSpec) -> (Profiler<'g>, Vec<Block>) {
+    let profiler = Profiler::new(g, cluster.device.clone(), ProfilerOptions::fp32());
+    let atomic = atomic_partition(g);
+    let blocks = block_partition(
+        g,
+        &profiler,
+        &atomic,
+        BlockLimits {
+            k: 8,
+            mem_limit: cluster.device.memory_bytes,
+            profile_batch: 1,
+        },
+    );
+    (profiler, blocks)
+}
+
+/// Field-by-field equality, with objective values compared by bit
+/// pattern — `==` on floats would let `-0.0 == 0.0` or hide NaN drift.
+fn assert_identical(seq: &Option<DpSolution>, par: &Option<DpSolution>, label: &str) {
+    match (seq, par) {
+        (None, None) => {}
+        (Some(s), Some(p)) => {
+            assert_eq!(
+                s.value.to_bits(),
+                p.value.to_bits(),
+                "{label}: objective value differs"
+            );
+            assert_eq!(s.microbatches, p.microbatches, "{label}: MB differs");
+            assert_eq!(
+                s.replica_factor, p.replica_factor,
+                "{label}: replica factor differs"
+            );
+            assert_eq!(
+                s.stages.len(),
+                p.stages.len(),
+                "{label}: stage count differs"
+            );
+            for (i, (a, b)) in s.stages.iter().zip(&p.stages).enumerate() {
+                assert_eq!(
+                    a.block_range, b.block_range,
+                    "{label}: stage {i} block range differs"
+                );
+                assert_eq!(a.devices, b.devices, "{label}: stage {i} devices differ");
+                assert_eq!(
+                    a.micro_batch, b.micro_batch,
+                    "{label}: stage {i} micro-batch differs"
+                );
+                assert_eq!(a.set, b.set, "{label}: stage {i} task set differs");
+                assert_eq!(
+                    a.fwd_time.to_bits(),
+                    b.fwd_time.to_bits(),
+                    "{label}: stage {i} fwd time differs"
+                );
+                assert_eq!(
+                    a.bwd_time.to_bits(),
+                    b.bwd_time.to_bits(),
+                    "{label}: stage {i} bwd time differs"
+                );
+            }
+        }
+        _ => panic!("{label}: one side feasible, the other not"),
+    }
+}
+
+/// Every bundled model, 16 and 32 devices: the parallel engine's plan is
+/// bit-identical to the sequential scan's.
+#[test]
+fn parallel_engine_matches_sequential_plans() {
+    for nodes in [2usize, 4] {
+        let cluster = ClusterSpec::v100_cluster(nodes);
+        for g in bundled_models() {
+            let label = format!("{} @ {} devices", g.name, cluster.total_devices());
+            let (profiler, blocks) = prep(&g, &cluster);
+            let seq = form_stage_seq(&g, &profiler, &blocks, &cluster, 64);
+            let opts = SearchOptions {
+                threads: 4,
+                shared_cache: true,
+            };
+            let (par, stats) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
+            assert_identical(&seq, &par, &label);
+            assert!(seq.is_some(), "{label}: expected feasible");
+            assert!(
+                stats.stage_cache.hits > 0,
+                "{label}: shared cache never hit"
+            );
+        }
+    }
+}
+
+/// Oversubscribed thread counts (more workers than candidates or cores)
+/// must not change the plan either.
+#[test]
+fn thread_count_does_not_change_the_plan() {
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(2);
+    let (profiler, blocks) = prep(&g, &cluster);
+    let reference = form_stage_seq(&g, &profiler, &blocks, &cluster, 64);
+    for threads in [2usize, 3, 8, 32] {
+        let opts = SearchOptions {
+            threads,
+            shared_cache: true,
+        };
+        let (sol, _) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
+        assert_identical(&reference, &sol, &format!("threads={threads}"));
+    }
+}
+
+/// The shared cache alone (single-threaded) is also plan-preserving —
+/// separates cache effects from scheduling effects if this suite ever
+/// fails.
+#[test]
+fn shared_cache_alone_preserves_plans() {
+    for g in bundled_models() {
+        let cluster = ClusterSpec::v100_cluster(2);
+        let (profiler, blocks) = prep(&g, &cluster);
+        let seq = form_stage_seq(&g, &profiler, &blocks, &cluster, 64);
+        let opts = SearchOptions {
+            threads: 1,
+            shared_cache: true,
+        };
+        let (cached, _) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
+        assert_identical(&seq, &cached, &g.name.clone());
+    }
+}
+
+/// End-to-end: `Rannc::partition` on the parallel engine passes the
+/// static verifier gate (`VerifyMode::Fail`), and its plan matches a
+/// sequential-engine partition of the same model.
+#[test]
+fn full_partition_verifies_under_fail_mode() {
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(2);
+    let parallel = Rannc::new(
+        PartitionConfig::new(64)
+            .with_k(8)
+            .with_verify(VerifyMode::Fail)
+            .with_threads(4),
+    );
+    let sequential = Rannc::new(
+        PartitionConfig::new(64)
+            .with_k(8)
+            .with_verify(VerifyMode::Fail)
+            .with_search(SearchOptions::sequential()),
+    );
+    let (plan_p, stats) = parallel
+        .partition_with_stats(&g, &cluster)
+        .expect("parallel partition verifies");
+    let plan_s = sequential
+        .partition_with_stats(&g, &cluster)
+        .expect("sequential partition verifies")
+        .0;
+    assert_eq!(plan_p.stages.len(), plan_s.stages.len());
+    for (a, b) in plan_p.stages.iter().zip(&plan_s.stages) {
+        assert_eq!(a.set, b.set);
+        assert_eq!(a.replicas, b.replicas);
+    }
+    assert_eq!(plan_p.microbatches, plan_s.microbatches);
+    assert!(stats.search.candidates > 0);
+}
