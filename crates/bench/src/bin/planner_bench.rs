@@ -12,8 +12,14 @@
 //! ```
 //!
 //! With `--check` the binary exits nonzero if the emitted JSON is
-//! malformed, any engine plan differs from the sequential baseline, or
-//! the shared cache never hit (the memoization would be dead weight).
+//! malformed, any engine plan differs from the sequential baseline, the
+//! shared cache never hit (the memoization would be dead weight), or —
+//! when tracing is off — the observability layer allocated anything
+//! during the timed runs (the zero-overhead-when-disabled contract).
+//!
+//! `--trace-out` / `--metrics-out` / `--obs-summary` export the
+//! observability artifacts of the run; `--baseline FILE` compares engine
+//! times against a committed `BENCH_partition.json` with a 3% budget.
 
 use rannc_bench::planner;
 
@@ -23,12 +29,35 @@ fn main() {
     let mut threads = 4usize;
     let mut repeats = 3usize;
     let mut out = String::from("BENCH_partition.json");
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut obs_summary = false;
+    let mut baseline: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--obs-summary" => obs_summary = true,
+            "--baseline" => {
+                baseline = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(2);
+                }));
+            }
             "--threads" => {
                 threads = args
                     .next()
@@ -57,7 +86,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: planner_bench [--quick] [--check] [--threads N] [--repeat N] [--out FILE]"
+                    "usage: planner_bench [--quick] [--check] [--threads N] [--repeat N] \
+                     [--out FILE] [--trace-out FILE] [--metrics-out FILE] [--obs-summary] \
+                     [--baseline FILE]"
                 );
                 return;
             }
@@ -66,6 +97,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    // tracing is strictly opt-in so timing runs stay unperturbed
+    if trace_out.is_some() {
+        rannc::obs::set_enabled(true);
     }
 
     let report = planner::run(quick, threads, repeats);
@@ -80,9 +116,52 @@ fn main() {
         report.cases.len()
     );
 
+    if let Some(path) = &trace_out {
+        if let Err(e) = rannc::obs::sink::write_chrome_trace(std::path::Path::new(path)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("planner_bench: wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = rannc::obs::sink::write_metrics_jsonl(std::path::Path::new(path)) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("planner_bench: wrote metrics log to {path}");
+    }
+    if obs_summary {
+        println!("\n{}", rannc::obs::sink::summary());
+    }
+    if let Some(path) = &baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        match planner::compare_baseline(&report, &text) {
+            Ok(lines) => {
+                eprintln!("baseline comparison against {path}:\n{}", lines.join("\n"));
+            }
+            Err(e) => {
+                eprintln!("baseline comparison against {path} FAILED:\n{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if check {
         if let Err(e) = planner::validate_json(&json) {
             eprintln!("check failed: emitted JSON is malformed: {e}");
+            std::process::exit(1);
+        }
+        // the zero-overhead contract: with tracing never enabled, the
+        // instrumented planner must not have allocated a single trace
+        // record during the timed runs above
+        if trace_out.is_none() && rannc::obs::trace::alloc_count() != 0 {
+            eprintln!(
+                "check failed: observability disabled but {} trace allocation(s) recorded",
+                rannc::obs::trace::alloc_count()
+            );
             std::process::exit(1);
         }
         let mut failed = false;
@@ -106,6 +185,9 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
-        eprintln!("check passed: valid JSON, identical plans, nonzero cache hit rates");
+        eprintln!(
+            "check passed: valid JSON, identical plans, nonzero cache hit rates, \
+             zero obs allocations while disabled"
+        );
     }
 }

@@ -340,115 +340,70 @@ pub fn to_json(report: &BenchReport) -> String {
     out
 }
 
-/// Minimal JSON well-formedness check (objects, arrays, strings, numbers,
-/// literals) — enough for the CI gate to reject a malformed emitter
-/// without pulling a JSON crate into the offline build.
+/// JSON well-formedness check for the CI gate, delegating to the
+/// observability crate's parser (the offline build has no JSON crate;
+/// `rannc-obs` ships its own recursive-descent one).
 pub fn validate_json(s: &str) -> Result<(), String> {
-    let bytes = s.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(())
+    rannc::obs::json::validate(s)
 }
 
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
+/// Relative tolerance for baseline comparison (the acceptance budget for
+/// disabled-observability overhead).
+pub const BASELINE_TOLERANCE: f64 = 0.03;
+/// Absolute slack added on top of the relative tolerance so microsecond
+/// scheduler jitter on sub-10ms cases cannot trip the gate.
+const BASELINE_FLOOR_SECONDS: f64 = 0.005;
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        Some(b'{') => {
-            *pos += 1;
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(());
-            }
-            loop {
-                skip_ws(b, pos);
-                parse_string(b, pos)?;
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                parse_value(b, pos)?;
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(());
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(());
-            }
-            loop {
-                parse_value(b, pos)?;
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(());
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => parse_string(b, pos),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => {
-            *pos += 1;
-            while *pos < b.len()
-                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-            {
-                *pos += 1;
-            }
-            Ok(())
-        }
-        _ => {
-            for lit in ["true", "false", "null"] {
-                if b[*pos..].starts_with(lit.as_bytes()) {
-                    *pos += lit.len();
-                    return Ok(());
-                }
-            }
-            Err(format!("unexpected value at byte {pos}"))
+/// Compare this run's engine times against a previously committed
+/// `BENCH_partition.json`. Returns one human-readable line per case; an
+/// `Err` means at least one case regressed beyond
+/// [`BASELINE_TOLERANCE`] (plus the absolute floor) or the baseline file
+/// was unusable.
+pub fn compare_baseline(report: &BenchReport, baseline: &str) -> Result<Vec<String>, String> {
+    use rannc::obs::json::{parse, Value};
+    let doc = parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let base_cases = doc
+        .get("cases")
+        .and_then(Value::as_arr)
+        .ok_or("baseline has no `cases` array")?;
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for c in &report.cases {
+        let base = base_cases
+            .iter()
+            .find(|b| b.get("model").and_then(Value::as_str) == Some(c.model.as_str()));
+        let Some(base_secs) = base
+            .and_then(|b| b.get("engine_seconds"))
+            .and_then(Value::as_f64)
+        else {
+            lines.push(format!("  {}: not in baseline, skipped", c.model));
+            continue;
+        };
+        let limit = base_secs * (1.0 + BASELINE_TOLERANCE) + BASELINE_FLOOR_SECONDS;
+        let delta_pct = (c.engine_seconds - base_secs) / base_secs * 100.0;
+        let ok = c.engine_seconds <= limit;
+        lines.push(format!(
+            "  {}: engine {:.4} s vs baseline {:.4} s ({:+.1}%) — {}",
+            c.model,
+            c.engine_seconds,
+            base_secs,
+            delta_pct,
+            if ok { "within tolerance" } else { "REGRESSION" }
+        ));
+        if !ok {
+            regressions.push(c.model.clone());
         }
     }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    if b.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
+    if regressions.is_empty() {
+        Ok(lines)
+    } else {
+        Err(format!(
+            "{}\nregressed beyond {:.0}% tolerance: {}",
+            lines.join("\n"),
+            BASELINE_TOLERANCE * 100.0,
+            regressions.join(", ")
+        ))
     }
-    *pos += 1;
-    while let Some(&c) = b.get(*pos) {
-        match c {
-            b'"' => {
-                *pos += 1;
-                return Ok(());
-            }
-            b'\\' => *pos += 2,
-            _ => *pos += 1,
-        }
-    }
-    Err("unterminated string".into())
 }
 
 #[cfg(test)]
@@ -485,6 +440,43 @@ mod tests {
         assert!(validate_json("{\"a\": 1,}").is_err());
         assert!(validate_json("[1, 2").is_err());
         assert!(validate_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn baseline_compare_flags_regressions_only() {
+        let mk = |engine_seconds: f64| BenchReport {
+            threads: 1,
+            quick: true,
+            cases: vec![CaseResult {
+                model: "bert-64l".into(),
+                devices: 16,
+                batch: 64,
+                k: 16,
+                tasks: 100,
+                blocks: 16,
+                prep_seconds: 0.01,
+                seq_seconds: 0.09,
+                engine_seconds,
+                plans_identical: true,
+                plan_stages: 2,
+                search: SearchStats::default(),
+                profiler_cache: CacheStats::default(),
+            }],
+        };
+        let baseline = r#"{"cases": [{"model": "bert-64l", "engine_seconds": 0.5}]}"#;
+        // equal, slightly faster, and just inside the 3% budget all pass
+        assert!(compare_baseline(&mk(0.5), baseline).is_ok());
+        assert!(compare_baseline(&mk(0.4), baseline).is_ok());
+        assert!(compare_baseline(&mk(0.514), baseline).is_ok());
+        // far beyond the budget fails with the case named
+        let err = compare_baseline(&mk(0.6), baseline).unwrap_err();
+        assert!(err.contains("bert-64l"), "{err}");
+        // unknown models are skipped, not failed
+        let other = r#"{"cases": [{"model": "gpt-24l", "engine_seconds": 0.001}]}"#;
+        let lines = compare_baseline(&mk(0.6), other).unwrap();
+        assert!(lines[0].contains("skipped"), "{lines:?}");
+        // garbage baseline is an error
+        assert!(compare_baseline(&mk(0.5), "not json").is_err());
     }
 
     #[test]

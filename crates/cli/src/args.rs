@@ -9,6 +9,7 @@ USAGE:
   rannc-plan --model <bert|gpt|t5|resnet|mlp> [OPTIONS]
   rannc-plan faults --model <...> [OPTIONS] [FAULT OPTIONS]
   rannc-plan verify --model <...> [OPTIONS]
+  rannc-plan obs-check [--trace FILE] [--metrics FILE]
 
 The `faults` subcommand partitions the model, then simulates a long
 training campaign under an injected fault plan with BOTH recovery
@@ -19,6 +20,12 @@ the model's task graph, a partition plan (freshly computed, or a
 deployment file via --load), and both synchronous pipeline schedules.
 Every diagnostic is printed as `severity[RV0xx]: location: message`;
 the exit code is nonzero iff any error-severity diagnostic was found.
+
+The `obs-check` subcommand validates observability artifacts produced
+by --trace-out / --metrics-out: the Chrome trace must be well-formed
+JSON with properly nested slices, and the metrics log must be valid
+JSONL with consistent counter/histogram invariants. Exits nonzero if
+either file fails validation.
 
 MODEL OPTIONS:
   --hidden <N>        hidden size (transformers/mlp; default 1024)
@@ -53,6 +60,13 @@ FAULT OPTIONS (faults subcommand):
   --replan-cost <S>       re-partition + redeploy time, seconds (default 15)
   --seed <N>              fault-plan seed (default 42)
 
+OBSERVABILITY OPTIONS:
+  --trace-out <FILE>    write a Chrome-trace (Perfetto) JSON of all spans
+  --metrics-out <FILE>  write the metrics registry as JSONL
+  --obs-summary         print a human-readable metrics summary table
+  --trace <FILE>        (obs-check) trace file to validate
+  --metrics <FILE>      (obs-check) metrics file to validate
+
 OUTPUT OPTIONS:
   --timeline          print an ASCII schedule timeline
   --dot <FILE>        write the partitioned graph in Graphviz format
@@ -69,6 +83,8 @@ pub enum Command {
     Faults,
     /// Static verification of graph, plan, and schedules.
     Verify,
+    /// Validate observability artifacts (trace/metrics files).
+    ObsCheck,
 }
 
 /// Supported model families.
@@ -105,6 +121,16 @@ pub struct Args {
     pub threads: usize,
     /// Print planner cache/search statistics.
     pub planner_stats: bool,
+    /// Write a Chrome-trace (Perfetto) JSON of all recorded spans.
+    pub trace_out: Option<String>,
+    /// Write the metrics registry as a JSONL log.
+    pub metrics_out: Option<String>,
+    /// Print the human-readable metrics summary table on exit.
+    pub obs_summary: bool,
+    /// Trace file to validate (`obs-check` subcommand).
+    pub obs_trace: Option<String>,
+    /// Metrics file to validate (`obs-check` subcommand).
+    pub obs_metrics: Option<String>,
     pub timeline: bool,
     pub dot: Option<String>,
     pub save: Option<String>,
@@ -140,6 +166,11 @@ impl Default for Args {
             noise: 0.0,
             threads: 0,
             planner_stats: false,
+            trace_out: None,
+            metrics_out: None,
+            obs_summary: false,
+            obs_trace: None,
+            obs_metrics: None,
             timeline: false,
             dot: None,
             save: None,
@@ -176,6 +207,10 @@ impl Args {
                 it.next();
                 a.command = Command::Verify;
             }
+            Some("obs-check") => {
+                it.next();
+                a.command = Command::ObsCheck;
+            }
             _ => {}
         }
         while let Some(flag) = it.next() {
@@ -208,6 +243,11 @@ impl Args {
                 }
                 "--threads" => a.threads = num(&flag, &mut it)?,
                 "--planner-stats" => a.planner_stats = true,
+                "--trace-out" => a.trace_out = Some(value(&flag, &mut it)?),
+                "--metrics-out" => a.metrics_out = Some(value(&flag, &mut it)?),
+                "--obs-summary" => a.obs_summary = true,
+                "--trace" => a.obs_trace = Some(value(&flag, &mut it)?),
+                "--metrics" => a.obs_metrics = Some(value(&flag, &mut it)?),
                 "--timeline" => a.timeline = true,
                 "--dot" => a.dot = Some(value(&flag, &mut it)?),
                 "--save" => a.save = Some(value(&flag, &mut it)?),
@@ -246,6 +286,12 @@ impl Args {
                 "--help" | "-h" => a.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
+        }
+        if a.command == Command::ObsCheck {
+            if a.obs_trace.is_none() && a.obs_metrics.is_none() && !a.help {
+                return Err("obs-check needs --trace and/or --metrics".into());
+            }
+            return Ok(a);
         }
         if !model_given && !a.help {
             return Err("--model is required".into());
@@ -391,6 +437,33 @@ mod tests {
         let d = parse("--model bert").unwrap();
         assert_eq!(d.threads, 0, "0 = auto-resolve");
         assert!(!d.planner_stats);
+    }
+
+    #[test]
+    fn observability_flags() {
+        let a =
+            parse("--model bert --trace-out /tmp/t.json --metrics-out /tmp/m.jsonl --obs-summary")
+                .unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.jsonl"));
+        assert!(a.obs_summary);
+        let d = parse("--model bert").unwrap();
+        assert_eq!(d.trace_out, None);
+        assert_eq!(d.metrics_out, None);
+        assert!(!d.obs_summary);
+    }
+
+    #[test]
+    fn obs_check_subcommand() {
+        let a = parse("obs-check --trace /tmp/t.json --metrics /tmp/m.jsonl").unwrap();
+        assert_eq!(a.command, Command::ObsCheck);
+        assert_eq!(a.obs_trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(a.obs_metrics.as_deref(), Some("/tmp/m.jsonl"));
+        // --model is not required for obs-check
+        let a = parse("obs-check --trace /tmp/t.json").unwrap();
+        assert_eq!(a.obs_metrics, None);
+        // but at least one input file is
+        assert!(parse("obs-check").is_err());
     }
 
     #[test]

@@ -49,6 +49,14 @@ fn main() {
         println!("{}", args::USAGE);
         return;
     }
+    if args.command == Command::ObsCheck {
+        run_obs_check(&args);
+        return;
+    }
+    // tracing is strictly opt-in: spans allocate nothing until enabled
+    if args.trace_out.is_some() {
+        rannc::obs::set_enabled(true);
+    }
 
     if args.threads > 0 {
         rannc::core::par::set_threads(args.threads);
@@ -106,11 +114,13 @@ fn main() {
     } else {
         let started = std::time::Instant::now();
         match rannc.partition_with_stats(&graph, &cluster) {
-            Ok((p, stats)) => {
+            Ok((p, _stats)) => {
                 if args.planner_stats {
+                    // sourced from the metrics registry (same numbers as
+                    // the per-run snapshot in a single-run process)
                     eprintln!(
                         "{}\n  wall clock: {:.3} s",
-                        stats.render(),
+                        rannc::core::PlannerStats::render_registry(),
                         started.elapsed().as_secs_f64()
                     );
                 }
@@ -133,6 +143,7 @@ fn main() {
 
     if args.command == Command::Verify {
         run_verify(&graph, &plan, &cluster);
+        finish_obs(&args);
         return;
     }
     let opts = if args.mixed {
@@ -143,10 +154,14 @@ fn main() {
     let profiler = Profiler::new(&graph, cluster.device.clone(), opts);
     if args.command == Command::Faults {
         run_faults(&args, &rannc, &plan, &profiler, &cluster);
+        finish_obs(&args);
         return;
     }
     let spec = rannc::pipeline::spec_from_plan(&plan, &profiler, &cluster).expect("valid plan");
-    let out = simulate_sync(&spec, SyncSchedule::FillDrain, args.timeline);
+    // trace export needs the per-event timeline even without --timeline
+    let want_timeline = args.timeline || args.trace_out.is_some();
+    let out = simulate_sync(&spec, SyncSchedule::FillDrain, want_timeline);
+    rannc::pipeline::publish_sim_metrics(&out.result);
     println!(
         "simulated iteration: {:.2} ms | throughput {:.1} samples/s | utilization {:.0}%",
         out.result.iteration_time * 1e3,
@@ -154,7 +169,10 @@ fn main() {
         out.result.utilization * 100.0
     );
     if let Some(tl) = out.timeline {
-        println!("\n{}", render_timeline(&tl, plan.stages.len(), 100));
+        rannc::pipeline::record_timeline("pipeline", &tl, plan.stages.len());
+        if args.timeline {
+            println!("\n{}", render_timeline(&tl, plan.stages.len(), 100));
+        }
     }
     if let Some(path) = &args.dot {
         let sets: Vec<TaskSet> = plan.stages.iter().map(|s| s.set.clone()).collect();
@@ -164,6 +182,82 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote partitioned graph to {path}");
+    }
+    finish_obs(&args);
+}
+
+/// Flush the requested observability sinks at the end of a run.
+fn finish_obs(args: &Args) {
+    if let Some(path) = &args.trace_out {
+        match rannc::obs::sink::write_chrome_trace(std::path::Path::new(path)) {
+            Ok(()) => eprintln!(
+                "wrote Chrome trace to {path} ({} events) — open in https://ui.perfetto.dev",
+                rannc::obs::trace::event_count()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match rannc::obs::sink::write_metrics_jsonl(std::path::Path::new(path)) {
+            Ok(()) => eprintln!("wrote metrics log to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.obs_summary {
+        println!("\n{}", rannc::obs::sink::summary());
+    }
+}
+
+/// The `obs-check` subcommand: validate trace/metrics artifacts.
+fn run_obs_check(args: &Args) {
+    let mut failed = false;
+    if let Some(path) = &args.obs_trace {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match rannc::obs::check::check_trace(&text) {
+                Ok(s) => println!(
+                    "trace {path}: OK — {} slices across {} lanes ({} metadata events)",
+                    s.slices, s.lanes, s.metadata
+                ),
+                Err(e) => {
+                    eprintln!("trace {path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &args.obs_metrics {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match rannc::obs::check::check_metrics(&text) {
+                Ok(s) => println!(
+                    "metrics {path}: OK — {} lines ({} counters, {} gauges, {} histograms)",
+                    s.lines(),
+                    s.counters,
+                    s.gauges,
+                    s.histograms
+                ),
+                Err(e) => {
+                    eprintln!("metrics {path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -121,10 +121,21 @@ pub fn block_partition(
 ) -> Vec<Block> {
     let mut ctx = BlockCtx::new(g, profiler, limits);
 
-    let coarse = crate::coarsen::coarsen(&mut ctx, &atomic.sets);
+    let coarse = {
+        let _s =
+            rannc_obs::trace::span("coarsen", "planner").arg_i("atoms", atomic.sets.len() as i64);
+        crate::coarsen::coarsen(&mut ctx, &atomic.sets)
+    };
     let mut groups = coarse.groups;
-    crate::uncoarsen::uncoarsen(&mut ctx, &mut groups, &coarse.merges);
-    let groups = crate::compact::compact(&mut ctx, groups);
+    {
+        let _s =
+            rannc_obs::trace::span("uncoarsen", "planner").arg_i("groups", groups.len() as i64);
+        crate::uncoarsen::uncoarsen(&mut ctx, &mut groups, &coarse.merges);
+    }
+    let groups = {
+        let _s = rannc_obs::trace::span("compact", "planner").arg_i("groups", groups.len() as i64);
+        crate::compact::compact(&mut ctx, groups)
+    };
 
     let mut blocks: Vec<Block> = groups
         .into_iter()

@@ -160,34 +160,115 @@ pub struct PlannerStats {
     pub search: SearchStats,
 }
 
+/// The rendered quantities of one cache in [`PlannerStats`] output:
+/// `[hits, misses, entries, contention, max_shard]`.
+type CacheNums = [u64; 5];
+
+fn cache_nums(s: &CacheStats) -> CacheNums {
+    [
+        s.hits,
+        s.misses,
+        s.entries() as u64,
+        s.contention,
+        s.shard_sizes.iter().max().copied().unwrap_or(0) as u64,
+    ]
+}
+
+fn cache_nums_from_registry(prefix: &str) -> CacheNums {
+    let g = |field: &str| match rannc_obs::metrics::value(&format!("{prefix}.{field}")) {
+        Some(rannc_obs::metrics::MetricValue::Gauge(v)) => v.max(0.0) as u64,
+        _ => 0,
+    };
+    [
+        g("hits"),
+        g("misses"),
+        g("entries"),
+        g("contention"),
+        g("max_shard"),
+    ]
+}
+
+/// Publish a cache snapshot as `{prefix}.{hits,misses,entries,contention,
+/// max_shard}` gauges (last-run semantics, like the rendered stats).
+pub(crate) fn publish_cache_metrics(prefix: &str, s: &CacheStats) {
+    let nums = cache_nums(s);
+    for (field, v) in ["hits", "misses", "entries", "contention", "max_shard"]
+        .iter()
+        .zip(nums)
+    {
+        rannc_obs::metrics::gauge(&format!("{prefix}.{field}")).set(v as f64);
+    }
+}
+
+fn render_planner_stats(search: [u64; 4], sc: CacheNums, pc: CacheNums) -> String {
+    let rate = |hits: u64, misses: u64| {
+        if hits + misses == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / (hits + misses) as f64
+        }
+    };
+    format!(
+        "planner stats:\n  \
+         search: {} DP candidate(s), {} feasible, {} node tier(s), {} thread(s)\n  \
+         stage cache: {} hits / {} misses ({:.1}% hit rate), {} entries, \
+         {} contended lock(s), max shard {}\n  \
+         profiler cache: {} hits / {} misses ({:.1}% hit rate), {} entries, \
+         {} contended lock(s), max shard {}",
+        search[0],
+        search[1],
+        search[2],
+        search[3],
+        sc[0],
+        sc[1],
+        rate(sc[0], sc[1]),
+        sc[2],
+        sc[3],
+        sc[4],
+        pc[0],
+        pc[1],
+        rate(pc[0], pc[1]),
+        pc[2],
+        pc[3],
+        pc[4],
+    )
+}
+
 impl PlannerStats {
     /// Multi-line human-readable rendering.
     pub fn render(&self) -> String {
-        let sc = &self.search.stage_cache;
-        let pc = &self.profiler_cache;
-        format!(
-            "planner stats:\n  \
-             search: {} DP candidate(s), {} feasible, {} node tier(s), {} thread(s)\n  \
-             stage cache: {} hits / {} misses ({:.1}% hit rate), {} entries, \
-             {} contended lock(s), max shard {}\n  \
-             profiler cache: {} hits / {} misses ({:.1}% hit rate), {} entries, \
-             {} contended lock(s), max shard {}",
-            self.search.candidates,
-            self.search.feasible,
-            self.search.node_tiers,
-            self.search.threads,
-            sc.hits,
-            sc.misses,
-            100.0 * sc.hit_rate(),
-            sc.entries(),
-            sc.contention,
-            sc.shard_sizes.iter().max().copied().unwrap_or(0),
-            pc.hits,
-            pc.misses,
-            100.0 * pc.hit_rate(),
-            pc.entries(),
-            pc.contention,
-            pc.shard_sizes.iter().max().copied().unwrap_or(0),
+        render_planner_stats(
+            [
+                self.search.candidates as u64,
+                self.search.feasible as u64,
+                self.search.node_tiers as u64,
+                self.search.threads as u64,
+            ],
+            cache_nums(&self.search.stage_cache),
+            cache_nums(&self.profiler_cache),
+        )
+    }
+
+    /// The same rendering, sourced from the global metrics registry
+    /// instead of a per-run snapshot. After a single partitioning run in
+    /// a fresh process the two are identical; across several runs the
+    /// registry view is cumulative for search counters and last-run for
+    /// cache gauges.
+    pub fn render_registry() -> String {
+        use rannc_obs::metrics::{counter_value, value, MetricValue};
+        let threads = match value("planner.search.threads") {
+            Some(MetricValue::Gauge(v)) => v.max(0.0) as u64,
+            _ => 0,
+        };
+        render_planner_stats(
+            [
+                counter_value("planner.search.candidates"),
+                counter_value("planner.search.feasible"),
+                counter_value("planner.search.node_tiers"),
+                threads,
+            ],
+            cache_nums_from_registry("planner.stage_cache"),
+            cache_nums_from_registry("planner.profiler_cache"),
         )
     }
 }
@@ -271,6 +352,9 @@ impl Rannc {
         if graph.num_tasks() == 0 {
             return Err(PartitionError::EmptyGraph);
         }
+        let _root = rannc_obs::trace::span("partition", "planner")
+            .arg_i("tasks", graph.num_tasks() as i64)
+            .arg_i("batch_size", self.config.batch_size as i64);
         let opts = ProfilerOptions {
             precision: self.config.precision,
             ..ProfilerOptions::fp32()
@@ -278,35 +362,47 @@ impl Rannc {
         .with_noise(self.config.noise_sigma, self.config.noise_seed);
         let profiler = Profiler::new(graph, cluster.device.clone(), opts);
 
-        let atomic = atomic_partition(graph);
+        let atomic = {
+            let _s = rannc_obs::trace::span("atomic", "planner");
+            atomic_partition(graph)
+        };
         if atomic.is_empty() {
             return Err(PartitionError::EmptyGraph);
         }
-        let blocks = block_partition(
-            graph,
-            &profiler,
-            &atomic,
-            BlockLimits {
-                k: self.config.k,
-                mem_limit: cluster.device.memory_bytes,
-                profile_batch: self.config.profile_batch,
-            },
-        );
-        let (sol, search) = form_stage_with(
-            graph,
-            &profiler,
-            &blocks,
-            cluster,
-            self.config.batch_size,
-            &self.config.search,
-        );
+        let blocks = {
+            let _s = rannc_obs::trace::span("blocks", "planner").arg_i("k", self.config.k as i64);
+            block_partition(
+                graph,
+                &profiler,
+                &atomic,
+                BlockLimits {
+                    k: self.config.k,
+                    mem_limit: cluster.device.memory_bytes,
+                    profile_batch: self.config.profile_batch,
+                },
+            )
+        };
+        let (sol, search) = {
+            let _s =
+                rannc_obs::trace::span("search", "planner").arg_i("blocks", blocks.len() as i64);
+            form_stage_with(
+                graph,
+                &profiler,
+                &blocks,
+                cluster,
+                self.config.batch_size,
+                &self.config.search,
+            )
+        };
         let stats = PlannerStats {
             profiler_cache: profiler.cache_stats(),
             search,
         };
+        publish_cache_metrics("planner.profiler_cache", &stats.profiler_cache);
         let sol = sol.ok_or(PartitionError::Infeasible)?;
         let plan = PartitionPlan::from_solution(graph.name.clone(), &sol, self.config.batch_size);
-        self.verified(graph, cluster, plan).map(|p| (p, stats))
+        self.verified_traced(graph, cluster, plan)
+            .map(|p| (p, stats))
     }
 
     /// The static-verification post-pass, per [`PartitionConfig::verify`].
@@ -338,6 +434,18 @@ impl Rannc {
         }
     }
 
+    /// `verified` behind a trace span (kept separate so both partition
+    /// entry points share the instrumentation).
+    fn verified_traced(
+        &self,
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+        plan: PartitionPlan,
+    ) -> Result<PartitionPlan, PartitionError> {
+        let _s = rannc_obs::trace::span("verify", "planner");
+        self.verified(graph, cluster, plan)
+    }
+
     /// Re-partition `graph` after device loss, warm-started from a
     /// previous plan.
     ///
@@ -360,6 +468,9 @@ impl Rannc {
         if graph.num_tasks() == 0 {
             return Err(PartitionError::EmptyGraph);
         }
+        let _root = rannc_obs::trace::span("repartition", "planner")
+            .arg_i("old_stages", old_plan.stages.len() as i64);
+        rannc_obs::metrics::counter("planner.repartitions").inc();
         let view = degraded.planning_view();
         if view.total_devices() == 0 {
             return Err(PartitionError::ClusterEmpty);
@@ -393,7 +504,7 @@ impl Rannc {
                     PartitionPlan::from_solution(graph.name.clone(), &sol, self.config.batch_size);
                 // Verify against the planning view: that is the capacity
                 // the warm-started search was allowed to use.
-                self.verified(graph, &view, plan)
+                self.verified_traced(graph, &view, plan)
             }
             // Coarse warm-start blocks can be infeasible where finer ones
             // are not — fall back to the full pipeline.

@@ -87,9 +87,12 @@ where
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let (f, cursor, done) = (&f, &cursor, &done);
             scope.spawn(move || {
+                if rannc_obs::enabled() {
+                    rannc_obs::trace::set_thread_name(&format!("worker-{w}"));
+                }
                 let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);

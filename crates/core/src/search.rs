@@ -110,6 +110,53 @@ pub struct SearchStats {
     pub stage_cache: CacheStats,
 }
 
+/// Single-call-site tally feeding both the per-run [`SearchStats`] (exact
+/// for this invocation, even with concurrent searches in one process) and
+/// the process-global metrics registry (cumulative, feeds
+/// `--planner-stats` and the metrics export).
+struct SearchTally {
+    stats: SearchStats,
+    candidates: rannc_obs::metrics::Counter,
+    feasible: rannc_obs::metrics::Counter,
+    node_tiers: rannc_obs::metrics::Counter,
+}
+
+impl SearchTally {
+    fn new(threads: usize) -> Self {
+        rannc_obs::metrics::gauge("planner.search.threads").set(threads as f64);
+        SearchTally {
+            stats: SearchStats {
+                threads,
+                ..SearchStats::default()
+            },
+            candidates: rannc_obs::metrics::counter("planner.search.candidates"),
+            feasible: rannc_obs::metrics::counter("planner.search.feasible"),
+            node_tiers: rannc_obs::metrics::counter("planner.search.node_tiers"),
+        }
+    }
+
+    fn tier(&mut self) {
+        self.stats.node_tiers += 1;
+        self.node_tiers.inc();
+    }
+
+    fn candidates(&mut self, n: usize) {
+        self.stats.candidates += n;
+        self.candidates.add(n as u64);
+    }
+
+    fn feasible(&mut self, n: usize) {
+        self.stats.feasible += n;
+        self.feasible.add(n as u64);
+    }
+
+    fn finish(mut self, cache: &StageCostCache) -> SearchStats {
+        self.stats.stage_cache = cache.stats();
+        crate::publish_cache_metrics("planner.stage_cache", &self.stats.stage_cache);
+        self.stats
+    }
+}
+
 /// Algorithm 2: `form_stage(N, D_node, BS)`.
 ///
 /// Returns the best feasible solution, or `None` if the model cannot be
@@ -174,14 +221,11 @@ pub fn form_stage_with(
         opts.threads
     };
     let cache = StageCostCache::new();
-    let mut stats = SearchStats {
-        threads,
-        ..SearchStats::default()
-    };
+    let mut tally = SearchTally::new(threads);
 
     let mut n = 1usize;
     while n <= n_nodes {
-        stats.node_tiers += 1;
+        tally.tier();
         let d = d_node * n;
         let r = (n_nodes / n).max(1);
         // The tier's candidate grid, in deterministic (S asc, MB asc)
@@ -205,21 +249,29 @@ pub fn form_stage_with(
                 mb *= 2;
             }
         }
-        stats.candidates += grid.len();
+        tally.candidates(grid.len());
         let run = |p: &DpParams| {
+            let _dp = rannc_obs::trace::span("dp", "planner")
+                .arg_i("S", p.stages as i64)
+                .arg_i("MB", p.microbatches as i64)
+                .arg_i("n", n as i64);
             if opts.shared_cache {
                 form_stage_dp_cached(g, profiler, blocks, p, link, &cache)
             } else {
                 form_stage_dp(g, profiler, blocks, p, link)
             }
         };
+        let sweep = rannc_obs::trace::span("sweep", "planner")
+            .arg_i("n", n as i64)
+            .arg_i("candidates", grid.len() as i64);
         let solutions: Vec<Option<DpSolution>> = if threads > 1 {
             par::parallel_map_with(&grid, threads, run)
         } else {
             grid.iter().map(run).collect()
         };
+        drop(sweep);
         let candidates: Vec<DpSolution> = solutions.into_iter().flatten().collect();
-        stats.feasible += candidates.len();
+        tally.feasible(candidates.len());
         if !candidates.is_empty() {
             // Deterministic tie-break: min_by keeps the *first* minimum in
             // grid order, so the parallel sweep picks the exact candidate
@@ -227,12 +279,11 @@ pub fn form_stage_with(
             let best = candidates
                 .into_iter()
                 .min_by(|a, b| score_solution(a, cluster).total_cmp(&score_solution(b, cluster)));
-            stats.stage_cache = cache.stats();
-            return (best, stats);
+            return (best, tally.finish(&cache));
         }
         n *= 2;
     }
-    stats.stage_cache = cache.stats();
+    let stats = tally.finish(&cache);
     (None, stats)
 }
 

@@ -1,0 +1,321 @@
+//! Validators for exported observability files — the engine behind
+//! `rannc-plan obs-check` and the round-trip test suite.
+//!
+//! [`check_trace`] parses a Chrome-trace JSON document and verifies the
+//! structural contract every consumer (Perfetto, the round-trip tests)
+//! relies on:
+//!
+//! * the root is an object with a `traceEvents` array;
+//! * every event is an object with string `ph`/`name` and numeric
+//!   `pid`/`tid`; complete (`"X"`) slices carry finite `ts` and
+//!   `dur ≥ 0` (no end-before-start);
+//! * per lane, slices are properly nested: a slice starting inside
+//!   another ends inside it too — parent/child relations never cross
+//!   lanes in the `X` model, so well-nestedness per lane is the whole
+//!   hierarchy invariant.
+//!
+//! [`check_metrics`] validates a metrics JSONL export line by line
+//! against the frozen schema in [`crate::sink`].
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// What a successful trace check observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Complete (`"X"`) slices.
+    pub slices: usize,
+    /// Metadata (`"M"`) events.
+    pub metadata: usize,
+    /// Distinct lanes carrying slices.
+    pub lanes: usize,
+    /// Slice count per name, sorted by name.
+    pub by_name: Vec<(String, usize)>,
+}
+
+impl TraceSummary {
+    /// Slices named `name`.
+    pub fn count_of(&self, name: &str) -> usize {
+        self.by_name
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, c)| *c)
+    }
+}
+
+/// Tolerance for float timestamp comparisons, microseconds.
+const EPS_US: f64 = 1e-3;
+
+fn field_str<'a>(e: &'a Value, key: &str, i: usize) -> Result<&'a str, String> {
+    e.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("event {i}: missing string `{key}`"))
+}
+
+fn field_num(e: &Value, key: &str, i: usize) -> Result<f64, String> {
+    e.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("event {i}: missing numeric `{key}`"))
+}
+
+/// Validate a Chrome-trace JSON document.
+pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
+    let root = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing `traceEvents` field")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+
+    let mut summary = TraceSummary::default();
+    // (ts, dur, name) slices per lane
+    let mut lanes: BTreeMap<u64, Vec<(f64, f64, String)>> = BTreeMap::new();
+    let mut names: BTreeMap<String, usize> = BTreeMap::new();
+
+    for (i, e) in events.iter().enumerate() {
+        if !e.is_obj() {
+            return Err(format!("event {i} is not an object"));
+        }
+        let ph = field_str(e, "ph", i)?;
+        let name = field_str(e, "name", i)?;
+        let tid = field_num(e, "tid", i)?;
+        field_num(e, "pid", i)?;
+        match ph {
+            "M" => summary.metadata += 1,
+            "X" => {
+                let ts = field_num(e, "ts", i)?;
+                let dur = field_num(e, "dur", i)?;
+                if !ts.is_finite() || !dur.is_finite() {
+                    return Err(format!("event {i} (`{name}`): non-finite ts/dur"));
+                }
+                if dur < 0.0 {
+                    return Err(format!("event {i} (`{name}`): ends before it starts"));
+                }
+                summary.slices += 1;
+                *names.entry(name.to_string()).or_insert(0) += 1;
+                lanes
+                    .entry(tid as u64)
+                    .or_default()
+                    .push((ts, dur, name.to_string()));
+            }
+            other => return Err(format!("event {i} (`{name}`): unsupported ph `{other}`")),
+        }
+    }
+
+    // per-lane nesting: sweep slices in (start asc, longer first) order
+    // with a stack of open intervals
+    for (tid, slices) in lanes.iter_mut() {
+        slices.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+        let mut stack: Vec<(f64, f64, &str)> = Vec::new(); // (start, end, name)
+        for (ts, dur, name) in slices.iter() {
+            let end = ts + dur;
+            while let Some(&(_, open_end, _)) = stack.last() {
+                if open_end <= ts + EPS_US {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(_, open_end, open_name)) = stack.last() {
+                if end > open_end + EPS_US {
+                    return Err(format!(
+                        "lane {tid}: slice `{name}` [{ts:.3}, {end:.3}] overlaps \
+                         `{open_name}` (ends {open_end:.3}) without nesting"
+                    ));
+                }
+            }
+            stack.push((*ts, end, name));
+        }
+    }
+
+    summary.lanes = lanes.len();
+    summary.by_name = names.into_iter().collect();
+    Ok(summary)
+}
+
+/// What a successful metrics check observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSummary {
+    /// Counter lines.
+    pub counters: usize,
+    /// Gauge lines.
+    pub gauges: usize,
+    /// Histogram lines.
+    pub histograms: usize,
+}
+
+impl MetricsSummary {
+    /// Total metric lines.
+    pub fn lines(&self) -> usize {
+        self.counters + self.gauges + self.histograms
+    }
+}
+
+/// Validate a metrics JSONL export.
+pub fn check_metrics(text: &str) -> Result<MetricsSummary, String> {
+    let mut summary = MetricsSummary::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let v = json::parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
+        if !v.is_obj() {
+            return Err(format!("line {n}: not a JSON object"));
+        }
+        let metric = v
+            .get("metric")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {n}: missing string `metric`"))?;
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {n}: missing string `type`"))?;
+        match kind {
+            "counter" | "gauge" => {
+                let value = v
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("line {n} (`{metric}`): missing numeric `value`"))?;
+                if kind == "counter" {
+                    if value < 0.0 || value.fract() != 0.0 {
+                        return Err(format!(
+                            "line {n} (`{metric}`): counter value {value} is not a \
+                             non-negative integer"
+                        ));
+                    }
+                    summary.counters += 1;
+                } else {
+                    summary.gauges += 1;
+                }
+            }
+            "histogram" => {
+                let count = v
+                    .get("count")
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("line {n} (`{metric}`): missing numeric `count`"))?;
+                v.get("sum")
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("line {n} (`{metric}`): missing numeric `sum`"))?;
+                let buckets = v
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or(format!("line {n} (`{metric}`): missing `buckets` array"))?;
+                let mut total = 0.0;
+                let mut last_le = f64::NEG_INFINITY;
+                for (bi, b) in buckets.iter().enumerate() {
+                    let le = b
+                        .get("le")
+                        .and_then(Value::as_f64)
+                        .ok_or(format!("line {n} (`{metric}`): bucket {bi} missing `le`"))?;
+                    let c = b.get("count").and_then(Value::as_f64).ok_or(format!(
+                        "line {n} (`{metric}`): bucket {bi} missing `count`"
+                    ))?;
+                    if le < last_le {
+                        return Err(format!(
+                            "line {n} (`{metric}`): bucket bounds not ascending"
+                        ));
+                    }
+                    last_le = le;
+                    total += c;
+                }
+                if (total - count).abs() > 0.5 {
+                    return Err(format!(
+                        "line {n} (`{metric}`): bucket counts sum to {total}, `count` is {count}"
+                    ));
+                }
+                summary.histograms += 1;
+            }
+            other => return Err(format!("line {n} (`{metric}`): unknown type `{other}`")),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::sink;
+    use crate::trace;
+    use std::borrow::Cow;
+
+    #[test]
+    fn own_exports_pass_both_checks() {
+        let _g = trace::test_guard();
+        crate::set_enabled(true);
+        trace::reset();
+        let lane = trace::lane("stage 0");
+        trace::record_slice(lane, Cow::Borrowed("F0"), "pipeline", 0.0, 10.0, Vec::new());
+        trace::record_slice(
+            lane,
+            Cow::Borrowed("B0"),
+            "pipeline",
+            12.0,
+            20.0,
+            Vec::new(),
+        );
+        {
+            let _outer = trace::span("outer", "test");
+            let _inner = trace::span("inner", "test");
+        }
+        crate::set_enabled(false);
+        let trace_text = sink::chrome_trace_json(&trace::snapshot_events());
+        trace::reset();
+
+        let summary = check_trace(&trace_text).expect("trace is well-formed");
+        assert_eq!(summary.slices, 4);
+        assert!(summary.metadata >= 1);
+        assert_eq!(summary.count_of("F0"), 1);
+        assert!(summary.lanes >= 2);
+
+        metrics::counter("test.check.counter").inc();
+        metrics::histogram("test.check.histo").observe(0.5);
+        let jsonl = sink::metrics_jsonl(&metrics::snapshot());
+        let m = check_metrics(&jsonl).expect("metrics are well-formed");
+        assert!(m.counters >= 1 && m.histograms >= 1);
+    }
+
+    #[test]
+    fn rejects_end_before_start() {
+        let bad = r#"{"traceEvents": [
+            {"ph": "X", "name": "broken", "cat": "t", "ts": 10.0, "dur": -5.0,
+             "pid": 1, "tid": 0, "args": {}}
+        ]}"#;
+        let err = check_trace(bad).unwrap_err();
+        assert!(err.contains("ends before it starts"), "{err}");
+    }
+
+    #[test]
+    fn rejects_overlapping_non_nested_slices() {
+        let bad = r#"{"traceEvents": [
+            {"ph": "X", "name": "a", "cat": "t", "ts": 0.0, "dur": 10.0,
+             "pid": 1, "tid": 7, "args": {}},
+            {"ph": "X", "name": "b", "cat": "t", "ts": 5.0, "dur": 10.0,
+             "pid": 1, "tid": 7, "args": {}}
+        ]}"#;
+        let err = check_trace(bad).unwrap_err();
+        assert!(err.contains("without nesting"), "{err}");
+        // the same two slices on different lanes are fine
+        let ok = bad.replace("\"tid\": 7, \"args\": {}},", "\"tid\": 8, \"args\": {}},");
+        assert!(check_trace(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_metrics_lines() {
+        assert!(
+            check_metrics("{\"metric\": \"x\"}").is_err(),
+            "missing type"
+        );
+        assert!(
+            check_metrics("{\"metric\": \"x\", \"type\": \"counter\", \"value\": -1}").is_err(),
+            "negative counter"
+        );
+        assert!(
+            check_metrics("{\"metric\": \"x\", \"type\": \"weird\", \"value\": 1}").is_err(),
+            "unknown type"
+        );
+        assert!(check_metrics("not json").is_err());
+        assert!(check_metrics("").is_ok(), "empty file is vacuously valid");
+    }
+}

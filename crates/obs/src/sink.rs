@@ -1,0 +1,264 @@
+//! Exporters: Chrome-trace JSON, metrics JSONL, and a human summary.
+//!
+//! ## Chrome-trace schema (frozen — see DESIGN.md §10)
+//!
+//! The trace file is one JSON object with `displayTimeUnit` and a
+//! `traceEvents` array. Two event shapes appear:
+//!
+//! * complete slices — `{"ph":"X","name":…,"cat":…,"ts":µs,"dur":µs,
+//!   "pid":1,"tid":lane,"args":{…}}`
+//! * lane metadata — `{"ph":"M","name":"thread_name","pid":1,
+//!   "tid":lane,"args":{"name":…}}`
+//!
+//! This is the subset both `chrome://tracing` and Perfetto load natively.
+//!
+//! ## Metrics JSONL schema (frozen)
+//!
+//! One JSON object per line. Counters/gauges:
+//! `{"metric":name,"type":"counter"|"gauge","value":n}`; histograms:
+//! `{"metric":name,"type":"histogram","count":n,"sum":x,
+//! "buckets":[{"le":bound,"count":n},…]}` with non-cumulative buckets.
+
+use crate::json::{escape, fmt_f64};
+use crate::metrics::{self, MetricSample, MetricValue};
+use crate::trace::{self, ArgVal, TraceEvent};
+use std::io;
+use std::path::Path;
+
+fn args_json(args: &[(&'static str, ArgVal)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": ", escape(k)));
+        match v {
+            ArgVal::Int(n) => out.push_str(&n.to_string()),
+            ArgVal::Float(f) => out.push_str(&fmt_f64(*f)),
+            ArgVal::Str(s) => out.push_str(&format!("\"{}\"", escape(s))),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render `events` (plus the registered lane names) as a Chrome-trace
+/// JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    for (tid, name) in trace::lane_names() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            escape(&name)
+        ));
+    }
+    for e in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"{}\", \"ts\": {}, \"dur\": {}, \
+             \"pid\": 1, \"tid\": {}, \"args\": {}}}",
+            escape(&e.name),
+            escape(e.cat),
+            fmt_f64(e.ts_us),
+            fmt_f64(e.dur_us),
+            e.tid,
+            args_json(&e.args),
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write the current trace buffer to `path` as Chrome-trace JSON.
+pub fn write_chrome_trace(path: &Path) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(&trace::snapshot_events()))
+}
+
+/// Render metric samples as JSONL (one metric per line).
+pub fn metrics_jsonl(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        match &s.value {
+            MetricValue::Counter(v) => out.push_str(&format!(
+                "{{\"metric\": \"{}\", \"type\": \"counter\", \"value\": {v}}}\n",
+                escape(&s.name)
+            )),
+            MetricValue::Gauge(v) => out.push_str(&format!(
+                "{{\"metric\": \"{}\", \"type\": \"gauge\", \"value\": {}}}\n",
+                escape(&s.name),
+                fmt_f64(*v)
+            )),
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{{\"metric\": \"{}\", \"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                     \"buckets\": [",
+                    escape(&s.name),
+                    h.count,
+                    fmt_f64(h.sum)
+                ));
+                for (i, (le, n)) in h.buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{{\"le\": {}, \"count\": {n}}}", fmt_f64(*le)));
+                }
+                out.push_str("]}\n");
+            }
+        }
+    }
+    out
+}
+
+/// Write the full metrics registry to `path` as JSONL.
+pub fn write_metrics_jsonl(path: &Path) -> io::Result<()> {
+    std::fs::write(path, metrics_jsonl(&metrics::snapshot()))
+}
+
+/// A human-readable summary: span totals per `(cat, name)` and every
+/// registered metric.
+pub fn summary() -> String {
+    let events = trace::snapshot_events();
+    let mut out = String::from("observability summary\n");
+
+    // aggregate slices by (cat, name)
+    let mut agg: Vec<(String, usize, f64)> = Vec::new();
+    for e in &events {
+        let key = format!("{}/{}", e.cat, e.name);
+        match agg.iter_mut().find(|(k, _, _)| *k == key) {
+            Some(row) => {
+                row.1 += 1;
+                row.2 += e.dur_us;
+            }
+            None => agg.push((key, 1, e.dur_us)),
+        }
+    }
+    agg.sort_by(|a, b| b.2.total_cmp(&a.2));
+    out.push_str(&format!(
+        "  spans: {} slice(s) on {} lane(s)\n",
+        events.len(),
+        {
+            let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+            tids.sort_unstable();
+            tids.dedup();
+            tids.len()
+        }
+    ));
+    for (key, count, total_us) in &agg {
+        out.push_str(&format!(
+            "    {key:<32} {count:>6} x  {:>10.3} ms total\n",
+            total_us / 1e3
+        ));
+    }
+
+    out.push_str("  metrics:\n");
+    for s in metrics::snapshot() {
+        match &s.value {
+            MetricValue::Counter(v) => out.push_str(&format!("    {:<40} counter   {v}\n", s.name)),
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("    {:<40} gauge     {v:.6}\n", s.name))
+            }
+            MetricValue::Histogram(h) => out.push_str(&format!(
+                "    {:<40} histogram n={} mean={:.6}\n",
+                s.name,
+                h.count,
+                h.mean()
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::borrow::Cow;
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_lane_metadata() {
+        let _g = trace::test_guard();
+        crate::set_enabled(true);
+        trace::reset();
+        let lane = trace::lane("stage 0");
+        trace::record_slice(
+            lane,
+            Cow::Borrowed("F0"),
+            "pipeline",
+            0.0,
+            10.0,
+            vec![
+                ("micro", ArgVal::Int(0)),
+                ("note", ArgVal::Str("a\"b".into())),
+            ],
+        );
+        {
+            let _s = trace::span("phase", "planner").arg_f("score", 0.5);
+        }
+        crate::set_enabled(false);
+        let json_text = chrome_trace_json(&trace::snapshot_events());
+        trace::reset();
+
+        let v = json::parse(&json_text).expect("valid trace JSON");
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(evs.len() >= 3, "metadata + 2 slices");
+        assert!(evs
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("M")));
+        let f0 = evs
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("F0"))
+            .unwrap();
+        assert_eq!(f0.get("dur").unwrap().as_f64(), Some(10.0));
+        assert_eq!(
+            f0.get("args").unwrap().get("note").unwrap().as_str(),
+            Some("a\"b")
+        );
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_parse_individually() {
+        let c = metrics::counter("test.sink.counter");
+        c.add(7);
+        metrics::gauge("test.sink.gauge").set(1.25);
+        metrics::histogram("test.sink.histo").observe(0.031);
+        let text = metrics_jsonl(&metrics::snapshot());
+        let mut seen = 0;
+        for line in text.lines() {
+            let v = json::parse(line).expect("each JSONL line is valid JSON");
+            assert!(v.get("metric").is_some() && v.get("type").is_some());
+            if v.get("metric").unwrap().as_str() == Some("test.sink.histo") {
+                assert_eq!(
+                    v.get("buckets").unwrap().as_arr().unwrap().len(),
+                    metrics::HISTOGRAM_BUCKETS
+                );
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn summary_mentions_spans_and_metrics() {
+        let _g = trace::test_guard();
+        crate::set_enabled(true);
+        trace::reset();
+        {
+            let _s = trace::span("sum-phase", "test");
+        }
+        crate::set_enabled(false);
+        metrics::counter("test.sink.summary").inc();
+        let text = summary();
+        trace::reset();
+        assert!(text.contains("test/sum-phase"), "{text}");
+        assert!(text.contains("test.sink.summary"), "{text}");
+    }
+}

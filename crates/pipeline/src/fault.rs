@@ -237,6 +237,9 @@ pub fn simulate_faulted(
             }
             RecoveryPolicy::Replan => {
                 downtime += cfg.replan_cost;
+                let _replan = rannc_obs::trace::span("replan", "faults")
+                    .arg_i("rank", rank as i64)
+                    .arg_i("at_iter", at as i64);
                 match rannc.repartition(graph, &plan, &cluster) {
                     Ok(new_plan) => {
                         // evaluate the new plan on the conservative view
@@ -287,13 +290,33 @@ pub fn simulate_faulted(
     } else {
         0.0
     };
-    Ok(FaultSimReport {
+    let report = FaultSimReport {
         wall_time: wall,
         completed_iterations: done,
         goodput,
         recoveries,
         halted,
-    })
+    };
+    publish_fault_metrics(&report);
+    Ok(report)
+}
+
+/// Export a campaign report to the metrics registry: recovery/replan
+/// counters, per-recovery downtime histogram, MTTR and goodput gauges.
+fn publish_fault_metrics(report: &FaultSimReport) {
+    use rannc_obs::metrics;
+    metrics::counter("faults.recoveries").add(report.recoveries.len() as u64);
+    metrics::counter("faults.replans")
+        .add(report.recoveries.iter().filter(|r| r.replanned).count() as u64);
+    let downtime = metrics::histogram("faults.downtime_seconds");
+    for r in &report.recoveries {
+        if r.downtime.is_finite() {
+            downtime.observe(r.downtime);
+        }
+    }
+    metrics::gauge("faults.mttr_seconds").set(report.mttr());
+    metrics::gauge("faults.goodput").set(report.goodput);
+    metrics::gauge("faults.halted").set(if report.halted { 1.0 } else { 0.0 });
 }
 
 #[cfg(test)]

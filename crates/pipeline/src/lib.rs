@@ -22,6 +22,7 @@ pub mod dataparallel;
 pub mod fault;
 pub mod spec;
 pub mod sync;
+pub mod trace;
 pub mod viz;
 
 pub use fault::{simulate_faulted, FaultSimConfig, FaultSimReport, RecoveryEvent, RecoveryPolicy};
@@ -29,6 +30,7 @@ pub use spec::{PipelineSpec, SimResult, SpecError, StageSpec};
 pub use sync::{
     schedule_model, simulate_sync, sync_work_orders, SyncSchedule, TimelineEvent, WorkKind,
 };
+pub use trace::{publish_sim_metrics, record_timeline};
 
 use rannc_core::PartitionPlan;
 use rannc_graph::traverse;

@@ -1,0 +1,153 @@
+//! Bridge from simulated pipeline timelines to the observability layer.
+//!
+//! The simulator's clock is *simulated* seconds, not the wall clock the
+//! tracing spans use. [`record_timeline`] maps a [`TimelineEvent`] batch
+//! onto Chrome-trace slices by (1) allocating one virtual lane per
+//! pipeline stage and (2) offsetting all simulated times by the current
+//! tracing clock, so the rendered schedule sits at "now" in the trace and
+//! never collides with earlier wall-clock spans. Slices are named `F{m}` /
+//! `B{m}` per micro-batch — loading the trace in Perfetto shows the
+//! fill–drain or 1F1B structure exactly like the paper's Fig. 1.
+//!
+//! [`publish_sim_metrics`] exports the aggregate schedule quality
+//! (utilization, bubble ratio, iteration time, per-stage utilization) as
+//! gauges.
+
+use crate::spec::SimResult;
+use crate::sync::{TimelineEvent, WorkKind};
+use rannc_obs::trace::{self, ArgVal};
+use std::borrow::Cow;
+
+/// Record a simulated timeline as trace slices on per-stage virtual
+/// lanes named `"{label} stage {s}"`. Returns the number of slices
+/// recorded — 0 while tracing is disabled (nothing is allocated then).
+pub fn record_timeline(label: &str, events: &[TimelineEvent], stages: usize) -> usize {
+    if !rannc_obs::enabled() || stages == 0 {
+        return 0;
+    }
+    let base_us = rannc_obs::now_us();
+    let lanes: Vec<u64> = (0..stages)
+        .map(|s| trace::lane(&format!("{label} stage {s}")))
+        .collect();
+    let mut recorded = 0usize;
+    for e in events {
+        if e.stage >= stages {
+            continue;
+        }
+        let name = match e.kind {
+            WorkKind::Forward => format!("F{}", e.micro),
+            WorkKind::Backward => format!("B{}", e.micro),
+        };
+        trace::record_slice(
+            lanes[e.stage],
+            Cow::Owned(name),
+            "pipeline",
+            base_us + e.start * 1e6,
+            (e.end - e.start).max(0.0) * 1e6,
+            vec![
+                ("micro", ArgVal::Int(e.micro as i64)),
+                ("stage", ArgVal::Int(e.stage as i64)),
+                ("sim_start_s", ArgVal::Float(e.start)),
+            ],
+        );
+        recorded += 1;
+    }
+    recorded
+}
+
+/// Publish schedule-quality gauges from a simulation result:
+/// `pipeline.utilization`, `pipeline.bubble_ratio`,
+/// `pipeline.iteration_seconds`, `pipeline.throughput`, and per-stage
+/// `pipeline.stage_utilization.{s}`.
+pub fn publish_sim_metrics(result: &SimResult) {
+    rannc_obs::metrics::gauge("pipeline.utilization").set(result.utilization);
+    rannc_obs::metrics::gauge("pipeline.bubble_ratio").set(1.0 - result.utilization);
+    rannc_obs::metrics::gauge("pipeline.iteration_seconds").set(result.iteration_time);
+    rannc_obs::metrics::gauge("pipeline.throughput").set(result.throughput);
+    for (s, busy) in result.stage_busy.iter().enumerate() {
+        let u = if result.iteration_time > 0.0 {
+            busy / result.iteration_time
+        } else {
+            0.0
+        };
+        rannc_obs::metrics::gauge(&format!("pipeline.stage_utilization.{s}")).set(u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PipelineSpec, StageSpec};
+    use crate::sync::{simulate_sync, SyncSchedule};
+    use rannc_hw::{ClusterSpec, LinkSpec};
+
+    fn spec(stages: usize, mb: usize) -> PipelineSpec {
+        PipelineSpec {
+            stages: (0..stages)
+                .map(|_| StageSpec {
+                    fwd_time: 0.01,
+                    bwd_time: 0.02,
+                    comm_to_next_bytes: 0,
+                    grad_bytes: 0,
+                    replicas: 1,
+                })
+                .collect(),
+            microbatches: mb,
+            replica_factor: 1,
+            batch_size: 32,
+            link: LinkSpec::nvlink(),
+            cluster: ClusterSpec::v100_cluster(1),
+        }
+    }
+
+    #[test]
+    fn records_one_slice_per_timeline_event_on_stage_lanes() {
+        let _g = trace::test_guard();
+        rannc_obs::set_enabled(true);
+        trace::reset();
+        let out = simulate_sync(&spec(3, 4), SyncSchedule::OneFOneB, true);
+        let tl = out.timeline.unwrap();
+        let n = record_timeline("1f1b", &tl, 3);
+        rannc_obs::set_enabled(false);
+        assert_eq!(n, tl.len());
+        let events = trace::drain_events();
+        assert_eq!(events.len(), tl.len());
+        let lanes = trace::lane_names();
+        assert!(lanes.iter().any(|(_, n)| n == "1f1b stage 0"));
+        assert!(lanes.iter().any(|(_, n)| n == "1f1b stage 2"));
+        // forward and backward of micro-batch 0 both appear
+        assert!(events.iter().any(|e| e.name == "F0"));
+        assert!(events.iter().any(|e| e.name == "B0"));
+        trace::reset();
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _g = trace::test_guard();
+        rannc_obs::set_enabled(false);
+        trace::reset();
+        let out = simulate_sync(&spec(2, 2), SyncSchedule::FillDrain, true);
+        assert_eq!(record_timeline("off", &out.timeline.unwrap(), 2), 0);
+        assert_eq!(trace::event_count(), 0);
+    }
+
+    #[test]
+    fn sim_metrics_gauges_reflect_the_result() {
+        let out = simulate_sync(&spec(4, 8), SyncSchedule::FillDrain, false);
+        publish_sim_metrics(&out.result);
+        use rannc_obs::metrics::{value, MetricValue};
+        let util = match value("pipeline.utilization") {
+            Some(MetricValue::Gauge(v)) => v,
+            other => panic!("missing utilization gauge: {other:?}"),
+        };
+        let bubble = match value("pipeline.bubble_ratio") {
+            Some(MetricValue::Gauge(v)) => v,
+            other => panic!("missing bubble gauge: {other:?}"),
+        };
+        assert!((util + bubble - 1.0).abs() < 1e-9);
+        assert!(matches!(
+            value("pipeline.stage_utilization.3"),
+            Some(MetricValue::Gauge(_))
+        ));
+    }
+}

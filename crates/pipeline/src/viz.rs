@@ -16,12 +16,15 @@ use crate::sync::{TimelineEvent, WorkKind};
 pub fn render_timeline(events: &[TimelineEvent], stages: usize, width: usize) -> String {
     assert!(width >= 10, "width too small to render");
     let end = events.iter().map(|e| e.end).fold(0.0f64, f64::max);
-    if end <= 0.0 {
+    if stages == 0 || end <= 0.0 {
         return String::new();
     }
     let scale = width as f64 / end;
     let mut rows = vec![vec!['·'; width]; stages];
     for e in events {
+        if e.stage >= stages {
+            continue; // an event outside the grid must not panic the chart
+        }
         let c0 = (e.start * scale).floor() as usize;
         let c1 = (((e.end * scale).ceil() as usize).max(c0 + 1)).min(width);
         let ch = match e.kind {
@@ -97,5 +100,23 @@ mod tests {
     #[test]
     fn empty_timeline_is_empty_string() {
         assert_eq!(render_timeline(&[], 2, 40), "");
+    }
+
+    #[test]
+    fn zero_stages_is_empty_string() {
+        // no rows to draw: empty output, even with events present
+        assert_eq!(render_timeline(&[], 0, 40), "");
+        let out = simulate_sync(&spec(2, 2), SyncSchedule::FillDrain, true);
+        assert_eq!(render_timeline(&out.timeline.unwrap(), 0, 40), "");
+    }
+
+    #[test]
+    fn out_of_range_stage_events_are_skipped() {
+        let out = simulate_sync(&spec(3, 2), SyncSchedule::FillDrain, true);
+        // render only the first two rows; stage-2 events fall outside
+        let txt = render_timeline(&out.timeline.unwrap(), 2, 40);
+        assert_eq!(txt.lines().count(), 3); // 2 stages + time axis
+        assert!(txt.contains("stage  1"));
+        assert!(!txt.contains("stage  2"));
     }
 }

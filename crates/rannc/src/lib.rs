@@ -36,6 +36,7 @@
 //! | [`baselines`] | Megatron-LM, GPipe-Hybrid/Model, PipeDream-2BW |
 //! | [`faults`] | seeded fault plans (device loss, stragglers, …) |
 //! | [`verify`] | static graph/plan/schedule verifier (`RV0xx` diagnostics) |
+//! | [`obs`] | tracing spans, metrics registry, Chrome-trace export |
 //! | [`tensor`], [`train`] | numeric substrate + threaded pipeline trainer |
 
 pub use rannc_baselines as baselines;
@@ -44,6 +45,7 @@ pub use rannc_faults as faults;
 pub use rannc_graph as graph;
 pub use rannc_hw as hw;
 pub use rannc_models as models;
+pub use rannc_obs as obs;
 pub use rannc_pipeline as pipeline;
 pub use rannc_profile as profile;
 pub use rannc_tensor as tensor;

@@ -172,13 +172,21 @@ pub fn train_with_faults(
         ) {
             Ok((seg_losses, trained)) => {
                 losses.extend(seg_losses);
-                ckpt = Checkpoint {
-                    next_iter: seg_end,
-                    stages: trained,
-                };
-                if ft.keep_checkpoints {
-                    checkpoints.push(ckpt.clone());
+                let ckpt_started = Instant::now();
+                {
+                    let _s = rannc_obs::trace::span("checkpoint", "train")
+                        .arg_i("next_iter", seg_end as i64);
+                    ckpt = Checkpoint {
+                        next_iter: seg_end,
+                        stages: trained,
+                    };
+                    if ft.keep_checkpoints {
+                        checkpoints.push(ckpt.clone());
+                    }
                 }
+                rannc_obs::metrics::histogram("train.checkpoint_seconds")
+                    .observe(ckpt_started.elapsed().as_secs_f64());
+                rannc_obs::metrics::counter("train.checkpoints").inc();
             }
             Err(err) => {
                 if recoveries.len() >= ft.max_recoveries {
@@ -221,12 +229,32 @@ pub fn train_with_faults(
                         })
                     }
                 }
+                let downtime = attempt_started.elapsed();
+                rannc_obs::metrics::counter("train.recoveries").inc();
+                rannc_obs::metrics::histogram("train.recovery_downtime_seconds")
+                    .observe(downtime.as_secs_f64());
+                if rannc_obs::enabled() {
+                    // the detect→restore window just elapsed; record it
+                    // retroactively as a slice enclosing the failed attempt
+                    let dt_us = downtime.as_secs_f64() * 1e6;
+                    rannc_obs::trace::record_slice(
+                        rannc_obs::trace::current_tid(),
+                        std::borrow::Cow::Borrowed("recovery"),
+                        "train",
+                        rannc_obs::now_us() - dt_us,
+                        dt_us,
+                        vec![
+                            ("stage", rannc_obs::trace::ArgVal::Int(failed_stage as i64)),
+                            ("at_iter", rannc_obs::trace::ArgVal::Int(at_iter as i64)),
+                        ],
+                    );
+                }
                 recoveries.push(RecoveryRecord {
                     failed_stage,
                     at_iter,
                     restored_from_iter: ckpt.next_iter,
                     lost_iters: at_iter - ckpt.next_iter,
-                    downtime: attempt_started.elapsed(),
+                    downtime,
                 });
                 // restore: `ckpt` is untouched, the next loop pass
                 // re-runs the segment from it with the fault consumed
@@ -234,13 +262,15 @@ pub fn train_with_faults(
         }
     }
 
-    Ok(FtReport {
+    let report = FtReport {
         losses,
         stages: ckpt.stages,
         recoveries,
         checkpoints,
         wall: started.elapsed(),
-    })
+    };
+    rannc_obs::metrics::gauge("train.mttr_seconds").set(report.mttr().as_secs_f64());
+    Ok(report)
 }
 
 /// Resume a fault-free run from a checkpoint to `iterations` — the

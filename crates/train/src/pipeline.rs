@@ -23,7 +23,7 @@ use crate::data::Dataset;
 use crate::error::TrainError;
 use crate::stage::Stage;
 use rannc_tensor::{ops, Matrix};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Update discipline of the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +194,10 @@ pub(crate) fn run_segment(
     timeout: Duration,
 ) -> Result<(Vec<f32>, Vec<Stage>), TrainError> {
     cfg.validate(stages.len())?;
+    let _seg = rannc_obs::trace::span("segment", "train")
+        .arg_i("from_iter", range.start as i64)
+        .arg_i("to_iter", range.end as i64)
+        .arg_i("stages", stages.len() as i64);
     let n_stages = stages.len();
     assert!(
         faults.is_empty() || faults.len() == n_stages,
@@ -350,8 +354,11 @@ pub(crate) fn run_segment(
         // stage death or hang surfaces here within one timeout
         let mut losses_flat: Vec<f32> = Vec::with_capacity(iters_ref.len() * cfg.microbatches);
         let mut driver_err: Option<TrainError> = None;
+        let step_hist = rannc_obs::metrics::histogram("train.step_seconds");
+        let step_count = rannc_obs::metrics::counter("train.iterations");
         'drive: for (idx, xs) in inputs_per_iter.into_iter().enumerate() {
             let it = iters_ref[idx];
+            let step_started = Instant::now();
             for (m, x) in xs.into_iter().enumerate() {
                 if injector.send_timeout(Msg::Fwd(m, x), timeout).is_err() {
                     driver_err = Some(TrainError::SupervisorTimeout { at_iter: it });
@@ -367,6 +374,8 @@ pub(crate) fn run_segment(
                     }
                 }
             }
+            step_hist.observe(step_started.elapsed().as_secs_f64());
+            step_count.inc();
         }
         // unwind: dropping the injector (and later the loss receiver)
         // lets surviving threads observe disconnects and exit

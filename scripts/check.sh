@@ -33,6 +33,18 @@ echo "==> planner-bench smoke (engine vs sequential baseline, self-checked)"
     || { echo "planner_bench smoke FAILED"; exit 1; }
 rm -f BENCH_partition_quick.json
 
+echo "==> observability smoke (trace + metrics export, validated by obs-check)"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+./target/release/rannc-plan --model bert --hidden 256 --layers 4 \
+    --nodes 2 --batch 64 --k 8 \
+    --trace-out "$OBS_TMP/trace.json" --metrics-out "$OBS_TMP/metrics.jsonl" \
+    >/dev/null 2>&1 \
+    || { echo "obs export FAILED"; exit 1; }
+./target/release/rannc-plan obs-check \
+    --trace "$OBS_TMP/trace.json" --metrics "$OBS_TMP/metrics.jsonl" \
+    || { echo "obs-check FAILED"; exit 1; }
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
