@@ -16,10 +16,10 @@
 
 use crate::layers::{layer_groups, uniform_layer_split, LayerGroup};
 use crate::BaselineOutcome;
+use rannc_cost::CostModel;
 use rannc_graph::{TaskGraph, TaskSet};
 use rannc_hw::ClusterSpec;
 use rannc_pipeline::{simulate_sync, PipelineSpec, StageSpec, SyncSchedule};
-use rannc_profile::Profiler;
 
 /// Knobs of a uniform (equal-replica) pipeline configuration.
 pub(crate) struct UniformSpec {
@@ -39,7 +39,7 @@ pub(crate) struct UniformSpec {
 /// Build the pipeline spec for a set of equally-replicated stages, or
 /// `None` when some stage exceeds device memory.
 pub(crate) fn build_spec(
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     stage_sets: &[TaskSet],
     u: &UniformSpec,
@@ -59,15 +59,15 @@ pub(crate) fn build_spec(
     let inflight = inflight_override.unwrap_or(microbatches);
     let mut stages = Vec::with_capacity(stage_sets.len());
     for (i, set) in stage_sets.iter().enumerate() {
-        let prof = profiler.profile_set(set, micro, inflight, ckpt);
+        let prof = cost.stage_cost(set, micro, inflight, ckpt);
         // extra weight versions (PipeDream-2BW double buffering)
         let mem = prof.mem_bytes
-            + extra_weight_copies * prof.param_elems * profiler.options().precision.weight_bytes();
+            + extra_weight_copies * prof.param_elems * cost.options().precision.weight_bytes();
         if mem > cluster.device.memory_bytes {
             return None;
         }
         let comm_to_next_bytes = if i + 1 < stage_sets.len() {
-            profiler.comm_bytes(set, &stage_sets[i + 1], micro)
+            cost.comm_bytes(set, &stage_sets[i + 1], micro)
         } else {
             0
         };
@@ -86,6 +86,7 @@ pub(crate) fn build_spec(
         batch_size,
         link: cluster.planning_link(),
         cluster: cluster.clone(),
+        cost: cost.factors(),
     })
 }
 
@@ -104,7 +105,7 @@ fn splittable_layers(groups: &[LayerGroup]) -> usize {
 /// the best feasible configuration.
 pub fn gpipe_hybrid(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     batch_size: usize,
 ) -> BaselineOutcome {
@@ -133,7 +134,7 @@ pub fn gpipe_hybrid(
                 inflight_override: None,
                 extra_weight_copies: 0,
             };
-            if let Some(spec) = build_spec(profiler, cluster, &stage_sets, &u) {
+            if let Some(spec) = build_spec(cost, cluster, &stage_sets, &u) {
                 let result = simulate_sync(&spec, SyncSchedule::FillDrain, false).result;
                 if best
                     .as_ref()
@@ -161,7 +162,7 @@ pub fn gpipe_hybrid(
 /// balanced greedily over whole layers, no replication, fixed MB = 64.
 pub fn gpipe_model(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     batch_size: usize,
 ) -> BaselineOutcome {
@@ -176,7 +177,7 @@ pub fn gpipe_model(
     let times: Vec<f64> = groups
         .iter()
         .map(|l| {
-            let p = profiler.profile_set(&l.set, 1, 1, true);
+            let p = cost.stage_cost(&l.set, 1, 1, true);
             p.fwd_time + p.bwd_time
         })
         .collect();
@@ -205,7 +206,7 @@ pub fn gpipe_model(
         inflight_override: None,
         extra_weight_copies: 0,
     };
-    match build_spec(profiler, &one_node, &stage_sets, &u) {
+    match build_spec(cost, &one_node, &stage_sets, &u) {
         Some(spec) => {
             let result = simulate_sync(&spec, SyncSchedule::FillDrain, false).result;
             BaselineOutcome::Feasible {
@@ -276,7 +277,7 @@ mod tests {
     use super::*;
     use rannc_hw::DeviceSpec;
     use rannc_models::{bert_graph, resnet_graph, BertConfig, ResNetConfig};
-    use rannc_profile::ProfilerOptions;
+    use rannc_profile::{Profiler, ProfilerOptions};
 
     #[test]
     fn balanced_split_basics() {

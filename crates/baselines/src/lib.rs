@@ -28,7 +28,7 @@ pub mod pipedream;
 
 pub use gpipe::{gpipe_hybrid, gpipe_model};
 pub use layers::{layer_groups, LayerGroup};
-pub use megatron::{megatron, TransformerDims};
+pub use megatron::{megatron, megatron_with, TransformerDims};
 pub use pipedream::pipedream_2bw;
 pub use rannc_pipeline::dataparallel::{simulate_data_parallel, DataParallelOutcome};
 

@@ -19,9 +19,11 @@
 //!   (§IV-B); the harness picks the best feasible one.
 
 use crate::BaselineOutcome;
+use rannc_cost::{AnalyticalCost, CostModel};
 use rannc_hw::{ClusterSpec, Precision};
 use rannc_pipeline::SimResult;
 use rannc_profile::memory::{ADAM_BYTES_PER_PARAM, DEVICE_OVERHEAD_BYTES};
+use rannc_profile::ProfilerOptions;
 
 /// Memory-overhead factor on activations: PyTorch's caching allocator
 /// fragments under Megatron's alternating full-size/partitioned buffer
@@ -101,6 +103,7 @@ impl TransformerDims {
 /// structurally (t doesn't divide heads/devices).
 fn eval_partition(
     dims: &TransformerDims,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     batch_size: usize,
     precision: Precision,
@@ -127,22 +130,17 @@ fn eval_partition(
     let compute = fwd * 4.0;
     // 2 activation all-reduces per layer per pass, 4 per layer total
     let ar_bytes = b * s * h * act_bytes;
-    let group_link = if t <= cluster.node.devices {
-        cluster.node.intra_link
-    } else {
-        cluster.inter_link
-    };
     let comm = 4.0
         * dims.layers as f64
-        * rannc_hw::collective::ring_allreduce_time(group_link, ar_bytes, t);
+        * cost.allreduce_time(cluster, ar_bytes, t, t > cluster.node.devices);
     // data-parallel gradient all-reduce of each shard
     let grad_bytes = dims.params() * 4 / t;
     let dp_allreduce = if dp > 1 {
-        cluster.allreduce_time_across_nodes(grad_bytes, dp)
+        cost.allreduce_time(cluster, grad_bytes, dp, true)
     } else {
         0.0
     };
-    let optimizer = grad_bytes as f64 * 8.0 / dev.mem_bandwidth;
+    let optimizer = cost.optimizer_time(dev, grad_bytes);
     let iteration = compute + comm + dp_allreduce + optimizer;
 
     // --- memory ----------------------------------------------------------
@@ -169,8 +167,27 @@ fn eval_partition(
 
 /// Run the Megatron-LM baseline: sweep power-of-two partition counts and
 /// return the fastest feasible configuration.
+///
+/// Prices collectives and the optimizer step through the default
+/// analytical [`CostModel`]; use [`megatron_with`] to price through a
+/// specific (e.g. calibrated) model.
 pub fn megatron(
     dims: &TransformerDims,
+    cluster: &ClusterSpec,
+    batch_size: usize,
+    precision: Precision,
+) -> BaselineOutcome {
+    // Megatron is purely analytic — it never profiles a task graph — so
+    // an empty graph backs the default cost model.
+    let g = rannc_graph::TaskGraph::new("megatron-analytic");
+    let cost = AnalyticalCost::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+    megatron_with(dims, &cost, cluster, batch_size, precision)
+}
+
+/// [`megatron`] priced through an explicit cost model.
+pub fn megatron_with(
+    dims: &TransformerDims,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     batch_size: usize,
     precision: Precision,
@@ -178,7 +195,7 @@ pub fn megatron(
     let mut best: Option<(f64, usize)> = None; // (time, t)
     let mut t = 1usize;
     while t <= cluster.total_devices() {
-        if let Some((time, mem)) = eval_partition(dims, cluster, batch_size, precision, t) {
+        if let Some((time, mem)) = eval_partition(dims, cost, cluster, batch_size, precision, t) {
             if mem <= cluster.device.memory_bytes && best.map(|(bt, _)| time < bt).unwrap_or(true) {
                 best = Some((time, t));
             }

@@ -15,16 +15,16 @@
 use crate::gpipe::{build_spec, UniformSpec};
 use crate::layers::{layer_groups, uniform_layer_split};
 use crate::BaselineOutcome;
+use rannc_cost::CostModel;
 use rannc_graph::TaskGraph;
 use rannc_hw::ClusterSpec;
 use rannc_pipeline::async2bw::simulate_async_2bw;
-use rannc_profile::Profiler;
 
 /// Run the PipeDream-2BW baseline: sweep stage counts {2, 4, 8, 16} and
 /// micro-batch counts, simulate the async 2BW steady state, return best.
 pub fn pipedream_2bw(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     batch_size: usize,
 ) -> BaselineOutcome {
@@ -56,7 +56,7 @@ pub fn pipedream_2bw(
                 inflight_override: Some(stages.min(mb)),
                 extra_weight_copies: 1,
             };
-            if let Some(spec) = build_spec(profiler, cluster, &stage_sets, &u) {
+            if let Some(spec) = build_spec(cost, cluster, &stage_sets, &u) {
                 let result = simulate_async_2bw(&spec);
                 if best
                     .as_ref()
@@ -86,7 +86,7 @@ mod tests {
     use crate::gpipe::gpipe_hybrid;
     use rannc_hw::DeviceSpec;
     use rannc_models::{bert_graph, BertConfig};
-    use rannc_profile::ProfilerOptions;
+    use rannc_profile::{Profiler, ProfilerOptions};
 
     #[test]
     fn pipedream_beats_gpipe_hybrid_on_same_partition() {

@@ -21,6 +21,7 @@ fn spec(stages: usize, mb: usize) -> PipelineSpec {
         batch_size: 256,
         link: LinkSpec::nvlink(),
         cluster: ClusterSpec::v100_cluster(2),
+        cost: rannc::cost::CostFactors::identity(),
     }
 }
 

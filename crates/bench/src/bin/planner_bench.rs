@@ -19,8 +19,11 @@
 //!
 //! `--trace-out` / `--metrics-out` / `--obs-summary` export the
 //! observability artifacts of the run; `--baseline FILE` compares engine
-//! times against a committed `BENCH_partition.json` with a 3% budget.
+//! times against a committed `BENCH_partition.json` with a 3% budget;
+//! `--cost-model analytical|calibrated:FILE` prices the searches with a
+//! different cost model (the default is the analytical oracle).
 
+use rannc::cost::{Calibration, CostModelSpec};
 use rannc_bench::planner;
 
 fn main() {
@@ -33,6 +36,7 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut obs_summary = false;
     let mut baseline: Option<String> = None;
+    let mut cost_spec = CostModelSpec::Analytical;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,11 +88,37 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--cost-model" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--cost-model needs <analytical|calibrated:FILE>");
+                    std::process::exit(2);
+                });
+                cost_spec = match v.as_str() {
+                    "analytical" => CostModelSpec::Analytical,
+                    other => match other.strip_prefix("calibrated:") {
+                        Some(path) if !path.is_empty() => {
+                            let cal =
+                                Calibration::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+                                    eprintln!("cannot load calibration {path}: {e}");
+                                    std::process::exit(2);
+                                });
+                            CostModelSpec::Calibrated(cal)
+                        }
+                        _ => {
+                            eprintln!(
+                                "--cost-model expects `analytical` or `calibrated:FILE`, \
+                                 got `{v}`"
+                            );
+                            std::process::exit(2);
+                        }
+                    },
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: planner_bench [--quick] [--check] [--threads N] [--repeat N] \
                      [--out FILE] [--trace-out FILE] [--metrics-out FILE] [--obs-summary] \
-                     [--baseline FILE]"
+                     [--baseline FILE] [--cost-model analytical|calibrated:FILE]"
                 );
                 return;
             }
@@ -104,7 +134,7 @@ fn main() {
         rannc::obs::set_enabled(true);
     }
 
-    let report = planner::run(quick, threads, repeats);
+    let report = planner::run(quick, threads, repeats, &cost_spec);
     let json = planner::to_json(&report);
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");
@@ -185,9 +215,20 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
+        // the cost-model seam: switching models must change prices, but
+        // must never produce a plan the strict verifier rejects
+        match planner::check_cost_models(quick) {
+            Ok(lines) => {
+                eprintln!("cost-model check:\n{}", lines.join("\n"));
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                std::process::exit(1);
+            }
+        }
         eprintln!(
             "check passed: valid JSON, identical plans, nonzero cache hit rates, \
-             zero obs allocations while disabled"
+             zero obs allocations while disabled, cost models verified"
         );
     }
 }

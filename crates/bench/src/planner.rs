@@ -17,15 +17,16 @@
 
 use rannc::core::{
     atomic_partition, block_partition, form_stage_seq, form_stage_with, Block, BlockLimits,
-    DpSolution, SearchOptions, SearchStats,
+    DpSolution, PartitionConfig, Rannc, SearchOptions, SearchStats, VerifyMode,
 };
+use rannc::cost::{Calibration, CostModelSpec};
 use rannc::graph::TaskGraph;
 use rannc::hw::ClusterSpec;
 use rannc::models::{
     bert_graph, gpt_graph, mlp_graph, resnet_graph, BertConfig, GptConfig, MlpConfig, ResNetConfig,
     ResNetDepth,
 };
-use rannc::profile::{CacheStats, Profiler, ProfilerOptions};
+use rannc::profile::{CacheStats, ProfilerOptions};
 use std::time::Instant;
 
 /// One benchmark configuration.
@@ -143,6 +144,9 @@ pub struct BenchReport {
     pub threads: usize,
     /// Quick (CI) grid or the full grid.
     pub quick: bool,
+    /// Cost model the searches were priced with (`"analytical"` or
+    /// `"calibrated"`).
+    pub cost_model: String,
     /// Per-case results.
     pub cases: Vec<CaseResult>,
 }
@@ -177,22 +181,33 @@ fn solutions_identical(a: &Option<DpSolution>, b: &Option<DpSolution>) -> bool {
 }
 
 /// Run one case: block phase once, then baseline and engine searches on
-/// fresh profilers. Each side runs `repeats` times on a fresh profiler
+/// fresh cost models. Each side runs `repeats` times on a fresh model
 /// and the minimum wall time is reported — the minimum is the standard
 /// noise-robust estimator for a deterministic workload, and every
 /// repetition's plans are still compared.
-pub fn run_case(case: &BenchCase, threads: usize, repeats: usize) -> CaseResult {
+pub fn run_case(
+    case: &BenchCase,
+    threads: usize,
+    repeats: usize,
+    cost: &CostModelSpec,
+) -> CaseResult {
     let cluster = ClusterSpec::v100_cluster(case.nodes);
-    let mk_profiler =
-        || Profiler::new(&case.graph, cluster.device.clone(), ProfilerOptions::fp32());
+    let mk_cost = || {
+        cost.build(
+            &case.graph,
+            cluster.device.clone(),
+            ProfilerOptions::fp32(),
+            &cluster,
+        )
+    };
 
     let t0 = Instant::now();
     let blocks: Vec<Block> = {
-        let profiler = mk_profiler();
+        let model = mk_cost();
         let atomic = atomic_partition(&case.graph);
         block_partition(
             &case.graph,
-            &profiler,
+            &*model,
             &atomic,
             BlockLimits {
                 k: case.k,
@@ -212,16 +227,16 @@ pub fn run_case(case: &BenchCase, threads: usize, repeats: usize) -> CaseResult 
     let mut plans_identical = true;
     let mut last = None;
     for _ in 0..repeats.max(1) {
-        let seq_profiler = mk_profiler();
+        let seq_cost = mk_cost();
         let t1 = Instant::now();
-        let seq = form_stage_seq(&case.graph, &seq_profiler, &blocks, &cluster, case.batch);
+        let seq = form_stage_seq(&case.graph, &*seq_cost, &blocks, &cluster, case.batch);
         seq_seconds = seq_seconds.min(t1.elapsed().as_secs_f64());
 
-        let engine_profiler = mk_profiler();
+        let engine_cost = mk_cost();
         let t2 = Instant::now();
         let (eng, search) = form_stage_with(
             &case.graph,
-            &engine_profiler,
+            &*engine_cost,
             &blocks,
             &cluster,
             case.batch,
@@ -229,7 +244,7 @@ pub fn run_case(case: &BenchCase, threads: usize, repeats: usize) -> CaseResult 
         );
         engine_seconds = engine_seconds.min(t2.elapsed().as_secs_f64());
         plans_identical &= solutions_identical(&seq, &eng);
-        last = Some((eng, search, engine_profiler.cache_stats()));
+        last = Some((eng, search, engine_cost.cache_stats()));
     }
     let (eng, search, profiler_cache) = last.expect("at least one repetition");
 
@@ -250,18 +265,19 @@ pub fn run_case(case: &BenchCase, threads: usize, repeats: usize) -> CaseResult 
     }
 }
 
-/// Run the whole grid.
-pub fn run(quick: bool, threads: usize, repeats: usize) -> BenchReport {
+/// Run the whole grid under the given cost model.
+pub fn run(quick: bool, threads: usize, repeats: usize, cost: &CostModelSpec) -> BenchReport {
     let mut results = Vec::new();
     for case in cases(quick) {
         eprintln!(
-            "planner_bench: {} on {} devices (batch {}, k {})...",
+            "planner_bench: {} on {} devices (batch {}, k {}, cost model {})...",
             case.name,
             case.nodes * 8,
             case.batch,
-            case.k
+            case.k,
+            cost.name(),
         );
-        let r = run_case(&case, threads, repeats);
+        let r = run_case(&case, threads, repeats, cost);
         eprintln!(
             "  seq {:.3} s | engine {:.3} s | speedup {:.2}x | identical: {}",
             r.seq_seconds,
@@ -274,8 +290,72 @@ pub fn run(quick: bool, threads: usize, repeats: usize) -> BenchReport {
     BenchReport {
         threads,
         quick,
+        cost_model: cost.name().to_string(),
         cases: results,
     }
+}
+
+/// The built-in perturbed calibration `--check` uses to prove the
+/// cost-model seam actually moves prices: every factor is displaced from
+/// 1.0, with inter-node links hit hardest so partition-shape decisions
+/// (replication vs pipelining) feel the difference too.
+pub fn check_calibration() -> Calibration {
+    Calibration {
+        compute: 1.35,
+        ops: vec![("matmul".into(), 1.8)],
+        link_intra: 1.5,
+        link_inter: 3.0,
+        allreduce: 1.25,
+        optimizer: 1.6,
+        memory: 1.0,
+    }
+}
+
+/// `--check` gate for the cost-model layer. Each quick-grid case is
+/// partitioned end-to-end under strict verification
+/// ([`VerifyMode::Fail`]) twice — once with the analytical model, once
+/// with [`check_calibration`] — and the gate requires that (a) both
+/// partitions succeed, i.e. no cost model ever yields a verifier-invalid
+/// plan, and (b) the two models disagree on the estimated iteration
+/// time, i.e. switching models demonstrably changes costs. Returns one
+/// human-readable line per case.
+pub fn check_cost_models(quick: bool) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    for case in cases(quick) {
+        let cluster = ClusterSpec::v100_cluster(case.nodes);
+        let mut times = Vec::new();
+        for (label, spec) in [
+            ("analytical", CostModelSpec::Analytical),
+            ("calibrated", CostModelSpec::Calibrated(check_calibration())),
+        ] {
+            let cfg = PartitionConfig::new(case.batch)
+                .with_k(case.k)
+                .with_verify(VerifyMode::Fail)
+                .with_cost_model(spec);
+            let plan = Rannc::new(cfg)
+                .partition(&case.graph, &cluster)
+                .map_err(|e| {
+                    format!(
+                        "{} [{label}]: partition failed under VerifyMode::Fail: {e}",
+                        case.name
+                    )
+                })?;
+            times.push(plan.est_iteration_time);
+        }
+        let (a, c) = (times[0], times[1]);
+        if a.to_bits() == c.to_bits() {
+            return Err(format!(
+                "{}: perturbed calibration left the estimated iteration time \
+                 unchanged ({a:.6} s) — cost model is not being consulted",
+                case.name
+            ));
+        }
+        lines.push(format!(
+            "  {}: analytical {:.6} s vs calibrated {:.6} s — both verifier-valid",
+            case.name, a, c
+        ));
+    }
+    Ok(lines)
 }
 
 fn json_cache(stats: &CacheStats) -> String {
@@ -299,6 +379,7 @@ pub fn to_json(report: &BenchReport) -> String {
     out.push_str("  \"version\": 1,\n");
     out.push_str(&format!("  \"threads\": {},\n", report.threads));
     out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str(&format!("  \"cost_model\": \"{}\",\n", report.cost_model));
     out.push_str(&format!(
         "  \"geomean_speedup\": {:.6},\n",
         report.geomean_speedup()
@@ -412,7 +493,7 @@ mod tests {
 
     #[test]
     fn quick_grid_runs_and_serializes() {
-        let report = run(true, 2, 1);
+        let report = run(true, 2, 1, &CostModelSpec::Analytical);
         assert_eq!(report.cases.len(), 2);
         for c in &report.cases {
             assert!(
@@ -447,6 +528,7 @@ mod tests {
         let mk = |engine_seconds: f64| BenchReport {
             threads: 1,
             quick: true,
+            cost_model: "analytical".into(),
             cases: vec![CaseResult {
                 model: "bert-64l".into(),
                 devices: 16,
@@ -480,10 +562,20 @@ mod tests {
     }
 
     #[test]
+    fn cost_model_check_passes_on_quick_grid() {
+        let lines = check_cost_models(true).expect("cost-model check");
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        for l in &lines {
+            assert!(l.contains("both verifier-valid"), "{l}");
+        }
+    }
+
+    #[test]
     fn geomean_of_empty_report_is_one() {
         let r = BenchReport {
             threads: 1,
             quick: true,
+            cost_model: "analytical".into(),
             cases: Vec::new(),
         };
         assert_eq!(r.geomean_speedup(), 1.0);

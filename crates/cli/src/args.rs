@@ -47,6 +47,10 @@ PLANNER ENGINE OPTIONS:
   --threads <N>       worker threads for the partition search (default:
                       RANNC_THREADS env var, else available parallelism)
   --planner-stats     print search/cache statistics after partitioning
+  --cost-model <analytical|calibrated:FILE>
+                      cost model pricing the search and the simulation
+                      (default: analytical; `calibrated:FILE` loads a JSON
+                      calibration of per-op/per-link correction factors)
 
 FAULT OPTIONS (faults subcommand):
   --fail <RANK@ITER>      kill device RANK at iteration ITER (repeatable)
@@ -87,6 +91,32 @@ pub enum Command {
     ObsCheck,
 }
 
+/// `--cost-model` choice: how plans are priced. The calibration file is
+/// loaded later (in `main`) so parsing stays I/O-free and testable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CostModelArg {
+    /// The pure analytical model (the default).
+    #[default]
+    Analytical,
+    /// Analytical model corrected by the JSON calibration at this path.
+    Calibrated(String),
+}
+
+impl CostModelArg {
+    fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "analytical" => Ok(CostModelArg::Analytical),
+            _ => match v.strip_prefix("calibrated:") {
+                Some(path) if !path.is_empty() => Ok(CostModelArg::Calibrated(path.to_string())),
+                Some(_) => Err("--cost-model calibrated: needs a file path".into()),
+                None => Err(format!(
+                    "--cost-model expects `analytical` or `calibrated:FILE`, got `{v}`"
+                )),
+            },
+        }
+    }
+}
+
 /// Supported model families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
@@ -121,6 +151,8 @@ pub struct Args {
     pub threads: usize,
     /// Print planner cache/search statistics.
     pub planner_stats: bool,
+    /// Cost model pricing the search and simulation.
+    pub cost_model: CostModelArg,
     /// Write a Chrome-trace (Perfetto) JSON of all recorded spans.
     pub trace_out: Option<String>,
     /// Write the metrics registry as a JSONL log.
@@ -166,6 +198,7 @@ impl Default for Args {
             noise: 0.0,
             threads: 0,
             planner_stats: false,
+            cost_model: CostModelArg::default(),
             trace_out: None,
             metrics_out: None,
             obs_summary: false,
@@ -243,6 +276,7 @@ impl Args {
                 }
                 "--threads" => a.threads = num(&flag, &mut it)?,
                 "--planner-stats" => a.planner_stats = true,
+                "--cost-model" => a.cost_model = CostModelArg::parse(&value(&flag, &mut it)?)?,
                 "--trace-out" => a.trace_out = Some(value(&flag, &mut it)?),
                 "--metrics-out" => a.metrics_out = Some(value(&flag, &mut it)?),
                 "--obs-summary" => a.obs_summary = true,
@@ -437,6 +471,24 @@ mod tests {
         let d = parse("--model bert").unwrap();
         assert_eq!(d.threads, 0, "0 = auto-resolve");
         assert!(!d.planner_stats);
+    }
+
+    #[test]
+    fn cost_model_flag() {
+        let d = parse("--model bert").unwrap();
+        assert_eq!(d.cost_model, CostModelArg::Analytical);
+        let a = parse("--model bert --cost-model analytical").unwrap();
+        assert_eq!(a.cost_model, CostModelArg::Analytical);
+        let a = parse("--model bert --cost-model calibrated:/tmp/cal.json").unwrap();
+        assert_eq!(
+            a.cost_model,
+            CostModelArg::Calibrated("/tmp/cal.json".into())
+        );
+        let a = parse("faults --model mlp --cost-model calibrated:c.json").unwrap();
+        assert_eq!(a.cost_model, CostModelArg::Calibrated("c.json".into()));
+        assert!(parse("--model bert --cost-model magic").is_err());
+        assert!(parse("--model bert --cost-model calibrated:").is_err());
+        assert!(parse("--model bert --cost-model").is_err());
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 mod args;
 
-use args::{Args, Command, ModelKind};
+use args::{Args, Command, CostModelArg, ModelKind};
 use rannc::pipeline::viz::render_timeline;
 use rannc::pipeline::FaultSimReport;
 use rannc::prelude::*;
@@ -61,6 +61,19 @@ fn main() {
     if args.threads > 0 {
         rannc::core::par::set_threads(args.threads);
     }
+    let cost_spec = match &args.cost_model {
+        CostModelArg::Analytical => CostModelSpec::Analytical,
+        CostModelArg::Calibrated(path) => match Calibration::load(std::path::Path::new(path)) {
+            Ok(cal) => {
+                eprintln!("loaded cost calibration from {path}");
+                CostModelSpec::Calibrated(cal)
+            }
+            Err(e) => {
+                eprintln!("cannot load calibration {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
     let graph = build_graph(&args);
     let mut cluster = ClusterSpec::v100_cluster(args.nodes);
     cluster.node.devices = args.gpus_per_node;
@@ -92,7 +105,8 @@ fn main() {
             VerifyMode::Off
         } else {
             VerifyMode::Fail
-        });
+        })
+        .with_cost_model(cost_spec.clone());
 
     let rannc = Rannc::new(config);
     let plan = if let Some(path) = &args.load {
@@ -151,13 +165,13 @@ fn main() {
     } else {
         ProfilerOptions::fp32()
     };
-    let profiler = Profiler::new(&graph, cluster.device.clone(), opts);
+    let cost = cost_spec.build(&graph, cluster.device.clone(), opts, &cluster);
     if args.command == Command::Faults {
-        run_faults(&args, &rannc, &plan, &profiler, &cluster);
+        run_faults(&args, &rannc, &plan, &*cost, &cluster);
         finish_obs(&args);
         return;
     }
-    let spec = rannc::pipeline::spec_from_plan(&plan, &profiler, &cluster).expect("valid plan");
+    let spec = rannc::pipeline::spec_from_plan(&plan, &*cost, &cluster).expect("valid plan");
     // trace export needs the per-event timeline even without --timeline
     let want_timeline = args.timeline || args.trace_out.is_some();
     let out = simulate_sync(&spec, SyncSchedule::FillDrain, want_timeline);
@@ -291,7 +305,7 @@ fn run_faults(
     args: &Args,
     rannc: &Rannc,
     plan: &rannc::core::PartitionPlan,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
 ) {
     let mut faults = FaultPlan::new(args.seed);
@@ -328,15 +342,14 @@ fn run_faults(
             replan_cost: args.replan_cost,
             policy,
         };
-        let report = match rannc::pipeline::simulate_faulted(
-            rannc, plan, profiler, cluster, &faults, &cfg,
-        ) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("fault simulation failed: {e}");
-                std::process::exit(1);
-            }
-        };
+        let report =
+            match rannc::pipeline::simulate_faulted(rannc, plan, cost, cluster, &faults, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("fault simulation failed: {e}");
+                    std::process::exit(1);
+                }
+            };
         print_report(policy, &report);
         goodputs.push((policy, report.goodput));
     }

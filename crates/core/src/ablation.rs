@@ -19,8 +19,8 @@
 
 use crate::atomic::AtomicPartition;
 use crate::dp::{DpParams, DpSolution, DpStage};
+use rannc_cost::CostModel;
 use rannc_graph::{TaskGraph, TaskSet};
-use rannc_profile::Profiler;
 use std::time::{Duration, Instant};
 
 /// Outcome of the ablated search.
@@ -43,7 +43,7 @@ pub enum AblationOutcome {
 /// approximation and a time budget.
 pub fn form_stage_dp_no_coarsening(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     atomic: &AtomicPartition,
     p: &DpParams,
     budget: Duration,
@@ -74,7 +74,7 @@ pub fn form_stage_dp_no_coarsening(
         } else {
             let (mut f, mut b, mut m) = (0.0, 0.0, 0usize);
             for set in &atomic.sets {
-                let prof = profiler.profile_set(set, micro, p.microbatches, ckpt);
+                let prof = cost.stage_cost(set, micro, p.microbatches, ckpt);
                 f += prof.fwd_time;
                 b += prof.bwd_time;
                 // each measurement includes the fixed device overhead

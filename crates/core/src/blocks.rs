@@ -9,9 +9,9 @@
 //! (which bounds future stage-to-stage traffic).
 
 use crate::atomic::AtomicPartition;
+use rannc_cost::CostModel;
 use rannc_graph::convex::ConvexChecker;
 use rannc_graph::{traverse, TaskGraph, TaskSet};
-use rannc_profile::Profiler;
 
 /// Limits and knobs of the block-level phase.
 #[derive(Debug, Clone, Copy)]
@@ -40,16 +40,16 @@ pub struct Block {
 /// the step functions in `coarsen`/`uncoarsen`/`compact` can take it).
 pub struct BlockCtx<'g, 'p> {
     pub g: &'g TaskGraph,
-    pub profiler: &'p Profiler<'g>,
+    pub cost: &'p dyn CostModel,
     pub checker: ConvexChecker<'g>,
     pub limits: BlockLimits,
 }
 
 impl<'g, 'p> BlockCtx<'g, 'p> {
-    pub fn new(g: &'g TaskGraph, profiler: &'p Profiler<'g>, limits: BlockLimits) -> Self {
+    pub fn new(g: &'g TaskGraph, cost: &'p dyn CostModel, limits: BlockLimits) -> Self {
         BlockCtx {
             g,
-            profiler,
+            cost,
             checker: ConvexChecker::new(g),
             limits,
         }
@@ -58,15 +58,15 @@ impl<'g, 'p> BlockCtx<'g, 'p> {
     /// Profiled fwd+bwd time of a candidate group.
     pub fn time(&self, set: &TaskSet) -> f64 {
         let r = self
-            .profiler
-            .profile_set(set, self.limits.profile_batch, 1, true);
+            .cost
+            .stage_cost(set, self.limits.profile_batch, 1, true);
         r.fwd_time + r.bwd_time
     }
 
     /// Profiled memory footprint of a candidate group.
     pub fn mem(&self, set: &TaskSet) -> usize {
-        self.profiler
-            .profile_set(set, self.limits.profile_batch, 1, true)
+        self.cost
+            .stage_cost(set, self.limits.profile_batch, 1, true)
             .mem_bytes
     }
 
@@ -115,11 +115,11 @@ impl<'g, 'p> BlockCtx<'g, 'p> {
 /// memory/convexity, slightly more) topologically ordered blocks.
 pub fn block_partition(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     atomic: &AtomicPartition,
     limits: BlockLimits,
 ) -> Vec<Block> {
-    let mut ctx = BlockCtx::new(g, profiler, limits);
+    let mut ctx = BlockCtx::new(g, cost, limits);
 
     let coarse = {
         let _s =
@@ -239,7 +239,7 @@ mod tests {
     use crate::atomic::atomic_partition;
     use rannc_hw::DeviceSpec;
     use rannc_models::{bert_graph, mlp_graph, BertConfig, MlpConfig};
-    use rannc_profile::ProfilerOptions;
+    use rannc_profile::{Profiler, ProfilerOptions};
 
     fn run(g: &TaskGraph, k: usize) -> Vec<Block> {
         let profiler = Profiler::new(g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());

@@ -19,9 +19,9 @@
 
 use crate::blocks::Block;
 use crate::stagecache::{StageCostCache, StageEvalCtx};
+use rannc_cost::CostModel;
 use rannc_graph::{TaskGraph, TaskSet};
 use rannc_hw::LinkSpec;
-use rannc_profile::Profiler;
 use serde::{Deserialize, Serialize};
 
 /// Inputs of one `form_stage_dp` invocation.
@@ -80,9 +80,11 @@ pub struct DpSolution {
 impl DpSolution {
     /// Estimated per-iteration time of the synchronous fill–drain
     /// pipeline this solution induces: `(MB + S − 1) · V` — `MB` bottleneck
-    /// slots plus `S−1` fill/drain slots.
+    /// slots plus `S−1` fill/drain slots. The formula itself lives in
+    /// [`rannc_cost::sync_pipeline_iteration`] so reports and the planner
+    /// price identically.
     pub fn estimated_iteration_time(&self) -> f64 {
-        (self.microbatches + self.stages.len() - 1) as f64 * self.value
+        rannc_cost::sync_pipeline_iteration(self.stages.len(), self.microbatches, self.value)
     }
 
     /// Devices used by one pipeline replica.
@@ -108,12 +110,12 @@ const INF: f64 = f64::INFINITY;
 /// across DP invocations (Algorithm 2 does).
 pub fn form_stage_dp(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     blocks: &[Block],
     p: &DpParams,
     link: LinkSpec,
 ) -> Option<DpSolution> {
-    form_stage_dp_cached(g, profiler, blocks, p, link, &StageCostCache::new())
+    form_stage_dp_cached(g, cost, blocks, p, link, &StageCostCache::new())
 }
 
 /// Algorithm 1 with a caller-provided shared stage-cost cache.
@@ -125,7 +127,7 @@ pub fn form_stage_dp(
 /// pure, so reuse cannot change any DP decision.
 pub fn form_stage_dp_cached(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     blocks: &[Block],
     p: &DpParams,
     link: LinkSpec,
@@ -141,7 +143,7 @@ pub fn form_stage_dp_cached(
     if p.batch_size / p.replica_factor / p.microbatches == 0 {
         return None;
     }
-    let eval = StageEvalCtx::new(g, profiler, blocks, p, link);
+    let eval = StageEvalCtx::new(g, cost, blocks, p, link);
 
     // DP tables, flattened [s][b][d].
     let bs1 = nb + 1;

@@ -54,9 +54,10 @@ pub use plan_io::{decode_plan, encode_plan, load_plan, save_plan, PlanIoError};
 pub use search::{form_stage, form_stage_seq, form_stage_with, SearchOptions, SearchStats};
 pub use stagecache::{StageCost, StageCostCache, StageEvalCtx, StageKey};
 
+use rannc_cost::{CostModel, CostModelSpec};
 use rannc_graph::TaskGraph;
 use rannc_hw::{ClusterSpec, Precision};
-use rannc_profile::{CacheStats, Profiler, ProfilerOptions};
+use rannc_profile::{CacheStats, ProfilerOptions};
 use rannc_verify::Report;
 
 /// How [`Rannc::partition`] treats its verification post-pass.
@@ -74,7 +75,7 @@ pub enum VerifyMode {
 }
 
 /// User-facing configuration of a partitioning run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PartitionConfig {
     /// Global mini-batch size `BS`.
     pub batch_size: usize,
@@ -92,6 +93,8 @@ pub struct PartitionConfig {
     pub verify: VerifyMode,
     /// Partition-search engine options (thread count, cross-DP cache).
     pub search: SearchOptions,
+    /// Cost model pricing the search (default: [`CostModelSpec::Analytical`]).
+    pub cost: CostModelSpec,
 }
 
 impl PartitionConfig {
@@ -106,6 +109,7 @@ impl PartitionConfig {
             noise_seed: 0,
             verify: VerifyMode::default(),
             search: SearchOptions::default(),
+            cost: CostModelSpec::default(),
         }
     }
 
@@ -144,6 +148,12 @@ impl PartitionConfig {
     /// Set the full search-engine options.
     pub fn with_search(mut self, search: SearchOptions) -> Self {
         self.search = search;
+        self
+    }
+
+    /// Set the cost model pricing the search.
+    pub fn with_cost_model(mut self, cost: CostModelSpec) -> Self {
+        self.cost = cost;
         self
     }
 }
@@ -360,7 +370,11 @@ impl Rannc {
             ..ProfilerOptions::fp32()
         }
         .with_noise(self.config.noise_sigma, self.config.noise_seed);
-        let profiler = Profiler::new(graph, cluster.device.clone(), opts);
+        let cost = self
+            .config
+            .cost
+            .build(graph, cluster.device.clone(), opts, cluster);
+        let cost: &dyn CostModel = &*cost;
 
         let atomic = {
             let _s = rannc_obs::trace::span("atomic", "planner");
@@ -373,7 +387,7 @@ impl Rannc {
             let _s = rannc_obs::trace::span("blocks", "planner").arg_i("k", self.config.k as i64);
             block_partition(
                 graph,
-                &profiler,
+                cost,
                 &atomic,
                 BlockLimits {
                     k: self.config.k,
@@ -387,7 +401,7 @@ impl Rannc {
                 rannc_obs::trace::span("search", "planner").arg_i("blocks", blocks.len() as i64);
             form_stage_with(
                 graph,
-                &profiler,
+                cost,
                 &blocks,
                 cluster,
                 self.config.batch_size,
@@ -395,7 +409,7 @@ impl Rannc {
             )
         };
         let stats = PlannerStats {
-            profiler_cache: profiler.cache_stats(),
+            profiler_cache: cost.cache_stats(),
             search,
         };
         publish_cache_metrics("planner.profiler_cache", &stats.profiler_cache);
@@ -483,14 +497,18 @@ impl Rannc {
             ..ProfilerOptions::fp32()
         }
         .with_noise(self.config.noise_sigma, self.config.noise_seed);
-        let profiler = Profiler::new(graph, view.device.clone(), opts);
+        let cost = self
+            .config
+            .cost
+            .build(graph, view.device.clone(), opts, &view);
+        let cost: &dyn CostModel = &*cost;
 
         // Old stages, in pipeline order, become the warm-start blocks.
         let blocks: Vec<Block> = old_plan
             .stages
             .iter()
             .map(|s| {
-                let r = profiler.profile_set(&s.set, self.config.profile_batch, 1, true);
+                let r = cost.stage_cost(&s.set, self.config.profile_batch, 1, true);
                 Block {
                     set: s.set.clone(),
                     time: r.fwd_time + r.bwd_time,
@@ -498,7 +516,7 @@ impl Rannc {
                 }
             })
             .collect();
-        match form_stage(graph, &profiler, &blocks, &view, self.config.batch_size) {
+        match form_stage(graph, cost, &blocks, &view, self.config.batch_size) {
             Some(sol) => {
                 let plan =
                     PartitionPlan::from_solution(graph.name.clone(), &sol, self.config.batch_size);

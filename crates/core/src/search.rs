@@ -33,9 +33,10 @@ use crate::blocks::Block;
 use crate::dp::{form_stage_dp, form_stage_dp_cached, DpParams, DpSolution};
 use crate::par;
 use crate::stagecache::StageCostCache;
+use rannc_cost::CostModel;
 use rannc_graph::TaskGraph;
 use rannc_hw::ClusterSpec;
-use rannc_profile::{CacheStats, Profiler};
+use rannc_profile::CacheStats;
 
 /// Estimated wall time of one training iteration under the synchronous
 /// pipeline for a DP solution: fill–drain pipeline slots plus the
@@ -43,19 +44,16 @@ use rannc_profile::{CacheStats, Profiler};
 ///
 /// Stage `i` has `devices_i × R` replicas in total; its gradients
 /// (4 bytes/param master precision) are all-reduced across that group,
-/// spanning nodes whenever `R > 1`.
-pub fn score_solution(sol: &DpSolution, cluster: &ClusterSpec) -> f64 {
+/// spanning nodes whenever `R > 1`. The collective is priced through the
+/// cost model, never inline.
+pub fn score_solution(sol: &DpSolution, cluster: &ClusterSpec, cost: &dyn CostModel) -> f64 {
     let pipeline = sol.estimated_iteration_time();
     let mut allreduce: f64 = 0.0;
     for st in &sol.stages {
         let group = st.devices * sol.replica_factor;
         if group > 1 {
             let bytes = st.param_elems * 4;
-            let t = if sol.replica_factor > 1 {
-                cluster.allreduce_time_across_nodes(bytes, group)
-            } else {
-                rannc_hw::collective::ring_allreduce_time(cluster.node.intra_link, bytes, group)
-            };
+            let t = cost.allreduce_time(cluster, bytes, group, sol.replica_factor > 1);
             allreduce = allreduce.max(t);
         }
     }
@@ -164,14 +162,14 @@ impl SearchTally {
 /// engine with default options; see [`form_stage_with`].
 pub fn form_stage(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     blocks: &[Block],
     cluster: &ClusterSpec,
     batch_size: usize,
 ) -> Option<DpSolution> {
     form_stage_with(
         g,
-        profiler,
+        cost,
         blocks,
         cluster,
         batch_size,
@@ -185,14 +183,14 @@ pub fn form_stage(
 /// bench compare the engine against.
 pub fn form_stage_seq(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     blocks: &[Block],
     cluster: &ClusterSpec,
     batch_size: usize,
 ) -> Option<DpSolution> {
     form_stage_with(
         g,
-        profiler,
+        cost,
         blocks,
         cluster,
         batch_size,
@@ -205,7 +203,7 @@ pub fn form_stage_seq(
 /// alongside the solution.
 pub fn form_stage_with(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     blocks: &[Block],
     cluster: &ClusterSpec,
     batch_size: usize,
@@ -256,9 +254,9 @@ pub fn form_stage_with(
                 .arg_i("MB", p.microbatches as i64)
                 .arg_i("n", n as i64);
             if opts.shared_cache {
-                form_stage_dp_cached(g, profiler, blocks, p, link, &cache)
+                form_stage_dp_cached(g, cost, blocks, p, link, &cache)
             } else {
-                form_stage_dp(g, profiler, blocks, p, link)
+                form_stage_dp(g, cost, blocks, p, link)
             }
         };
         let sweep = rannc_obs::trace::span("sweep", "planner")
@@ -276,9 +274,9 @@ pub fn form_stage_with(
             // Deterministic tie-break: min_by keeps the *first* minimum in
             // grid order, so the parallel sweep picks the exact candidate
             // a sequential scan would.
-            let best = candidates
-                .into_iter()
-                .min_by(|a, b| score_solution(a, cluster).total_cmp(&score_solution(b, cluster)));
+            let best = candidates.into_iter().min_by(|a, b| {
+                score_solution(a, cluster, cost).total_cmp(&score_solution(b, cluster, cost))
+            });
             return (best, tally.finish(&cache));
         }
         n *= 2;
@@ -380,6 +378,6 @@ mod tests {
         // the chosen MB should not be the degenerate maximum (which would
         // inflate fill/drain time without memory need)
         assert!(sol.microbatches <= 64);
-        assert!(score_solution(&sol, &cluster) >= sol.estimated_iteration_time());
+        assert!(score_solution(&sol, &cluster, &profiler) >= sol.estimated_iteration_time());
     }
 }

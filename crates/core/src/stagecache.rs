@@ -28,9 +28,10 @@
 
 use crate::blocks::Block;
 use crate::dp::DpParams;
+use rannc_cost::CostModel;
 use rannc_graph::{traverse, TaskGraph, TaskSet};
 use rannc_hw::LinkSpec;
-use rannc_profile::{CacheStats, Profiler};
+use rannc_profile::CacheStats;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -207,8 +208,8 @@ impl StageCostCache {
 pub struct StageEvalCtx<'a, 'g> {
     /// The task graph being partitioned.
     pub g: &'g TaskGraph,
-    /// The profiling oracle.
-    pub profiler: &'a Profiler<'g>,
+    /// The pricing oracle (profiler roofline or a calibrated model).
+    pub cost: &'a dyn CostModel,
     /// Topologically sorted blocks.
     pub blocks: &'a [Block],
     /// The DP parameters (`S`, `D`, `BS`, `R`, `MB`, memory bound).
@@ -225,19 +226,19 @@ impl<'a, 'g> StageEvalCtx<'a, 'g> {
     /// Build the context for one DP invocation.
     pub fn new(
         g: &'g TaskGraph,
-        profiler: &'a Profiler<'g>,
+        cost: &'a dyn CostModel,
         blocks: &'a [Block],
         p: &DpParams,
         link: LinkSpec,
     ) -> Self {
         StageEvalCtx {
             g,
-            profiler,
+            cost,
             blocks,
             p: *p,
             link,
             ckpt: p.stages > 1,
-            act_scale: profiler.options().precision.activation_bytes() as f64 / 4.0,
+            act_scale: cost.options().precision.activation_bytes() as f64 / 4.0,
         }
     }
 
@@ -315,15 +316,15 @@ impl<'a, 'g> StageEvalCtx<'a, 'g> {
         micro: usize,
     ) -> Option<StageCost> {
         let prof = self
-            .profiler
-            .profile_set(set, micro, self.p.microbatches, self.ckpt);
+            .cost
+            .stage_cost(set, micro, self.p.microbatches, self.ckpt);
         if prof.mem_bytes > self.p.mem_limit {
             return None;
         }
         // objective includes sending outputs onward (except the last stage)
         let comm = if to < self.blocks.len() && egress > 0 {
             let bytes = (egress as f64 * micro as f64 * self.act_scale) as usize;
-            self.link.transfer_time(bytes)
+            self.cost.transfer_time(self.link, bytes)
         } else {
             0.0
         };
@@ -353,7 +354,7 @@ mod tests {
     use crate::blocks::{block_partition, BlockLimits};
     use rannc_hw::{DeviceSpec, LinkSpec};
     use rannc_models::{mlp_graph, MlpConfig};
-    use rannc_profile::ProfilerOptions;
+    use rannc_profile::{Profiler, ProfilerOptions};
 
     fn setup() -> (rannc_graph::TaskGraph, Vec<Block>) {
         let g = mlp_graph(&MlpConfig::deep(64, 64, 10, 10));

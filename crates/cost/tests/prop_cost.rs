@@ -1,0 +1,170 @@
+//! Property-based sanity laws for the cost-model layer.
+//!
+//! Whatever the calibration says, a cost model must stay *physically
+//! plausible*: moving more bytes can't be faster, widening an all-reduce
+//! group can't be faster, and holding more activations resident can't
+//! need less memory. Each law is checked against both the analytical
+//! model and a randomly-perturbed calibrated model, so a bad calibration
+//! can bend prices but never break monotonicity.
+
+use proptest::prelude::*;
+use rannc_cost::{AnalyticalCost, CalibratedCost, Calibration, CostModel};
+use rannc_graph::{TaskGraph, TaskSet};
+use rannc_hw::ClusterSpec;
+use rannc_models::{bert_graph, BertConfig};
+use rannc_profile::ProfilerOptions;
+
+fn graph() -> TaskGraph {
+    bert_graph(&BertConfig::tiny())
+}
+
+fn whole_set(g: &TaskGraph) -> TaskSet {
+    TaskSet::from_ids(g.num_tasks(), g.task_ids())
+}
+
+/// A random but well-formed calibration: every factor positive, spread
+/// far enough from 1.0 to matter, never so extreme the float math
+/// degenerates.
+fn calibrations() -> impl Strategy<Value = Calibration> {
+    (
+        (0.25f64..4.0, 0.25f64..4.0, 0.25f64..4.0, 0.25f64..4.0),
+        (0.25f64..4.0, 0.25f64..4.0, 0.5f64..2.0),
+    )
+        .prop_map(
+            |((compute, matmul, link_intra, link_inter), (allreduce, optimizer, memory))| {
+                Calibration {
+                    compute,
+                    ops: vec![("matmul".into(), matmul)],
+                    link_intra,
+                    link_inter,
+                    allreduce,
+                    optimizer,
+                    memory,
+                }
+            },
+        )
+}
+
+/// Run `law` against the analytical model and a calibrated model built
+/// from `cal`, labelling failures with the model that broke.
+fn for_both_models(cal: &Calibration, law: impl Fn(&dyn CostModel, &ClusterSpec, &str)) {
+    let g = graph();
+    let cluster = ClusterSpec::v100_cluster(2);
+    let analytical = AnalyticalCost::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+    law(&analytical, &cluster, "analytical");
+    let calibrated = CalibratedCost::new(
+        &g,
+        cluster.device.clone(),
+        ProfilerOptions::fp32(),
+        cal.clone(),
+        &cluster,
+    );
+    law(&calibrated, &cluster, "calibrated");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transfer time is nondecreasing in bytes, on both link classes.
+    #[test]
+    fn transfer_time_nondecreasing_in_bytes(
+        cal in calibrations(),
+        a in 0usize..(1 << 28),
+        b in 0usize..(1 << 28),
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for_both_models(&cal, |m, cluster, label| {
+            for link in [cluster.planning_link(), cluster.inter_link] {
+                let t_lo = m.transfer_time(link, lo);
+                let t_hi = m.transfer_time(link, hi);
+                assert!(
+                    t_lo <= t_hi,
+                    "{label}: transfer({lo}) = {t_lo} > transfer({hi}) = {t_hi}"
+                );
+            }
+        });
+    }
+
+    /// All-reduce time is nondecreasing in bytes and in group size, for
+    /// intra-node and node-spanning groups alike.
+    #[test]
+    fn allreduce_time_nondecreasing_in_bytes_and_group(
+        cal in calibrations(),
+        a in 0usize..(1 << 28),
+        b in 0usize..(1 << 28),
+        g1 in 1usize..17,
+        g2 in 1usize..17,
+    ) {
+        let (blo, bhi) = (a.min(b), a.max(b));
+        let (glo, ghi) = (g1.min(g2), g1.max(g2));
+        for_both_models(&cal, |m, cluster, label| {
+            for spans in [false, true] {
+                let by_bytes_lo = m.allreduce_time(cluster, blo, ghi, spans);
+                let by_bytes_hi = m.allreduce_time(cluster, bhi, ghi, spans);
+                assert!(
+                    by_bytes_lo <= by_bytes_hi,
+                    "{label}/spans={spans}: allreduce({blo} B) = {by_bytes_lo} \
+                     > allreduce({bhi} B) = {by_bytes_hi}"
+                );
+                let by_group_lo = m.allreduce_time(cluster, bhi, glo, spans);
+                let by_group_hi = m.allreduce_time(cluster, bhi, ghi, spans);
+                assert!(
+                    by_group_lo <= by_group_hi,
+                    "{label}/spans={spans}: allreduce(group {glo}) = {by_group_lo} \
+                     > allreduce(group {ghi}) = {by_group_hi}"
+                );
+            }
+        });
+    }
+
+    /// Peak stage memory is nondecreasing in the micro-batch size and in
+    /// the number of in-flight micro-batches, with and without gradient
+    /// checkpointing.
+    #[test]
+    fn stage_memory_nondecreasing_in_batch_and_inflight(
+        cal in calibrations(),
+        mb1 in 1usize..33,
+        mb2 in 1usize..33,
+        if1 in 1usize..9,
+        if2 in 1usize..9,
+        ckpt in any::<bool>(),
+    ) {
+        let (mlo, mhi) = (mb1.min(mb2), mb1.max(mb2));
+        let (ilo, ihi) = (if1.min(if2), if1.max(if2));
+        for_both_models(&cal, |m, _cluster, label| {
+            let set = whole_set(m.graph());
+            let by_batch_lo = m.stage_cost(&set, mlo, ihi, ckpt).mem_bytes;
+            let by_batch_hi = m.stage_cost(&set, mhi, ihi, ckpt).mem_bytes;
+            assert!(
+                by_batch_lo <= by_batch_hi,
+                "{label}/ckpt={ckpt}: mem(mb {mlo}) = {by_batch_lo} \
+                 > mem(mb {mhi}) = {by_batch_hi}"
+            );
+            let by_inflight_lo = m.stage_cost(&set, mhi, ilo, ckpt).mem_bytes;
+            let by_inflight_hi = m.stage_cost(&set, mhi, ihi, ckpt).mem_bytes;
+            assert!(
+                by_inflight_lo <= by_inflight_hi,
+                "{label}/ckpt={ckpt}: mem(inflight {ilo}) = {by_inflight_lo} \
+                 > mem(inflight {ihi}) = {by_inflight_hi}"
+            );
+        });
+    }
+
+    /// Optimizer time is nondecreasing in gradient bytes.
+    #[test]
+    fn optimizer_time_nondecreasing_in_bytes(
+        cal in calibrations(),
+        a in 0usize..(1 << 30),
+        b in 0usize..(1 << 30),
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for_both_models(&cal, |m, cluster, label| {
+            let t_lo = m.optimizer_time(&cluster.device, lo);
+            let t_hi = m.optimizer_time(&cluster.device, hi);
+            assert!(
+                t_lo <= t_hi,
+                "{label}: optimizer({lo}) = {t_lo} > optimizer({hi}) = {t_hi}"
+            );
+        });
+    }
+}

@@ -49,6 +49,20 @@ impl ClusterSpec {
         }
         ring_allreduce_time(self.inter_link, bytes, n)
     }
+
+    /// Single entry point for gradient all-reduce over a replica group of
+    /// `group` devices: the caller decides whether the group spans nodes
+    /// (each site has its own layout invariant — replicated stages sit one
+    /// per node, tensor-parallel groups fill a node first) and this method
+    /// owns the link selection and the ring formula.
+    pub fn replica_allreduce_time(&self, bytes: usize, group: usize, spans_nodes: bool) -> f64 {
+        let link = if spans_nodes {
+            self.inter_link
+        } else {
+            self.node.intra_link
+        };
+        ring_allreduce_time(link, bytes, group)
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +104,22 @@ mod tests {
         let t8 = ring_allreduce_time(l, 1 << 30, 8);
         let t64 = ring_allreduce_time(l, 1 << 30, 64);
         assert!(t64 < t8 * 1.3);
+    }
+
+    #[test]
+    fn replica_allreduce_matches_legacy_paths() {
+        let c = ClusterSpec::v100_cluster(4);
+        let bytes = 340_000_000usize * 4;
+        assert_eq!(
+            c.replica_allreduce_time(bytes, 4, true).to_bits(),
+            c.allreduce_time_across_nodes(bytes, 4).to_bits()
+        );
+        assert_eq!(
+            c.replica_allreduce_time(bytes, 8, false).to_bits(),
+            ring_allreduce_time(c.node.intra_link, bytes, 8).to_bits()
+        );
+        assert_eq!(c.replica_allreduce_time(bytes, 1, true), 0.0);
+        assert_eq!(c.replica_allreduce_time(0, 8, false), 0.0);
     }
 
     #[test]

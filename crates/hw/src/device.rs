@@ -111,6 +111,16 @@ impl DeviceSpec {
         self.memory_bytes = bytes;
         self
     }
+
+    /// Time for one Adam optimizer step over `grad_bytes` of gradients.
+    ///
+    /// The update is memory-bound: read grad + m + v + param, write m + v +
+    /// param, ≈ 8× the gradient bytes moved through HBM. Every simulator
+    /// prices optimizer steps through this one method.
+    #[inline]
+    pub fn optimizer_step_time(&self, grad_bytes: usize) -> f64 {
+        grad_bytes as f64 * 8.0 / self.mem_bandwidth
+    }
 }
 
 impl Default for DeviceSpec {
@@ -149,5 +159,14 @@ mod tests {
     fn with_memory_override() {
         let d = DeviceSpec::v100_32gb().with_memory(1 << 20);
         assert_eq!(d.memory_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn optimizer_step_is_memory_bound() {
+        let d = DeviceSpec::v100_32gb();
+        let g = 340_000_000usize * 4;
+        let t = d.optimizer_step_time(g);
+        assert_eq!(t.to_bits(), (g as f64 * 8.0 / d.mem_bandwidth).to_bits());
+        assert_eq!(d.optimizer_step_time(0), 0.0);
     }
 }

@@ -11,9 +11,9 @@
 //! parallelism "could train only the smallest model" (§IV-B).
 
 use crate::spec::SimResult;
+use rannc_cost::CostModel;
 use rannc_graph::{TaskGraph, TaskSet};
 use rannc_hw::ClusterSpec;
-use rannc_profile::Profiler;
 
 /// Outcome of the data-parallel feasibility + performance model.
 #[derive(Debug, Clone)]
@@ -45,7 +45,7 @@ impl DataParallelOutcome {
 /// per-device share) that fits device memory.
 pub fn simulate_data_parallel(
     g: &TaskGraph,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     batch_size: usize,
 ) -> DataParallelOutcome {
@@ -60,7 +60,7 @@ pub fn simulate_data_parallel(
     }
     let mut chosen = None;
     while micro >= 1 {
-        let prof = profiler.profile_set(&whole, micro, 1, false);
+        let prof = cost.stage_cost(&whole, micro, 1, false);
         if prof.mem_bytes <= cluster.device.memory_bytes {
             chosen = Some((micro, prof));
             break;
@@ -80,7 +80,7 @@ pub fn simulate_data_parallel(
     let grad_bytes = prof.param_elems * 4;
     let ranks: Vec<usize> = (0..devices).collect();
     let allreduce = cluster.allreduce_time(grad_bytes, &ranks);
-    let optimizer = grad_bytes as f64 * 8.0 / cluster.device.mem_bandwidth;
+    let optimizer = cost.optimizer_time(&cluster.device, grad_bytes);
     let iteration = compute + allreduce + optimizer;
     DataParallelOutcome::Feasible(SimResult::new(iteration, batch_size, vec![compute]))
 }
@@ -90,7 +90,7 @@ mod tests {
     use super::*;
     use rannc_hw::DeviceSpec;
     use rannc_models::{bert_graph, mlp_graph, BertConfig, MlpConfig};
-    use rannc_profile::ProfilerOptions;
+    use rannc_profile::{Profiler, ProfilerOptions};
 
     #[test]
     fn small_model_is_feasible() {

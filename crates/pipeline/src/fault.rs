@@ -28,9 +28,9 @@ use crate::spec::PipelineSpec;
 use crate::sync::{simulate_sync, SyncSchedule};
 use crate::{spec_from_plan, PlanSpecError};
 use rannc_core::{PartitionPlan, Rannc};
+use rannc_cost::CostModel;
 use rannc_faults::FaultPlan;
 use rannc_hw::ClusterSpec;
-use rannc_profile::Profiler;
 
 /// How the campaign reacts to a permanent device loss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,11 +122,11 @@ impl FaultSimReport {
 /// latency events folded in.
 fn faulted_iteration_time(
     plan: &PartitionPlan,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     faults: &FaultPlan,
 ) -> Result<f64, PlanSpecError> {
-    let mut spec = spec_from_plan(plan, profiler, cluster)?;
+    let mut spec = spec_from_plan(plan, cost, cluster)?;
     let assignment = plan
         .device_assignment(cluster)
         .map_err(PlanSpecError::BadAssignment)?;
@@ -180,16 +180,16 @@ fn apply_latency_faults(
 pub fn simulate_faulted(
     rannc: &Rannc,
     plan: &PartitionPlan,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
     faults: &FaultPlan,
     cfg: &FaultSimConfig,
 ) -> Result<FaultSimReport, PlanSpecError> {
     assert!(cfg.checkpoint_every > 0, "checkpoint_every must be > 0");
-    let graph = profiler.graph();
+    let graph = cost.graph();
     let mut cluster = cluster.clone();
     let mut plan = plan.clone();
-    let mut iter_time = faulted_iteration_time(&plan, profiler, &cluster, faults)?;
+    let mut iter_time = faulted_iteration_time(&plan, cost, &cluster, faults)?;
 
     let mut wall = 0.0f64;
     let mut done = 0usize;
@@ -245,7 +245,7 @@ pub fn simulate_faulted(
                         // evaluate the new plan on the conservative view
                         // it was planned for
                         let view = cluster.planning_view();
-                        iter_time = faulted_iteration_time(&new_plan, profiler, &view, faults)?;
+                        iter_time = faulted_iteration_time(&new_plan, cost, &view, faults)?;
                         plan = new_plan;
                         replanned = true;
                     }
@@ -326,7 +326,7 @@ mod tests {
     use rannc_faults::FaultEvent;
     use rannc_hw::DeviceSpec;
     use rannc_models::{mlp_graph, MlpConfig};
-    use rannc_profile::ProfilerOptions;
+    use rannc_profile::{Profiler, ProfilerOptions};
 
     fn setup(nodes: usize) -> (rannc_graph::TaskGraph, ClusterSpec, Rannc) {
         let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));

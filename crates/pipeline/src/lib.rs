@@ -33,9 +33,9 @@ pub use sync::{
 pub use trace::{publish_sim_metrics, record_timeline};
 
 use rannc_core::PartitionPlan;
+use rannc_cost::CostModel;
 use rannc_graph::traverse;
 use rannc_hw::ClusterSpec;
-use rannc_profile::Profiler;
 
 /// Why a partition plan could not be turned into a simulator spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,32 +79,35 @@ impl std::error::Error for PlanSpecError {}
 /// micro-batch and activation precision).
 pub fn simulate_plan(
     plan: &PartitionPlan,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
 ) -> Result<SimResult, PlanSpecError> {
-    let spec = spec_from_plan(plan, profiler, cluster)?;
+    let spec = spec_from_plan(plan, cost, cluster)?;
     Ok(simulate_sync(&spec, SyncSchedule::FillDrain, false).result)
 }
 
 /// Convert a partition plan into the simulator's input description.
 ///
-/// Stage times are **re-profiled** with the supplied profiler rather than
+/// Stage times are **re-priced** with the supplied cost model rather than
 /// copied from the plan: the plan's structure (stage sets, replica
 /// counts, micro-batches) encodes the partitioning *decisions*, while the
-/// profiler is the source of truth for *costs*. This separation lets a
+/// cost model is the source of truth for *costs*. This separation lets a
 /// plan produced under profiling noise be evaluated by a clean oracle.
+/// The model's [`CostFactors`](rannc_cost::CostFactors) are embedded into
+/// the spec so downstream pricing (`comm_time`, `allreduce_time`,
+/// `optimizer_time`) stays consistent with the model that built it.
 pub fn spec_from_plan(
     plan: &PartitionPlan,
-    profiler: &Profiler<'_>,
+    cost: &dyn CostModel,
     cluster: &ClusterSpec,
 ) -> Result<PipelineSpec, PlanSpecError> {
-    let g = profiler.graph();
+    let g = cost.graph();
     let ckpt = plan.stages.len() > 1;
     let mut stages = Vec::with_capacity(plan.stages.len());
     for (i, st) in plan.stages.iter().enumerate() {
-        let prof = profiler.profile_set(&st.set, st.micro_batch, plan.microbatches, ckpt);
+        let prof = cost.stage_cost(&st.set, st.micro_batch, plan.microbatches, ckpt);
         let comm_to_next_bytes = if i + 1 < plan.stages.len() {
-            profiler.comm_bytes(&st.set, &plan.stages[i + 1].set, st.micro_batch)
+            cost.comm_bytes(&st.set, &plan.stages[i + 1].set, st.micro_batch)
         } else {
             0
         };
@@ -132,6 +135,7 @@ pub fn spec_from_plan(
         batch_size: plan.batch_size,
         link: cluster.planning_link(),
         cluster: cluster.clone(),
+        cost: cost.factors(),
     };
     spec.validate().map_err(PlanSpecError::BadSpec)?;
     Ok(spec)
@@ -143,7 +147,7 @@ mod tests {
     use rannc_core::{PartitionConfig, Rannc};
     use rannc_hw::DeviceSpec;
     use rannc_models::{mlp_graph, MlpConfig};
-    use rannc_profile::ProfilerOptions;
+    use rannc_profile::{Profiler, ProfilerOptions};
 
     #[test]
     fn simulate_plan_end_to_end() {

@@ -1,5 +1,6 @@
 //! Simulator input/output types.
 
+use rannc_cost::CostFactors;
 use rannc_hw::{ClusterSpec, LinkSpec};
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,11 @@ pub struct PipelineSpec {
     pub link: LinkSpec,
     /// The cluster (for all-reduce cost modelling).
     pub cluster: ClusterSpec,
+    /// Cost-model correction factors applied to the priced quantities.
+    /// Identity by default — a spec priced without a calibrated model
+    /// reproduces the analytical formulas bit-for-bit.
+    #[serde(default)]
+    pub cost: CostFactors,
 }
 
 /// Why a [`PipelineSpec`] is not simulatable.
@@ -99,7 +105,7 @@ impl PipelineSpec {
         if bytes == 0 {
             0.0
         } else {
-            self.link.transfer_time(bytes)
+            self.link.transfer_time(bytes) * self.cost.transfer
         }
     }
 
@@ -113,23 +119,20 @@ impl PipelineSpec {
     /// paper's 8-GPU nodes.
     pub fn allreduce_time(&self) -> f64 {
         let pipeline_devices: usize = self.stages.iter().map(|s| s.replicas).sum();
+        let spans_nodes = self.replica_factor > 1 || pipeline_devices > self.cluster.node.devices;
+        let factor = if spans_nodes {
+            self.cost.allreduce_inter
+        } else {
+            self.cost.allreduce_intra
+        };
         let mut worst: f64 = 0.0;
         for st in &self.stages {
             let group = st.replicas * self.replica_factor;
             if group > 1 {
-                let spans_nodes =
-                    self.replica_factor > 1 || pipeline_devices > self.cluster.node.devices;
-                let t = if spans_nodes {
-                    self.cluster
-                        .allreduce_time_across_nodes(st.grad_bytes, group)
-                } else {
-                    rannc_hw::collective::ring_allreduce_time(
-                        self.cluster.node.intra_link,
-                        st.grad_bytes,
-                        group,
-                    )
-                };
-                worst = worst.max(t);
+                let t = self
+                    .cluster
+                    .replica_allreduce_time(st.grad_bytes, group, spans_nodes);
+                worst = worst.max(t * factor);
             }
         }
         worst
@@ -139,8 +142,7 @@ impl PipelineSpec {
     /// the update is memory-bandwidth bound on the largest stage.
     pub fn optimizer_time(&self) -> f64 {
         let worst = self.stages.iter().map(|s| s.grad_bytes).max().unwrap_or(0);
-        // weights + grads + 2 Adam moments, read and write
-        (worst as f64 * 8.0) / self.cluster.device.mem_bandwidth
+        self.cluster.device.optimizer_step_time(worst) * self.cost.optimizer
     }
 }
 
@@ -195,6 +197,7 @@ mod tests {
             batch_size: 32,
             link: rannc_hw::LinkSpec::nvlink(),
             cluster: ClusterSpec::v100_cluster(1),
+            cost: CostFactors::identity(),
         }
     }
 

@@ -271,6 +271,7 @@ mod tests {
             batch_size: 64,
             link: LinkSpec::nvlink(),
             cluster: ClusterSpec::v100_cluster(1),
+            cost: rannc_cost::CostFactors::identity(),
         }
     }
 

@@ -97,6 +97,7 @@ mod tests {
             batch_size: 32,
             link: LinkSpec::nvlink(),
             cluster: ClusterSpec::v100_cluster(1),
+            cost: rannc_cost::CostFactors::identity(),
         }
     }
 

@@ -23,6 +23,7 @@ fn spec_from(times: Vec<(f64, f64)>, mb: usize) -> PipelineSpec {
         batch_size: 64,
         link: LinkSpec::nvlink(),
         cluster: ClusterSpec::v100_cluster(1),
+        cost: rannc_cost::CostFactors::identity(),
     }
 }
 

@@ -94,6 +94,9 @@ struct TaskCost {
     /// (weight transposes etc.) run once regardless of batch.
     scales: bool,
     params: std::ops::Range<u32>,
+    /// Per-op calibration factor applied to the roofline term (1.0 = the
+    /// pure analytical model; `x * 1.0` is bit-identical to `x`).
+    cal: f64,
 }
 
 #[derive(PartialEq, Eq, Hash, Clone, Copy)]
@@ -206,6 +209,19 @@ pub struct Profiler<'g> {
 impl<'g> Profiler<'g> {
     /// Build a profiler for one graph on one device model.
     pub fn new(g: &'g TaskGraph, device: DeviceSpec, opts: ProfilerOptions) -> Self {
+        Profiler::new_scaled(g, device, opts, |_| 1.0)
+    }
+
+    /// Build a profiler whose per-task roofline estimates are multiplied by
+    /// `scale_of(op)` — the hook calibrated cost models use to apply
+    /// measured per-operator correction factors. `scale_of` returning 1.0
+    /// for every op reproduces [`Profiler::new`] bit-for-bit.
+    pub fn new_scaled(
+        g: &'g TaskGraph,
+        device: DeviceSpec,
+        opts: ProfilerOptions,
+        scale_of: impl Fn(&rannc_graph::OpKind) -> f64,
+    ) -> Self {
         let non_constant = traverse::non_constant_tasks(g);
         let mut costs = Vec::with_capacity(g.num_tasks());
         let mut param_vals = Vec::new();
@@ -227,6 +243,7 @@ impl<'g> Profiler<'g> {
                 compute_bound: task.op.is_compute_bound(),
                 scales: non_constant[tid.index()],
                 params: start..end,
+                cal: scale_of(&task.op),
             });
         }
         Profiler {
@@ -302,7 +319,9 @@ impl<'g> Profiler<'g> {
         };
         let t_compute = flops / peak;
         let t_memory = bytes / self.device.mem_bandwidth;
-        t_compute.max(t_memory) + self.opts.launch_overhead
+        // Calibration scales the modelled kernel time, not the fixed launch
+        // overhead; `cal == 1.0` leaves the sum bit-identical.
+        t_compute.max(t_memory) * c.cal + self.opts.launch_overhead
     }
 
     /// Profile a candidate stage: the paper's `profile(U, bs)`.
@@ -654,6 +673,46 @@ mod tests {
                 "range {lo}..{hi}"
             );
         }
+    }
+
+    #[test]
+    fn identity_op_scaling_is_bit_identical() {
+        let g = bert_graph(&BertConfig::tiny());
+        let plain = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let scaled =
+            Profiler::new_scaled(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32(), |_| {
+                1.0
+            });
+        let s = whole_set(&g);
+        for batch in [1usize, 4, 16] {
+            let a = plain.profile_set(&s, batch, 2, true);
+            let b = scaled.profile_set(&s, batch, 2, true);
+            assert_eq!(a.fwd_time.to_bits(), b.fwd_time.to_bits());
+            assert_eq!(a.bwd_time.to_bits(), b.bwd_time.to_bits());
+            assert_eq!(a.mem_bytes, b.mem_bytes);
+        }
+    }
+
+    #[test]
+    fn op_scaling_slows_matching_ops_only() {
+        let g = bert_graph(&BertConfig::tiny());
+        let plain = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let scaled =
+            Profiler::new_scaled(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32(), |op| {
+                if op.name() == "matmul" {
+                    3.0
+                } else {
+                    1.0
+                }
+            });
+        let s = whole_set(&g);
+        let a = plain.profile_set(&s, 8, 1, false);
+        let b = scaled.profile_set(&s, 8, 1, false);
+        assert!(b.fwd_time > a.fwd_time);
+        assert!(b.bwd_time > a.bwd_time);
+        // memory and structure are untouched by time calibration
+        assert_eq!(a.mem_bytes, b.mem_bytes);
+        assert_eq!(a.param_elems, b.param_elems);
     }
 
     #[test]

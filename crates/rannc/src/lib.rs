@@ -31,6 +31,7 @@
 //! | [`models`] | BERT / GPT / ResNet / MLP graph builders |
 //! | [`hw`] | device, link, cluster model (V100 presets) |
 //! | [`profile`] | the analytical `profile(U, batch)` oracle |
+//! | [`cost`] | pluggable cost models (analytical / calibrated) |
 //! | [`core`] | the paper's partitioner (atomic / block / stage phases) |
 //! | [`pipeline`] | event-driven schedule simulator (sync, 2BW, DP) |
 //! | [`baselines`] | Megatron-LM, GPipe-Hybrid/Model, PipeDream-2BW |
@@ -41,6 +42,7 @@
 
 pub use rannc_baselines as baselines;
 pub use rannc_core as core;
+pub use rannc_cost as cost;
 pub use rannc_faults as faults;
 pub use rannc_graph as graph;
 pub use rannc_hw as hw;
@@ -55,6 +57,7 @@ pub use rannc_verify as verify;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rannc_core::{PartitionConfig, PartitionError, PartitionPlan, Rannc, VerifyMode};
+    pub use rannc_cost::{AnalyticalCost, CalibratedCost, Calibration, CostModel, CostModelSpec};
     pub use rannc_faults::{FaultEvent, FaultPlan};
     pub use rannc_graph::{GraphBuilder, OpKind, TaskGraph, TaskSet};
     pub use rannc_hw::{ClusterSpec, DeviceSpec, LinkSpec, NodeSpec, Precision};

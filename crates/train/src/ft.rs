@@ -312,6 +312,7 @@ fn fault_ctxs(
                 link_factor: plan.link_factor(),
                 comm_prob: plan.comm_error_prob(),
                 seed: plan.seed(),
+                ticks: rannc_cost::SimTicks::default(),
             }
         })
         .collect()

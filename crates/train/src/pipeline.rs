@@ -22,6 +22,7 @@ use crate::channel::{bounded, RecvError, SendError, Sender};
 use crate::data::Dataset;
 use crate::error::TrainError;
 use crate::stage::Stage;
+use rannc_cost::SimTicks;
 use rannc_tensor::{ops, Matrix};
 use std::time::{Duration, Instant};
 
@@ -87,6 +88,9 @@ pub(crate) struct StageFaultCtx {
     pub comm_prob: f64,
     /// Seed for the stateless transient-failure draws.
     pub seed: u64,
+    /// Nominal compute/transfer tick durations the injected delays scale
+    /// (shared with the cost layer so simulated and planned time agree).
+    pub ticks: SimTicks,
 }
 
 impl Default for StageFaultCtx {
@@ -98,19 +102,15 @@ impl Default for StageFaultCtx {
             link_factor: 1.0,
             comm_prob: 0.0,
             seed: 0,
+            ticks: SimTicks::default(),
         }
     }
 }
 
 impl StageFaultCtx {
-    /// Nominal per-micro-batch compute used to scale straggler sleeps.
-    const COMPUTE_TICK: Duration = Duration::from_micros(200);
-    /// Nominal per-transfer latency used to scale link-degrade sleeps.
-    const COMM_TICK: Duration = Duration::from_micros(100);
-
     fn compute_delay(&self) {
         if self.slowdown > 1.0 {
-            std::thread::sleep(Self::COMPUTE_TICK.mul_f64(self.slowdown - 1.0));
+            std::thread::sleep(self.ticks.compute.mul_f64(self.slowdown - 1.0));
         }
     }
 
@@ -120,13 +120,13 @@ impl StageFaultCtx {
     /// regardless of thread timing) costs one retransmit.
     fn comm_delay(&self, it: usize, mb: usize, stage: usize) {
         if self.link_factor < 1.0 {
-            std::thread::sleep(Self::COMM_TICK.mul_f64(1.0 / self.link_factor - 1.0));
+            std::thread::sleep(self.ticks.comm.mul_f64(1.0 / self.link_factor - 1.0));
         }
         if self.comm_prob > 0.0 {
             let h = splitmix(self.seed ^ (it as u64) << 40 ^ (mb as u64) << 20 ^ stage as u64);
             let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
             if unit < self.comm_prob {
-                std::thread::sleep(Self::COMM_TICK); // retransmit
+                std::thread::sleep(self.ticks.comm); // retransmit
             }
         }
     }

@@ -9,6 +9,15 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> formula-ownership gate (collective math only in rannc-hw / rannc-cost)"
+# every comm/collective-time formula lives behind the CostModel layer;
+# nothing outside rannc-hw / rannc-cost may call the ring formula directly
+if grep -rn --include='*.rs' "ring_allreduce_time" crates tests examples \
+    | grep -v '^crates/hw/' | grep -v '^crates/cost/'; then
+    echo "FAILED: ring_allreduce_time referenced outside rannc-hw/rannc-cost"
+    exit 1
+fi
+
 echo "==> verifier smoke-gate (rannc-plan verify, all models x 16/32 devices)"
 for nodes in 2 4; do
     for model in mlp bert gpt t5 resnet; do
