@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the streaming-replanning path: warm-started
+//! repartition after a loss, the backoff ladder, and full churn
+//! campaigns under each policy. Replanning sits on the recovery critical
+//! path — its latency is downtime — so regressions here cost goodput
+//! directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rannc::core::{diff_plans, PartitionConfig, PartitionPlan, Rannc};
+use rannc::faults::ClusterEventTrace;
+use rannc::graph::TaskGraph;
+use rannc::hw::DeviceRank;
+use rannc::pipeline::{simulate_churn, ChurnPolicy, ChurnSimConfig};
+use rannc::prelude::*;
+use rannc::profile::{Profiler, ProfilerOptions};
+
+fn setup() -> (TaskGraph, ClusterSpec, Rannc, PartitionPlan) {
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(2);
+    let rannc = Rannc::new(PartitionConfig::new(64).with_k(8));
+    let plan = rannc.partition(&g, &cluster).expect("seed plan");
+    (g, cluster, rannc, plan)
+}
+
+fn bench_repartition(c: &mut Criterion) {
+    let (g, cluster, rannc, plan) = setup();
+    let degraded = cluster
+        .without_device(DeviceRank { node: 1, local: 0 })
+        .unwrap();
+    c.bench_function("repartition_after_one_loss", |b| {
+        b.iter(|| rannc.repartition(&g, &plan, &degraded).unwrap());
+    });
+    c.bench_function("replan_with_backoff", |b| {
+        b.iter(|| rannc.replan_with_backoff(&g, &plan, &degraded, 2).unwrap());
+    });
+}
+
+fn bench_plan_diff(c: &mut Criterion) {
+    let (g, cluster, rannc, plan) = setup();
+    let degraded = cluster
+        .without_device(DeviceRank { node: 1, local: 0 })
+        .unwrap();
+    let new = rannc.repartition(&g, &plan, &degraded).unwrap();
+    c.bench_function("diff_plans", |b| {
+        b.iter(|| diff_plans(&plan, &new));
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let (g, cluster, rannc, plan) = setup();
+    let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+    let trace = ClusterEventTrace::generate(7, 20, &cluster, 1500);
+    let mut group = c.benchmark_group("churn_campaign_20_events");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("replan", ChurnPolicy::ReplanAlways),
+        ("ride", ChurnPolicy::RideItOut),
+        ("degrade", ChurnPolicy::DegradeInPlace),
+        ("adaptive", ChurnPolicy::Adaptive),
+    ] {
+        let cfg = ChurnSimConfig {
+            iterations: 50_000,
+            policy,
+            ..ChurnSimConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| simulate_churn(&rannc, &plan, &profiler, &cluster, &trace, cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repartition, bench_plan_diff, bench_campaign);
+criterion_main!(benches);

@@ -8,12 +8,20 @@ rannc-plan — automatic model partitioning (RaNNC reproduction)
 USAGE:
   rannc-plan --model <bert|gpt|t5|resnet|mlp> [OPTIONS]
   rannc-plan faults --model <...> [OPTIONS] [FAULT OPTIONS]
+  rannc-plan churn --model <...> [OPTIONS] [CHURN OPTIONS]
   rannc-plan verify --model <...> [OPTIONS]
   rannc-plan obs-check [--trace FILE] [--metrics FILE]
 
 The `faults` subcommand partitions the model, then simulates a long
 training campaign under an injected fault plan with BOTH recovery
 policies (degrade-only vs elastic replan) and reports goodput and MTTR.
+
+The `churn` subcommand simulates continuous cluster churn: a seeded
+stream of join/leave/degrade/recover events plays against the plan
+under each replanning policy (replan-always, ride-it-out,
+degrade-in-place, adaptive), scoring goodput and MTTR and printing the
+per-event decision log. Traces replay deterministically from the seed
+and can be saved/loaded as JSON spec files.
 
 The `verify` subcommand runs the static verifier (rannc-verify) over
 the model's task graph, a partition plan (freshly computed, or a
@@ -64,6 +72,19 @@ FAULT OPTIONS (faults subcommand):
   --replan-cost <S>       re-partition + redeploy time, seconds (default 15)
   --seed <N>              fault-plan seed (default 42)
 
+CHURN OPTIONS (churn subcommand):
+  --events <N>          generated cluster events (default 50)
+  --mean-gap <N>        mean iterations between events (default 200)
+  --churn-trace <FILE>  load the event trace from a JSON spec file
+                        instead of generating one from --seed
+  --save-trace <FILE>   write the (generated or loaded) trace as JSON
+  --policy <replan|ride|degrade|adaptive|all>
+                        policy to simulate (default: all, side by side)
+  --horizon <N>         iterations the adaptive policy amortizes a
+                        replan over (default 2000)
+  --iterations, --detect-timeout, --restore-cost, --replan-cost and
+  --seed apply as for the faults subcommand
+
 OBSERVABILITY OPTIONS:
   --trace-out <FILE>    write a Chrome-trace (Perfetto) JSON of all spans
   --metrics-out <FILE>  write the metrics registry as JSONL
@@ -85,6 +106,8 @@ pub enum Command {
     Plan,
     /// Fault-injection campaign: degrade vs replan report.
     Faults,
+    /// Cluster-churn campaign: policy comparison over an event stream.
+    Churn,
     /// Static verification of graph, plan, and schedules.
     Verify,
     /// Validate observability artifacts (trace/metrics files).
@@ -100,6 +123,37 @@ pub enum CostModelArg {
     Analytical,
     /// Analytical model corrected by the JSON calibration at this path.
     Calibrated(String),
+}
+
+/// `--policy` choice for the churn subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChurnPolicyArg {
+    /// Replan on every capacity-changing event.
+    Replan,
+    /// Never replan; restore shed replicas when capacity returns.
+    Ride,
+    /// Never replan; losses are permanent.
+    Degrade,
+    /// Cost-compare replan vs ride per event.
+    Adaptive,
+    /// Run all four policies side by side (the default).
+    #[default]
+    All,
+}
+
+impl ChurnPolicyArg {
+    fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "replan" => Ok(ChurnPolicyArg::Replan),
+            "ride" => Ok(ChurnPolicyArg::Ride),
+            "degrade" => Ok(ChurnPolicyArg::Degrade),
+            "adaptive" => Ok(ChurnPolicyArg::Adaptive),
+            "all" => Ok(ChurnPolicyArg::All),
+            other => Err(format!(
+                "--policy expects replan|ride|degrade|adaptive|all, got `{other}`"
+            )),
+        }
+    }
 }
 
 impl CostModelArg {
@@ -180,6 +234,18 @@ pub struct Args {
     pub restore_cost: f64,
     pub replan_cost: f64,
     pub seed: u64,
+    /// Cluster events to generate (`churn` subcommand).
+    pub events: usize,
+    /// Mean iteration gap between generated events.
+    pub mean_gap: usize,
+    /// Load the event trace from this JSON spec file.
+    pub churn_trace: Option<String>,
+    /// Write the event trace to this JSON file.
+    pub save_trace: Option<String>,
+    /// Churn policy under test.
+    pub policy: ChurnPolicyArg,
+    /// Adaptive-policy amortization horizon, iterations.
+    pub horizon: usize,
 }
 
 impl Default for Args {
@@ -220,6 +286,12 @@ impl Default for Args {
             restore_cost: 2.0,
             replan_cost: 15.0,
             seed: 42,
+            events: 50,
+            mean_gap: 200,
+            churn_trace: None,
+            save_trace: None,
+            policy: ChurnPolicyArg::default(),
+            horizon: 2000,
         }
     }
 }
@@ -235,6 +307,10 @@ impl Args {
             Some("faults") => {
                 it.next();
                 a.command = Command::Faults;
+            }
+            Some("churn") => {
+                it.next();
+                a.command = Command::Churn;
             }
             Some("verify") => {
                 it.next();
@@ -317,6 +393,12 @@ impl Args {
                 "--restore-cost" => a.restore_cost = float(&flag, &mut it)?,
                 "--replan-cost" => a.replan_cost = float(&flag, &mut it)?,
                 "--seed" => a.seed = num(&flag, &mut it)? as u64,
+                "--events" => a.events = num(&flag, &mut it)?,
+                "--mean-gap" => a.mean_gap = num(&flag, &mut it)?,
+                "--churn-trace" => a.churn_trace = Some(value(&flag, &mut it)?),
+                "--save-trace" => a.save_trace = Some(value(&flag, &mut it)?),
+                "--policy" => a.policy = ChurnPolicyArg::parse(&value(&flag, &mut it)?)?,
+                "--horizon" => a.horizon = num(&flag, &mut it)?,
                 "--help" | "-h" => a.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -335,6 +417,17 @@ impl Args {
         }
         if a.command == Command::Faults && (a.iterations == 0 || a.checkpoint_every == 0) {
             return Err("--iterations and --checkpoint-every must be positive".into());
+        }
+        if a.command == Command::Churn {
+            if a.iterations == 0 {
+                return Err("--iterations must be positive".into());
+            }
+            if a.events == 0 && a.churn_trace.is_none() {
+                return Err("churn needs --events > 0 or a --churn-trace file".into());
+            }
+            if a.mean_gap == 0 || a.horizon == 0 {
+                return Err("--mean-gap and --horizon must be positive".into());
+            }
         }
         Ok(a)
     }
@@ -516,6 +609,40 @@ mod tests {
         assert_eq!(a.obs_metrics, None);
         // but at least one input file is
         assert!(parse("obs-check").is_err());
+    }
+
+    #[test]
+    fn churn_subcommand() {
+        let a = parse(
+            "churn --model bert --nodes 2 --events 50 --mean-gap 100 \
+             --policy adaptive --horizon 5000 --seed 9 --save-trace /tmp/t.json",
+        )
+        .unwrap();
+        assert_eq!(a.command, Command::Churn);
+        assert_eq!(a.events, 50);
+        assert_eq!(a.mean_gap, 100);
+        assert_eq!(a.policy, ChurnPolicyArg::Adaptive);
+        assert_eq!(a.horizon, 5000);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.save_trace.as_deref(), Some("/tmp/t.json"));
+        // defaults: all policies, 50 generated events
+        let d = parse("churn --model bert").unwrap();
+        assert_eq!(d.policy, ChurnPolicyArg::All);
+        assert_eq!(d.events, 50);
+        // spec-file traces skip generation
+        let t = parse("churn --model bert --churn-trace /tmp/spec.json").unwrap();
+        assert_eq!(t.churn_trace.as_deref(), Some("/tmp/spec.json"));
+    }
+
+    #[test]
+    fn bad_churn_flags_rejected() {
+        assert!(parse("churn --model bert --policy magic").is_err());
+        assert!(parse("churn --model bert --events 0").is_err());
+        assert!(parse("churn --model bert --mean-gap 0").is_err());
+        assert!(parse("churn --model bert --horizon 0").is_err());
+        assert!(parse("churn --model bert --iterations 0").is_err());
+        // zero generated events is fine when a trace file supplies them
+        assert!(parse("churn --model bert --events 0 --churn-trace /tmp/t.json").is_ok());
     }
 
     #[test]

@@ -31,9 +31,10 @@
 
 mod args;
 
-use args::{Args, Command, CostModelArg, ModelKind};
+use args::{Args, ChurnPolicyArg, Command, CostModelArg, ModelKind};
+use rannc::faults::ClusterEventTrace;
 use rannc::pipeline::viz::render_timeline;
-use rannc::pipeline::FaultSimReport;
+use rannc::pipeline::{ChurnPolicy, ChurnReport, ChurnSimConfig, FaultSimReport};
 use rannc::prelude::*;
 
 fn main() {
@@ -112,16 +113,12 @@ fn main() {
     let plan = if let Some(path) = &args.load {
         // deployment-cache path: reuse a previously saved plan
         match rannc::core::load_plan(std::path::Path::new(path)) {
-            Ok(Ok(p)) => {
+            Ok(p) => {
                 eprintln!("loaded cached plan from {path}");
                 p
             }
-            Ok(Err(e)) => {
-                eprintln!("invalid plan file {path}: {e}");
-                std::process::exit(1);
-            }
             Err(e) => {
-                eprintln!("cannot read {path}: {e}");
+                eprintln!("invalid plan file {path}: {e}");
                 std::process::exit(1);
             }
         }
@@ -168,6 +165,11 @@ fn main() {
     let cost = cost_spec.build(&graph, cluster.device.clone(), opts, &cluster);
     if args.command == Command::Faults {
         run_faults(&args, &rannc, &plan, &*cost, &cluster);
+        finish_obs(&args);
+        return;
+    }
+    if args.command == Command::Churn {
+        run_churn(&args, &rannc, &plan, &*cost, &cluster);
         finish_obs(&args);
         return;
     }
@@ -387,6 +389,124 @@ fn print_report(policy: RecoveryPolicy, r: &FaultSimReport) {
                 "kept plan (degraded)".to_string()
             } else {
                 "unrecoverable".to_string()
+            },
+        );
+    }
+}
+
+/// The `churn` subcommand: play a cluster-event stream against the plan
+/// under one or all replanning policies and report the decision logs.
+fn run_churn(
+    args: &Args,
+    rannc: &Rannc,
+    plan: &rannc::core::PartitionPlan,
+    cost: &dyn CostModel,
+    cluster: &ClusterSpec,
+) {
+    let trace = if let Some(path) = &args.churn_trace {
+        match ClusterEventTrace::load(std::path::Path::new(path)) {
+            Ok(t) => {
+                eprintln!(
+                    "loaded churn trace from {path} ({} events)",
+                    t.events().len()
+                );
+                t
+            }
+            Err(e) => {
+                eprintln!("cannot load churn trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        ClusterEventTrace::generate(args.seed, args.events, cluster, args.mean_gap)
+    };
+    if let Some(path) = &args.save_trace {
+        if let Err(e) = trace.save(path) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("saved churn trace to {path}");
+    }
+    println!(
+        "churn campaign: {} iterations, {} event(s), seed {}",
+        args.iterations,
+        trace.events().len(),
+        trace.seed()
+    );
+
+    let policies: Vec<ChurnPolicy> = match args.policy {
+        ChurnPolicyArg::Replan => vec![ChurnPolicy::ReplanAlways],
+        ChurnPolicyArg::Ride => vec![ChurnPolicy::RideItOut],
+        ChurnPolicyArg::Degrade => vec![ChurnPolicy::DegradeInPlace],
+        ChurnPolicyArg::Adaptive => vec![ChurnPolicy::Adaptive],
+        ChurnPolicyArg::All => vec![
+            ChurnPolicy::ReplanAlways,
+            ChurnPolicy::RideItOut,
+            ChurnPolicy::DegradeInPlace,
+            ChurnPolicy::Adaptive,
+        ],
+    };
+    let mut scored: Vec<(ChurnPolicy, f64)> = Vec::new();
+    for policy in policies {
+        let cfg = ChurnSimConfig {
+            iterations: args.iterations,
+            detect_timeout: args.detect_timeout,
+            restore_cost: args.restore_cost,
+            replan_cost: args.replan_cost,
+            policy,
+            horizon: args.horizon,
+            ..ChurnSimConfig::default()
+        };
+        let report = match rannc::pipeline::simulate_churn(rannc, plan, cost, cluster, &trace, &cfg)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("churn simulation failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        print_churn_report(policy, &report);
+        scored.push((policy, report.goodput));
+    }
+    if scored.len() > 1 {
+        let best = scored
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one policy ran");
+        println!(
+            "\nbest policy for this trace: {:?} at {:.1} samples/s",
+            best.0, best.1
+        );
+    }
+}
+
+fn print_churn_report(policy: ChurnPolicy, r: &ChurnReport) {
+    println!(
+        "\npolicy {policy:?}: {} iterations in {:.1} s | goodput {:.1} samples/s | \
+         {} replan(s) | MTTR {:.1} s{}",
+        r.completed_iterations,
+        r.wall_time,
+        r.goodput,
+        r.replans,
+        r.mttr(),
+        if r.halted { " | HALTED" } else { "" },
+    );
+    for d in &r.decisions {
+        println!(
+            "  iter {:>7} {:<8} -> {:<8} {:.1} s downtime, {:.2} ms/iter{}",
+            d.at_iter,
+            d.event,
+            d.action.tag(),
+            d.downtime,
+            if d.iteration_time.is_finite() {
+                d.iteration_time * 1e3
+            } else {
+                f64::NAN
+            },
+            if d.moved_bytes > 0 {
+                format!(", moved {:.1} MiB", d.moved_bytes as f64 / (1 << 20) as f64)
+            } else {
+                String::new()
             },
         );
     }

@@ -18,7 +18,8 @@
 //! smaller budget is tried again.
 
 use crate::blocks::Block;
-use crate::stagecache::{StageCostCache, StageEvalCtx};
+use crate::placement::SlotTable;
+use crate::stagecache::{StageCost, StageCostCache, StageEvalCtx};
 use rannc_cost::CostModel;
 use rannc_graph::{TaskGraph, TaskSet};
 use rannc_hw::LinkSpec;
@@ -100,6 +101,21 @@ impl DpSolution {
 
 const INF: f64 = f64::INFINITY;
 
+/// Objective terms of a stage placed on a device group `scale`× slower
+/// than the template: the compute part stretches, the communication part
+/// does not. `scale == 1.0` short-circuits to the cached terms so a
+/// uniform fleet reproduces the homogeneous objective bit for bit.
+fn scaled_objectives(cost: &StageCost, scale: f64) -> (f64, f64) {
+    if scale == 1.0 {
+        (cost.obj_f, cost.obj_b)
+    } else {
+        (
+            cost.obj_f - cost.comp_f + cost.comp_f * scale,
+            cost.obj_b - cost.comp_b + cost.comp_b * scale,
+        )
+    }
+}
+
 /// Algorithm 1: `form_stage_dp(B, S, D, BS, R, MB)`.
 ///
 /// Returns `None` when INFEASIBLE (no split of the blocks into `S`
@@ -132,6 +148,30 @@ pub fn form_stage_dp_cached(
     p: &DpParams,
     link: LinkSpec,
     cache: &StageCostCache,
+) -> Option<DpSolution> {
+    form_stage_dp_placed(g, cost, blocks, p, link, cache, None)
+}
+
+/// Algorithm 1, placement-aware: the heterogeneous-cluster entry point.
+///
+/// With `slots = None` this *is* [`form_stage_dp_cached`] — the legacy
+/// homogeneous DP, bit for bit. With a [`SlotTable`], each candidate
+/// stage occupying device slots `[d′, d)` is additionally checked
+/// against the tightest memory of those slots and its compute time is
+/// stretched by the group's worst slow-down versus the template device.
+/// Both adjustments happen *after* the position-independent cache
+/// lookup, so the stage-cost cache stays valid and shared. The paper's
+/// `d_min` pruning is disabled in placed mode: with position-dependent
+/// memory bounds, infeasibility at budget `d` no longer implies
+/// infeasibility below it.
+pub fn form_stage_dp_placed(
+    g: &TaskGraph,
+    cost: &dyn CostModel,
+    blocks: &[Block],
+    p: &DpParams,
+    link: LinkSpec,
+    cache: &StageCostCache,
+    slots: Option<&SlotTable>,
 ) -> Option<DpSolution> {
     let nb = blocks.len();
     let s_max = p.stages;
@@ -201,8 +241,17 @@ pub fn form_stage_dp_cached(
                         let Some(cost) = looked_up else {
                             continue; // over device memory
                         };
-                        let cand_f = tf[idx(s - 1, b_prev, d_prev)].max(cost.obj_f);
-                        let cand_b = tb[idx(s - 1, b_prev, d_prev)].max(cost.obj_b);
+                        let (obj_f, obj_b) = match slots {
+                            None => (cost.obj_f, cost.obj_b),
+                            Some(t) => {
+                                if cost.mem > t.group_mem(d_prev, d) {
+                                    continue; // over this device group's memory
+                                }
+                                scaled_objectives(&cost, t.group_scale(d_prev, d))
+                            }
+                        };
+                        let cand_f = tf[idx(s - 1, b_prev, d_prev)].max(obj_f);
+                        let cand_b = tb[idx(s - 1, b_prev, d_prev)].max(obj_b);
                         let cand_v = cand_f + cand_b;
                         found = true;
                         let here = idx(s, b, d);
@@ -214,9 +263,11 @@ pub fn form_stage_dp_cached(
                         }
                     }
                 }
-                if !found && !saw_micro_zero {
+                if !found && !saw_micro_zero && slots.is_none() {
                     // the paper's pruning: a memory-driven failure with
-                    // budget d implies failure with any smaller budget
+                    // budget d implies failure with any smaller budget.
+                    // Unsound in placed mode, where the memory bound
+                    // depends on which slots a group lands on.
                     d_min = d_min.max(d + 1);
                     break;
                 }
@@ -244,13 +295,20 @@ pub fn form_stage_dp_cached(
             .eval_cached(cache, b_prev, b, repl)
             .expect("reconstructed stage must be feasible");
         let set = eval.range_of(cache, b_prev, b).set.clone();
+        let (fwd_time, bwd_time) = match slots {
+            None => (cost.comp_f, cost.comp_b),
+            Some(t) => {
+                let sc = t.group_scale(d_prev, d);
+                (cost.comp_f * sc, cost.comp_b * sc)
+            }
+        };
         stages_rev.push(DpStage {
             set,
             block_range: (b_prev, b),
             devices: repl,
             micro_batch: micro,
-            fwd_time: cost.comp_f,
-            bwd_time: cost.comp_b,
+            fwd_time,
+            bwd_time,
             mem_bytes: cost.mem,
             param_elems: cost.params,
         });

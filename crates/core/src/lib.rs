@@ -40,17 +40,23 @@ pub mod coarsen;
 pub mod compact;
 pub mod dp;
 pub mod par;
+pub mod placement;
 pub mod plan;
 pub mod plan_io;
+pub mod replan;
 pub mod search;
 pub mod stagecache;
 pub mod uncoarsen;
 
 pub use atomic::{atomic_partition, AtomicPartition};
 pub use blocks::{block_partition, Block, BlockLimits};
-pub use dp::{form_stage_dp, form_stage_dp_cached, DpParams, DpSolution, DpStage};
+pub use dp::{
+    form_stage_dp, form_stage_dp_cached, form_stage_dp_placed, DpParams, DpSolution, DpStage,
+};
+pub use placement::SlotTable;
 pub use plan::{PartitionPlan, PlanError, StagePlan};
 pub use plan_io::{decode_plan, encode_plan, load_plan, save_plan, PlanIoError};
+pub use replan::{diff_plans, PlanDiff, ReplanOutcome};
 pub use search::{form_stage, form_stage_seq, form_stage_with, SearchOptions, SearchStats};
 pub use stagecache::{StageCost, StageCostCache, StageEvalCtx, StageKey};
 
@@ -391,7 +397,13 @@ impl Rannc {
                 &atomic,
                 BlockLimits {
                     k: self.config.k,
-                    mem_limit: cluster.device.memory_bytes,
+                    // heterogeneous fleets: a block only needs to fit the
+                    // largest device — per-group bounds are the stage DP's
+                    mem_limit: if cluster.is_heterogeneous() {
+                        cluster.max_memory_bytes()
+                    } else {
+                        cluster.device.memory_bytes
+                    },
                     profile_batch: self.config.profile_batch,
                 },
             )
@@ -576,6 +588,8 @@ mod tests {
             device: DeviceSpec::v100_32gb().with_memory(1 << 16),
             inter_link: LinkSpec::infiniband_100g(),
             lost_devices: Vec::new(),
+            device_overrides: Vec::new(),
+            link_overrides: Vec::new(),
         };
         assert_eq!(
             Rannc::new(PartitionConfig::new(32))
@@ -592,7 +606,9 @@ mod tests {
         let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
         let plan = rannc.partition(&g, &cluster).unwrap();
 
-        let degraded = cluster.without_device(rannc_hw::DeviceRank { node: 0, local: 5 });
+        let degraded = cluster
+            .without_device(rannc_hw::DeviceRank { node: 0, local: 5 })
+            .unwrap();
         let replanned = rannc.repartition(&g, &plan, &degraded).unwrap();
         assert!(!replanned.stages.is_empty());
         assert!(replanned.total_devices() <= degraded.healthy_devices());
@@ -611,7 +627,7 @@ mod tests {
         let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
         let plan = rannc.partition(&g, &cluster).unwrap();
 
-        let degraded = cluster.without_node(1);
+        let degraded = cluster.without_node(1).unwrap();
         let replanned = rannc.repartition(&g, &plan, &degraded).unwrap();
         assert!(replanned.total_devices() <= 8);
         assert!(replanned.est_throughput() > 0.0);
@@ -623,7 +639,18 @@ mod tests {
         let cluster = ClusterSpec::v100_cluster(1);
         let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
         let plan = rannc.partition(&g, &cluster).unwrap();
-        let dead = cluster.without_node(0);
+        // losing the last node is a typed hw error before the planner
+        // ever sees the cluster…
+        assert_eq!(
+            cluster.without_node(0).unwrap_err(),
+            rannc_hw::SpecError::LastNode { node: 0 }
+        );
+        // …but a cluster emptied by hand still trips the planner guard
+        let mut dead = cluster.clone();
+        for local in 0..dead.node.devices {
+            dead.lost_devices
+                .push(rannc_hw::DeviceRank { node: 0, local });
+        }
         assert_eq!(
             rannc.repartition(&g, &plan, &dead).unwrap_err(),
             PartitionError::ClusterEmpty

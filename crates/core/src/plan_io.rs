@@ -16,9 +16,11 @@ use rannc_verify::Report;
 const MAGIC: &[u8; 4] = b"RNCP";
 const VERSION: u32 = 1;
 
-/// Why decoding failed.
+/// Why loading or decoding failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanIoError {
+    /// The file could not be read at all.
+    Io(String),
     /// Not a plan file (bad magic).
     BadMagic,
     /// Unsupported format version.
@@ -35,6 +37,7 @@ pub enum PlanIoError {
 impl std::fmt::Display for PlanIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PlanIoError::Io(m) => write!(f, "cannot read plan file: {m}"),
             PlanIoError::BadMagic => write!(f, "not a RaNNC plan file"),
             PlanIoError::BadVersion(v) => write!(f, "unsupported plan version {v}"),
             PlanIoError::Truncated => write!(f, "plan file truncated"),
@@ -157,9 +160,13 @@ pub fn save_plan(plan: &PartitionPlan, path: &std::path::Path) -> std::io::Resul
     std::fs::write(path, encode_plan(plan))
 }
 
-/// Load a plan from a file.
-pub fn load_plan(path: &std::path::Path) -> std::io::Result<Result<PartitionPlan, PlanIoError>> {
-    Ok(decode_plan(&std::fs::read(path)?))
+/// Load a plan from a file. Every failure mode — unreadable file,
+/// truncated or non-UTF8 contents, checksum mismatch, structurally
+/// invalid plan — surfaces as a typed [`PlanIoError`], never a panic.
+pub fn load_plan(path: &std::path::Path) -> Result<PartitionPlan, PlanIoError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| PlanIoError::Io(format!("{}: {e}", path.display())))?;
+    decode_plan(&bytes)
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -327,9 +334,45 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("plan.rncp");
         save_plan(&plan, &path).unwrap();
-        let back = load_plan(&path).unwrap().unwrap();
+        let back = load_plan(&path).unwrap();
         assert_eq!(back.model, plan.model);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unreadable_file_is_a_typed_error() {
+        let err = load_plan(std::path::Path::new("/nonexistent/rannc/plan.rncp")).unwrap_err();
+        assert!(matches!(err, PlanIoError::Io(_)));
+        // the message carries the offending path
+        assert!(err.to_string().contains("plan.rncp"));
+    }
+
+    #[test]
+    fn truncated_file_on_disk_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("rannc_plan_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.rncp");
+        let bytes = encode_plan(&sample_plan());
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_plan(&path).unwrap_err();
+        assert!(
+            matches!(err, PlanIoError::Truncated | PlanIoError::Corrupted),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_utf8_model_name_is_a_typed_error() {
+        // corrupt the model-name string to invalid UTF-8 and re-stamp the
+        // checksum, so the decoder reaches the string decode itself
+        let mut bytes = encode_plan(&sample_plan());
+        // layout: magic(4) | version(4) | checksum(8) | payload…
+        // payload: name_len(4) | name…
+        bytes[20] = 0xff; // never valid anywhere in UTF-8
+        let checksum = fnv1a(&bytes[16..]);
+        bytes[8..16].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(decode_plan(&bytes).unwrap_err(), PlanIoError::Corrupted);
     }
 
     #[test]

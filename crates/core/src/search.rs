@@ -30,8 +30,9 @@
 //! model.
 
 use crate::blocks::Block;
-use crate::dp::{form_stage_dp, form_stage_dp_cached, DpParams, DpSolution};
+use crate::dp::{form_stage_dp_placed, DpParams, DpSolution};
 use crate::par;
+use crate::placement::SlotTable;
 use crate::stagecache::StageCostCache;
 use rannc_cost::CostModel;
 use rannc_graph::TaskGraph;
@@ -211,7 +212,15 @@ pub fn form_stage_with(
 ) -> (Option<DpSolution>, SearchStats) {
     let n_nodes = cluster.nodes;
     let d_node = cluster.node.devices;
-    let mem_limit = cluster.device.memory_bytes;
+    let hetero = cluster.is_heterogeneous();
+    // The global bound only pre-filters; in heterogeneous mode the
+    // binding per-group check is the slot table's, so the bound must
+    // admit anything the *largest* device could host.
+    let mem_limit = if hetero {
+        cluster.max_memory_bytes()
+    } else {
+        cluster.device.memory_bytes
+    };
     let link = cluster.planning_link();
     let threads = if opts.threads == 0 {
         par::max_threads()
@@ -248,15 +257,35 @@ pub fn form_stage_with(
             }
         }
         tally.candidates(grid.len());
+        // one placement table per tier: it depends only on (D, R)
+        let slots = if hetero {
+            Some(SlotTable::build(
+                cluster,
+                d,
+                r,
+                cost.device(),
+                cost.options().precision,
+            ))
+        } else {
+            None
+        };
         let run = |p: &DpParams| {
             let _dp = rannc_obs::trace::span("dp", "planner")
                 .arg_i("S", p.stages as i64)
                 .arg_i("MB", p.microbatches as i64)
                 .arg_i("n", n as i64);
             if opts.shared_cache {
-                form_stage_dp_cached(g, cost, blocks, p, link, &cache)
+                form_stage_dp_placed(g, cost, blocks, p, link, &cache, slots.as_ref())
             } else {
-                form_stage_dp(g, cost, blocks, p, link)
+                form_stage_dp_placed(
+                    g,
+                    cost,
+                    blocks,
+                    p,
+                    link,
+                    &StageCostCache::new(),
+                    slots.as_ref(),
+                )
             }
         };
         let sweep = rannc_obs::trace::span("sweep", "planner")
@@ -305,6 +334,8 @@ mod tests {
             device: DeviceSpec::v100_32gb().with_memory(mem),
             inter_link: LinkSpec::infiniband_100g(),
             lost_devices: Vec::new(),
+            device_overrides: Vec::new(),
+            link_overrides: Vec::new(),
         }
     }
 

@@ -341,4 +341,37 @@ mod tests {
         assert_eq!(cal.op_factor("matmul"), 1.05 * 1.12);
         assert_eq!(cal.op_factor("gelu"), 1.05);
     }
+
+    #[test]
+    fn truncated_file_on_disk_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("rannc_calibration_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        let full = sample().to_json();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            Calibration::load(&path),
+            Err(CalibrationError::Parse(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_utf8_file_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("rannc_calibration_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("binary.json");
+        std::fs::write(&path, [0xffu8, 0xfe, 0x80, 0x00]).unwrap();
+        // read_to_string rejects non-UTF8 bytes as an I/O error
+        let err = Calibration::load(&path).unwrap_err();
+        assert!(matches!(err, CalibrationError::Io(_)), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error() {
+        let err = Calibration::load(Path::new("/nonexistent/rannc/cal.json")).unwrap_err();
+        assert!(matches!(err, CalibrationError::Io(_)));
+        assert!(err.to_string().contains("cal.json"));
+    }
 }

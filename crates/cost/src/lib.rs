@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 mod calibration;
+mod migration;
 mod model;
 
 pub use calibration::{Calibration, CalibrationError, CALIBRATION_VERSION};
+pub use migration::{MigrationCost, MigrationModel};
 pub use model::{AnalyticalCost, CalibratedCost, CostModel, CostModelSpec};
 
 use serde::{Deserialize, Serialize};

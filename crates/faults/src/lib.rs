@@ -18,6 +18,10 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod churn;
+
+pub use churn::{ClusterEvent, ClusterEventTrace, TimedEvent, TraceError};
+
 /// One scripted failure event. Ranks are *global device ranks* for the
 /// simulator and *stage indices* for the threaded trainer — each consumer
 /// documents its interpretation.

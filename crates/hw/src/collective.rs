@@ -35,8 +35,12 @@ impl ClusterSpec {
         let spans_nodes = ranks.iter().any(|&r| self.rank(r).node != first_node);
         let link = if spans_nodes {
             self.inter_link
-        } else {
+        } else if self.link_overrides.is_empty() {
             self.node.intra_link
+        } else {
+            // heterogeneous interconnect: the ring is bottlenecked by the
+            // slowest edge it actually crosses — here, this node's link
+            self.node_link(first_node, first_node)
         };
         ring_allreduce_time(link, bytes, ranks.len())
     }
@@ -56,10 +60,18 @@ impl ClusterSpec {
     /// per node, tensor-parallel groups fill a node first) and this method
     /// owns the link selection and the ring formula.
     pub fn replica_allreduce_time(&self, bytes: usize, group: usize, spans_nodes: bool) -> f64 {
-        let link = if spans_nodes {
-            self.inter_link
+        let link = if self.link_overrides.is_empty() {
+            // homogeneous interconnect: the legacy two-tier selection
+            if spans_nodes {
+                self.inter_link
+            } else {
+                self.node.intra_link
+            }
+        } else if spans_nodes {
+            // a cross-node ring is bottlenecked by its slowest edge
+            self.slowest_inter_link()
         } else {
-            self.node.intra_link
+            self.slowest_intra_link()
         };
         ring_allreduce_time(link, bytes, group)
     }
@@ -120,6 +132,32 @@ mod tests {
         );
         assert_eq!(c.replica_allreduce_time(bytes, 1, true), 0.0);
         assert_eq!(c.replica_allreduce_time(0, 8, false), 0.0);
+    }
+
+    #[test]
+    fn overridden_links_slow_the_ring() {
+        let slow = LinkSpec {
+            bandwidth: 1.0e9,
+            latency: 1.0e-5,
+        };
+        let base = ClusterSpec::v100_cluster(2);
+        let bytes = 1 << 28;
+        let hetero_inter = base.clone().with_link_override(0, 1, slow);
+        assert!(
+            hetero_inter.replica_allreduce_time(bytes, 4, true)
+                > base.replica_allreduce_time(bytes, 4, true)
+        );
+        let hetero_intra = base.clone().with_link_override(1, 1, slow);
+        assert!(
+            hetero_intra.replica_allreduce_time(bytes, 4, false)
+                > base.replica_allreduce_time(bytes, 4, false)
+        );
+        assert!(
+            hetero_intra.allreduce_time(bytes, &[0, 1]).to_bits()
+                == base.allreduce_time(bytes, &[0, 1]).to_bits(),
+            "node 0's intra link is not overridden"
+        );
+        assert!(hetero_intra.allreduce_time(bytes, &[8, 9]) > base.allreduce_time(bytes, &[8, 9]));
     }
 
     #[test]

@@ -95,6 +95,19 @@ impl DeviceSpec {
         }
     }
 
+    /// NVIDIA A100 SXM4 40 GB — a faster tier for heterogeneous-fleet
+    /// scenarios (mixed V100/A100 clusters).
+    pub fn a100_40gb() -> Self {
+        DeviceSpec {
+            name: "A100-SXM4-40GB".into(),
+            memory_bytes: 40 * (1usize << 30),
+            peak_flops_fp32: 19.5e12,
+            peak_flops_fp16: 312.0e12,
+            mem_bandwidth: 1555.0e9,
+            compute_efficiency: 0.75,
+        }
+    }
+
     /// Sustained dense-compute throughput for a precision regime.
     #[inline]
     pub fn sustained_flops(&self, precision: Precision) -> f64 {
@@ -110,6 +123,16 @@ impl DeviceSpec {
     pub fn with_memory(mut self, bytes: usize) -> Self {
         self.memory_bytes = bytes;
         self
+    }
+
+    /// How much slower this device is than `reference` at a precision:
+    /// `reference_sustained / self_sustained`. Exactly 1.0 for identical
+    /// specs — the heterogeneity-aware planner multiplies stage times by
+    /// this, so a same-tier fleet prices bit-identically to the
+    /// homogeneous model.
+    #[inline]
+    pub fn time_scale_vs(&self, reference: &DeviceSpec, precision: Precision) -> f64 {
+        reference.sustained_flops(precision) / self.sustained_flops(precision)
     }
 
     /// Time for one Adam optimizer step over `grad_bytes` of gradients.
@@ -159,6 +182,29 @@ mod tests {
     fn with_memory_override() {
         let d = DeviceSpec::v100_32gb().with_memory(1 << 20);
         assert_eq!(d.memory_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn a100_outclasses_v100() {
+        let a = DeviceSpec::a100_40gb();
+        let v = DeviceSpec::v100_32gb();
+        assert!(a.memory_bytes > v.memory_bytes);
+        assert!(a.sustained_flops(Precision::FP32) > v.sustained_flops(Precision::FP32));
+        assert!(a.sustained_flops(Precision::Mixed) > v.sustained_flops(Precision::Mixed));
+    }
+
+    #[test]
+    fn time_scale_identity_is_exact() {
+        let v = DeviceSpec::v100_32gb();
+        for p in [Precision::FP32, Precision::Mixed] {
+            assert_eq!(v.time_scale_vs(&v, p).to_bits(), 1.0f64.to_bits());
+        }
+        let a = DeviceSpec::a100_40gb();
+        // an A100 runs V100-priced work faster, a degraded V100 slower
+        assert!(a.time_scale_vs(&v, Precision::FP32) < 1.0);
+        let mut slow = v.clone();
+        slow.compute_efficiency *= 0.5;
+        assert!(slow.time_scale_vs(&v, Precision::FP32) > 1.0);
     }
 
     #[test]

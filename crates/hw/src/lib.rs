@@ -23,6 +23,6 @@ pub mod collective;
 pub mod device;
 pub mod link;
 
-pub use cluster::{ClusterSpec, DeviceRank, NodeSpec};
+pub use cluster::{ClusterSpec, DeviceOverride, DeviceRank, LinkOverride, NodeSpec, SpecError};
 pub use device::{DeviceSpec, Precision};
 pub use link::LinkSpec;

@@ -1,0 +1,164 @@
+//! Property tests of the heterogeneous/degraded cluster views.
+//!
+//! The planner trusts two contracts unconditionally: (a) a planning
+//! view never *overstates* the degraded cluster — any plan feasible on
+//! the view is feasible on the real surviving hardware — and (b) the
+//! link table is symmetric, whatever overrides are present. Both are
+//! checked here over randomly degraded, randomly heterogeneous fleets.
+
+use proptest::prelude::*;
+use rannc_hw::{ClusterSpec, DeviceRank, LinkSpec};
+
+/// A v100 fleet with a pseudo-random sprinkle of device/link overrides,
+/// all driven by one u64 selector so cases replay deterministically.
+fn hetero_cluster(nodes: usize, sel: u64) -> ClusterSpec {
+    let mut c = ClusterSpec::v100_cluster(nodes);
+    let mut s = sel;
+    let mut next = || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    for node in 0..nodes {
+        for local in 0..c.node.devices {
+            match next() % 4 {
+                0 => {
+                    let factor = 0.25 + (next() % 64) as f64 / 100.0;
+                    c = c.with_degraded_device(DeviceRank { node, local }, factor);
+                }
+                1 => {
+                    let mem = (8 + next() % 24) as usize * (1usize << 30);
+                    let spec = c.device.clone().with_memory(mem);
+                    c = c.with_device_override(DeviceRank { node, local }, spec);
+                }
+                _ => {}
+            }
+        }
+    }
+    for a in 0..nodes {
+        for b in (a + 1)..nodes {
+            if next() % 3 == 0 {
+                let link = LinkSpec {
+                    bandwidth: 1e9 * (1 + next() % 20) as f64,
+                    latency: 1e-6 * (1 + next() % 50) as f64,
+                };
+                c = c.with_link_override(a, b, link);
+            }
+        }
+    }
+    c
+}
+
+/// Lose a pseudo-random strict subset of devices (never the last one).
+fn lose_some(mut c: ClusterSpec, sel: u64) -> ClusterSpec {
+    let mut s = sel;
+    let total = c.total_devices();
+    for g in 0..total {
+        s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        if (s >> 60).is_multiple_of(2) {
+            let rank = c.rank(g);
+            if let Ok(degraded) = c.without_device(rank) {
+                c = degraded;
+            }
+        }
+    }
+    c
+}
+
+fn total_memory(c: &ClusterSpec) -> u128 {
+    (0..c.total_devices())
+        .map(|g| c.device_at_global(g).memory_bytes as u128)
+        .sum()
+}
+
+fn healthy_memory(c: &ClusterSpec) -> u128 {
+    (0..c.total_devices())
+        .filter(|&g| !c.is_lost(c.rank(g)))
+        .map(|g| c.device_at_global(g).memory_bytes as u128)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The planning view never claims more devices or more total memory
+    /// than the surviving hardware actually has, and it carries no
+    /// residual loss markers.
+    #[test]
+    fn degraded_view_is_conservative(nodes in 1usize..5, hsel in any::<u64>(), lsel in any::<u64>()) {
+        let c = lose_some(hetero_cluster(nodes, hsel), lsel);
+        let view = c.planning_view();
+        prop_assert!(view.total_devices() >= 1);
+        prop_assert!(view.total_devices() <= c.healthy_devices());
+        prop_assert_eq!(view.healthy_devices(), view.total_devices(),
+            "a view must not inherit loss markers");
+        prop_assert!(total_memory(&view) <= healthy_memory(&c),
+            "view memory overstates the surviving fleet");
+        // per-device conservatism: no view device is larger than the
+        // biggest healthy device of the original cluster
+        let max_healthy = (0..c.total_devices())
+            .filter(|&g| !c.is_lost(c.rank(g)))
+            .map(|g| c.device_at_global(g).memory_bytes)
+            .max()
+            .unwrap();
+        for g in 0..view.total_devices() {
+            prop_assert!(view.device_at_global(g).memory_bytes <= max_healthy);
+        }
+    }
+
+    /// Device accounting: healthy + lost always partitions the fleet,
+    /// and a lose→restore round trip is exact.
+    #[test]
+    fn loss_accounting_is_exact(nodes in 1usize..5, hsel in any::<u64>(), g in any::<usize>()) {
+        let c = hetero_cluster(nodes, hsel);
+        let total = c.total_devices();
+        let rank = c.rank(g % total);
+        match c.without_device(rank) {
+            Ok(lost) => {
+                prop_assert_eq!(lost.healthy_devices(), total - 1);
+                // idempotent: losing the same device again changes nothing
+                let again = lost.without_device(rank).unwrap();
+                prop_assert_eq!(again.healthy_devices(), total - 1);
+                let back = again.with_device_restored(rank);
+                prop_assert_eq!(back.healthy_devices(), total);
+                prop_assert_eq!(back.device_at(rank), c.device_at(rank));
+            }
+            // only a 1×1 cluster may refuse, and only for its last device
+            Err(_) => prop_assert_eq!(total, 1),
+        }
+    }
+
+    /// The link table is symmetric under arbitrary overrides, and the
+    /// planning view preserves that symmetry after node renumbering.
+    #[test]
+    fn links_are_symmetric(nodes in 2usize..6, hsel in any::<u64>(), lsel in any::<u64>()) {
+        let c = hetero_cluster(nodes, hsel);
+        let total = c.total_devices();
+        for a in 0..total {
+            for b in 0..total {
+                prop_assert_eq!(c.link_between(a, b), c.link_between(b, a),
+                    "asymmetric link between {} and {}", a, b);
+            }
+        }
+        let view = lose_some(c, lsel).planning_view();
+        let vtotal = view.total_devices();
+        for a in 0..vtotal {
+            for b in 0..vtotal {
+                prop_assert_eq!(view.link_between(a, b), view.link_between(b, a));
+            }
+        }
+    }
+
+    /// A joined node extends the fleet without disturbing existing
+    /// ranks' specs.
+    #[test]
+    fn join_preserves_existing_ranks(nodes in 1usize..4, hsel in any::<u64>()) {
+        let c = hetero_cluster(nodes, hsel);
+        let grown = c.clone().with_joined_node();
+        prop_assert_eq!(grown.total_devices(), c.total_devices() + c.node.devices);
+        for g in 0..c.total_devices() {
+            prop_assert_eq!(grown.device_at_global(g), c.device_at_global(g));
+        }
+    }
+}

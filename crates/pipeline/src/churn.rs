@@ -1,0 +1,649 @@
+//! Churn campaigns: long training runs under continuous cluster change.
+//!
+//! Where [`crate::fault`] scripts *failures* (devices die, the run
+//! recovers), this module scripts the *life of the cluster*: a seeded
+//! [`ClusterEventTrace`] of `leave` / `recover` / `degrade` / `join`
+//! events plays against a running plan, and a **policy** decides, event
+//! by event, whether to pay for a replan now, ride the change out, or
+//! permanently degrade in place. The campaign scores each policy on
+//! goodput (useful samples per wall second) and MTTR, and emits a
+//! deterministic decision log — the same trace and policy always
+//! produce the same decisions, so campaigns reproduce from the seed.
+//!
+//! Pricing is placement-aware: when the evolved cluster is
+//! heterogeneous, every stage's simulated time is stretched by the
+//! worst [`time_scale`](rannc_hw::DeviceSpec::time_scale_vs) of the
+//! devices its contiguous slot group occupies, the same convention the
+//! placed DP and the plan verifier use.
+
+use crate::sync::{simulate_sync, SyncSchedule};
+use crate::{spec_from_plan, PlanSpecError};
+use rannc_core::{PartitionPlan, Rannc};
+use rannc_cost::CostModel;
+use rannc_faults::{ClusterEvent, ClusterEventTrace};
+use rannc_hw::ClusterSpec;
+
+/// How the campaign reacts to each cluster event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnPolicy {
+    /// Replan on every capacity-changing event (losses *and* gains).
+    ReplanAlways,
+    /// Never replan; absorb changes expecting them to be transient —
+    /// sheds a pipeline replica when a loss forces it, and restores the
+    /// shed replica as soon as recoveries make room again.
+    RideItOut,
+    /// Never replan; accept every loss permanently — shed replicas stay
+    /// shed, recovered devices only rejoin the spare pool.
+    DegradeInPlace,
+    /// Per event, price both options over [`ChurnSimConfig::horizon`]
+    /// iterations — ride cost vs. replan downtime + better steady state
+    /// — and take the cheaper one.
+    Adaptive,
+}
+
+/// What the policy did about one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// A new plan was adopted (replan ladder succeeded).
+    Replan,
+    /// The current plan was kept unchanged.
+    Ride,
+    /// The current plan was kept but one pipeline replica was shed.
+    Shed,
+    /// A previously shed replica was restored.
+    Restore,
+    /// The campaign could not continue.
+    Halt,
+}
+
+impl ChurnAction {
+    /// Lowercase tag for logs and traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ChurnAction::Replan => "replan",
+            ChurnAction::Ride => "ride",
+            ChurnAction::Shed => "shed",
+            ChurnAction::Restore => "restore",
+            ChurnAction::Halt => "halt",
+        }
+    }
+}
+
+/// Knobs of a churn campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnSimConfig {
+    /// Iterations the campaign must complete.
+    pub iterations: usize,
+    /// Wall time from a device leaving to the loss being detected, s.
+    pub detect_timeout: f64,
+    /// Wall time to restore training state onto the survivors, s.
+    pub restore_cost: f64,
+    /// Fixed wall time one replan (search + redeploy control plane)
+    /// costs, on top of the priced state migration.
+    pub replan_cost: f64,
+    /// Extra replan-ladder rungs after the warm start (see
+    /// [`Rannc::replan_with_backoff`]).
+    pub replan_retries: usize,
+    /// The policy under test.
+    pub policy: ChurnPolicy,
+    /// Iterations [`ChurnPolicy::Adaptive`] amortizes a replan over.
+    pub horizon: usize,
+}
+
+impl Default for ChurnSimConfig {
+    fn default() -> Self {
+        ChurnSimConfig {
+            iterations: 10_000,
+            detect_timeout: 5.0,
+            restore_cost: 2.0,
+            replan_cost: 15.0,
+            replan_retries: 2,
+            policy: ChurnPolicy::Adaptive,
+            horizon: 2_000,
+        }
+    }
+}
+
+/// One entry of the campaign's decision log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnDecision {
+    /// Iteration the event struck.
+    pub at_iter: usize,
+    /// Event kind tag (`leave` / `recover` / `degrade` / `join`).
+    pub event: &'static str,
+    /// What the policy did.
+    pub action: ChurnAction,
+    /// Wall-clock seconds of training stopped by the decision.
+    pub downtime: f64,
+    /// Per-iteration wall time after the decision, s.
+    pub iteration_time: f64,
+    /// Replan-ladder attempts consumed (0 when no replan ran).
+    pub replan_attempts: usize,
+    /// State bytes migrated to adopt a new plan (0 when no replan).
+    pub moved_bytes: usize,
+}
+
+/// What a churn campaign reports.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Total wall time, s.
+    pub wall_time: f64,
+    /// Iterations completed (== the target unless halted).
+    pub completed_iterations: usize,
+    /// Useful samples per wall second.
+    pub goodput: f64,
+    /// The full decision log, one entry per consumed event.
+    pub decisions: Vec<ChurnDecision>,
+    /// Plans adopted during the campaign (each passed verification).
+    pub replans: usize,
+    /// True when the campaign stopped early.
+    pub halted: bool,
+}
+
+impl ChurnReport {
+    /// Mean time to recovery over decisions that stopped training.
+    pub fn mttr(&self) -> f64 {
+        let stops: Vec<f64> = self
+            .decisions
+            .iter()
+            .filter(|d| d.downtime > 0.0 && d.downtime.is_finite())
+            .map(|d| d.downtime)
+            .collect();
+        if stops.is_empty() {
+            0.0
+        } else {
+            stops.iter().sum::<f64>() / stops.len() as f64
+        }
+    }
+}
+
+/// Price one iteration of `plan` on (a planning view of) `cluster`,
+/// stretching each stage by the worst time scale of its device group.
+fn priced_iteration_time(
+    plan: &PartitionPlan,
+    cost: &dyn CostModel,
+    view: &ClusterSpec,
+) -> Result<f64, PlanSpecError> {
+    let mut spec = spec_from_plan(plan, cost, view)?;
+    if view.is_heterogeneous() {
+        let precision = cost.options().precision;
+        let per_replica = plan.devices_per_replica();
+        let mut off = 0usize;
+        for (i, st) in plan.stages.iter().enumerate() {
+            let mut worst = 1.0f64;
+            for rep in 0..plan.replica_factor {
+                for slot in off..off + st.replicas {
+                    let g = rep * per_replica + slot;
+                    if g < view.total_devices() {
+                        worst = worst.max(
+                            view.device_at_global(g)
+                                .time_scale_vs(&view.device, precision),
+                        );
+                    }
+                }
+            }
+            if worst > 1.0 {
+                spec.stages[i].fwd_time *= worst;
+                spec.stages[i].bwd_time *= worst;
+            }
+            off += st.replicas;
+        }
+    }
+    Ok(simulate_sync(&spec, SyncSchedule::FillDrain, false)
+        .result
+        .iteration_time)
+}
+
+/// The ride option: keep `plan` on the evolved cluster, shedding
+/// pipeline replicas while it does not fit. Returns the (possibly shed)
+/// plan, its priced iteration time, and what happened — or `None` when
+/// even one replica no longer fits.
+///
+/// `planned_replicas` is the replica count the plan's micro-batches were
+/// sized for: running the same global batch on fewer replicas stretches
+/// the iteration by `planned / current` (the physics the fault
+/// simulator's `R / (R − 1)` shed factor encodes).
+fn ride_option(
+    plan: &PartitionPlan,
+    planned_replicas: usize,
+    cost: &dyn CostModel,
+    cluster: &ClusterSpec,
+) -> Option<(PartitionPlan, f64, ChurnAction)> {
+    let mut plan = plan.clone();
+    let mut action = ChurnAction::Ride;
+    while cluster.healthy_devices() < plan.total_devices() {
+        if plan.replica_factor <= 1 {
+            return None;
+        }
+        plan.replica_factor -= 1;
+        action = ChurnAction::Shed;
+    }
+    let view = cluster.planning_view();
+    let mut it = priced_iteration_time(&plan, cost, &view).ok()?;
+    if plan.replica_factor < planned_replicas {
+        it *= planned_replicas as f64 / plan.replica_factor as f64;
+    }
+    Some((plan, it, action))
+}
+
+/// The replan option: run the backoff ladder on the evolved cluster.
+/// Returns the verified plan, its priced iteration time, the downtime of
+/// adopting it, and the ladder/migration accounting.
+#[allow(clippy::type_complexity)]
+fn replan_option(
+    rannc: &Rannc,
+    plan: &PartitionPlan,
+    cost: &dyn CostModel,
+    cluster: &ClusterSpec,
+    cfg: &ChurnSimConfig,
+) -> Option<(PartitionPlan, f64, f64, usize, usize)> {
+    let out = rannc
+        .replan_with_backoff(cost.graph(), plan, cluster, cfg.replan_retries)
+        .ok()?;
+    let view = cluster.planning_view();
+    let it = priced_iteration_time(&out.plan, cost, &view).ok()?;
+    let downtime = cfg.replan_cost + out.migration.downtime_steps as f64 * it;
+    Some((
+        out.plan,
+        it,
+        downtime,
+        out.attempts,
+        out.migration.total_bytes(),
+    ))
+}
+
+/// Run a churn campaign: `cfg.iterations` iterations of `plan` on
+/// `cluster` while the event trace plays out under `cfg.policy`.
+///
+/// Deterministic: the same `(plan, cluster, trace, cfg)` always yields
+/// the same report and decision log. Every adopted plan went through
+/// [`Rannc::replan_with_backoff`] and therefore through the verifier at
+/// the partitioner's configured [`VerifyMode`](rannc_core::VerifyMode).
+pub fn simulate_churn(
+    rannc: &Rannc,
+    plan: &PartitionPlan,
+    cost: &dyn CostModel,
+    cluster: &ClusterSpec,
+    trace: &ClusterEventTrace,
+    cfg: &ChurnSimConfig,
+) -> Result<ChurnReport, PlanSpecError> {
+    let _root = rannc_obs::trace::span("churn.campaign", "churn")
+        .arg_i("events", trace.events().len() as i64)
+        .arg_i("iterations", cfg.iterations as i64);
+    let mut cluster = cluster.clone();
+    let mut plan = plan.clone();
+    // the replica count the plan's micro-batches were sized for: ride
+    // policies stretch shed configurations against it, and RideItOut
+    // restores toward it
+    let mut planned_replicas = plan.replica_factor;
+    let mut iter_time = priced_iteration_time(&plan, cost, &cluster.planning_view())?;
+
+    let mut wall = 0.0f64;
+    let mut done = 0usize;
+    let mut decisions = Vec::new();
+    let mut replans = 0usize;
+    let mut halted = false;
+
+    for te in trace.events() {
+        let at = te.at_iter.min(cfg.iterations);
+        wall += (at - done) as f64 * iter_time;
+        done = at;
+        if done >= cfg.iterations {
+            break;
+        }
+        let kind = te.event.kind();
+        let _span = rannc_obs::trace::span("churn.decision", "churn")
+            .arg_i("at_iter", at as i64)
+            .arg_i("event", decisions.len() as i64);
+        rannc_obs::metrics::counter("churn.events").inc();
+
+        cluster = match te.event.apply(&cluster) {
+            Ok(c) => c,
+            Err(_) => {
+                // e.g. the last healthy device left: nothing to run on
+                decisions.push(ChurnDecision {
+                    at_iter: at,
+                    event: kind,
+                    action: ChurnAction::Halt,
+                    downtime: cfg.detect_timeout,
+                    iteration_time: f64::INFINITY,
+                    replan_attempts: 0,
+                    moved_bytes: 0,
+                });
+                wall += cfg.detect_timeout;
+                halted = true;
+                break;
+            }
+        };
+
+        // a loss stops training until detected and restored; capacity
+        // gains and throttles are observed without stopping the run
+        let is_loss = matches!(te.event, ClusterEvent::Leave { .. });
+        let base_downtime = if is_loss {
+            cfg.detect_timeout + cfg.restore_cost
+        } else {
+            0.0
+        };
+
+        let decision = match cfg.policy {
+            ChurnPolicy::ReplanAlways => {
+                match replan_option(rannc, &plan, cost, &cluster, cfg) {
+                    Some((new_plan, it, replan_dt, attempts, moved)) => {
+                        plan = new_plan;
+                        planned_replicas = plan.replica_factor;
+                        iter_time = it;
+                        replans += 1;
+                        ChurnDecision {
+                            at_iter: at,
+                            event: kind,
+                            action: ChurnAction::Replan,
+                            downtime: base_downtime + replan_dt,
+                            iteration_time: it,
+                            replan_attempts: attempts,
+                            moved_bytes: moved,
+                        }
+                    }
+                    // the ladder failed: degrade in place rather than die
+                    None => match ride_option(&plan, planned_replicas, cost, &cluster) {
+                        Some((kept, it, action)) => {
+                            plan = kept;
+                            iter_time = it;
+                            ChurnDecision {
+                                at_iter: at,
+                                event: kind,
+                                action,
+                                downtime: base_downtime,
+                                iteration_time: it,
+                                replan_attempts: cfg.replan_retries + 1,
+                                moved_bytes: 0,
+                            }
+                        }
+                        None => ChurnDecision {
+                            at_iter: at,
+                            event: kind,
+                            action: ChurnAction::Halt,
+                            downtime: base_downtime,
+                            iteration_time: f64::INFINITY,
+                            replan_attempts: cfg.replan_retries + 1,
+                            moved_bytes: 0,
+                        },
+                    },
+                }
+            }
+            ChurnPolicy::RideItOut | ChurnPolicy::DegradeInPlace => {
+                let mut candidate = plan.clone();
+                // RideItOut grows back toward the planned replica count
+                // as soon as recovered capacity allows; DegradeInPlace
+                // keeps sheds permanent
+                if cfg.policy == ChurnPolicy::RideItOut {
+                    candidate.replica_factor = planned_replicas;
+                }
+                match ride_option(&candidate, planned_replicas, cost, &cluster) {
+                    Some((kept, it, mut action)) => {
+                        if cfg.policy == ChurnPolicy::RideItOut
+                            && kept.replica_factor > plan.replica_factor
+                        {
+                            action = ChurnAction::Restore;
+                        }
+                        plan = kept;
+                        iter_time = it;
+                        ChurnDecision {
+                            at_iter: at,
+                            event: kind,
+                            action,
+                            downtime: base_downtime,
+                            iteration_time: it,
+                            replan_attempts: 0,
+                            moved_bytes: 0,
+                        }
+                    }
+                    None => ChurnDecision {
+                        at_iter: at,
+                        event: kind,
+                        action: ChurnAction::Halt,
+                        downtime: base_downtime,
+                        iteration_time: f64::INFINITY,
+                        replan_attempts: 0,
+                        moved_bytes: 0,
+                    },
+                }
+            }
+            ChurnPolicy::Adaptive => {
+                let ride = ride_option(&plan, planned_replicas, cost, &cluster);
+                let horizon = cfg.horizon.max(1) as f64;
+                // only pay for a replan evaluation when riding is
+                // impossible or the event plausibly changed the optimum
+                let replan = replan_option(rannc, &plan, cost, &cluster, cfg);
+                let ride_total = ride
+                    .as_ref()
+                    .map(|(_, it, _)| horizon * it)
+                    .unwrap_or(f64::INFINITY);
+                let replan_total = replan
+                    .as_ref()
+                    .map(|(_, it, dt, _, _)| dt + horizon * it)
+                    .unwrap_or(f64::INFINITY);
+                if replan_total < ride_total {
+                    let (new_plan, it, replan_dt, attempts, moved) = replan.unwrap();
+                    plan = new_plan;
+                    planned_replicas = plan.replica_factor;
+                    iter_time = it;
+                    replans += 1;
+                    ChurnDecision {
+                        at_iter: at,
+                        event: kind,
+                        action: ChurnAction::Replan,
+                        downtime: base_downtime + replan_dt,
+                        iteration_time: it,
+                        replan_attempts: attempts,
+                        moved_bytes: moved,
+                    }
+                } else if let Some((kept, it, action)) = ride {
+                    plan = kept;
+                    iter_time = it;
+                    ChurnDecision {
+                        at_iter: at,
+                        event: kind,
+                        action,
+                        downtime: base_downtime,
+                        iteration_time: it,
+                        replan_attempts: 0,
+                        moved_bytes: 0,
+                    }
+                } else {
+                    ChurnDecision {
+                        at_iter: at,
+                        event: kind,
+                        action: ChurnAction::Halt,
+                        downtime: base_downtime,
+                        iteration_time: f64::INFINITY,
+                        replan_attempts: 0,
+                        moved_bytes: 0,
+                    }
+                }
+            }
+        };
+
+        wall += decision.downtime;
+        if decision.action == ChurnAction::Replan {
+            rannc_obs::metrics::counter("churn.replans").inc();
+        }
+        let is_halt = decision.action == ChurnAction::Halt;
+        decisions.push(decision);
+        if is_halt {
+            halted = true;
+            break;
+        }
+    }
+
+    if !halted {
+        wall += (cfg.iterations - done) as f64 * iter_time;
+        done = cfg.iterations;
+    }
+    let goodput = if wall > 0.0 {
+        done as f64 * plan.batch_size as f64 / wall
+    } else {
+        0.0
+    };
+    let report = ChurnReport {
+        wall_time: wall,
+        completed_iterations: done,
+        goodput,
+        decisions,
+        replans,
+        halted,
+    };
+    publish_churn_metrics(&report);
+    Ok(report)
+}
+
+/// Export a churn report to the metrics registry.
+fn publish_churn_metrics(report: &ChurnReport) {
+    use rannc_obs::metrics;
+    metrics::counter("churn.decisions").add(report.decisions.len() as u64);
+    let downtime = metrics::histogram("churn.downtime_seconds");
+    for d in &report.decisions {
+        if d.downtime > 0.0 && d.downtime.is_finite() {
+            downtime.observe(d.downtime);
+        }
+    }
+    metrics::gauge("churn.goodput").set(report.goodput);
+    metrics::gauge("churn.mttr_seconds").set(report.mttr());
+    metrics::gauge("churn.halted").set(if report.halted { 1.0 } else { 0.0 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rannc_core::PartitionConfig;
+    use rannc_hw::{DeviceRank, DeviceSpec};
+    use rannc_models::{mlp_graph, MlpConfig};
+    use rannc_profile::{Profiler, ProfilerOptions};
+
+    fn setup() -> (rannc_graph::TaskGraph, ClusterSpec, Rannc, PartitionPlan) {
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(2);
+        let rannc = Rannc::new(PartitionConfig::new(32).with_k(8));
+        let plan = rannc.partition(&g, &cluster).unwrap();
+        (g, cluster, rannc, plan)
+    }
+
+    fn run(policy: ChurnPolicy, trace: &ClusterEventTrace) -> ChurnReport {
+        let (g, cluster, rannc, plan) = setup();
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let cfg = ChurnSimConfig {
+            iterations: 100_000,
+            policy,
+            horizon: 20_000,
+            ..ChurnSimConfig::default()
+        };
+        simulate_churn(&rannc, &plan, &profiler, &cluster, trace, &cfg).unwrap()
+    }
+
+    fn rank(node: usize, local: usize) -> DeviceRank {
+        DeviceRank { node, local }
+    }
+
+    #[test]
+    fn quiet_trace_is_a_clean_campaign() {
+        let r = run(ChurnPolicy::Adaptive, &ClusterEventTrace::new(1));
+        assert!(r.decisions.is_empty());
+        assert!(!r.halted);
+        assert_eq!(r.completed_iterations, 100_000);
+        assert_eq!(r.mttr(), 0.0);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cluster = ClusterSpec::v100_cluster(2);
+        let trace = ClusterEventTrace::generate(11, 12, &cluster, 5000);
+        let a = run(ChurnPolicy::Adaptive, &trace);
+        let b = run(ChurnPolicy::Adaptive, &trace);
+        assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits());
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.replans, b.replans);
+    }
+
+    #[test]
+    fn replan_beats_degrade_in_place_under_sustained_loss() {
+        // one device lost early in a long campaign: degrade-in-place
+        // sheds a whole pipeline replica (idling the rest of its node
+        // group), replanning re-spreads the model over the 15 survivors
+        let trace =
+            ClusterEventTrace::new(0).with_event(1000, ClusterEvent::Leave { rank: rank(1, 0) });
+        let degrade = run(ChurnPolicy::DegradeInPlace, &trace);
+        let replan = run(ChurnPolicy::ReplanAlways, &trace);
+        assert!(!degrade.halted && !replan.halted);
+        assert!(
+            replan.goodput > degrade.goodput,
+            "replan {} must beat degrade-in-place {}",
+            replan.goodput,
+            degrade.goodput
+        );
+        assert!(replan.replans >= 1);
+        assert!(replan.decisions.iter().any(|d| d.moved_bytes > 0));
+    }
+
+    #[test]
+    fn ride_it_out_restores_shed_replicas_on_recovery() {
+        let mut trace = ClusterEventTrace::new(0);
+        // lose a whole node, then get it back
+        for local in 0..8 {
+            trace.push(
+                1000,
+                ClusterEvent::Leave {
+                    rank: rank(1, local),
+                },
+            );
+        }
+        for local in 0..8 {
+            trace.push(
+                5000,
+                ClusterEvent::Recover {
+                    rank: rank(1, local),
+                },
+            );
+        }
+        let r = run(ChurnPolicy::RideItOut, &trace);
+        assert!(!r.halted);
+        assert!(r.decisions.iter().any(|d| d.action == ChurnAction::Shed));
+        assert!(
+            r.decisions.iter().any(|d| d.action == ChurnAction::Restore),
+            "recovered capacity must restore the shed replica"
+        );
+        // back to the original speed once restored
+        let last = r.decisions.last().unwrap();
+        let first = r.decisions.first().unwrap();
+        assert!(last.iteration_time <= first.iteration_time * 1.0001);
+    }
+
+    #[test]
+    fn degrade_events_slow_ride_campaigns() {
+        let trace = ClusterEventTrace::new(0).with_event(
+            1000,
+            ClusterEvent::Degrade {
+                rank: rank(0, 0),
+                factor: 0.25,
+            },
+        );
+        let clean = run(ChurnPolicy::DegradeInPlace, &ClusterEventTrace::new(0));
+        let throttled = run(ChurnPolicy::DegradeInPlace, &trace);
+        assert!(
+            throttled.goodput < clean.goodput,
+            "a 4x-throttled in-use device must cost goodput: {} vs {}",
+            throttled.goodput,
+            clean.goodput
+        );
+    }
+
+    #[test]
+    fn generated_campaign_completes_with_decision_log() {
+        let cluster = ClusterSpec::v100_cluster(2);
+        let trace = ClusterEventTrace::generate(3, 20, &cluster, 4000);
+        let r = run(ChurnPolicy::Adaptive, &trace);
+        assert!(r.completed_iterations > 0);
+        assert!(!r.decisions.is_empty());
+        for d in &r.decisions {
+            assert!(d.iteration_time > 0.0);
+        }
+    }
+}

@@ -207,7 +207,23 @@ pub fn simulate_faulted(
         let ckpt_iter = (at / cfg.checkpoint_every) * cfg.checkpoint_every;
         let lost = at - ckpt_iter;
         let mut downtime = cfg.detect_timeout + cfg.restore_cost;
-        cluster = cluster.without_device(cluster.rank(rank));
+        cluster = match cluster.without_device(cluster.rank(rank)) {
+            Ok(degraded) => degraded,
+            Err(_) => {
+                // the last healthy device is gone: nothing to recover onto
+                recoveries.push(RecoveryEvent {
+                    rank,
+                    at_iter: at,
+                    lost_iters: lost,
+                    downtime,
+                    new_iteration_time: f64::INFINITY,
+                    replanned: false,
+                });
+                wall += downtime;
+                halted = true;
+                break;
+            }
+        };
         let mut replanned = false;
 
         match cfg.policy {

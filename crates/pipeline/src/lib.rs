@@ -18,6 +18,7 @@
 //! synchronous simulator.
 
 pub mod async2bw;
+pub mod churn;
 pub mod dataparallel;
 pub mod fault;
 pub mod spec;
@@ -25,6 +26,9 @@ pub mod sync;
 pub mod trace;
 pub mod viz;
 
+pub use churn::{
+    simulate_churn, ChurnAction, ChurnDecision, ChurnPolicy, ChurnReport, ChurnSimConfig,
+};
 pub use fault::{simulate_faulted, FaultSimConfig, FaultSimReport, RecoveryEvent, RecoveryPolicy};
 pub use spec::{PipelineSpec, SimResult, SpecError, StageSpec};
 pub use sync::{

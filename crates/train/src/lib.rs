@@ -29,6 +29,6 @@ pub use error::TrainError;
 pub use ft::{train_with_faults, Checkpoint, FtConfig, FtReport, RecoveryRecord};
 pub use layer::Layer;
 pub use pipeline::{train_pipeline, Mode, TrainConfig};
-pub use stage::Stage;
+pub use stage::{build_mlp, restage, split_into_stages, Stage};
 pub use transformer::{LayerNorm, TransformerBlock};
 pub use validate::{loss_validation, loss_validation_transformer, LossValidation};

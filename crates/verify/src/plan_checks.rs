@@ -391,21 +391,46 @@ fn check_zero_compute(g: &TaskGraph, plan: &PlanView<'_>, compatible: &[bool], r
     }
 }
 
-/// RV027: profiled peak memory must fit the device the stage runs on.
+/// RV027: profiled peak memory must fit the devices the stage runs on.
+///
+/// Homogeneous clusters check against the template device. On a
+/// heterogeneous cluster the check follows the contiguous assignment
+/// convention (replica `r` of per-replica slot `j` is global rank
+/// `r·D + j`) and each stage must fit the *smallest* device any of its
+/// replicas lands on.
 fn check_memory(plan: &PlanView<'_>, cluster: &ClusterSpec, r: &mut Report) {
-    let cap = cluster.device.memory_bytes;
+    let per_replica: usize = plan.stages.iter().map(|s| s.replicas).sum();
+    let mut offset = 0usize;
     for (i, s) in plan.stages.iter().enumerate() {
+        let cap = if cluster.is_heterogeneous() {
+            let mut cap = usize::MAX;
+            for rep in 0..plan.replica_factor.max(1) {
+                for slot in offset..offset + s.replicas {
+                    let global = rep * per_replica + slot;
+                    let d = if global < cluster.total_devices() {
+                        cluster.device_at_global(global)
+                    } else {
+                        &cluster.device
+                    };
+                    cap = cap.min(d.memory_bytes);
+                }
+            }
+            cap
+        } else {
+            cluster.device.memory_bytes
+        };
         if s.mem_bytes > cap {
             r.push(Diagnostic::new(
                 Code::MemoryOverCapacity,
                 Location::Stage(i),
                 format!(
-                    "stage needs {} MiB but the device has {} MiB",
+                    "stage needs {} MiB but its device group has {} MiB",
                     s.mem_bytes >> 20,
                     cap >> 20
                 ),
             ));
         }
+        offset += s.replicas;
     }
 }
 

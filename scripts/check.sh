@@ -54,6 +54,24 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --trace "$OBS_TMP/trace.json" --metrics "$OBS_TMP/metrics.jsonl" \
     || { echo "obs-check FAILED"; exit 1; }
 
+echo "==> churn smoke (seeded 50-event campaign, all policies, verified plans)"
+# bert at 16 devices under a seeded 50-event churn stream: the campaign
+# must complete (every adopted plan passes VerifyMode::Fail inside the
+# planner) and the obs trace it emits must validate.
+./target/release/rannc-plan churn --model bert --hidden 256 --layers 4 \
+    --nodes 2 --batch 64 --k 8 --events 50 --seed 7 \
+    --save-trace "$OBS_TMP/churn_events.json" \
+    --trace-out "$OBS_TMP/churn_trace.json" \
+    >/dev/null \
+    || { echo "churn campaign FAILED"; exit 1; }
+# the saved event stream must replay to the same campaign
+./target/release/rannc-plan churn --model bert --hidden 256 --layers 4 \
+    --nodes 2 --batch 64 --k 8 --churn-trace "$OBS_TMP/churn_events.json" \
+    --policy adaptive >/dev/null \
+    || { echo "churn trace replay FAILED"; exit 1; }
+./target/release/rannc-plan obs-check --trace "$OBS_TMP/churn_trace.json" \
+    || { echo "churn obs-check FAILED"; exit 1; }
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
