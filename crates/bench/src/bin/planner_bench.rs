@@ -226,9 +226,22 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // the certification gate: every bundled model's plan must carry
+        // a liveness-certified peak within device capacity and a
+        // race-free derived communication program
+        match planner::check_certified_memory(quick) {
+            Ok(lines) => {
+                eprintln!("certified-memory check:\n{}", lines.join("\n"));
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                std::process::exit(1);
+            }
+        }
         eprintln!(
             "check passed: valid JSON, identical plans, nonzero cache hit rates, \
-             zero obs allocations while disabled, cost models verified"
+             zero obs allocations while disabled, cost models verified, \
+             certified memory within capacity"
         );
     }
 }

@@ -358,6 +358,80 @@ pub fn check_cost_models(quick: bool) -> Result<Vec<String>, String> {
     Ok(lines)
 }
 
+/// `--check` gate for the dataflow certification engine. Every bundled
+/// model is partitioned at 16 and 32 devices under
+/// [`VerifyMode::Certify`] (so the planner's own deep post-pass must
+/// accept the plan), then deep-verified again under *both* synchronous
+/// schedules: the liveness-certified peak must fit every hosting device
+/// slot and the derived per-rank communication program must be free of
+/// collective-order races, unpaired send/recv traffic and deadlock
+/// cycles (RV060–RV062, RV100). Returns one line per (case, cluster).
+pub fn check_certified_memory(quick: bool) -> Result<Vec<String>, String> {
+    use rannc::hw::Precision;
+    use rannc::pipeline::{deep_verify_plan, SyncSchedule};
+    let mut lines = Vec::new();
+    for case in cases(quick) {
+        for nodes in [2usize, 4] {
+            let cluster = ClusterSpec::v100_cluster(nodes);
+            let cfg = PartitionConfig::new(case.batch)
+                .with_k(case.k)
+                .with_verify(VerifyMode::Certify);
+            let plan = Rannc::new(cfg)
+                .partition(&case.graph, &cluster)
+                .map_err(|e| {
+                    format!(
+                        "{} @{} devices: partition failed under VerifyMode::Certify: {e}",
+                        case.name,
+                        cluster.total_devices()
+                    )
+                })?;
+            let mut worst_ratio = 0.0f64;
+            for schedule in [SyncSchedule::FillDrain, SyncSchedule::OneFOneB] {
+                let (report, certified) =
+                    deep_verify_plan(&case.graph, &plan, &cluster, schedule, Precision::FP32)
+                        .map_err(|e| {
+                            format!(
+                                "{} @{} devices: cannot derive the comm program: {e}",
+                                case.name,
+                                cluster.total_devices()
+                            )
+                        })?;
+                if report.has_errors() {
+                    return Err(format!(
+                        "{} @{} devices [{schedule:?}]: deep verification found errors:\n{}",
+                        case.name,
+                        cluster.total_devices(),
+                        report.render()
+                    ));
+                }
+                for (i, c) in certified.iter().enumerate() {
+                    if c.certified_bytes > c.capacity_bytes {
+                        return Err(format!(
+                            "{} @{} devices [{schedule:?}]: stage {i} certified peak \
+                             {} B exceeds capacity {} B on device d{}",
+                            case.name,
+                            cluster.total_devices(),
+                            c.certified_bytes,
+                            c.capacity_bytes,
+                            c.device
+                        ));
+                    }
+                    worst_ratio =
+                        worst_ratio.max(c.certified_bytes as f64 / c.capacity_bytes as f64);
+                }
+            }
+            lines.push(format!(
+                "  {} @{} devices: certified peak <= capacity on every slot \
+                 (worst fill {:.0}%), comm program race-free under both schedules",
+                case.name,
+                cluster.total_devices(),
+                worst_ratio * 100.0
+            ));
+        }
+    }
+    Ok(lines)
+}
+
 fn json_cache(stats: &CacheStats) -> String {
     format!(
         "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"contention\": {}, \
@@ -567,6 +641,16 @@ mod tests {
         assert_eq!(lines.len(), 2, "{lines:?}");
         for l in &lines {
             assert!(l.contains("both verifier-valid"), "{l}");
+        }
+    }
+
+    #[test]
+    fn certified_memory_check_passes_on_quick_grid() {
+        let lines = check_certified_memory(true).expect("certified-memory check");
+        // 2 quick cases x {16, 32} devices
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        for l in &lines {
+            assert!(l.contains("race-free"), "{l}");
         }
     }
 

@@ -28,6 +28,13 @@ the model's task graph, a partition plan (freshly computed, or a
 deployment file via --load), and both synchronous pipeline schedules.
 Every diagnostic is printed as `severity[RV0xx]: location: message`;
 the exit code is nonzero iff any error-severity diagnostic was found.
+With --deep it additionally runs the dataflow certification engine:
+liveness-certified peak memory per (stage, device slot) checked
+against device capacity (RV100/RV101) and a static race check of the
+plan's derived per-rank communication program — collective issue
+orders, send/recv pairing, deadlock cycles, dead and duplicate
+transfers (RV060-RV064) — under both schedules. --deny-warnings makes
+warning-severity diagnostics also fail the exit code.
 
 The `obs-check` subcommand validates observability artifacts produced
 by --trace-out / --metrics-out: the Chrome trace must be well-formed
@@ -84,6 +91,11 @@ CHURN OPTIONS (churn subcommand):
                         replan over (default 2000)
   --iterations, --detect-timeout, --restore-cost, --replan-cost and
   --seed apply as for the faults subcommand
+
+VERIFY OPTIONS (verify subcommand):
+  --deep              also run the dataflow certification engine
+                      (certified memory + comm-race checks, RV06x/RV1xx)
+  --deny-warnings     exit nonzero on warnings, not just errors
 
 OBSERVABILITY OPTIONS:
   --trace-out <FILE>    write a Chrome-trace (Perfetto) JSON of all spans
@@ -217,6 +229,10 @@ pub struct Args {
     pub obs_trace: Option<String>,
     /// Metrics file to validate (`obs-check` subcommand).
     pub obs_metrics: Option<String>,
+    /// Run the dataflow certification engine in `verify` (deep checks).
+    pub deep: bool,
+    /// Treat warning-severity diagnostics as fatal in `verify`.
+    pub deny_warnings: bool,
     pub timeline: bool,
     pub dot: Option<String>,
     pub save: Option<String>,
@@ -270,6 +286,8 @@ impl Default for Args {
             obs_summary: false,
             obs_trace: None,
             obs_metrics: None,
+            deep: false,
+            deny_warnings: false,
             timeline: false,
             dot: None,
             save: None,
@@ -358,6 +376,8 @@ impl Args {
                 "--obs-summary" => a.obs_summary = true,
                 "--trace" => a.obs_trace = Some(value(&flag, &mut it)?),
                 "--metrics" => a.obs_metrics = Some(value(&flag, &mut it)?),
+                "--deep" => a.deep = true,
+                "--deny-warnings" => a.deny_warnings = true,
                 "--timeline" => a.timeline = true,
                 "--dot" => a.dot = Some(value(&flag, &mut it)?),
                 "--save" => a.save = Some(value(&flag, &mut it)?),
@@ -544,6 +564,15 @@ mod tests {
         assert_eq!(a.nodes, 2);
         let a = parse("verify --model bert --load /tmp/p.rncp").unwrap();
         assert_eq!(a.load.as_deref(), Some("/tmp/p.rncp"));
+    }
+
+    #[test]
+    fn deep_verify_flags() {
+        let d = parse("verify --model mlp").unwrap();
+        assert!(!d.deep && !d.deny_warnings);
+        let a = parse("verify --model mlp --deep --deny-warnings").unwrap();
+        assert!(a.deep);
+        assert!(a.deny_warnings);
     }
 
     #[test]

@@ -153,7 +153,7 @@ fn main() {
     println!("{}", plan.summary());
 
     if args.command == Command::Verify {
-        run_verify(&graph, &plan, &cluster);
+        run_verify(&graph, &plan, &cluster, &args, precision);
         finish_obs(&args);
         return;
     }
@@ -277,8 +277,16 @@ fn run_obs_check(args: &Args) {
     }
 }
 
-/// The `verify` subcommand: run all three static passes and report.
-fn run_verify(graph: &TaskGraph, plan: &rannc::core::PartitionPlan, cluster: &ClusterSpec) {
+/// The `verify` subcommand: run all three static passes — plus, under
+/// `--deep`, the dataflow certification engine (certified peak memory
+/// and comm-race checks for both schedules) — and report.
+fn run_verify(
+    graph: &TaskGraph,
+    plan: &rannc::core::PartitionPlan,
+    cluster: &ClusterSpec,
+    args: &Args,
+    precision: Precision,
+) {
     use rannc::verify::{verify_graph, verify_plan, verify_schedule};
     let mut report = verify_graph(graph);
     report.merge(verify_plan(graph, &plan.view(), cluster));
@@ -289,14 +297,40 @@ fn run_verify(graph: &TaskGraph, plan: &rannc::core::PartitionPlan, cluster: &Cl
             plan.microbatches,
         )));
     }
+    let mut scope = "graph, plan, and both schedules";
+    if args.deep {
+        scope = "graph, plan, both schedules, certified memory, and comm programs";
+        for schedule in [SyncSchedule::FillDrain, SyncSchedule::OneFOneB] {
+            match rannc::pipeline::deep_verify_plan(graph, plan, cluster, schedule, precision) {
+                Ok((deep, certified)) => {
+                    for (i, c) in certified.iter().enumerate() {
+                        eprintln!(
+                            "{schedule:?} stage {i}: certified peak {:.2} GiB \
+                             (stash depth {}) vs estimate {:.2} GiB on {:.2} GiB device d{}",
+                            c.certified_bytes as f64 / (1u64 << 30) as f64,
+                            c.stash_depth,
+                            c.estimate_bytes as f64 / (1u64 << 30) as f64,
+                            c.capacity_bytes as f64 / (1u64 << 30) as f64,
+                            c.device,
+                        );
+                    }
+                    report.merge(deep);
+                }
+                Err(e) => {
+                    eprintln!("cannot derive the communication program: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     let (errors, warnings) = report.counts();
     if report.is_clean() {
-        println!("verification clean: graph, plan, and both schedules pass");
+        println!("verification clean: {scope} pass");
     } else {
         print!("{}", report.render());
         println!("{errors} error(s), {warnings} warning(s)");
     }
-    if errors > 0 {
+    if errors > 0 || (args.deny_warnings && warnings > 0) {
         std::process::exit(1);
     }
 }

@@ -78,6 +78,12 @@ pub enum VerifyMode {
     /// diagnostic (warnings never reject).
     #[default]
     Fail,
+    /// [`VerifyMode::Fail`] plus the dataflow-certified deep checks:
+    /// liveness-certified peak memory against per-slot device capacity
+    /// (RV100/RV101) and static race detection over the plan's derived
+    /// communication program (RV060–RV064), under the planner's
+    /// fill–drain schedule.
+    Certify,
 }
 
 /// User-facing configuration of a partitioning run.
@@ -441,7 +447,27 @@ impl Rannc {
         if self.config.verify == VerifyMode::Off {
             return Ok(plan);
         }
-        let report = rannc_verify::verify_plan(graph, &plan.view(), cluster);
+        let mut report = rannc_verify::verify_plan(graph, &plan.view(), cluster);
+        if self.config.verify == VerifyMode::Certify {
+            // The deep post-pass needs a concrete placement; a plan that
+            // cannot be placed at all is rejected with the structural
+            // report (RV028 has already flagged the device shortfall).
+            if let Ok(assignment) = plan.device_assignment(cluster) {
+                let schedule =
+                    rannc_verify::ScheduleModel::fill_drain(plan.stages.len(), plan.microbatches);
+                let checkpointing = plan.stages.len() > 1;
+                let (deep, _) = rannc_verify::verify_deep(
+                    graph,
+                    &plan.view(),
+                    cluster,
+                    &schedule,
+                    &assignment,
+                    self.config.precision,
+                    checkpointing,
+                );
+                report.merge(deep);
+            }
+        }
         match self.config.verify {
             VerifyMode::Off => unreachable!(),
             VerifyMode::Warn => {
@@ -450,7 +476,7 @@ impl Rannc {
                 }
                 Ok(plan)
             }
-            VerifyMode::Fail => {
+            VerifyMode::Fail | VerifyMode::Certify => {
                 if report.has_errors() {
                     Err(PartitionError::FailedVerification(report))
                 } else {
@@ -679,6 +705,36 @@ mod tests {
         // and an explicit re-check through the library API agrees
         let report = rannc_verify::verify_plan(&g, &plan.view(), &cluster);
         assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn certify_mode_runs_the_deep_post_pass() {
+        // Certify = Fail + dataflow certification: a plan the planner
+        // accepts in this mode carries a certified peak within capacity
+        // and a race-free derived communication program
+        let g = mlp_graph(&MlpConfig::deep(64, 64, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(1);
+        let cfg = PartitionConfig::new(32)
+            .with_k(8)
+            .with_verify(VerifyMode::Certify);
+        let plan = Rannc::new(cfg).partition(&g, &cluster).unwrap();
+        // re-run the same deep checks through the library API and agree
+        let assignment = plan.device_assignment(&cluster).unwrap();
+        let schedule =
+            rannc_verify::ScheduleModel::fill_drain(plan.stages.len(), plan.microbatches);
+        let (report, certified) = rannc_verify::verify_deep(
+            &g,
+            &plan.view(),
+            &cluster,
+            &schedule,
+            &assignment,
+            rannc_hw::Precision::FP32,
+            plan.stages.len() > 1,
+        );
+        assert!(!report.has_errors(), "{}", report.render());
+        for c in &certified {
+            assert!(c.certified_bytes <= c.capacity_bytes);
+        }
     }
 
     #[test]

@@ -163,6 +163,7 @@ impl PartitionPlan {
                     fwd_time: s.fwd_time,
                     bwd_time: s.bwd_time,
                     mem_bytes: s.mem_bytes,
+                    param_elems: s.param_elems,
                 })
                 .collect(),
             microbatches: self.microbatches,

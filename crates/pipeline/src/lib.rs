@@ -32,7 +32,8 @@ pub use churn::{
 pub use fault::{simulate_faulted, FaultSimConfig, FaultSimReport, RecoveryEvent, RecoveryPolicy};
 pub use spec::{PipelineSpec, SimResult, SpecError, StageSpec};
 pub use sync::{
-    schedule_model, simulate_sync, sync_work_orders, SyncSchedule, TimelineEvent, WorkKind,
+    comm_program, deep_verify_plan, schedule_model, simulate_sync, sync_work_orders, SyncSchedule,
+    TimelineEvent, WorkKind,
 };
 pub use trace::{publish_sim_metrics, record_timeline};
 

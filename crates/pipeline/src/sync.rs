@@ -16,6 +16,11 @@
 //! gradients and the optimizer steps.
 
 use crate::spec::{PipelineSpec, SimResult};
+use crate::PlanSpecError;
+use rannc_core::PartitionPlan;
+use rannc_graph::TaskGraph;
+use rannc_hw::{ClusterSpec, Precision};
+use rannc_verify::{CertifiedStage, CommProgram, Report};
 use serde::{Deserialize, Serialize};
 
 /// Per-stage work ordering of the synchronous schedule.
@@ -146,6 +151,55 @@ pub fn schedule_model(
             })
             .collect(),
     }
+}
+
+/// Derive the per-rank communication program a plan implies under
+/// `schedule`: stage-boundary activation/gradient sends and recvs in
+/// the schedule's issue order, plus one gradient all-reduce per
+/// replicated stage. The placement is the plan's contiguous
+/// [`rannc_core::PartitionPlan::device_assignment`]; the result feeds
+/// `rannc_verify::comm::verify_comm` / `verify_transfers`.
+pub fn comm_program(
+    g: &TaskGraph,
+    plan: &PartitionPlan,
+    cluster: &ClusterSpec,
+    schedule: SyncSchedule,
+) -> Result<CommProgram, PlanSpecError> {
+    let assignment = plan
+        .device_assignment(cluster)
+        .map_err(PlanSpecError::BadAssignment)?;
+    let model = schedule_model(schedule, plan.stages.len(), plan.microbatches);
+    Ok(CommProgram::derive(g, &plan.view(), &model, &assignment))
+}
+
+/// Run every dataflow-certified check on a plan under a concrete
+/// schedule: liveness-certified peak memory per device slot
+/// (RV100/RV101) and the static comm-race pass (RV060–RV064).
+///
+/// Gradient checkpointing follows the planner's own convention
+/// (enabled whenever the pipeline has more than one stage). Returns
+/// the merged report plus the per-stage certified bounds.
+pub fn deep_verify_plan(
+    g: &TaskGraph,
+    plan: &PartitionPlan,
+    cluster: &ClusterSpec,
+    schedule: SyncSchedule,
+    precision: Precision,
+) -> Result<(Report, Vec<CertifiedStage>), PlanSpecError> {
+    let assignment = plan
+        .device_assignment(cluster)
+        .map_err(PlanSpecError::BadAssignment)?;
+    let model = schedule_model(schedule, plan.stages.len(), plan.microbatches);
+    let checkpointing = plan.stages.len() > 1;
+    Ok(rannc_verify::verify_deep(
+        g,
+        &plan.view(),
+        cluster,
+        &model,
+        &assignment,
+        precision,
+        checkpointing,
+    ))
 }
 
 /// Run the synchronous pipeline simulation.
@@ -400,6 +454,44 @@ mod tests {
                     "{schedule:?} {stages}x{mb}:\n{}",
                     report.render()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_model_matches_the_verify_constructors() {
+        // `rannc-verify` re-derives canonical schedules so the planner
+        // can certify plans without depending on this crate; pin the
+        // two constructions together op for op
+        for (stages, mb) in [(1, 1), (2, 2), (3, 5), (4, 8), (6, 6), (1, 4)] {
+            let fd = schedule_model(SyncSchedule::FillDrain, stages, mb);
+            let pinned = rannc_verify::ScheduleModel::fill_drain(stages, mb);
+            assert_eq!(fd.orders, pinned.orders, "fill_drain {stages}x{mb}");
+            let ob = schedule_model(SyncSchedule::OneFOneB, stages, mb);
+            let pinned = rannc_verify::ScheduleModel::one_f_one_b(stages, mb);
+            assert_eq!(ob.orders, pinned.orders, "one_f_one_b {stages}x{mb}");
+        }
+    }
+
+    #[test]
+    fn planned_mlp_deep_verifies_under_both_schedules() {
+        use rannc_core::{PartitionConfig, Rannc};
+        use rannc_models::{mlp_graph, MlpConfig};
+
+        let g = mlp_graph(&MlpConfig::deep(256, 256, 8, 10));
+        let cluster = ClusterSpec::v100_cluster(1);
+        let plan = Rannc::new(PartitionConfig::new(64).with_k(8))
+            .partition(&g, &cluster)
+            .unwrap();
+        for schedule in [SyncSchedule::FillDrain, SyncSchedule::OneFOneB] {
+            let program = comm_program(&g, &plan, &cluster, schedule).unwrap();
+            assert_eq!(program.programs.len(), plan.total_devices());
+            let (report, certified) =
+                deep_verify_plan(&g, &plan, &cluster, schedule, rannc_hw::Precision::FP32).unwrap();
+            assert!(!report.has_errors(), "{schedule:?}:\n{}", report.render());
+            assert_eq!(certified.len(), plan.stages.len());
+            for c in &certified {
+                assert!(c.certified_bytes <= c.capacity_bytes);
             }
         }
     }

@@ -1,0 +1,303 @@
+//! A small monotone dataflow framework: dense fact sets plus a worklist
+//! fixpoint solver over an explicit flow graph.
+//!
+//! The certification analyses in this crate (value liveness in
+//! [`crate::liveness`], transfer liveness in [`crate::comm`]) are
+//! instances of the classic gen/kill scheme over the powerset lattice of
+//! value ids: facts form a finite join-semilattice (`⊔` = bitwise
+//! union, `⊥` = the empty set), every transfer function
+//! `out = gen ∪ (in ∖ kill)` is monotone, so Kleene iteration from `⊥`
+//! reaches the *least* fixpoint in finitely many steps (the lattice has
+//! finite height `width`). Stage programs are straight-line today — one
+//! sweep in analysis order converges — but the solver is written against
+//! arbitrary graphs, so future analyses over loop-shaped recompute plans
+//! inherit termination and soundness from the same argument.
+
+/// A dense set of facts drawn from `0..width` (value ids in the
+/// liveness instance). The join-semilattice element of every analysis
+/// in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactSet {
+    width: usize,
+    bits: Vec<u64>,
+}
+
+impl FactSet {
+    /// The empty set over a universe of `width` facts (`⊥`).
+    pub fn new(width: usize) -> FactSet {
+        FactSet {
+            width,
+            bits: vec![0; width.div_ceil(64)],
+        }
+    }
+
+    /// Universe size.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Add one fact.
+    pub fn insert(&mut self, fact: usize) {
+        debug_assert!(fact < self.width);
+        self.bits[fact / 64] |= 1 << (fact % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fact: usize) -> bool {
+        fact < self.width && self.bits[fact / 64] & (1 << (fact % 64)) != 0
+    }
+
+    /// `self ⊔ other`; returns whether `self` grew (the solver's
+    /// change-detection signal).
+    pub fn union_with(&mut self, other: &FactSet) -> bool {
+        debug_assert_eq!(self.width, other.width);
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let merged = *a | *b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// Remove every fact in `other` (the kill step).
+    pub fn subtract(&mut self, other: &FactSet) {
+        debug_assert_eq!(self.width, other.width);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterate the member facts in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| w * 64 + b)
+        })
+    }
+
+    /// Number of member facts.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no fact is set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+/// Which way facts propagate through the flow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Along edges (reaching-style analyses).
+    Forward,
+    /// Against edges (liveness-style analyses).
+    Backward,
+}
+
+/// One node's transfer function, `out = gen ∪ (in ∖ kill)`.
+#[derive(Debug, Clone)]
+pub struct GenKill {
+    /// Facts the node introduces.
+    pub gen: FactSet,
+    /// Facts the node destroys.
+    pub kill: FactSet,
+}
+
+impl GenKill {
+    /// The identity transfer over a `width`-fact universe.
+    pub fn identity(width: usize) -> GenKill {
+        GenKill {
+            gen: FactSet::new(width),
+            kill: FactSet::new(width),
+        }
+    }
+}
+
+/// The least fixpoint of a gen/kill problem.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Per-node state at the node's entry *in program order* (for a
+    /// backward problem this is the classic live-in set).
+    pub pre: Vec<FactSet>,
+    /// Per-node state at the node's exit in program order (live-out for
+    /// a backward problem).
+    pub post: Vec<FactSet>,
+    /// Transfer-function applications until the fixpoint stabilised —
+    /// exposed so tests can assert the expected convergence behaviour.
+    pub iterations: usize,
+}
+
+/// Solve a gen/kill dataflow problem to its least fixpoint.
+///
+/// `edges` are program-order edges `(from, to)`; `transfer[n]` is node
+/// `n`'s gen/kill pair. All boundary states start at `⊥` (empty), the
+/// worklist re-queues a node whenever a neighbour's state grows, and
+/// monotonicity + finite lattice height bound the iteration count by
+/// `nodes × width` applications.
+pub fn solve(
+    direction: Direction,
+    nodes: usize,
+    width: usize,
+    edges: &[(usize, usize)],
+    transfer: &[GenKill],
+) -> Solution {
+    assert_eq!(transfer.len(), nodes, "one transfer function per node");
+    // Normalise to a single propagation scheme: `deps[n]` lists the
+    // nodes whose *computed* state joins into node `n`'s input.
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let mut rdeps: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    for &(from, to) in edges {
+        assert!(from < nodes && to < nodes, "edge endpoint out of range");
+        let (src, dst) = match direction {
+            Direction::Forward => (from, to),
+            Direction::Backward => (to, from),
+        };
+        deps[dst].push(src);
+        rdeps[src].push(dst);
+    }
+
+    // input[n] = ⊔ computed[d] over deps; computed[n] = gen ∪ (input ∖ kill)
+    let mut input: Vec<FactSet> = (0..nodes).map(|_| FactSet::new(width)).collect();
+    let mut computed: Vec<FactSet> = (0..nodes).map(|_| FactSet::new(width)).collect();
+    let mut queued = vec![true; nodes];
+    // Seed in reverse-analysis order so straight-line programs converge
+    // in one sweep.
+    let mut worklist: Vec<usize> = match direction {
+        Direction::Forward => (0..nodes).rev().collect(),
+        Direction::Backward => (0..nodes).collect(),
+    };
+    let mut iterations = 0usize;
+    while let Some(n) = worklist.pop() {
+        queued[n] = false;
+        iterations += 1;
+        let mut joined = FactSet::new(width);
+        for &d in &deps[n] {
+            joined.union_with(&computed[d]);
+        }
+        input[n] = joined;
+        let mut out = input[n].clone();
+        out.subtract(&transfer[n].kill);
+        out.union_with(&transfer[n].gen);
+        if out != computed[n] {
+            computed[n] = out;
+            for &d in &rdeps[n] {
+                if !queued[d] {
+                    queued[d] = true;
+                    worklist.push(d);
+                }
+            }
+        }
+    }
+
+    // Map (input, computed) back to program-order (pre, post).
+    match direction {
+        Direction::Forward => Solution {
+            pre: input,
+            post: computed,
+            iterations,
+        },
+        Direction::Backward => Solution {
+            pre: computed,
+            post: input,
+            iterations,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(width: usize, facts: &[usize]) -> FactSet {
+        let mut s = FactSet::new(width);
+        for &f in facts {
+            s.insert(f);
+        }
+        s
+    }
+
+    #[test]
+    fn factset_algebra() {
+        let mut a = set(130, &[0, 64, 129]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(64) && !a.contains(63));
+        assert!(!a.union_with(&set(130, &[0])), "no growth");
+        assert!(a.union_with(&set(130, &[1])));
+        a.subtract(&set(130, &[0, 1]));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![64, 129]);
+        assert!(!a.is_empty());
+    }
+
+    /// Straight-line liveness: `a = …; b = use(a); use(b)` — `a` is live
+    /// across node 0→1 only, `b` across 1→2.
+    #[test]
+    fn straight_line_liveness() {
+        let w = 2; // facts: 0 = a, 1 = b
+        let transfer = vec![
+            GenKill {
+                gen: set(w, &[]),
+                kill: set(w, &[0]),
+            },
+            GenKill {
+                gen: set(w, &[0]),
+                kill: set(w, &[1]),
+            },
+            GenKill {
+                gen: set(w, &[1]),
+                kill: set(w, &[]),
+            },
+        ];
+        let sol = solve(Direction::Backward, 3, w, &[(0, 1), (1, 2)], &transfer);
+        assert_eq!(sol.pre[0], set(w, &[]));
+        assert_eq!(sol.post[0], set(w, &[0]));
+        assert_eq!(sol.post[1], set(w, &[1]));
+        assert_eq!(sol.post[2], set(w, &[]));
+        // straight-line programs converge in one sweep
+        assert_eq!(sol.iterations, 3);
+    }
+
+    /// A loop requires genuine iteration: a fact generated inside the
+    /// loop body must propagate around the back-edge to the header.
+    #[test]
+    fn loop_reaches_fixpoint() {
+        let w = 1;
+        let transfer = vec![
+            GenKill::identity(w), // 0: header
+            GenKill {
+                gen: set(w, &[0]),
+                kill: set(w, &[]),
+            }, // 1: body defines fact 0
+            GenKill::identity(w), // 2: exit
+        ];
+        // 0 -> 1 -> 0 (back edge), 0 -> 2
+        let sol = solve(
+            Direction::Forward,
+            3,
+            w,
+            &[(0, 1), (1, 0), (0, 2)],
+            &transfer,
+        );
+        assert!(sol.pre[0].contains(0), "back-edge fact reached the header");
+        assert!(sol.post[2].contains(0));
+        assert!(sol.iterations > 3, "the back edge forced re-iteration");
+    }
+
+    /// Forward and backward directions are symmetric on a reversed graph.
+    #[test]
+    fn direction_symmetry() {
+        let w = 1;
+        let transfer = vec![
+            GenKill {
+                gen: set(w, &[0]),
+                kill: set(w, &[]),
+            },
+            GenKill::identity(w),
+        ];
+        let fwd = solve(Direction::Forward, 2, w, &[(0, 1)], &transfer);
+        let bwd = solve(Direction::Backward, 2, w, &[(1, 0)], &transfer);
+        assert_eq!(fwd.post[1], bwd.pre[1]);
+    }
+}

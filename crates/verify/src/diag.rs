@@ -22,9 +22,11 @@ pub enum Severity {
 /// Stable diagnostic codes.
 ///
 /// `RV00x` — graph well-formedness, `RV02x`/`RV03x` — plan validity,
-/// `RV04x` — plan quality warnings, `RV05x` — schedule analysis. The
-/// numeric identifier of each variant is part of the public contract
-/// (see DESIGN.md §8); add new codes, never renumber existing ones.
+/// `RV04x` — plan quality warnings, `RV05x` — schedule analysis,
+/// `RV06x` — communication-program analysis, `RV1xx` — dataflow
+/// certification (liveness-certified memory). The numeric identifier of
+/// each variant is part of the public contract (see DESIGN.md §8/§13);
+/// add new codes, never renumber existing ones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Code {
     /// A task references a value id outside the graph.
@@ -78,6 +80,27 @@ pub enum Code {
     ScheduleDeadlock,
     /// A backward is ordered before its own forward within a stage.
     BackwardBeforeForward,
+    /// Ranks of one collective group issue the group's collectives in
+    /// different orders (the classic NCCL hang).
+    CollectiveOrderMismatch,
+    /// A point-to-point send has no matching receive on the peer rank
+    /// (or a receive has no matching send).
+    UnpairedSendRecv,
+    /// The cross-rank communication program has a wait cycle: matched
+    /// rendezvous pairs and collectives cannot be ordered.
+    CommDeadlock,
+    /// A stage-boundary transfer carries a value that is not live (never
+    /// consumed) at the destination stage.
+    DeadTransfer,
+    /// The same value is transferred to the same device more than once
+    /// for one micro-batch.
+    RedundantTransfer,
+    /// The liveness-certified peak memory of a stage exceeds the
+    /// capacity of a device hosting it.
+    CertifiedMemoryOverCapacity,
+    /// The profiler's memory estimate diverges from the certified peak
+    /// beyond tolerance (the plan was priced with an unreliable number).
+    MemoryEstimateDivergence,
 }
 
 impl Code {
@@ -109,6 +132,13 @@ impl Code {
             Code::ScheduleIncomplete => "RV050",
             Code::ScheduleDeadlock => "RV051",
             Code::BackwardBeforeForward => "RV052",
+            Code::CollectiveOrderMismatch => "RV060",
+            Code::UnpairedSendRecv => "RV061",
+            Code::CommDeadlock => "RV062",
+            Code::DeadTransfer => "RV063",
+            Code::RedundantTransfer => "RV064",
+            Code::CertifiedMemoryOverCapacity => "RV100",
+            Code::MemoryEstimateDivergence => "RV101",
         }
     }
 
@@ -119,7 +149,10 @@ impl Code {
             | Code::NoModelOutputs
             | Code::ZeroComputeStage
             | Code::BottleneckImbalance
-            | Code::UnevenBatchSplit => Severity::Warning,
+            | Code::UnevenBatchSplit
+            | Code::DeadTransfer
+            | Code::RedundantTransfer
+            | Code::MemoryEstimateDivergence => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -151,6 +184,10 @@ pub enum Location {
         /// Micro-batch index.
         micro: usize,
     },
+    /// One device, by global rank (replica-major contiguous order).
+    Device(usize),
+    /// A directed link between two devices (global ranks).
+    Link(usize, usize),
 }
 
 impl std::fmt::Display for Location {
@@ -164,6 +201,8 @@ impl std::fmt::Display for Location {
             Location::ScheduleOp { stage, micro } => {
                 write!(f, "stage {stage} micro-batch {micro}")
             }
+            Location::Device(d) => write!(f, "device d{d}"),
+            Location::Link(a, b) => write!(f, "link d{a}->d{b}"),
         }
     }
 }
@@ -323,6 +362,13 @@ mod tests {
             Code::ScheduleIncomplete,
             Code::ScheduleDeadlock,
             Code::BackwardBeforeForward,
+            Code::CollectiveOrderMismatch,
+            Code::UnpairedSendRecv,
+            Code::CommDeadlock,
+            Code::DeadTransfer,
+            Code::RedundantTransfer,
+            Code::CertifiedMemoryOverCapacity,
+            Code::MemoryEstimateDivergence,
         ];
         let ids: std::collections::HashSet<_> = all.iter().map(|c| c.id()).collect();
         assert_eq!(ids.len(), all.len());
@@ -364,6 +410,22 @@ mod tests {
         assert!(line.starts_with("error[RV025]: stage 2:"), "{line}");
         let w = Diagnostic::new(Code::ZeroComputeStage, Location::Stage(0), "layout only");
         assert!(w.render().starts_with("warning[RV040]"), "{}", w.render());
+    }
+
+    #[test]
+    fn device_and_link_locations_render() {
+        let d = Diagnostic::new(
+            Code::CertifiedMemoryOverCapacity,
+            Location::Device(11),
+            "certified peak 34.1 GiB exceeds 16.0 GiB",
+        );
+        assert!(d.render().starts_with("error[RV100]: device d11:"), "{d}");
+        let l = Diagnostic::new(
+            Code::UnpairedSendRecv,
+            Location::Link(3, 7),
+            "send has no matching recv",
+        );
+        assert!(l.render().starts_with("error[RV061]: link d3->d7:"), "{l}");
     }
 
     #[test]

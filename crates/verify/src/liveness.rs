@@ -1,0 +1,441 @@
+//! Value liveness over a stage's forward/backward program, and the
+//! liveness-certified peak-memory check (RV100/RV101).
+//!
+//! The profiler's estimate (`rannc-profile::MemoryParams`) prices a
+//! stage's activations as *sum of all intermediates* with an in-flight
+//! count fixed at `MB`. This module instead *certifies* a peak from
+//! first principles:
+//!
+//! * the per-micro-batch intermediate footprint is the maximum
+//!   simultaneously-live set of in-stage values over the stage's
+//!   forward→backward program, computed by the gen/kill liveness
+//!   instance of [`crate::dataflow`] — never larger than the profiler's
+//!   sum;
+//! * the activation stash depth is read off the stage's *actual*
+//!   [`ScheduleModel`] issue order ([`ScheduleModel::stash_depth`]) —
+//!   `MB` for fill–drain, the remaining pipeline depth for 1F1B;
+//! * parameter/optimizer state and the device overhead reuse the
+//!   `rannc-profile` memory model verbatim, so the two formulas can be
+//!   cross-checked term by term.
+//!
+//! Execution model certified against (documented in DESIGN.md §13): the
+//! stage's tasks run in topological order; backward visits them in
+//! reverse and consumes each task's *input* activations; values leaving
+//! the stage (egress or model outputs) stay live to the stage boundary
+//! where they are sent. Under gradient checkpointing the recompute walk
+//! is the same program, so its liveness peak is the same bound.
+//!
+//! The certified peak is checked against the capacity of every device
+//! slot the stage lands on (contiguous assignment convention, the same
+//! walk as `SlotTable`/RV027) — an overflow is RV100, anchored at the
+//! offending [`Location::Device`]. A profiler estimate *below* the
+//! certified peak means the plan was priced optimistically: RV101.
+
+use crate::dataflow::{solve, Direction, FactSet, GenKill};
+use crate::diag::{Code, Diagnostic, Location, Report};
+use crate::plan_checks::PlanView;
+use crate::schedule_checks::ScheduleModel;
+use rannc_graph::{traverse, TaskGraph, TaskSet};
+use rannc_hw::{ClusterSpec, Precision};
+use rannc_profile::memory::DEVICE_OVERHEAD_BYTES;
+use rannc_profile::MemoryParams;
+
+/// Relative slack allowed before a profiler estimate below the
+/// certified peak is reported as RV101.
+pub const DIVERGENCE_TOLERANCE: f64 = 0.02;
+
+/// Per-sample liveness facts of one stage (all byte figures are FP32
+/// per-sample, exactly like the profiler's aggregates — precision and
+/// micro-batch scaling happen in [`certify_memory`]).
+#[derive(Debug, Clone)]
+pub struct StageLiveness {
+    /// Deduplicated non-static ingress bytes (the checkpoint stash).
+    pub ingress_bytes: usize,
+    /// Sum of all in-stage intermediate bytes (the profiler's figure).
+    pub inter_bytes: usize,
+    /// Maximum simultaneously-live intermediate bytes over the
+    /// forward→backward program. Never exceeds `inter_bytes`.
+    pub peak_live_bytes: usize,
+    /// Values live at stage entry (the ingress values actually
+    /// consumed) — what the dead-transfer check (RV063) reads.
+    pub live_in: FactSet,
+}
+
+/// Run the liveness instance of the dataflow framework over one stage.
+///
+/// Program shape: `n` forward nodes in topological order, one boundary
+/// node (uses every value that escapes the stage), `n` backward nodes
+/// in reverse order (each uses its task's input activations). Facts are
+/// value ids; gen = uses, kill = defs.
+pub fn stage_liveness(g: &TaskGraph, set: &TaskSet) -> StageLiveness {
+    let width = g.num_values();
+    let positions = traverse::topo_positions(g);
+    let mut tasks: Vec<_> = set.iter().collect();
+    tasks.sort_by_key(|t| positions[t.index()]);
+    let n = tasks.len();
+    let non_constant = traverse::non_constant_tasks(g);
+
+    // Values whose bytes the intermediate accounting counts: produced
+    // in-stage by a scaling (non-constant) task — mirrors the
+    // profiler's `out_act_bytes` sum term for term.
+    let mut counted = vec![false; width];
+    for &t in &tasks {
+        if non_constant[t.index()] {
+            for &v in &g.task(t).outputs {
+                counted[v.0 as usize] = true;
+            }
+        }
+    }
+
+    // nodes: 0..n forward, n boundary, n+1..=2n backward (reverse order)
+    let nodes = 2 * n + 1;
+    let mut transfer: Vec<GenKill> = (0..nodes).map(|_| GenKill::identity(width)).collect();
+    for (i, &t) in tasks.iter().enumerate() {
+        let task = g.task(t);
+        for &v in &task.inputs {
+            if g.value(v).kind.is_static() {
+                continue;
+            }
+            // forward use …
+            transfer[i].gen.insert(v.0 as usize);
+            // … and the backward of this task re-reads its inputs
+            transfer[2 * n - i].gen.insert(v.0 as usize);
+        }
+        for &v in &task.outputs {
+            transfer[i].kill.insert(v.0 as usize);
+        }
+    }
+    // boundary: everything that escapes the stage is alive until sent
+    for &t in &tasks {
+        for &v in &g.task(t).outputs {
+            let val = g.value(v);
+            let escapes = val.consumers.iter().any(|c| !set.contains(*c));
+            if escapes || g.outputs().contains(&v) {
+                transfer[n].gen.insert(v.0 as usize);
+            }
+        }
+    }
+    let edges: Vec<(usize, usize)> = (0..nodes - 1).map(|i| (i, i + 1)).collect();
+    let sol = solve(Direction::Backward, nodes, width, &edges, &transfer);
+
+    let bytes_of = |s: &FactSet| -> usize {
+        s.iter()
+            .filter(|&v| counted[v])
+            .map(|v| g.value(rannc_graph::ValueId(v as u32)).size_bytes())
+            .sum()
+    };
+    // Peak over program points: after node i executes, its defs are
+    // materialised even if immediately dead, so fold them in.
+    let mut peak_live_bytes = 0usize;
+    for (i, post) in sol.post.iter().enumerate() {
+        let mut point = post.clone();
+        if i < n {
+            for &v in &g.task(tasks[i]).outputs {
+                point.insert(v.0 as usize);
+            }
+        }
+        peak_live_bytes = peak_live_bytes.max(bytes_of(&point));
+    }
+    let inter_bytes = counted
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(v, _)| g.value(rannc_graph::ValueId(v as u32)).size_bytes())
+        .sum();
+    let live_in = sol
+        .pre
+        .first()
+        .cloned()
+        .unwrap_or_else(|| FactSet::new(width));
+    let ingress_bytes = live_in
+        .iter()
+        .filter(|&v| {
+            let val = g.value(rannc_graph::ValueId(v as u32));
+            !val.kind.is_static() && !val.producer.map(|p| set.contains(p)).unwrap_or(false)
+        })
+        .map(|v| g.value(rannc_graph::ValueId(v as u32)).size_bytes())
+        .sum();
+
+    StageLiveness {
+        ingress_bytes,
+        inter_bytes,
+        peak_live_bytes,
+        live_in,
+    }
+}
+
+/// One stage's certified numbers, returned alongside the report so
+/// benches and property tests can compare bounds directly.
+#[derive(Debug, Clone)]
+pub struct CertifiedStage {
+    /// In-flight micro-batches read off the schedule's issue order.
+    pub stash_depth: usize,
+    /// Liveness-certified peak bytes on one device of the stage.
+    pub certified_bytes: usize,
+    /// The profiler's estimate carried by the plan.
+    pub estimate_bytes: usize,
+    /// Tightest capacity over every device slot the stage occupies.
+    pub capacity_bytes: usize,
+    /// Global rank of the device providing that tightest capacity.
+    pub device: usize,
+}
+
+/// Certify per-(stage, device-slot) peak memory: RV100 when the
+/// certified peak exceeds a hosting device's capacity, RV101 when the
+/// profiler estimate is *below* the certified peak (beyond
+/// [`DIVERGENCE_TOLERANCE`]) — the estimate is meant to be a sound
+/// over-approximation, so falling under the certificate means the plan
+/// was priced with a broken number.
+pub fn certify_memory(
+    g: &TaskGraph,
+    plan: &PlanView<'_>,
+    cluster: &ClusterSpec,
+    schedule: &ScheduleModel,
+    precision: Precision,
+    checkpointing: bool,
+) -> (Report, Vec<CertifiedStage>) {
+    let mut r = Report::new();
+    let mut out = Vec::with_capacity(plan.stages.len());
+    let per_replica: usize = plan.stages.iter().map(|s| s.replicas).sum();
+    let mut offset = 0usize;
+    for (i, s) in plan.stages.iter().enumerate() {
+        if s.set.universe() != g.num_tasks() {
+            offset += s.replicas;
+            continue; // RV021 already reported by verify_plan
+        }
+        let lv = stage_liveness(g, s.set);
+        let stash = schedule.stash_depth(i);
+        let mem = MemoryParams {
+            precision,
+            checkpointing,
+            inflight: stash,
+        };
+        let scale = mem.activation_scale();
+        let per_mb = |bytes: usize| (bytes as f64 * s.micro_batch as f64 * scale) as usize;
+        let activations = if checkpointing {
+            stash * per_mb(lv.ingress_bytes) + per_mb(lv.peak_live_bytes)
+        } else {
+            stash * (per_mb(lv.ingress_bytes) + per_mb(lv.peak_live_bytes))
+        };
+        let certified =
+            s.param_elems * mem.state_bytes_per_param() + activations + DEVICE_OVERHEAD_BYTES;
+
+        // Tightest device over every (pipeline replica, slot) the stage
+        // occupies — the same contiguous walk as RV027/SlotTable, kept
+        // per-slot so the finding can name the device.
+        let mut capacity = usize::MAX;
+        let mut device = offset;
+        for rep in 0..plan.replica_factor.max(1) {
+            for slot in offset..offset + s.replicas {
+                let global = rep * per_replica + slot;
+                let d = if global < cluster.total_devices() {
+                    cluster.device_at_global(global)
+                } else {
+                    &cluster.device
+                };
+                if d.memory_bytes < capacity {
+                    capacity = d.memory_bytes;
+                    device = global;
+                }
+            }
+        }
+        if capacity == usize::MAX {
+            capacity = cluster.device.memory_bytes; // zero-replica stage: RV029 territory
+        }
+
+        if certified > capacity {
+            r.push(Diagnostic::new(
+                Code::CertifiedMemoryOverCapacity,
+                Location::Device(device),
+                format!(
+                    "stage {i}: liveness-certified peak {:.2} GiB (stash depth {stash}) \
+                     exceeds the {:.2} GiB capacity of device d{device}",
+                    gib(certified),
+                    gib(capacity),
+                ),
+            ));
+        }
+        if (s.mem_bytes as f64) < certified as f64 * (1.0 - DIVERGENCE_TOLERANCE) {
+            r.push(Diagnostic::new(
+                Code::MemoryEstimateDivergence,
+                Location::Stage(i),
+                format!(
+                    "profiler estimate {:.2} GiB is below the liveness-certified peak \
+                     {:.2} GiB — the plan was priced with an optimistic memory model",
+                    gib(s.mem_bytes),
+                    gib(certified),
+                ),
+            ));
+        }
+        out.push(CertifiedStage {
+            stash_depth: stash,
+            certified_bytes: certified,
+            estimate_bytes: s.mem_bytes,
+            capacity_bytes: capacity,
+            device,
+        });
+        offset += s.replicas;
+    }
+    (r, out)
+}
+
+fn gib(bytes: usize) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan_checks::StageView;
+    use rannc_graph::{DType, GraphBuilder, OpKind, TaskId};
+
+    /// x -> relu -> relu -> relu -> relu (chain of 4, one input).
+    fn chain(len: usize) -> TaskGraph {
+        let mut b = GraphBuilder::new("chain");
+        let mut x = b.input("x", [64], DType::F32);
+        for _ in 0..len {
+            x = b.unary(OpKind::Relu, x);
+        }
+        b.output(x);
+        b.finish()
+    }
+
+    fn full_set(g: &TaskGraph) -> TaskSet {
+        TaskSet::from_ids(g.num_tasks(), (0..g.num_tasks() as u32).map(TaskId))
+    }
+
+    #[test]
+    fn chain_liveness_is_tighter_than_the_sum() {
+        let g = chain(6);
+        let lv = stage_liveness(&g, &full_set(&g));
+        assert!(lv.peak_live_bytes <= lv.inter_bytes);
+        assert!(lv.peak_live_bytes > 0);
+        // a relu chain keeps every activation alive for its backward
+        // re-read, so the boundary peak equals the sum here
+        assert_eq!(lv.peak_live_bytes, lv.inter_bytes);
+        // the model input is the only ingress
+        assert_eq!(lv.ingress_bytes, 64 * 4);
+    }
+
+    #[test]
+    fn split_stage_sees_partial_liveness() {
+        let g = chain(6);
+        let first = TaskSet::from_ids(g.num_tasks(), (0..3).map(TaskId));
+        let lv = stage_liveness(&g, &first);
+        // 3 intermediates produced, the last one escapes to stage 2
+        assert_eq!(lv.inter_bytes, 3 * 64 * 4);
+        assert!(lv.live_in.iter().count() >= 1);
+    }
+
+    fn one_stage_view<'a>(
+        _g: &'a TaskGraph,
+        set: &'a TaskSet,
+        mem_bytes: usize,
+        param_elems: usize,
+    ) -> PlanView<'a> {
+        PlanView {
+            model: "chain",
+            stages: vec![StageView {
+                set,
+                replicas: 1,
+                micro_batch: 4,
+                fwd_time: 0.01,
+                bwd_time: 0.02,
+                mem_bytes,
+                param_elems,
+            }],
+            microbatches: 4,
+            replica_factor: 1,
+            batch_size: 16,
+        }
+    }
+
+    #[test]
+    fn certified_peak_fits_and_matches_estimate_shape() {
+        let g = chain(4);
+        let set = full_set(&g);
+        let view = one_stage_view(&g, &set, 2 << 30, 0);
+        let cluster = ClusterSpec::v100_cluster(1);
+        let (r, cert) = certify_memory(
+            &g,
+            &view,
+            &cluster,
+            &ScheduleModel::fill_drain(1, 4),
+            Precision::FP32,
+            true,
+        );
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(cert.len(), 1);
+        assert_eq!(cert[0].stash_depth, 4);
+        assert!(cert[0].certified_bytes >= DEVICE_OVERHEAD_BYTES);
+        assert!(cert[0].certified_bytes <= cert[0].estimate_bytes);
+    }
+
+    #[test]
+    fn tiny_device_trips_rv100_naming_the_device() {
+        let g = chain(4);
+        let set = full_set(&g);
+        let view = one_stage_view(&g, &set, 2 << 30, 0);
+        let mut cluster = ClusterSpec::v100_cluster(1);
+        cluster.device = cluster.device.clone().with_memory(1 << 20);
+        let (r, _) = certify_memory(
+            &g,
+            &view,
+            &cluster,
+            &ScheduleModel::fill_drain(1, 4),
+            Precision::FP32,
+            true,
+        );
+        assert!(
+            r.has_code(Code::CertifiedMemoryOverCapacity),
+            "{}",
+            r.render()
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::CertifiedMemoryOverCapacity)
+            .unwrap();
+        assert!(matches!(d.location, Location::Device(_)), "{d}");
+    }
+
+    #[test]
+    fn optimistic_estimate_trips_rv101() {
+        let g = chain(4);
+        let set = full_set(&g);
+        // claim the stage needs only 1 byte: far below the certificate
+        let view = one_stage_view(&g, &set, 1, 0);
+        let cluster = ClusterSpec::v100_cluster(1);
+        let (r, _) = certify_memory(
+            &g,
+            &view,
+            &cluster,
+            &ScheduleModel::fill_drain(1, 4),
+            Precision::FP32,
+            true,
+        );
+        assert!(r.has_code(Code::MemoryEstimateDivergence), "{}", r.render());
+        assert!(!r.has_errors(), "divergence is a warning: {}", r.render());
+    }
+
+    #[test]
+    fn certified_peak_is_monotone_in_stash_depth() {
+        let g = chain(5);
+        let set = full_set(&g);
+        let view = one_stage_view(&g, &set, 4 << 30, 1_000_000);
+        let cluster = ClusterSpec::v100_cluster(1);
+        let mut last = 0usize;
+        for mb in 1..=8 {
+            let (_, cert) = certify_memory(
+                &g,
+                &view,
+                &cluster,
+                &ScheduleModel::fill_drain(1, mb),
+                Precision::FP32,
+                true,
+            );
+            assert!(cert[0].certified_bytes >= last, "mb={mb}");
+            last = cert[0].certified_bytes;
+        }
+    }
+}

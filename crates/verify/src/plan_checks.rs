@@ -27,6 +27,9 @@ pub struct StageView<'a> {
     pub bwd_time: f64,
     /// Profiled peak memory, bytes.
     pub mem_bytes: usize,
+    /// Parameter elements held by the stage (for the certified memory
+    /// analysis in `liveness`; the estimate checks ignore it).
+    pub param_elems: usize,
 }
 
 /// A partition plan, borrowed (see `PartitionPlan::view` in `rannc-core`).
@@ -502,6 +505,7 @@ mod tests {
                         fwd_time: 0.01,
                         bwd_time: 0.02,
                         mem_bytes: 1 << 30,
+                        param_elems: 0,
                     })
                     .collect(),
                 microbatches: self.microbatches,
@@ -652,6 +656,7 @@ mod tests {
                     fwd_time: 0.0,
                     bwd_time: 0.0,
                     mem_bytes: 1,
+                    param_elems: 0,
                 })
                 .collect(),
             microbatches: 1,

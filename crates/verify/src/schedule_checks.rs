@@ -35,6 +35,78 @@ pub struct ScheduleModel {
     pub orders: Vec<Vec<(PhaseKind, usize)>>,
 }
 
+impl ScheduleModel {
+    /// Canonical GPipe fill–drain order: all forwards in arrival order,
+    /// then all backwards in reverse. Mirrors
+    /// `rannc_pipeline::sync_work_orders(SyncSchedule::FillDrain, ..)`
+    /// op for op (a `rannc-pipeline` test pins the two together).
+    pub fn fill_drain(stages: usize, microbatches: usize) -> ScheduleModel {
+        let orders = (0..stages)
+            .map(|_| {
+                (0..microbatches)
+                    .map(|m| (PhaseKind::Forward, m))
+                    .chain((0..microbatches).rev().map(|m| (PhaseKind::Backward, m)))
+                    .collect()
+            })
+            .collect();
+        ScheduleModel {
+            stages,
+            microbatches,
+            orders,
+        }
+    }
+
+    /// Canonical 1F1B order: `stages − 1 − s` warmup forwards, then
+    /// alternate. Mirrors
+    /// `rannc_pipeline::sync_work_orders(SyncSchedule::OneFOneB, ..)`.
+    pub fn one_f_one_b(stages: usize, microbatches: usize) -> ScheduleModel {
+        let orders = (0..stages)
+            .map(|s| {
+                let warmup = stages.saturating_sub(1 + s).min(microbatches);
+                let mut seq: Vec<(PhaseKind, usize)> =
+                    (0..warmup).map(|m| (PhaseKind::Forward, m)).collect();
+                let (mut f, mut b) = (warmup, 0);
+                while b < microbatches {
+                    if f < microbatches {
+                        seq.push((PhaseKind::Forward, f));
+                        f += 1;
+                    }
+                    seq.push((PhaseKind::Backward, b));
+                    b += 1;
+                }
+                seq.dedup();
+                seq
+            })
+            .collect();
+        ScheduleModel {
+            stages,
+            microbatches,
+            orders,
+        }
+    }
+
+    /// Activation stash depth of one stage under this schedule: the
+    /// maximum number of micro-batches whose forward has been issued but
+    /// whose backward has not, scanning the stage's actual issue order.
+    /// `MB` for fill–drain; bounded by the remaining pipeline depth for
+    /// 1F1B. At least 1 (the active micro-batch).
+    pub fn stash_depth(&self, stage: usize) -> usize {
+        let Some(order) = self.orders.get(stage) else {
+            return self.microbatches.max(1);
+        };
+        let mut depth = 0isize;
+        let mut peak = 0isize;
+        for &(phase, _) in order {
+            match phase {
+                PhaseKind::Forward => depth += 1,
+                PhaseKind::Backward => depth -= 1,
+            }
+            peak = peak.max(depth);
+        }
+        (peak.max(1)) as usize
+    }
+}
+
 /// Statically verify a schedule: completeness (RV050), intra-stage
 /// forward-before-backward (RV052), and deadlock-freedom of the full
 /// dependency DAG (RV051).
@@ -308,6 +380,34 @@ mod tests {
         m.orders[0].push((F, 9));
         let r = verify_schedule(&m);
         assert!(r.has_code(Code::ScheduleIncomplete), "{}", r.render());
+    }
+
+    #[test]
+    fn canonical_constructors_verify_clean() {
+        for (stages, mb) in [(1, 1), (2, 2), (3, 5), (4, 8), (6, 6)] {
+            for m in [
+                ScheduleModel::fill_drain(stages, mb),
+                ScheduleModel::one_f_one_b(stages, mb),
+            ] {
+                let r = verify_schedule(&m);
+                assert!(r.is_clean(), "{stages}x{mb}:\n{}", r.render());
+            }
+        }
+    }
+
+    #[test]
+    fn stash_depth_follows_the_issue_order() {
+        let fd = ScheduleModel::fill_drain(4, 8);
+        for s in 0..4 {
+            assert_eq!(fd.stash_depth(s), 8);
+        }
+        let ofob = ScheduleModel::one_f_one_b(4, 8);
+        for s in 0..4 {
+            // 1F1B bounds in-flight micro-batches by the remaining depth
+            assert_eq!(ofob.stash_depth(s), (4 - s).min(8), "stage {s}");
+        }
+        // out-of-range stage falls back to the worst case
+        assert_eq!(fd.stash_depth(99), 8);
     }
 
     #[test]

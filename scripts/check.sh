@@ -18,7 +18,10 @@ if grep -rn --include='*.rs' "ring_allreduce_time" crates tests examples \
     exit 1
 fi
 
-echo "==> verifier smoke-gate (rannc-plan verify, all models x 16/32 devices)"
+echo "==> verifier smoke-gate (rannc-plan verify --deep, all models x 16/32 devices)"
+# --deep adds the dataflow-certified layer: liveness-certified peak
+# memory within capacity and a race-free derived communication program
+# under both pipeline schedules.
 for nodes in 2 4; do
     for model in mlp bert gpt t5 resnet; do
         case "$model" in
@@ -28,9 +31,9 @@ for nodes in 2 4; do
         esac
         # shellcheck disable=SC2086
         ./target/release/rannc-plan verify --model "$model" $flags \
-            --nodes "$nodes" --batch 256 --k 8 >/dev/null \
-            || { echo "verify FAILED: $model on $nodes nodes"; exit 1; }
-        echo "    verify clean: $model on $nodes node(s)"
+            --nodes "$nodes" --batch 256 --k 8 --deep >/dev/null \
+            || { echo "deep verify FAILED: $model on $nodes nodes"; exit 1; }
+        echo "    deep verify clean: $model on $nodes node(s)"
     done
 done
 

@@ -6,10 +6,11 @@
 //! The dual obligation (every clean bundled model × cluster combination
 //! verifies clean) lives at the bottom.
 
+use proptest::prelude::*;
 use rannc::prelude::*;
 use rannc::verify::{
-    verify_graph, verify_plan, verify_plan_structure, verify_schedule, Code, PhaseKind, Report,
-    ScheduleModel,
+    verify_graph, verify_plan, verify_plan_structure, verify_schedule, Code, CollectiveGroup,
+    CommOp, CommProgram, MsgTag, PhaseKind, Report, ScheduleModel,
 };
 
 /// A genuinely multi-stage plan: a deep MLP on a memory-constrained
@@ -235,6 +236,332 @@ fn schedule_mutation_warmup_mismatch_deadlocks() {
     );
 }
 
+// ---- deep-verify mutations: comm program + certified memory ---------
+//
+// Same discipline as above, against the dataflow-certified layer: derive
+// the fixture's *real* communication program, corrupt one property at a
+// time, and pin the RV06x/RV1xx code that names the corruption.
+
+/// The fixture plus its derived fill-drain communication program.
+fn derived_program() -> (TaskGraph, ClusterSpec, PartitionPlan, CommProgram) {
+    let (g, cluster, plan) = multi_stage_fixture();
+    let program = rannc::pipeline::comm_program(&g, &plan, &cluster, SyncSchedule::FillDrain)
+        .expect("fixture placement must be derivable");
+    (g, cluster, plan, program)
+}
+
+#[test]
+fn deep_baseline_fixture_certifies_clean() {
+    let (g, cluster, plan) = multi_stage_fixture();
+    for schedule in [SyncSchedule::FillDrain, SyncSchedule::OneFOneB] {
+        let (report, certified) =
+            rannc::pipeline::deep_verify_plan(&g, &plan, &cluster, schedule, Precision::FP32)
+                .expect("fixture must deep-verify");
+        assert!(!report.has_errors(), "{schedule:?}:\n{}", report.render());
+        assert_eq!(certified.len(), plan.stages.len());
+        for c in &certified {
+            assert!(
+                c.certified_bytes <= c.capacity_bytes,
+                "certified {} > capacity {} on d{}",
+                c.certified_bytes,
+                c.capacity_bytes,
+                c.device
+            );
+        }
+    }
+}
+
+#[test]
+fn mutation_duplicated_collective_is_rv060() {
+    let (_g, _cluster, _plan, mut program) = derived_program();
+    // one member of a DP group fires its allreduce twice: occurrence
+    // counts across the group disagree and the collective hangs
+    let (gi, group) = program
+        .groups
+        .iter()
+        .enumerate()
+        .find(|(_, gr)| gr.members.len() >= 2)
+        .expect("fixture must have a multi-member DP group");
+    let rank = group.members[0];
+    let pos = program.programs[rank]
+        .iter()
+        .position(|op| matches!(op, CommOp::AllReduce { group, .. } if *group == gi))
+        .expect("group member must issue its collective");
+    let dup = program.programs[rank][pos].clone();
+    program.programs[rank].push(dup);
+    let report = rannc::verify::comm::verify_comm(&program);
+    assert_code(
+        &report,
+        Code::CollectiveOrderMismatch,
+        "duplicate one member's collective",
+    );
+}
+
+#[test]
+fn mutation_swapped_collective_order_is_rv060() {
+    // two ranks sharing two DP groups issue them in opposite orders —
+    // the classic crossed-collective hang, caught statically
+    let ar = |group| CommOp::AllReduce { group, bytes: 4 };
+    let program = CommProgram {
+        programs: vec![vec![ar(0), ar(1)], vec![ar(1), ar(0)]],
+        groups: vec![
+            CollectiveGroup {
+                members: vec![0, 1],
+                label: "dp-stage0".into(),
+            },
+            CollectiveGroup {
+                members: vec![0, 1],
+                label: "dp-stage1".into(),
+            },
+        ],
+        stage_of_rank: vec![Some(0), Some(1)],
+    };
+    let report = rannc::verify::comm::verify_comm(&program);
+    assert_code(
+        &report,
+        Code::CollectiveOrderMismatch,
+        "swap collective order across ranks",
+    );
+}
+
+#[test]
+fn mutation_dropped_recv_is_rv061() {
+    let (_g, _cluster, _plan, mut program) = derived_program();
+    let (rank, pos) = program
+        .programs
+        .iter()
+        .enumerate()
+        .find_map(|(r, prog)| {
+            prog.iter()
+                .position(|op| matches!(op, CommOp::Recv { .. }))
+                .map(|p| (r, p))
+        })
+        .expect("fixture program must contain a recv");
+    program.programs[rank].remove(pos);
+    let report = rannc::verify::comm::verify_comm(&program);
+    assert_code(&report, Code::UnpairedSendRecv, "drop a recv");
+}
+
+#[test]
+fn mutation_dropped_send_is_rv061() {
+    let (_g, _cluster, _plan, mut program) = derived_program();
+    let (rank, pos) = program
+        .programs
+        .iter()
+        .enumerate()
+        .find_map(|(r, prog)| {
+            prog.iter()
+                .position(|op| matches!(op, CommOp::Send { .. }))
+                .map(|p| (r, p))
+        })
+        .expect("fixture program must contain a send");
+    program.programs[rank].remove(pos);
+    let report = rannc::verify::comm::verify_comm(&program);
+    assert_code(&report, Code::UnpairedSendRecv, "drop a send");
+}
+
+#[test]
+fn mutation_premature_grad_wait_is_rv062() {
+    let (_g, _cluster, _plan, mut program) = derived_program();
+    // an interior-stage rank waits for its first gradient *before*
+    // sending the forward activation that gradient depends on: a
+    // cross-rank wait cycle through the downstream stage
+    let rank = program
+        .programs
+        .iter()
+        .position(|prog| {
+            prog.iter()
+                .any(|op| matches!(op, CommOp::Send { tag, .. } if tag.kind == PhaseKind::Forward))
+                && prog.iter().any(
+                    |op| matches!(op, CommOp::Recv { tag, .. } if tag.kind == PhaseKind::Backward),
+                )
+        })
+        .expect("fixture has an interior pipeline boundary");
+    let prog = &mut program.programs[rank];
+    let send_pos = prog
+        .iter()
+        .position(|op| matches!(op, CommOp::Send { tag, .. } if tag.kind == PhaseKind::Forward))
+        .unwrap();
+    let recv_pos = prog
+        .iter()
+        .position(|op| matches!(op, CommOp::Recv { tag, .. } if tag.kind == PhaseKind::Backward))
+        .unwrap();
+    assert!(send_pos < recv_pos, "sane programs send forward first");
+    let grad_wait = prog.remove(recv_pos);
+    prog.insert(send_pos, grad_wait);
+    let report = rannc::verify::comm::verify_comm(&program);
+    assert_code(&report, Code::CommDeadlock, "wait for grad before fwd send");
+}
+
+#[test]
+fn mutation_dead_value_transfer_is_rv063() {
+    let (g, _cluster, plan, mut program) = derived_program();
+    // bolt on a transfer of a value that lives and dies inside stage 0:
+    // the receiver never reads it
+    let s0 = &plan.stages[0].set;
+    let (victim, bytes) = g
+        .values()
+        .find_map(|(vid, v)| {
+            let produced_in = v.producer.map(|t| s0.contains(t)).unwrap_or(false);
+            let consumed_in =
+                !v.consumers.is_empty() && v.consumers.iter().all(|&t| s0.contains(t));
+            let exported = g.outputs().contains(&vid);
+            (produced_in && consumed_in && !exported).then(|| (vid, v.size_bytes()))
+        })
+        .expect("stage 0 must have an interior value");
+    let src = program
+        .stage_of_rank
+        .iter()
+        .position(|s| *s == Some(0))
+        .unwrap();
+    let dst = program
+        .stage_of_rank
+        .iter()
+        .position(|s| *s == Some(1))
+        .unwrap();
+    let tag = MsgTag {
+        src_stage: 0,
+        dst_stage: 1,
+        micro: 0,
+        kind: PhaseKind::Forward,
+    };
+    let values = vec![victim.index() as u32];
+    program.programs[src].push(CommOp::Send {
+        to: dst,
+        tag,
+        bytes,
+        values: values.clone(),
+    });
+    program.programs[dst].push(CommOp::Recv {
+        from: src,
+        tag,
+        bytes,
+        values,
+    });
+    let report = rannc::verify::comm::verify_transfers(&g, &plan.view(), &program);
+    assert_code(&report, Code::DeadTransfer, "transfer an interior value");
+}
+
+#[test]
+fn mutation_duplicate_delivery_is_rv064() {
+    let (g, _cluster, plan, mut program) = derived_program();
+    // replay the first boundary transfer: pairing stays consistent, but
+    // the same (value, micro) lands on the receiver twice
+    let (src, send_pos) = program
+        .programs
+        .iter()
+        .enumerate()
+        .find_map(|(r, prog)| {
+            prog.iter()
+                .position(|op| matches!(op, CommOp::Send { .. }))
+                .map(|p| (r, p))
+        })
+        .expect("fixture program must contain a send");
+    let send = program.programs[src][send_pos].clone();
+    let CommOp::Send { to, tag, .. } = &send else {
+        unreachable!()
+    };
+    let (to, tag) = (*to, *tag);
+    let recv_pos = program.programs[to]
+        .iter()
+        .position(|op| matches!(op, CommOp::Recv { from, tag: t, .. } if *from == src && *t == tag))
+        .expect("matching recv must exist");
+    let recv = program.programs[to][recv_pos].clone();
+    program.programs[src].push(send);
+    program.programs[to].push(recv);
+    assert!(
+        !rannc::verify::comm::verify_comm(&program).has_errors(),
+        "duplicated pair must stay matched"
+    );
+    let report = rannc::verify::comm::verify_transfers(&g, &plan.view(), &program);
+    assert_code(&report, Code::RedundantTransfer, "replay a transfer");
+}
+
+#[test]
+fn mutation_starved_device_is_rv100() {
+    let (g, _cluster, plan) = multi_stage_fixture();
+    // re-certify the same plan against a cluster whose devices shrank
+    // to 64 MiB: the certificate must name the over-committed device
+    let mut small = ClusterSpec::v100_cluster(1);
+    small.device = small.device.clone().with_memory(64 << 20);
+    let model = ScheduleModel::fill_drain(plan.stages.len(), plan.microbatches);
+    let assignment = plan.device_assignment(&small).expect("same device count");
+    let (report, certified) = rannc::verify::verify_deep(
+        &g,
+        &plan.view(),
+        &small,
+        &model,
+        &assignment,
+        Precision::FP32,
+        true,
+    );
+    assert_code(&report, Code::CertifiedMemoryOverCapacity, "shrink devices");
+    assert!(certified
+        .iter()
+        .any(|c| c.certified_bytes > c.capacity_bytes));
+    let named = report.diagnostics.iter().any(|d| {
+        d.code == Code::CertifiedMemoryOverCapacity
+            && matches!(d.location, rannc::verify::Location::Device(_))
+    });
+    assert!(named, "RV100 must name the device:\n{}", report.render());
+}
+
+#[test]
+fn mutation_shrunken_estimate_is_rv101() {
+    let (g, cluster, mut plan) = multi_stage_fixture();
+    // the plan claims stage 0 fits in one byte: the certificate calls
+    // the estimate broken (a warning — capacity itself still holds)
+    plan.stages[0].mem_bytes = 1;
+    let (report, _) = rannc::pipeline::deep_verify_plan(
+        &g,
+        &plan,
+        &cluster,
+        SyncSchedule::FillDrain,
+        Precision::FP32,
+    )
+    .expect("fixture must deep-verify");
+    assert_code(&report, Code::MemoryEstimateDivergence, "shrink mem_bytes");
+    assert!(
+        !report.has_errors(),
+        "RV101 is a warning, not an error:\n{}",
+        report.render()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Certified peak is monotone in the number of in-flight
+    /// micro-batches and never dips below the single-micro-batch
+    /// liveness bound: more stash can only cost more memory.
+    #[test]
+    fn certified_peak_is_monotone_in_inflight(mb in 1usize..8) {
+        let (g, cluster, plan) = multi_stage_fixture();
+        let certify = |microbatches: usize| {
+            let model = ScheduleModel::fill_drain(plan.stages.len(), microbatches);
+            rannc::verify::liveness::certify_memory(
+                &g, &plan.view(), &cluster, &model, Precision::FP32, true,
+            )
+            .1
+        };
+        let floor = certify(1);
+        let lo = certify(mb);
+        let hi = certify(mb + 1);
+        for ((f, l), h) in floor.iter().zip(&lo).zip(&hi) {
+            prop_assert!(
+                h.certified_bytes >= l.certified_bytes,
+                "stash {} -> {} shrank the certificate: {} -> {}",
+                l.stash_depth, h.stash_depth, l.certified_bytes, h.certified_bytes
+            );
+            prop_assert!(
+                l.certified_bytes >= f.certified_bytes,
+                "certificate below the single-micro-batch bound: {} < {}",
+                l.certified_bytes, f.certified_bytes
+            );
+        }
+    }
+}
+
 // ---- clean sweep: bundled models × clusters -------------------------
 
 #[test]
@@ -279,6 +606,32 @@ fn all_bundled_models_verify_clean_on_16_and_32_devices() {
                     g.name,
                     sreport.render()
                 );
+                // the deep pass: certified peak within capacity, derived
+                // comm program free of races, under both schedules
+                let (dreport, certified) = rannc::pipeline::deep_verify_plan(
+                    g,
+                    &plan,
+                    &cluster,
+                    schedule,
+                    Precision::FP32,
+                )
+                .unwrap_or_else(|e| panic!("{} {schedule:?} on {nodes} nodes: {e}", g.name));
+                assert!(
+                    !dreport.has_errors(),
+                    "{} {schedule:?} deep on {nodes} nodes:\n{}",
+                    g.name,
+                    dreport.render()
+                );
+                for c in &certified {
+                    assert!(
+                        c.certified_bytes <= c.capacity_bytes,
+                        "{} {schedule:?} on {nodes} nodes: certified {} > capacity {} on d{}",
+                        g.name,
+                        c.certified_bytes,
+                        c.capacity_bytes,
+                        c.device
+                    );
+                }
             }
         }
     }
