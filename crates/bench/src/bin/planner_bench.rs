@@ -8,6 +8,7 @@
 //! ```sh
 //! planner_bench                      # full grid, 4 threads
 //! planner_bench --quick --check      # CI smoke: small grid + self-validate
+//! planner_bench --paper-scale        # + bert-256l/gpt-96l/resnet152x8 at 128-1024 devices
 //! planner_bench --threads 8 --out /tmp/bench.json
 //! ```
 //!
@@ -28,6 +29,7 @@ use rannc_bench::planner;
 
 fn main() {
     let mut quick = false;
+    let mut paper = false;
     let mut check = false;
     let mut threads = 4usize;
     let mut repeats = 3usize;
@@ -42,6 +44,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--paper-scale" => paper = true,
             "--check" => check = true,
             "--trace-out" => {
                 trace_out = Some(args.next().unwrap_or_else(|| {
@@ -116,9 +119,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: planner_bench [--quick] [--check] [--threads N] [--repeat N] \
-                     [--out FILE] [--trace-out FILE] [--metrics-out FILE] [--obs-summary] \
-                     [--baseline FILE] [--cost-model analytical|calibrated:FILE]"
+                    "usage: planner_bench [--quick] [--paper-scale] [--check] [--threads N] \
+                     [--repeat N] [--out FILE] [--trace-out FILE] [--metrics-out FILE] \
+                     [--obs-summary] [--baseline FILE] \
+                     [--cost-model analytical|calibrated:FILE]"
                 );
                 return;
             }
@@ -134,7 +138,7 @@ fn main() {
         rannc::obs::set_enabled(true);
     }
 
-    let report = planner::run(quick, threads, repeats, &cost_spec);
+    let report = planner::run(quick, paper, threads, repeats, &cost_spec);
     let json = planner::to_json(&report);
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");
@@ -209,6 +213,18 @@ fn main() {
             }
             if c.profiler_cache.hit_rate() <= 0.0 {
                 eprintln!("check failed: {} profiler cache hit rate is zero", c.model);
+                failed = true;
+            }
+            // the two-layer miss-path overhaul promises a real hit rate,
+            // not just a nonzero one, on every bundled case
+            if c.profiler_cache.hit_rate() < planner::PROFILER_HIT_RATE_FLOOR {
+                eprintln!(
+                    "check failed: {} profiler cache hit rate {:.1}% is below the \
+                     {:.0}% floor",
+                    c.model,
+                    c.profiler_cache.hit_rate() * 100.0,
+                    planner::PROFILER_HIT_RATE_FLOOR * 100.0
+                );
                 failed = true;
             }
         }

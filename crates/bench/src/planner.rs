@@ -97,6 +97,44 @@ pub fn cases(quick: bool) -> Vec<BenchCase> {
     ]
 }
 
+/// The paper-scale grid: the models RaNNC's evaluation sections plan at
+/// cluster scale — a 256-layer BERT (~7.4k tasks), a 96-layer GPT and an
+/// 8x-widened ResNet-152 — swept over 128, 512 and 1024 devices.
+/// `quick` keeps only the acceptance configuration (bert-256l at 128
+/// devices) for the CI smoke gate.
+pub fn paper_cases(quick: bool) -> Vec<BenchCase> {
+    let mut out = Vec::new();
+    let node_counts: &[usize] = if quick { &[16] } else { &[16, 64, 128] };
+    for &nodes in node_counts {
+        let devices = nodes * 8;
+        out.push(BenchCase {
+            name: format!("bert-256l-d{devices}"),
+            graph: bert_graph(&BertConfig::enlarged(2048, 256)),
+            nodes,
+            batch: devices * 8,
+            k: 32,
+        });
+        if quick {
+            continue;
+        }
+        out.push(BenchCase {
+            name: format!("gpt-96l-d{devices}"),
+            graph: gpt_graph(&GptConfig::enlarged(1600, 96)),
+            nodes,
+            batch: devices * 8,
+            k: 32,
+        });
+        out.push(BenchCase {
+            name: format!("resnet152x8-d{devices}"),
+            graph: resnet_graph(&ResNetConfig::new(ResNetDepth::R152, 8)),
+            nodes,
+            batch: devices * 8,
+            k: 32,
+        });
+    }
+    out
+}
+
 /// Timed outcome of one case.
 pub struct CaseResult {
     /// Model label.
@@ -144,6 +182,8 @@ pub struct BenchReport {
     pub threads: usize,
     /// Quick (CI) grid or the full grid.
     pub quick: bool,
+    /// Whether the paper-scale grid (128–1024 devices) was appended.
+    pub paper: bool,
     /// Cost model the searches were priced with (`"analytical"` or
     /// `"calibrated"`).
     pub cost_model: String,
@@ -265,10 +305,21 @@ pub fn run_case(
     }
 }
 
-/// Run the whole grid under the given cost model.
-pub fn run(quick: bool, threads: usize, repeats: usize, cost: &CostModelSpec) -> BenchReport {
+/// Run the whole grid under the given cost model. With `paper` set, the
+/// paper-scale cases ([`paper_cases`]) are appended to the grid.
+pub fn run(
+    quick: bool,
+    paper: bool,
+    threads: usize,
+    repeats: usize,
+    cost: &CostModelSpec,
+) -> BenchReport {
+    let mut grid = cases(quick);
+    if paper {
+        grid.extend(paper_cases(quick));
+    }
     let mut results = Vec::new();
-    for case in cases(quick) {
+    for case in grid {
         eprintln!(
             "planner_bench: {} on {} devices (batch {}, k {}, cost model {})...",
             case.name,
@@ -290,6 +341,7 @@ pub fn run(quick: bool, threads: usize, repeats: usize, cost: &CostModelSpec) ->
     BenchReport {
         threads,
         quick,
+        paper,
         cost_model: cost.name().to_string(),
         cases: results,
     }
@@ -435,13 +487,19 @@ pub fn check_certified_memory(quick: bool) -> Result<Vec<String>, String> {
 fn json_cache(stats: &CacheStats) -> String {
     format!(
         "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"contention\": {}, \
-         \"entries\": {}, \"shards\": {}}}",
+         \"entries\": {}, \"shards\": {}, \
+         \"stats_hits\": {}, \"stats_misses\": {}, \
+         \"time_hits\": {}, \"time_misses\": {}}}",
         stats.hits,
         stats.misses,
         stats.hit_rate(),
         stats.contention,
         stats.entries(),
         stats.shard_sizes.len(),
+        stats.stats_hits,
+        stats.stats_misses,
+        stats.time_hits,
+        stats.time_misses,
     )
 }
 
@@ -450,9 +508,10 @@ fn json_cache(stats: &CacheStats) -> String {
 pub fn to_json(report: &BenchReport) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"rannc_planner_search\",\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     out.push_str(&format!("  \"threads\": {},\n", report.threads));
     out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str(&format!("  \"paper_scale\": {},\n", report.paper));
     out.push_str(&format!("  \"cost_model\": \"{}\",\n", report.cost_model));
     out.push_str(&format!(
         "  \"geomean_speedup\": {:.6},\n",
@@ -466,8 +525,8 @@ pub fn to_json(report: &BenchReport) -> String {
              \"prep_seconds\": {:.6}, \"seq_seconds\": {:.6}, \"engine_seconds\": {:.6}, \
              \"speedup\": {:.6},\n     \
              \"plans_identical\": {}, \"plan_stages\": {},\n     \
-             \"search\": {{\"candidates\": {}, \"feasible\": {}, \"node_tiers\": {}, \
-             \"threads\": {}}},\n     \
+             \"search\": {{\"candidates\": {}, \"feasible\": {}, \"pruned\": {}, \
+             \"node_tiers\": {}, \"threads\": {}}},\n     \
              \"stage_cache\": {},\n     \
              \"profiler_cache\": {}}}{}\n",
             c.model,
@@ -484,6 +543,7 @@ pub fn to_json(report: &BenchReport) -> String {
             c.plan_stages,
             c.search.candidates,
             c.search.feasible,
+            c.search.pruned,
             c.search.node_tiers,
             c.search.threads,
             json_cache(&c.search.stage_cache),
@@ -502,6 +562,12 @@ pub fn validate_json(s: &str) -> Result<(), String> {
     rannc::obs::json::validate(s)
 }
 
+/// Minimum profiler-cache hit rate `--check` accepts on every case. The
+/// two-layer memo (batch-independent set stats + per-batch timings) is
+/// designed to make checkpoint/inflight variants hit, so a rate below
+/// this means the miss-path split stopped paying for itself.
+pub const PROFILER_HIT_RATE_FLOOR: f64 = 0.6;
+
 /// Relative tolerance for baseline comparison (the acceptance budget for
 /// disabled-observability overhead).
 pub const BASELINE_TOLERANCE: f64 = 0.03;
@@ -509,11 +575,16 @@ pub const BASELINE_TOLERANCE: f64 = 0.03;
 /// scheduler jitter on sub-10ms cases cannot trip the gate.
 const BASELINE_FLOOR_SECONDS: f64 = 0.005;
 
+/// Maximum tolerated drop of the geometric-mean engine-vs-baseline
+/// speedup relative to the committed baseline report.
+pub const GEOMEAN_TOLERANCE: f64 = 0.05;
+
 /// Compare this run's engine times against a previously committed
-/// `BENCH_partition.json`. Returns one human-readable line per case; an
-/// `Err` means at least one case regressed beyond
-/// [`BASELINE_TOLERANCE`] (plus the absolute floor) or the baseline file
-/// was unusable.
+/// `BENCH_partition.json`. Returns one human-readable line per case plus
+/// a geomean-speedup summary line; an `Err` means at least one case
+/// regressed beyond [`BASELINE_TOLERANCE`] (plus the absolute floor),
+/// the run's geomean speedup dropped more than [`GEOMEAN_TOLERANCE`]
+/// below the baseline's, or the baseline file was unusable.
 pub fn compare_baseline(report: &BenchReport, baseline: &str) -> Result<Vec<String>, String> {
     use rannc::obs::json::{parse, Value};
     let doc = parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
@@ -537,25 +608,50 @@ pub fn compare_baseline(report: &BenchReport, baseline: &str) -> Result<Vec<Stri
         let limit = base_secs * (1.0 + BASELINE_TOLERANCE) + BASELINE_FLOOR_SECONDS;
         let delta_pct = (c.engine_seconds - base_secs) / base_secs * 100.0;
         let ok = c.engine_seconds <= limit;
+        let base_speedup = base
+            .and_then(|b| b.get("speedup"))
+            .and_then(Value::as_f64)
+            .map(|s| format!(", speedup {:.2}x vs {:.2}x", c.speedup(), s))
+            .unwrap_or_default();
         lines.push(format!(
-            "  {}: engine {:.4} s vs baseline {:.4} s ({:+.1}%) — {}",
+            "  {}: engine {:.4} s vs baseline {:.4} s ({:+.1}%{}) — {}",
             c.model,
             c.engine_seconds,
             base_secs,
             delta_pct,
+            base_speedup,
             if ok { "within tolerance" } else { "REGRESSION" }
         ));
         if !ok {
             regressions.push(c.model.clone());
         }
     }
+    // Geomean-speedup gate: the aggregate seq-vs-engine advantage must
+    // not silently erode even if every case stays inside its individual
+    // wall-time tolerance.
+    if let Some(base_geo) = doc.get("geomean_speedup").and_then(Value::as_f64) {
+        let geo = report.geomean_speedup();
+        let floor = base_geo * (1.0 - GEOMEAN_TOLERANCE);
+        let ok = geo >= floor;
+        lines.push(format!(
+            "  geomean speedup: {:.3}x vs baseline {:.3}x (floor {:.3}x) — {}",
+            geo,
+            base_geo,
+            floor,
+            if ok { "within tolerance" } else { "REGRESSION" }
+        ));
+        if !ok {
+            regressions.push("geomean_speedup".into());
+        }
+    } else {
+        lines.push("  geomean speedup: baseline has none, skipped".into());
+    }
     if regressions.is_empty() {
         Ok(lines)
     } else {
         Err(format!(
-            "{}\nregressed beyond {:.0}% tolerance: {}",
+            "{}\nregressed beyond tolerance: {}",
             lines.join("\n"),
-            BASELINE_TOLERANCE * 100.0,
             regressions.join(", ")
         ))
     }
@@ -567,7 +663,7 @@ mod tests {
 
     #[test]
     fn quick_grid_runs_and_serializes() {
-        let report = run(true, 2, 1, &CostModelSpec::Analytical);
+        let report = run(true, false, 2, 1, &CostModelSpec::Analytical);
         assert_eq!(report.cases.len(), 2);
         for c in &report.cases {
             assert!(
@@ -602,6 +698,7 @@ mod tests {
         let mk = |engine_seconds: f64| BenchReport {
             threads: 1,
             quick: true,
+            paper: false,
             cost_model: "analytical".into(),
             cases: vec![CaseResult {
                 model: "bert-64l".into(),
@@ -659,6 +756,7 @@ mod tests {
         let r = BenchReport {
             threads: 1,
             quick: true,
+            paper: false,
             cost_model: "analytical".into(),
             cases: Vec::new(),
         };

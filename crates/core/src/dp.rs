@@ -101,6 +101,93 @@ impl DpSolution {
 
 const INF: f64 = f64::INFINITY;
 
+/// Everything a memoised `(b_prev, b, repl)` stage evaluation depends on
+/// beyond the sweep-constant context. When two DP invocations share
+/// these, their memo entries are interchangeable; when any differs, the
+/// arena bumps its stamp and the old entries die without a reset pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MemoKey {
+    replica_factor: usize,
+    microbatches: usize,
+    batch_size: usize,
+    mem_limit: usize,
+    ckpt: bool,
+}
+
+/// Reusable cross-candidate scratch of Algorithm 1: the flat DP tables
+/// and the flat `(b_prev, b, repl)` stage-cost memo.
+///
+/// Historically every `form_stage_dp_cached` invocation allocated its
+/// tables and memo from zero — at paper scale that is thousands of
+/// multi-megabyte allocations per sweep, and the memo entries of one
+/// candidate (pure functions of `(b_prev, b, repl)` given the memo key)
+/// were thrown away even though the next candidate with the same
+/// `(R, MB, ckpt)` re-derives exactly the same values. The arena keeps
+/// both across invocations: tables are `clear`+`resize` filled (capacity
+/// retained), and the memo is *stamped* — entries written under an older
+/// stamp are invisible, so switching candidates is one integer bump, not
+/// an `O(nb²·d)` reset.
+///
+/// Contract: an arena must only be reused across DP invocations that
+/// share the graph, cost model, block list and link (Algorithm 2's sweep
+/// guarantees this — its per-sweep arena pool hands an arena to one
+/// worker at a time). The parameter-level inputs are part of `MemoKey`
+/// and checked automatically.
+#[derive(Default)]
+pub struct DpArena {
+    nb: usize,
+    ds1: usize,
+    v: Vec<f64>,
+    tf: Vec<f64>,
+    tb: Vec<f64>,
+    parent: Vec<(u32, u32)>,
+    /// `(stamp, result)` per `(b_prev, b, repl)`; valid iff stamp matches.
+    memo: Vec<(u32, Option<StageCost>)>,
+    stamp: u32,
+    key: Option<MemoKey>,
+}
+
+impl DpArena {
+    /// An empty arena; tables are sized on first use.
+    pub fn new() -> Self {
+        DpArena::default()
+    }
+
+    /// Size the tables for one candidate and invalidate the memo if the
+    /// memo key changed. `cells` is the DP table length for this
+    /// candidate's stage count.
+    fn prepare(&mut self, nb: usize, ds1: usize, key: MemoKey, cells: usize) {
+        let bs1 = nb + 1;
+        let memo_len = nb * bs1 * ds1;
+        if self.nb != nb || self.ds1 != ds1 || self.memo.len() != memo_len {
+            self.nb = nb;
+            self.ds1 = ds1;
+            self.memo.clear();
+            self.memo.resize(memo_len, (0, None));
+            self.stamp = 1;
+            self.key = Some(key);
+        } else if self.key != Some(key) {
+            self.stamp = match self.stamp.checked_add(1) {
+                Some(s) => s,
+                None => {
+                    // stamp wrapped: pay one full reset every 2^32 keys
+                    self.memo.iter_mut().for_each(|m| *m = (0, None));
+                    1
+                }
+            };
+            self.key = Some(key);
+        }
+        self.v.clear();
+        self.v.resize(cells, INF);
+        self.tf.clear();
+        self.tf.resize(cells, 0.0);
+        self.tb.clear();
+        self.tb.resize(cells, 0.0);
+        self.parent.clear();
+        self.parent.resize(cells, (u32::MAX, u32::MAX));
+    }
+}
+
 /// Objective terms of a stage placed on a device group `scale`× slower
 /// than the template: the compute part stretches, the communication part
 /// does not. `scale == 1.0` short-circuits to the cached terms so a
@@ -173,6 +260,30 @@ pub fn form_stage_dp_placed(
     cache: &StageCostCache,
     slots: Option<&SlotTable>,
 ) -> Option<DpSolution> {
+    form_stage_dp_in(g, cost, blocks, p, link, cache, slots, &mut DpArena::new())
+}
+
+/// Algorithm 1 with caller-provided scratch: the engine entry point.
+///
+/// Identical to [`form_stage_dp_placed`] except the DP tables and the
+/// flat `(b_prev, b, repl)` stage-cost memo live in `arena` and survive
+/// across invocations — Algorithm 2 runs all candidates of one
+/// micro-batch group through one arena, so the memo filled by the
+/// `S`-stage candidate answers most lookups of the `S+1`-stage one.
+/// Memoised evaluations are pure functions of their key, so reuse is
+/// bit-identical to a fresh arena (the `prop_dp_flat.rs` property test
+/// holds this against [`form_stage_dp_hashmap`]).
+#[allow(clippy::too_many_arguments)]
+pub fn form_stage_dp_in(
+    g: &TaskGraph,
+    cost: &dyn CostModel,
+    blocks: &[Block],
+    p: &DpParams,
+    link: LinkSpec,
+    cache: &StageCostCache,
+    slots: Option<&SlotTable>,
+    arena: &mut DpArena,
+) -> Option<DpSolution> {
     let nb = blocks.len();
     let s_max = p.stages;
     let d_max = p.devices;
@@ -185,22 +296,33 @@ pub fn form_stage_dp_placed(
     }
     let eval = StageEvalCtx::new(g, cost, blocks, p, link);
 
-    // DP tables, flattened [s][b][d].
+    // DP tables, flattened [s][b][d], living in the arena.
     let bs1 = nb + 1;
     let ds1 = d_max + 1;
     let idx = |s: usize, b: usize, d: usize| (s * bs1 + b) * ds1 + d;
-    let mut v = vec![INF; (s_max + 1) * bs1 * ds1];
-    let mut tf = vec![0.0f64; (s_max + 1) * bs1 * ds1];
-    let mut tb = vec![0.0f64; (s_max + 1) * bs1 * ds1];
-    let mut parent: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); (s_max + 1) * bs1 * ds1];
+    arena.prepare(
+        nb,
+        ds1,
+        MemoKey {
+            replica_factor: p.replica_factor,
+            microbatches: p.microbatches,
+            batch_size: p.batch_size,
+            mem_limit: p.mem_limit,
+            ckpt: p.stages > 1,
+        },
+        (s_max + 1) * bs1 * ds1,
+    );
+    let DpArena {
+        v,
+        tf,
+        tb,
+        parent,
+        memo,
+        stamp,
+        ..
+    } = arena;
+    let stamp = *stamp;
     v[idx(0, 0, 0)] = 0.0;
-
-    // Flat per-invocation memo over (b_prev, b, repl): the same triple is
-    // queried from every (s, d) cell, and an array index is an order of
-    // magnitude cheaper than the shared cache's hash + shard lock. The
-    // outer `None` means "never queried"; the inner option is the
-    // evaluation result itself.
-    let mut local: Vec<Option<Option<crate::stagecache::StageCost>>> = vec![None; nb * bs1 * ds1];
 
     let mut d_min = 1usize;
 
@@ -229,12 +351,18 @@ pub fn form_stage_dp_placed(
                             saw_micro_zero = true;
                             continue;
                         }
+                        // Flat stamped memo over (b_prev, b, repl): the
+                        // same triple is queried from every (s, d) cell —
+                        // and, across candidates sharing a memo key, from
+                        // every stage count — so an array index beats the
+                        // shared cache's hash + shard lock by an order of
+                        // magnitude.
                         let li = (b_prev * bs1 + b) * ds1 + repl;
-                        let looked_up = match local[li] {
-                            Some(c) => c,
-                            None => {
+                        let looked_up = match memo[li] {
+                            (st, c) if st == stamp => c,
+                            _ => {
                                 let c = eval.eval_cached(cache, b_prev, b, repl);
-                                local[li] = Some(c);
+                                memo[li] = (stamp, c);
                                 c
                             }
                         };
@@ -284,6 +412,154 @@ pub fn form_stage_dp_placed(
     }
 
     // Reconstruct.
+    let mut stages_rev: Vec<DpStage> = Vec::with_capacity(s_max);
+    let (mut b, mut d) = (nb, d_max);
+    for s in (1..=s_max).rev() {
+        let (b_prev, d_prev) = parent[idx(s, b, d)];
+        let (b_prev, d_prev) = (b_prev as usize, d_prev as usize);
+        let repl = d - d_prev;
+        let micro = p.batch_size / p.replica_factor / p.microbatches / repl;
+        let cost = eval
+            .eval_cached(cache, b_prev, b, repl)
+            .expect("reconstructed stage must be feasible");
+        let set = eval.range_of(cache, b_prev, b).set.clone();
+        let (fwd_time, bwd_time) = match slots {
+            None => (cost.comp_f, cost.comp_b),
+            Some(t) => {
+                let sc = t.group_scale(d_prev, d);
+                (cost.comp_f * sc, cost.comp_b * sc)
+            }
+        };
+        stages_rev.push(DpStage {
+            set,
+            block_range: (b_prev, b),
+            devices: repl,
+            micro_batch: micro,
+            fwd_time,
+            bwd_time,
+            mem_bytes: cost.mem,
+            param_elems: cost.params,
+        });
+        b = b_prev;
+        d = d_prev;
+    }
+    stages_rev.reverse();
+
+    Some(DpSolution {
+        value: v[idx(s_max, nb, d_max)],
+        stages: stages_rev,
+        microbatches: p.microbatches,
+        replica_factor: p.replica_factor,
+    })
+}
+
+/// The legacy Algorithm 1: per-invocation `HashMap` memo, fresh tables
+/// every call.
+///
+/// This is the pre-arena implementation, kept verbatim as the reference
+/// the flat-table engine is differential-tested against: `prop_dp_flat`
+/// asserts [`form_stage_dp_in`] — including arena reuse across
+/// candidates — returns bit-identical plans and costs. Not used by the
+/// planner itself.
+pub fn form_stage_dp_hashmap(
+    g: &TaskGraph,
+    cost: &dyn CostModel,
+    blocks: &[Block],
+    p: &DpParams,
+    link: LinkSpec,
+    cache: &StageCostCache,
+    slots: Option<&SlotTable>,
+) -> Option<DpSolution> {
+    let nb = blocks.len();
+    let s_max = p.stages;
+    let d_max = p.devices;
+    if s_max == 0 || s_max > nb || d_max < s_max || p.microbatches == 0 {
+        return None;
+    }
+    if p.batch_size / p.replica_factor / p.microbatches == 0 {
+        return None;
+    }
+    let eval = StageEvalCtx::new(g, cost, blocks, p, link);
+
+    let bs1 = nb + 1;
+    let ds1 = d_max + 1;
+    let idx = |s: usize, b: usize, d: usize| (s * bs1 + b) * ds1 + d;
+    let mut v = vec![INF; (s_max + 1) * bs1 * ds1];
+    let mut tf = vec![0.0f64; (s_max + 1) * bs1 * ds1];
+    let mut tb = vec![0.0f64; (s_max + 1) * bs1 * ds1];
+    let mut parent: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); (s_max + 1) * bs1 * ds1];
+    v[idx(0, 0, 0)] = 0.0;
+
+    let mut local: std::collections::HashMap<(usize, usize, usize), Option<StageCost>> =
+        std::collections::HashMap::new();
+
+    let mut d_min = 1usize;
+
+    for s in 1..=s_max {
+        for b in s..=nb - s_max + s {
+            let d_hi = d_max - (s_max - s);
+            let d_lo = d_min.max(s);
+            if d_hi < d_lo {
+                continue;
+            }
+            let mut d = d_hi;
+            loop {
+                let mut found = false;
+                let mut saw_micro_zero = false;
+                for b_prev in (s - 1)..b {
+                    for d_prev in (s - 1)..d {
+                        if v[idx(s - 1, b_prev, d_prev)] == INF {
+                            continue;
+                        }
+                        let repl = d - d_prev;
+                        if p.batch_size / p.replica_factor / p.microbatches / repl == 0 {
+                            saw_micro_zero = true;
+                            continue;
+                        }
+                        let looked_up = *local
+                            .entry((b_prev, b, repl))
+                            .or_insert_with(|| eval.eval_cached(cache, b_prev, b, repl));
+                        let Some(cost) = looked_up else {
+                            continue;
+                        };
+                        let (obj_f, obj_b) = match slots {
+                            None => (cost.obj_f, cost.obj_b),
+                            Some(t) => {
+                                if cost.mem > t.group_mem(d_prev, d) {
+                                    continue;
+                                }
+                                scaled_objectives(&cost, t.group_scale(d_prev, d))
+                            }
+                        };
+                        let cand_f = tf[idx(s - 1, b_prev, d_prev)].max(obj_f);
+                        let cand_b = tb[idx(s - 1, b_prev, d_prev)].max(obj_b);
+                        let cand_v = cand_f + cand_b;
+                        found = true;
+                        let here = idx(s, b, d);
+                        if cand_v < v[here] {
+                            v[here] = cand_v;
+                            tf[here] = cand_f;
+                            tb[here] = cand_b;
+                            parent[here] = (b_prev as u32, d_prev as u32);
+                        }
+                    }
+                }
+                if !found && !saw_micro_zero && slots.is_none() {
+                    d_min = d_min.max(d + 1);
+                    break;
+                }
+                if d == d_lo {
+                    break;
+                }
+                d -= 1;
+            }
+        }
+    }
+
+    if v[idx(s_max, nb, d_max)] == INF {
+        return None;
+    }
+
     let mut stages_rev: Vec<DpStage> = Vec::with_capacity(s_max);
     let (mut b, mut d) = (nb, d_max);
     for s in (1..=s_max).rev() {

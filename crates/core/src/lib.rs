@@ -51,14 +51,15 @@ pub mod uncoarsen;
 pub use atomic::{atomic_partition, AtomicPartition};
 pub use blocks::{block_partition, Block, BlockLimits};
 pub use dp::{
-    form_stage_dp, form_stage_dp_cached, form_stage_dp_placed, DpParams, DpSolution, DpStage,
+    form_stage_dp, form_stage_dp_cached, form_stage_dp_hashmap, form_stage_dp_in,
+    form_stage_dp_placed, DpArena, DpParams, DpSolution, DpStage,
 };
 pub use placement::SlotTable;
 pub use plan::{PartitionPlan, PlanError, StagePlan};
 pub use plan_io::{decode_plan, encode_plan, load_plan, save_plan, PlanIoError};
 pub use replan::{diff_plans, PlanDiff, ReplanOutcome};
 pub use search::{form_stage, form_stage_seq, form_stage_with, SearchOptions, SearchStats};
-pub use stagecache::{StageCost, StageCostCache, StageEvalCtx, StageKey};
+pub use stagecache::{prefetch_ranges, StageCost, StageCostCache, StageEvalCtx, StageKey};
 
 use rannc_cost::{CostModel, CostModelSpec};
 use rannc_graph::TaskGraph;
@@ -222,7 +223,7 @@ pub(crate) fn publish_cache_metrics(prefix: &str, s: &CacheStats) {
     }
 }
 
-fn render_planner_stats(search: [u64; 4], sc: CacheNums, pc: CacheNums) -> String {
+fn render_planner_stats(search: [u64; 5], sc: CacheNums, pc: CacheNums) -> String {
     let rate = |hits: u64, misses: u64| {
         if hits + misses == 0 {
             0.0
@@ -232,7 +233,8 @@ fn render_planner_stats(search: [u64; 4], sc: CacheNums, pc: CacheNums) -> Strin
     };
     format!(
         "planner stats:\n  \
-         search: {} DP candidate(s), {} feasible, {} node tier(s), {} thread(s)\n  \
+         search: {} DP candidate(s), {} feasible, {} pruned, {} node tier(s), \
+         {} thread(s)\n  \
          stage cache: {} hits / {} misses ({:.1}% hit rate), {} entries, \
          {} contended lock(s), max shard {}\n  \
          profiler cache: {} hits / {} misses ({:.1}% hit rate), {} entries, \
@@ -241,6 +243,7 @@ fn render_planner_stats(search: [u64; 4], sc: CacheNums, pc: CacheNums) -> Strin
         search[1],
         search[2],
         search[3],
+        search[4],
         sc[0],
         sc[1],
         rate(sc[0], sc[1]),
@@ -263,6 +266,7 @@ impl PlannerStats {
             [
                 self.search.candidates as u64,
                 self.search.feasible as u64,
+                self.search.pruned as u64,
                 self.search.node_tiers as u64,
                 self.search.threads as u64,
             ],
@@ -286,6 +290,7 @@ impl PlannerStats {
             [
                 counter_value("planner.search.candidates"),
                 counter_value("planner.search.feasible"),
+                counter_value("planner.search.pruned"),
                 counter_value("planner.search.node_tiers"),
                 threads,
             ],

@@ -19,7 +19,7 @@
 //! make CI runs and benchmarks reproducible on shared runners.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// Process-wide worker-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -30,17 +30,39 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
+/// Parse a `RANNC_THREADS` value. `Ok(n)` for a positive integer,
+/// `Err(reason)` for anything else ("0", garbage, overflow), so the
+/// caller can warn once and fall back instead of silently ignoring a
+/// typo'd setting.
+fn parse_env_threads(v: &str) -> Result<usize, &'static str> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => Err("must be a positive integer"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("not a valid integer"),
+    }
+}
+
 /// The worker count parallel sweeps will use: [`set_threads`] override,
 /// else `RANNC_THREADS`, else the machine's available parallelism.
+///
+/// A malformed `RANNC_THREADS` value is reported once on stderr and then
+/// treated as unset.
 pub fn max_threads() -> usize {
     let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if o > 0 {
         return o;
     }
     if let Ok(v) = std::env::var("RANNC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match parse_env_threads(&v) {
+            Ok(n) => return n,
+            Err(reason) => {
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring RANNC_THREADS={v:?} ({reason}); \
+                         using available parallelism"
+                    );
+                });
             }
         }
     }
@@ -186,8 +208,25 @@ mod tests {
         set_threads(0);
         std::env::set_var("RANNC_THREADS", "not-a-number");
         assert!(max_threads() >= 1, "garbage env var falls through");
+        std::env::set_var("RANNC_THREADS", "0");
+        assert!(max_threads() >= 1, "zero env var falls through");
         std::env::remove_var("RANNC_THREADS");
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn env_thread_parsing_classifies_values() {
+        assert_eq!(parse_env_threads("4"), Ok(4));
+        assert_eq!(parse_env_threads("  16 "), Ok(16));
+        assert_eq!(parse_env_threads("0"), Err("must be a positive integer"));
+        assert_eq!(parse_env_threads(""), Err("not a valid integer"));
+        assert_eq!(parse_env_threads("four"), Err("not a valid integer"));
+        assert_eq!(parse_env_threads("-2"), Err("not a valid integer"));
+        assert_eq!(
+            parse_env_threads("99999999999999999999999"),
+            Err("not a valid integer"),
+            "overflow is rejected, not wrapped"
+        );
     }
 
     #[test]

@@ -16,28 +16,40 @@
 //!
 //! A node tier's `S × MB` candidate grid is embarrassingly parallel: each
 //! cell is one independent `form_stage_dp` invocation. [`form_stage_with`]
-//! fans the grid out over [`crate::par::parallel_map_with`] with all
-//! candidates sharing one [`StageCostCache`], so overlapping candidate
-//! stages are profiled once instead of once per DP invocation.
+//! groups the grid by micro-batch count and fans the groups out over
+//! [`crate::par::parallel_map_with`] with all candidates sharing one
+//! [`StageCostCache`] (prefetched up front via
+//! [`crate::stagecache::prefetch_ranges`]), so overlapping candidate
+//! stages are profiled once instead of once per DP invocation. Each
+//! group runs its stage counts ascending through one [`DpArena`], whose
+//! flat `(b_prev, b, repl)` memo persists across the group's candidates.
+//! Candidates whose score *lower bound* (a cheap whole-graph profile,
+//! see `lower_bound` in the sweep) already exceeds the best score found
+//! are pruned without running their DP.
 //!
 //! **Determinism.** The chosen plan is bit-identical to the sequential
-//! scan's: candidate results come back in grid order (the map preserves
-//! input order), every DP result is a pure function of its parameters
-//! (cached stage costs equal fresh evaluations exactly), and the winner
-//! is the *first* candidate with the minimal score — the same
-//! tie-breaking `Iterator::min_by` applies in a sequential scan. The
-//! `determinism` integration suite pins this contract for every bundled
-//! model.
+//! scan's: candidate results are scattered back to grid order before the
+//! winner is chosen, every DP result is a pure function of its
+//! parameters (cached stage costs and arena memo entries equal fresh
+//! evaluations exactly), pruning only removes candidates that provably
+//! cannot win *or tie* (the bound is a true lower bound; ties survive
+//! the strict comparison, whatever order the racing best-so-far updates
+//! land in), and the winner is the *first* candidate with the minimal
+//! score — the same tie-breaking `Iterator::min_by` applies in a
+//! sequential scan. The `determinism` integration suite pins this
+//! contract for every bundled model.
 
 use crate::blocks::Block;
-use crate::dp::{form_stage_dp_placed, DpParams, DpSolution};
+use crate::dp::{form_stage_dp_in, DpArena, DpParams, DpSolution};
 use crate::par;
 use crate::placement::SlotTable;
-use crate::stagecache::StageCostCache;
+use crate::stagecache::{prefetch_ranges, StageCostCache};
 use rannc_cost::CostModel;
-use rannc_graph::TaskGraph;
+use rannc_graph::{TaskGraph, TaskSet};
 use rannc_hw::ClusterSpec;
 use rannc_profile::CacheStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Estimated wall time of one training iteration under the synchronous
 /// pipeline for a DP solution: fill–drain pipeline slots plus the
@@ -101,12 +113,42 @@ pub struct SearchStats {
     pub candidates: usize,
     /// DP invocations that returned a feasible solution.
     pub feasible: usize,
+    /// Grid cells skipped by the dominance bound: their score lower bound
+    /// already exceeded the best candidate found, so the DP never ran.
+    /// Plan-preserving — a pruned cell can never hold the winner or a
+    /// tie with it (the bound is a true lower bound and ties survive the
+    /// strict comparison).
+    pub pruned: usize,
     /// Node tiers (`n` values) examined.
     pub node_tiers: usize,
     /// Worker threads the sweep ran with.
     pub threads: usize,
     /// Shared stage-cost cache behaviour (zeroed when the cache is off).
     pub stage_cache: CacheStats,
+}
+
+/// Pool of [`DpArena`]s for the grouped candidate sweep: a worker takes
+/// an arena for the duration of one micro-batch group and returns it
+/// after, so at most `threads` arenas ever exist per search and each
+/// carries its warm memo to the next group it serves.
+struct ArenaPool {
+    pool: Mutex<Vec<DpArena>>,
+}
+
+impl ArenaPool {
+    fn new() -> Self {
+        ArenaPool {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take(&self) -> DpArena {
+        self.pool.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put(&self, arena: DpArena) {
+        self.pool.lock().unwrap().push(arena);
+    }
 }
 
 /// Single-call-site tally feeding both the per-run [`SearchStats`] (exact
@@ -117,6 +159,7 @@ struct SearchTally {
     stats: SearchStats,
     candidates: rannc_obs::metrics::Counter,
     feasible: rannc_obs::metrics::Counter,
+    pruned: rannc_obs::metrics::Counter,
     node_tiers: rannc_obs::metrics::Counter,
 }
 
@@ -130,6 +173,7 @@ impl SearchTally {
             },
             candidates: rannc_obs::metrics::counter("planner.search.candidates"),
             feasible: rannc_obs::metrics::counter("planner.search.feasible"),
+            pruned: rannc_obs::metrics::counter("planner.search.pruned"),
             node_tiers: rannc_obs::metrics::counter("planner.search.node_tiers"),
         }
     }
@@ -147,6 +191,11 @@ impl SearchTally {
     fn feasible(&mut self, n: usize) {
         self.stats.feasible += n;
         self.feasible.add(n as u64);
+    }
+
+    fn pruned(&mut self, n: usize) {
+        self.stats.pruned += n;
+        self.pruned.add(n as u64);
     }
 
     fn finish(mut self, cache: &StageCostCache) -> SearchStats {
@@ -230,6 +279,63 @@ pub fn form_stage_with(
     let cache = StageCostCache::new();
     let mut tally = SearchTally::new(threads);
 
+    // Engine features: prefetch the whole range table and pre-size the
+    // profiler memo before the first DP touches either. Only worthwhile
+    // with the shared cache — the sequential reference keeps its
+    // historical lazy, per-candidate behaviour.
+    let nb = blocks.len();
+    if opts.shared_cache && nb > 0 {
+        let _pf = rannc_obs::trace::span("prefetch_ranges", "planner").arg_i("blocks", nb as i64);
+        cost.reserve_profiles(nb * (nb + 1) / 2);
+        prefetch_ranges(g, blocks, &cache, threads);
+    }
+
+    // Dominance pruning state. `best_bits` is the score of the best
+    // feasible candidate seen so far (f64 bits in an atomic so the
+    // parallel sweep shares it); a candidate whose score *lower bound*
+    // strictly exceeds it cannot win or tie, so its DP is skipped.
+    // Disabled in heterogeneous mode (device groups may be faster than
+    // the planning template, breaking the bound's monotonicity) and on
+    // the sequential reference path.
+    let prune_enabled = opts.shared_cache && !hetero && nb > 0;
+    let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
+    let pruned_now = AtomicUsize::new(0);
+    let full_set: Option<TaskSet> = if prune_enabled {
+        let mut s = blocks[0].set.clone();
+        for b in &blocks[1..] {
+            s.union_with(&b.set);
+        }
+        Some(s)
+    } else {
+        None
+    };
+    // Score lower bound of a candidate: every stage's micro-batch is at
+    // least `m_lo = max(1, ⌊q/(D−S+1)⌋)` and per-task time is monotone in
+    // the micro-batch, so `Σ_stages t ≥ t_full(m_lo)` and the bottleneck
+    // `V = max f + max b ≥ (Σf + Σb)/S ≥ (f_full + b_full)(m_lo)/S`.
+    // Comm and all-reduce terms are ≥ 0 on top. Under profiler noise σ
+    // the full-set measurement may read up to (1+σ) high while true
+    // stage times may read (1−σ) low, hence the guard factor.
+    let lower_bound = |p: &DpParams| -> f64 {
+        let full = full_set.as_ref().expect("bound requires the full set");
+        let q = p.batch_size / p.replica_factor / p.microbatches;
+        if q == 0 {
+            return f64::INFINITY; // the DP rejects these outright
+        }
+        let repl_max = p.devices + 1 - p.stages;
+        let m_lo = (q / repl_max).max(1);
+        let prof = cost.stage_cost(full, m_lo, p.microbatches, p.stages > 1);
+        let v_lb = (prof.fwd_time + prof.bwd_time) / p.stages as f64;
+        let sigma = cost.options().noise_sigma;
+        let guard = if sigma > 0.0 {
+            (1.0 - sigma) / (1.0 + sigma)
+        } else {
+            1.0
+        };
+        rannc_cost::sync_pipeline_iteration(p.stages, p.microbatches, v_lb) * guard
+    };
+    let arenas = ArenaPool::new();
+
     let mut n = 1usize;
     while n <= n_nodes {
         tally.tier();
@@ -269,34 +375,103 @@ pub fn form_stage_with(
         } else {
             None
         };
-        let run = |p: &DpParams| {
-            let _dp = rannc_obs::trace::span("dp", "planner")
-                .arg_i("S", p.stages as i64)
-                .arg_i("MB", p.microbatches as i64)
-                .arg_i("n", n as i64);
-            if opts.shared_cache {
-                form_stage_dp_placed(g, cost, blocks, p, link, &cache, slots.as_ref())
-            } else {
-                form_stage_dp_placed(
-                    g,
-                    cost,
-                    blocks,
-                    p,
-                    link,
-                    &StageCostCache::new(),
-                    slots.as_ref(),
-                )
+        // Group the grid by micro-batch count: all candidates of one
+        // group share the arena's memo key (same R, MB, ckpt for S ≥ 2),
+        // so the flat (b_prev, b, repl) memo filled by one stage count
+        // answers most lookups of the next. Groups are the parallel work
+        // unit; results are scattered back to grid order below, so the
+        // regrouping cannot perturb the deterministic tie-break.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, p) in grid.iter().enumerate() {
+            match groups.iter_mut().find(|(mb, _)| *mb == p.microbatches) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((p.microbatches, vec![i])),
             }
+        }
+        let run_group = |(_, members): &(usize, Vec<usize>)| -> Vec<Option<DpSolution>> {
+            let mut arena = arenas.take();
+            let out = members
+                .iter()
+                .map(|&i| {
+                    let p = &grid[i];
+                    if prune_enabled {
+                        let lb = lower_bound(p);
+                        let best = f64::from_bits(best_bits.load(Ordering::Relaxed));
+                        if lb > best * (1.0 + 1e-9) {
+                            pruned_now.fetch_add(1, Ordering::Relaxed);
+                            return None;
+                        }
+                    }
+                    let _dp = rannc_obs::trace::span("dp", "planner")
+                        .arg_i("S", p.stages as i64)
+                        .arg_i("MB", p.microbatches as i64)
+                        .arg_i("n", n as i64);
+                    let sol = if opts.shared_cache {
+                        form_stage_dp_in(
+                            g,
+                            cost,
+                            blocks,
+                            p,
+                            link,
+                            &cache,
+                            slots.as_ref(),
+                            &mut arena,
+                        )
+                    } else {
+                        // the historical reference: fresh memo, fresh cache
+                        form_stage_dp_in(
+                            g,
+                            cost,
+                            blocks,
+                            p,
+                            link,
+                            &StageCostCache::new(),
+                            slots.as_ref(),
+                            &mut DpArena::new(),
+                        )
+                    };
+                    if prune_enabled {
+                        if let Some(s) = &sol {
+                            let score = score_solution(s, cluster, cost);
+                            let mut cur = best_bits.load(Ordering::Relaxed);
+                            while score < f64::from_bits(cur) {
+                                match best_bits.compare_exchange_weak(
+                                    cur,
+                                    score.to_bits(),
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(seen) => cur = seen,
+                                }
+                            }
+                        }
+                    }
+                    sol
+                })
+                .collect();
+            arenas.put(arena);
+            out
         };
         let sweep = rannc_obs::trace::span("sweep", "planner")
             .arg_i("n", n as i64)
-            .arg_i("candidates", grid.len() as i64);
-        let solutions: Vec<Option<DpSolution>> = if threads > 1 {
-            par::parallel_map_with(&grid, threads, run)
+            .arg_i("candidates", grid.len() as i64)
+            .arg_i("groups", groups.len() as i64);
+        let grouped: Vec<Vec<Option<DpSolution>>> = if threads > 1 {
+            par::parallel_map_with(&groups, threads, run_group)
         } else {
-            grid.iter().map(run).collect()
+            groups.iter().map(run_group).collect()
         };
         drop(sweep);
+        // scatter results back to deterministic (S asc, MB asc) grid order
+        let mut solutions: Vec<Option<DpSolution>> = Vec::new();
+        solutions.resize_with(grid.len(), || None);
+        for ((_, members), outs) in groups.iter().zip(grouped) {
+            for (&i, sol) in members.iter().zip(outs) {
+                solutions[i] = sol;
+            }
+        }
+        tally.pruned(pruned_now.swap(0, Ordering::Relaxed));
         let candidates: Vec<DpSolution> = solutions.into_iter().flatten().collect();
         tally.feasible(candidates.len());
         if !candidates.is_empty() {

@@ -8,17 +8,23 @@
 //! invocation rebuilt its memo from zero; this module lifts both memo
 //! layers out of the DP so all candidates share them:
 //!
-//! * **range cache** — `(from, to) → (task-set union, egress bytes)`,
-//!   the expensive `TaskSet` unions, shared by *every* candidate;
+//! * **range table** — `(from, to) → (task-set union, egress bytes)`,
+//!   the expensive `TaskSet` unions, shared by *every* candidate. Ranges
+//!   live in a flat `(nb+1)²` slot table indexed by `from·(nb+1)+to`, so
+//!   a tier's contiguous queries resolve with one array index and no
+//!   re-hashing; [`prefetch_ranges`] fills the whole table up front with
+//!   incremental prefix unions (`[f, t+1)` = `[f, t) ∪ block t`) instead
+//!   of letting each range union its blocks from scratch on first touch;
 //! * **cost cache** — [`StageKey`] `→ Option<StageCost>`, the profiled
 //!   stage evaluations, keyed by everything a stage cost depends on:
 //!   block range, replica count, micro-batch size, in-flight micro-batch
 //!   count and checkpointing flag.
 //!
-//! Both maps are sharded N ways by key hash, so the parallel `(S, MB)`
-//! sweep scales instead of serializing on one mutex. Hit/miss/contention
-//! counters are exported as [`rannc_profile::CacheStats`] for
-//! `--planner-stats` and the planner bench.
+//! The cost map is sharded N ways by key hash and the range table uses
+//! per-slot `OnceLock`s, so the parallel `(S, MB)` sweep scales instead
+//! of serializing on one mutex. Hit/miss/contention counters are
+//! exported as [`rannc_profile::CacheStats`] for `--planner-stats` and
+//! the planner bench.
 //!
 //! Determinism: a cached cost is bit-identical to a fresh evaluation
 //! (the evaluation is a pure function of the key plus search-constant
@@ -34,7 +40,7 @@ use rannc_hw::LinkSpec;
 use rannc_profile::CacheStats;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Shards per map; chosen by key hash.
 const SHARDS: usize = 16;
@@ -104,13 +110,19 @@ pub struct RangeInfo {
     pub egress: usize,
 }
 
-type RangeShard = Mutex<HashMap<(u32, u32), Arc<RangeInfo>>>;
+/// Flat range table: slot `from·(nb+1)+to` holds range `[from, to)`.
+/// Lazily sized on the first query because the cache is built before the
+/// block partition is known; one cache always serves one block partition.
+struct RangeTable {
+    nb: usize,
+    slots: Box<[OnceLock<Arc<RangeInfo>>]>,
+}
 
 /// The shared, sharded two-layer cache. Cheap to create; create one per
 /// `form_stage` search and hand it to every DP invocation.
 pub struct StageCostCache {
     cost: Vec<Mutex<HashMap<StageKey, Option<StageCost>>>>,
-    ranges: Vec<RangeShard>,
+    ranges: OnceLock<RangeTable>,
     hits: AtomicU64,
     misses: AtomicU64,
     contention: AtomicU64,
@@ -127,7 +139,7 @@ impl StageCostCache {
     pub fn new() -> Self {
         StageCostCache {
             cost: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            ranges: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            ranges: OnceLock::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             contention: AtomicU64::new(0),
@@ -171,23 +183,27 @@ impl StageCostCache {
             .insert(key, value);
     }
 
-    /// The union + egress of block range `[from, to)`, computing it with
-    /// `build` on first use.
+    /// The union + egress of block range `[from, to)` over `nb` blocks,
+    /// computing it with `build` on first use. The flat table replaces a
+    /// sharded `HashMap`: a repeat query is one index plus one atomic
+    /// load, and concurrent first touches of the *same* range dedupe the
+    /// union work instead of racing to build it twice.
     pub fn range(
         &self,
         from: usize,
         to: usize,
+        nb: usize,
         build: impl FnOnce() -> RangeInfo,
     ) -> Arc<RangeInfo> {
-        let key = (from as u32, to as u32);
-        let shard = (splitmix((from as u64) << 20 | to as u64) as usize) % SHARDS;
-        if let Some(hit) = self.lock_counting(&self.ranges[shard]).get(&key) {
-            return Arc::clone(hit);
-        }
-        // Built outside the lock: unions are the expensive part.
-        let info = Arc::new(build());
-        let mut guard = self.lock_counting(&self.ranges[shard]);
-        Arc::clone(guard.entry(key).or_insert(info))
+        let table = self.ranges.get_or_init(|| RangeTable {
+            nb,
+            slots: (0..(nb + 1) * (nb + 1)).map(|_| OnceLock::new()).collect(),
+        });
+        debug_assert_eq!(
+            table.nb, nb,
+            "one StageCostCache serves one block partition"
+        );
+        Arc::clone(table.slots[from * (table.nb + 1) + to].get_or_init(|| Arc::new(build())))
     }
 
     /// Snapshot of cost-cache behaviour (the range layer is bounded by
@@ -198,7 +214,38 @@ impl StageCostCache {
             misses: self.misses.load(Ordering::Relaxed),
             contention: self.contention.load(Ordering::Relaxed),
             shard_sizes: self.cost.iter().map(|s| s.lock().unwrap().len()).collect(),
+            ..CacheStats::default()
         }
+    }
+}
+
+/// Fill the whole range table for `blocks` up front, one prefix-union
+/// sweep per `from` row parallelized across `threads`.
+///
+/// Lazy filling builds range `[f, t)` by unioning `t − f` block sets on
+/// first touch — `O(nb³)` set words across the table. The prefix sweep
+/// extends row `f`'s running union by one block per step (`O(nb²)`
+/// words) and batches the whole table before the tier sweep starts, so
+/// every `(from, to)` query inside the DP is a pure table hit.
+pub fn prefetch_ranges(g: &TaskGraph, blocks: &[Block], cache: &StageCostCache, threads: usize) {
+    let nb = blocks.len();
+    let rows: Vec<usize> = (0..nb).collect();
+    let fill_row = |&from: &usize| {
+        let mut set = blocks[from].set.clone();
+        for to in (from + 1)..=nb {
+            if to > from + 1 {
+                set.union_with(&blocks[to - 1].set);
+            }
+            cache.range(from, to, nb, || RangeInfo {
+                set: set.clone(),
+                egress: traverse::egress_bytes(g, &set),
+            });
+        }
+    };
+    if threads > 1 {
+        crate::par::parallel_map_with(&rows, threads, fill_row);
+    } else {
+        rows.iter().for_each(fill_row);
     }
 }
 
@@ -296,7 +343,7 @@ impl<'a, 'g> StageEvalCtx<'a, 'g> {
 
     /// The cached task-set union of a block range.
     pub fn range_of(&self, cache: &StageCostCache, from: usize, to: usize) -> Arc<RangeInfo> {
-        cache.range(from, to, || self.build_range(from, to))
+        cache.range(from, to, self.blocks.len(), || self.build_range(from, to))
     }
 
     fn build_range(&self, from: usize, to: usize) -> RangeInfo {

@@ -69,6 +69,14 @@ pub trait CostModel: Sync {
 
     /// Memo-cache counters of the underlying profile oracle.
     fn cache_stats(&self) -> CacheStats;
+
+    /// Hint that about `expected_sets` distinct task sets are about to be
+    /// priced (the planner calls this with its block-range count before a
+    /// sweep), letting the oracle pre-size its memo tables. Default:
+    /// no-op — correctness never depends on it.
+    fn reserve_profiles(&self, expected_sets: usize) {
+        let _ = expected_sets;
+    }
 }
 
 /// The raw profiler *is* the analytical oracle: this impl lets any code
@@ -121,6 +129,10 @@ impl<'g> CostModel for Profiler<'g> {
 
     fn cache_stats(&self) -> CacheStats {
         Profiler::cache_stats(self)
+    }
+
+    fn reserve_profiles(&self, expected_sets: usize) {
+        Profiler::reserve_profiles(self, expected_sets)
     }
 }
 
@@ -199,6 +211,10 @@ impl<'g> CostModel for AnalyticalCost<'g> {
 
     fn cache_stats(&self) -> CacheStats {
         CostModel::cache_stats(&self.profiler)
+    }
+
+    fn reserve_profiles(&self, expected_sets: usize) {
+        CostModel::reserve_profiles(&self.profiler, expected_sets)
     }
 }
 
@@ -323,6 +339,10 @@ impl<'g> CostModel for CalibratedCost<'g> {
 
     fn cache_stats(&self) -> CacheStats {
         CostModel::cache_stats(&self.profiler)
+    }
+
+    fn reserve_profiles(&self, expected_sets: usize) {
+        CostModel::reserve_profiles(&self.profiler, expected_sets)
     }
 }
 

@@ -5,7 +5,7 @@ use crate::memory::MemoryParams;
 use rannc_graph::{traverse, TaskGraph, TaskSet, ValueKind};
 use rannc_hw::{DeviceSpec, LinkSpec, Precision};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -99,26 +99,129 @@ struct TaskCost {
     cal: f64,
 }
 
-#[derive(PartialEq, Eq, Hash, Clone, Copy)]
-struct CacheKey {
-    fp: u128,
-    batch: u32,
-    inflight: u32,
-    ckpt: bool,
+/// Batch-independent statistics of a task set: the memory-model inputs
+/// that depend only on *which* tasks are in the set, never on the
+/// micro-batch size, in-flight count, or checkpointing flag.
+#[derive(Debug, Clone, Copy, Default)]
+struct SetStats {
+    param_elems: usize,
+    ingress_bytes: usize,
+    inter_act_bytes: usize,
 }
 
-impl CacheKey {
-    /// Shard index: mix every field so keys differing only in batch or
-    /// flags still spread across shards.
-    fn shard(&self) -> usize {
-        let mix = splitmix(
-            (self.fp as u64)
-                ^ (self.fp >> 64) as u64
-                ^ ((self.batch as u64) << 32)
-                ^ ((self.inflight as u64) << 1)
-                ^ self.ckpt as u64,
-        );
-        (mix as usize) % CACHE_SHARDS
+/// Raw time sums of one `(set, batch)` pair, before the invocation
+/// overhead, checkpointing recompute, and noise factor are applied —
+/// those depend on `(inflight, ckpt)` and are cheap to reapply, so
+/// memoising below them lets every `(inflight, ckpt)` variant of a query
+/// hit the same entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct TimeProfile {
+    fwd_raw: f64,
+    bwd_raw: f64,
+    flops: f64,
+}
+
+/// One slot of a [`FlatMemo`] probe sequence.
+#[derive(Debug, Clone, Copy, Default)]
+struct MemoSlot<V: Copy> {
+    fp: u128,
+    aux: u32,
+    used: bool,
+    val: V,
+}
+
+/// Open-addressed fingerprint→value table with linear probing.
+///
+/// Replaces the per-shard `HashMap`: profile keys are already
+/// high-quality 128-bit fingerprints, so SipHash re-hashing every lookup
+/// was pure overhead, and the flat slot array keeps a probe sequence on
+/// adjacent cache lines. Capacity is a power of two, grown at ~70% load;
+/// [`FlatMemo::reserve`] lets the planner pre-size the table from the
+/// block count before a sweep starts.
+struct FlatMemo<V: Copy + Default> {
+    slots: Vec<MemoSlot<V>>,
+    len: usize,
+}
+
+impl<V: Copy + Default> FlatMemo<V> {
+    const MIN_SLOTS: usize = 16;
+
+    fn new() -> Self {
+        FlatMemo {
+            slots: vec![MemoSlot::default(); Self::MIN_SLOTS],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn probe_start(fp: u128, aux: u32) -> u64 {
+        splitmix((fp as u64) ^ (fp >> 64) as u64 ^ ((aux as u64) << 32))
+    }
+
+    fn get(&self, fp: u128, aux: u32) -> Option<V> {
+        let mask = self.slots.len() - 1;
+        let mut i = Self::probe_start(fp, aux) as usize & mask;
+        loop {
+            let s = &self.slots[i];
+            if !s.used {
+                return None;
+            }
+            if s.fp == fp && s.aux == aux {
+                return Some(s.val);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, fp: u128, aux: u32, val: V) {
+        // keep load under 70% so probe sequences stay short
+        if (self.len + 1) * 10 >= self.slots.len() * 7 {
+            self.grow(self.slots.len() * 2);
+        }
+        self.insert_nogrow(fp, aux, val);
+    }
+
+    fn insert_nogrow(&mut self, fp: u128, aux: u32, val: V) {
+        let mask = self.slots.len() - 1;
+        let mut i = Self::probe_start(fp, aux) as usize & mask;
+        loop {
+            let s = &mut self.slots[i];
+            if !s.used {
+                *s = MemoSlot {
+                    fp,
+                    aux,
+                    used: true,
+                    val,
+                };
+                self.len += 1;
+                return;
+            }
+            if s.fp == fp && s.aux == aux {
+                s.val = val;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Pre-size for `additional` further entries without rehashing later.
+    fn reserve(&mut self, additional: usize) {
+        let needed = ((self.len + additional) * 10 / 7 + 1)
+            .next_power_of_two()
+            .max(Self::MIN_SLOTS);
+        if needed > self.slots.len() {
+            self.grow(needed);
+        }
+    }
+
+    fn grow(&mut self, new_slots: usize) {
+        let old = std::mem::replace(&mut self.slots, vec![MemoSlot::default(); new_slots]);
+        self.len = 0;
+        for s in old {
+            if s.used {
+                self.insert_nogrow(s.fp, s.aux, s.val);
+            }
+        }
     }
 }
 
@@ -126,6 +229,12 @@ impl CacheKey {
 /// JSON. `contention` counts lock acquisitions that found the shard busy
 /// (a `try_lock` failure before the blocking lock) — the observable the
 /// sharding exists to minimize.
+///
+/// The profiler memoises in two layers (see [`Profiler::profile_set`]):
+/// `stats_*` counts lookups of batch-independent set statistics, `time_*`
+/// lookups of per-`(set, batch)` raw times. `hits`/`misses` are the
+/// layer totals; caches with a single layer (the stage-cost cache) leave
+/// the layered fields zero.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -136,6 +245,14 @@ pub struct CacheStats {
     pub contention: u64,
     /// Entry count per shard, in shard order.
     pub shard_sizes: Vec<usize>,
+    /// Hits on the batch-independent set-statistics layer.
+    pub stats_hits: u64,
+    /// Misses on the batch-independent set-statistics layer.
+    pub stats_misses: u64,
+    /// Hits on the per-`(set, batch)` raw-time layer.
+    pub time_hits: u64,
+    /// Misses on the per-`(set, batch)` raw-time layer.
+    pub time_misses: u64,
 }
 
 impl CacheStats {
@@ -155,37 +272,15 @@ impl CacheStats {
     }
 }
 
-/// Reusable per-call scratch: a stamp vector for parameter deduplication.
-///
-/// Callers *take* a buffer (popping from the pool or allocating a fresh
-/// one), use it without holding any lock, and *put* it back. The pool
-/// lock is held only for the pop/push, so concurrent `profile_set` calls
-/// no longer serialize on a single shared buffer — the bug that made the
-/// block-profiling `parallel_map` sweep run single-file.
-struct ScratchPool {
-    bufs: Mutex<Vec<(Vec<u32>, u32)>>,
-    values: usize,
-}
-
-impl ScratchPool {
-    fn new(values: usize) -> Self {
-        ScratchPool {
-            bufs: Mutex::new(Vec::new()),
-            values,
-        }
-    }
-
-    fn take(&self) -> (Vec<u32>, u32) {
-        self.bufs
-            .lock()
-            .unwrap()
-            .pop()
-            .unwrap_or_else(|| (vec![0u32; self.values], 0))
-    }
-
-    fn put(&self, buf: (Vec<u32>, u32)) {
-        self.bufs.lock().unwrap().push(buf);
-    }
+thread_local! {
+    /// Per-thread stamp vector for value deduplication on the miss path.
+    ///
+    /// Replaces the old mutex-guarded take/put `ScratchPool`: a thread
+    /// resolves its buffer once per miss with no lock at all, and the
+    /// buffer grows monotonically to the largest `num_values` seen.
+    /// Stale stamps from other graphs sharing the buffer are harmless —
+    /// the epoch bump invalidates every previous stamp.
+    static SCRATCH: RefCell<(Vec<u32>, u32)> = const { RefCell::new((Vec::new(), 0)) };
 }
 
 /// Analytical stand-in for RaNNC's on-device profiler.
@@ -199,10 +294,12 @@ pub struct Profiler<'g> {
     opts: ProfilerOptions,
     costs: Vec<TaskCost>,
     param_vals: Vec<u32>,
-    cache: Vec<Mutex<HashMap<CacheKey, ProfileResult>>>,
-    scratch: ScratchPool,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    set_stats: Vec<Mutex<FlatMemo<SetStats>>>,
+    time_profiles: Vec<Mutex<FlatMemo<TimeProfile>>>,
+    stats_hits: AtomicU64,
+    stats_misses: AtomicU64,
+    time_hits: AtomicU64,
+    time_misses: AtomicU64,
     contention: AtomicU64,
 }
 
@@ -252,26 +349,41 @@ impl<'g> Profiler<'g> {
             opts,
             costs,
             param_vals,
-            cache: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+            set_stats: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(FlatMemo::new()))
                 .collect(),
-            scratch: ScratchPool::new(g.num_values()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            time_profiles: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(FlatMemo::new()))
+                .collect(),
+            stats_hits: AtomicU64::new(0),
+            stats_misses: AtomicU64::new(0),
+            time_hits: AtomicU64::new(0),
+            time_misses: AtomicU64::new(0),
             contention: AtomicU64::new(0),
         }
     }
 
-    /// Lock a cache shard, counting initial `try_lock` failures.
-    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, HashMap<CacheKey, ProfileResult>> {
-        match self.cache[shard].try_lock() {
+    /// Lock a memo shard, counting initial `try_lock` failures.
+    fn lock_memo<'a, V: Copy + Default>(
+        &self,
+        shards: &'a [Mutex<FlatMemo<V>>],
+        shard: usize,
+    ) -> MutexGuard<'a, FlatMemo<V>> {
+        match shards[shard].try_lock() {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.contention.fetch_add(1, Ordering::Relaxed);
-                self.cache[shard].lock().unwrap()
+                shards[shard].lock().unwrap()
             }
             Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
         }
+    }
+
+    /// Shard index for a memo key; mixes every field so keys differing
+    /// only in the aux word still spread across shards.
+    #[inline]
+    fn shard_of(fp: u128, aux: u32) -> usize {
+        (splitmix((fp as u64) ^ (fp >> 64) as u64 ^ ((aux as u64) << 32)) as usize) % CACHE_SHARDS
     }
 
     /// The graph this profiler measures.
@@ -289,19 +401,57 @@ impl<'g> Profiler<'g> {
         &self.opts
     }
 
-    /// Number of memoised profiles (for diagnostics and benches).
+    /// Number of memoised entries across both layers (for diagnostics
+    /// and benches).
     pub fn cache_len(&self) -> usize {
-        self.cache.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.set_stats
+            .iter()
+            .map(|s| s.lock().unwrap().len)
+            .sum::<usize>()
+            + self
+                .time_profiles
+                .iter()
+                .map(|s| s.lock().unwrap().len)
+                .sum::<usize>()
+    }
+
+    /// Pre-size the memo tables for a sweep expected to profile about
+    /// `expected_sets` distinct task sets. Called by the planner with the
+    /// block-count-derived range count so miss-path inserts never rehash
+    /// mid-sweep. A no-op when the tables are already large enough.
+    pub fn reserve_profiles(&self, expected_sets: usize) {
+        let per_shard = expected_sets / CACHE_SHARDS + 1;
+        for shard in &self.set_stats {
+            shard.lock().unwrap().reserve(per_shard);
+        }
+        for shard in &self.time_profiles {
+            // a sweep queries each range at a handful of micro-batch sizes
+            shard.lock().unwrap().reserve(per_shard * 4);
+        }
     }
 
     /// Snapshot of cache behaviour since construction: hits, misses,
-    /// shard-lock contention, and per-shard entry counts.
+    /// shard-lock contention, and per-shard entry counts, with the
+    /// per-layer breakdown of the two-level memo.
     pub fn cache_stats(&self) -> CacheStats {
+        let stats_hits = self.stats_hits.load(Ordering::Relaxed);
+        let stats_misses = self.stats_misses.load(Ordering::Relaxed);
+        let time_hits = self.time_hits.load(Ordering::Relaxed);
+        let time_misses = self.time_misses.load(Ordering::Relaxed);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: stats_hits + time_hits,
+            misses: stats_misses + time_misses,
             contention: self.contention.load(Ordering::Relaxed),
-            shard_sizes: self.cache.iter().map(|s| s.lock().unwrap().len()).collect(),
+            shard_sizes: self
+                .set_stats
+                .iter()
+                .zip(&self.time_profiles)
+                .map(|(a, b)| a.lock().unwrap().len + b.lock().unwrap().len)
+                .collect(),
+            stats_hits,
+            stats_misses,
+            time_hits,
+            time_misses,
         }
     }
 
@@ -324,42 +474,18 @@ impl<'g> Profiler<'g> {
         t_compute.max(t_memory) * c.cal + self.opts.launch_overhead
     }
 
-    /// Profile a candidate stage: the paper's `profile(U, bs)`.
-    ///
-    /// * `batch` — micro-batch size in samples (Algorithm 1 passes
-    ///   `⌊BS/R/MB/(d−d′)⌋`);
-    /// * `inflight` — micro-batches resident on the stage at the pipeline's
-    ///   memory peak (`MB` for synchronous fill–drain);
-    /// * `checkpointing` — whether gradient checkpointing is active.
-    pub fn profile_set(
-        &self,
-        set: &TaskSet,
-        batch: usize,
-        inflight: usize,
-        checkpointing: bool,
-    ) -> ProfileResult {
-        let key = CacheKey {
-            fp: fingerprint(set),
-            batch: batch as u32,
-            inflight: inflight as u32,
-            ckpt: checkpointing,
-        };
-        let shard = key.shard();
-        if let Some(hit) = self.lock_shard(shard).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return *hit;
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-
-        let mut fwd = 0.0;
-        let mut bwd = 0.0;
-        let mut flops = 0.0;
-        let mut inter_act = 0usize;
+    /// Batch-independent miss path: parameter elements and deduplicated
+    /// ingress/intermediate activation bytes of the set.
+    fn compute_set_stats(&self, set: &TaskSet) -> SetStats {
         let mut param_elems = 0usize;
         let mut ingress = 0usize;
-        {
-            let mut buf = self.scratch.take();
-            let (stamps, stamp) = &mut buf;
+        let mut inter_act = 0usize;
+        SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            let (stamps, stamp) = &mut *buf;
+            if stamps.len() < self.g.num_values() {
+                stamps.resize(self.g.num_values(), 0);
+            }
             *stamp = stamp.wrapping_add(1);
             if *stamp == 0 {
                 stamps.iter_mut().for_each(|s| *s = 0);
@@ -367,12 +493,6 @@ impl<'g> Profiler<'g> {
             }
             for t in set.iter() {
                 let c = &self.costs[t.index()];
-                let tf = self.task_fwd_time(c, batch);
-                fwd += tf;
-                // backward: dgrad+wgrad for dense ops ≈ 2× forward; ~1× for
-                // element-wise / normalization / layout ops.
-                bwd += if c.compute_bound { 2.0 * tf } else { tf };
-                flops += c.flops * if c.scales { batch as f64 } else { 1.0 };
                 if c.scales {
                     inter_act += c.out_act_bytes;
                 }
@@ -407,11 +527,105 @@ impl<'g> Profiler<'g> {
                     }
                 }
             }
-            self.scratch.put(buf);
+        });
+        SetStats {
+            param_elems,
+            ingress_bytes: ingress,
+            inter_act_bytes: inter_act,
         }
+    }
+
+    /// Per-`(set, batch)` miss path: the roofline time and FLOP sums,
+    /// before overheads. The accumulation order over `set.iter()` matches
+    /// the historical fused loop exactly, so the sums are bit-identical.
+    fn compute_time_profile(&self, set: &TaskSet, batch: usize) -> TimeProfile {
+        let mut fwd = 0.0;
+        let mut bwd = 0.0;
+        let mut flops = 0.0;
+        for t in set.iter() {
+            let c = &self.costs[t.index()];
+            let tf = self.task_fwd_time(c, batch);
+            fwd += tf;
+            // backward: dgrad+wgrad for dense ops ≈ 2× forward; ~1× for
+            // element-wise / normalization / layout ops.
+            bwd += if c.compute_bound { 2.0 * tf } else { tf };
+            flops += c.flops * if c.scales { batch as f64 } else { 1.0 };
+        }
+        TimeProfile {
+            fwd_raw: fwd,
+            bwd_raw: bwd,
+            flops,
+        }
+    }
+
+    /// Profile a candidate stage: the paper's `profile(U, bs)`.
+    ///
+    /// * `batch` — micro-batch size in samples (Algorithm 1 passes
+    ///   `⌊BS/R/MB/(d−d′)⌋`);
+    /// * `inflight` — micro-batches resident on the stage at the pipeline's
+    ///   memory peak (`MB` for synchronous fill–drain);
+    /// * `checkpointing` — whether gradient checkpointing is active.
+    ///
+    /// Memoisation is two-layered. The old single cache keyed the full
+    /// `(set, batch, inflight, ckpt)` tuple — but the stage-cost cache
+    /// upstream already dedupes exactly those tuples, so nearly every
+    /// lookup that reached the profiler missed (~19% hit rate at bench
+    /// scale). Splitting the memo below the `(inflight, ckpt)`-dependent
+    /// assembly lets all variants of a set share the batch-independent
+    /// statistics, and all `(inflight, ckpt)` combinations share the raw
+    /// time sums. The assembly replays the exact float operations of the
+    /// fused path, so results are bit-identical.
+    pub fn profile_set(
+        &self,
+        set: &TaskSet,
+        batch: usize,
+        inflight: usize,
+        checkpointing: bool,
+    ) -> ProfileResult {
+        let fp = fingerprint(set);
+
+        // layer 1: batch-independent set statistics
+        let stats_shard = Self::shard_of(fp, 0);
+        // bind the lookup before matching: a guard held through the match
+        // arms would self-deadlock on the re-lock in the miss arm
+        let stats_lookup = self.lock_memo(&self.set_stats, stats_shard).get(fp, 0);
+        let stats = match stats_lookup {
+            Some(hit) => {
+                self.stats_hits.fetch_add(1, Ordering::Relaxed);
+                hit
+            }
+            None => {
+                self.stats_misses.fetch_add(1, Ordering::Relaxed);
+                let computed = self.compute_set_stats(set);
+                self.lock_memo(&self.set_stats, stats_shard)
+                    .insert(fp, 0, computed);
+                computed
+            }
+        };
+
+        // layer 2: raw per-(set, batch) time sums
+        let time_shard = Self::shard_of(fp, batch as u32);
+        let time_lookup = self
+            .lock_memo(&self.time_profiles, time_shard)
+            .get(fp, batch as u32);
+        let time = match time_lookup {
+            Some(hit) => {
+                self.time_hits.fetch_add(1, Ordering::Relaxed);
+                hit
+            }
+            None => {
+                self.time_misses.fetch_add(1, Ordering::Relaxed);
+                let computed = self.compute_time_profile(set, batch);
+                self.lock_memo(&self.time_profiles, time_shard)
+                    .insert(fp, batch as u32, computed);
+                computed
+            }
+        };
+
+        // assembly: identical float-op order to the historical fused path
         // per-execution host overhead (sync, input staging)
-        fwd += self.opts.invocation_overhead;
-        bwd += self.opts.invocation_overhead;
+        let fwd = time.fwd_raw + self.opts.invocation_overhead;
+        let mut bwd = time.bwd_raw + self.opts.invocation_overhead;
         if checkpointing {
             // recomputation replays the forward pass before backward
             bwd += fwd;
@@ -422,18 +636,21 @@ impl<'g> Profiler<'g> {
             checkpointing,
             inflight: inflight.max(1),
         };
-        let mem_bytes = mem.stage_bytes(param_elems, ingress, inter_act, batch);
+        let mem_bytes = mem.stage_bytes(
+            stats.param_elems,
+            stats.ingress_bytes,
+            stats.inter_act_bytes,
+            batch,
+        );
 
-        let noise = self.noise_factor(key.fp ^ batch as u128);
-        let result = ProfileResult {
+        let noise = self.noise_factor(fp ^ batch as u128);
+        ProfileResult {
             fwd_time: fwd * noise,
             bwd_time: bwd * noise,
             mem_bytes,
-            param_elems,
-            flops,
-        };
-        self.lock_shard(shard).insert(key, result);
-        result
+            param_elems: stats.param_elems,
+            flops: time.flops,
+        }
     }
 
     /// Communication volume from `from` to `to` for one micro-batch of
@@ -585,9 +802,10 @@ mod tests {
         let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
         let s = whole_set(&g);
         let r1 = p.profile_set(&s, 4, 2, true);
-        assert_eq!(p.cache_len(), 1);
+        // one stats entry + one time entry
+        assert_eq!(p.cache_len(), 2);
         let r2 = p.profile_set(&s, 4, 2, true);
-        assert_eq!(p.cache_len(), 1);
+        assert_eq!(p.cache_len(), 2);
         assert_eq!(r1, r2);
     }
 
@@ -596,21 +814,65 @@ mod tests {
         let g = bert_graph(&BertConfig::tiny());
         let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
         let s = whole_set(&g);
+        // miss both layers
         let _ = p.profile_set(&s, 4, 2, true);
+        // hit both layers
         let _ = p.profile_set(&s, 4, 2, true);
+        // batch changed: stats layer hits, time layer misses
         let _ = p.profile_set(&s, 8, 2, true);
         let stats = p.cache_stats();
-        assert_eq!(stats.hits, 1);
-        assert_eq!(stats.misses, 2);
-        assert_eq!(stats.entries(), 2);
+        assert_eq!(stats.stats_hits, 2);
+        assert_eq!(stats.stats_misses, 1);
+        assert_eq!(stats.time_hits, 1);
+        assert_eq!(stats.time_misses, 2);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 3);
+        // one stats entry + two time entries
+        assert_eq!(stats.entries(), 3);
         assert_eq!(stats.shard_sizes.len(), CACHE_SHARDS);
-        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflight_and_ckpt_variants_hit_both_layers() {
+        // The whole point of the split memo: (inflight, ckpt) only affect
+        // the cheap assembly, so variants of an already-profiled
+        // (set, batch) never recompute anything.
+        let g = bert_graph(&BertConfig::tiny());
+        let p = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let s = whole_set(&g);
+        let _ = p.profile_set(&s, 4, 2, true);
+        let before = p.cache_stats();
+        let _ = p.profile_set(&s, 4, 8, true);
+        let _ = p.profile_set(&s, 4, 2, false);
+        let _ = p.profile_set(&s, 4, 1, false);
+        let after = p.cache_stats();
+        assert_eq!(after.misses, before.misses, "variants must not recompute");
+        assert_eq!(after.hits, before.hits + 6);
+        assert_eq!(after.entries(), before.entries());
+    }
+
+    #[test]
+    fn flat_memo_survives_growth() {
+        let mut memo: FlatMemo<usize> = FlatMemo::new();
+        for i in 0..1000u64 {
+            memo.insert((i as u128) << 3, i as u32, i as usize);
+        }
+        assert_eq!(memo.len, 1000);
+        for i in 0..1000u64 {
+            assert_eq!(memo.get((i as u128) << 3, i as u32), Some(i as usize));
+        }
+        assert_eq!(memo.get(0xdead_beef, 7), None);
+        // overwrite keeps len stable
+        memo.insert(8, 1, 99);
+        assert_eq!(memo.len, 1000);
+        assert_eq!(memo.get(8, 1), Some(99));
     }
 
     #[test]
     fn concurrent_profiling_is_consistent() {
         // Many threads profiling overlapping subcomponents must agree with
-        // a sequential profiler exactly (scratch pooling must not leak
+        // a sequential profiler exactly (thread-local scratch must not leak
         // state between concurrent calls).
         let g = bert_graph(&BertConfig::tiny());
         let shared = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());

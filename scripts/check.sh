@@ -45,6 +45,15 @@ echo "==> planner-bench smoke (engine vs sequential baseline, self-checked)"
     || { echo "planner_bench smoke FAILED"; exit 1; }
 rm -f BENCH_partition_quick.json
 
+echo "==> planner-bench paper-scale smoke (bert-256l at 128 devices, 120 s budget)"
+# The acceptance config of the flat-table DP engine: a ~7.4k-task BERT
+# planned at 128 devices must finish well inside the wall-clock budget
+# and pass the same self-checks (bit-identical plans, cache hit rates).
+timeout 120 ./target/release/planner_bench --paper-scale --quick --threads 4 \
+    --check --repeat 1 --out BENCH_partition_paper_quick.json \
+    || { echo "planner_bench paper-scale smoke FAILED (or blew the 120 s budget)"; exit 1; }
+rm -f BENCH_partition_paper_quick.json
+
 echo "==> observability smoke (trace + metrics export, validated by obs-check)"
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT

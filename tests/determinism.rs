@@ -15,6 +15,7 @@ use rannc::graph::TaskGraph;
 use rannc::hw::ClusterSpec;
 use rannc::models::{
     bert_graph, gpt_graph, mlp_graph, resnet_graph, BertConfig, GptConfig, MlpConfig, ResNetConfig,
+    ResNetDepth,
 };
 use rannc::profile::{Profiler, ProfilerOptions};
 
@@ -150,6 +151,67 @@ fn shared_cache_alone_preserves_plans() {
         let (cached, _) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
         assert_identical(&seq, &cached, &g.name.clone());
     }
+}
+
+/// Paper-scale grid at 128 devices: the grouped/pruned/arena engine
+/// still returns the sequential scan's plan bit-for-bit on the models
+/// the paper-scale bench sweeps. The 256-layer BERT is left to the
+/// release-mode bench — profiling its 7.4k tasks in a debug test run
+/// would dominate the whole tier-1 suite.
+#[test]
+fn paper_scale_models_match_at_128_devices() {
+    let cluster = ClusterSpec::v100_cluster(16); // 128 devices
+    let models = [
+        ("gpt-96l", gpt_graph(&GptConfig::enlarged(1600, 96))),
+        (
+            "resnet152x8",
+            resnet_graph(&ResNetConfig::new(ResNetDepth::R152, 8)),
+        ),
+    ];
+    for (name, g) in models {
+        let label = format!("{name} @ 128 devices");
+        let profiler = Profiler::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+        let atomic = atomic_partition(&g);
+        let blocks = block_partition(
+            &g,
+            &profiler,
+            &atomic,
+            BlockLimits {
+                k: 32,
+                mem_limit: cluster.device.memory_bytes,
+                profile_batch: 1,
+            },
+        );
+        let seq = form_stage_seq(&g, &profiler, &blocks, &cluster, 1024);
+        let opts = SearchOptions {
+            threads: 4,
+            shared_cache: true,
+        };
+        let (par, stats) = form_stage_with(&g, &profiler, &blocks, &cluster, 1024, &opts);
+        assert_identical(&seq, &par, &label);
+        assert!(seq.is_some(), "{label}: expected feasible");
+        assert!(
+            stats.stage_cache.hits > 0,
+            "{label}: shared cache never hit"
+        );
+    }
+}
+
+/// Paper-scale end-to-end under the strict verifier: `Rannc::partition`
+/// with `VerifyMode::Fail` must accept the engine's 128-device plan.
+#[test]
+fn paper_scale_partition_verifies_under_fail_mode() {
+    let g = resnet_graph(&ResNetConfig::new(ResNetDepth::R152, 8));
+    let cluster = ClusterSpec::v100_cluster(16);
+    let plan = Rannc::new(
+        PartitionConfig::new(1024)
+            .with_k(32)
+            .with_verify(VerifyMode::Fail)
+            .with_threads(4),
+    )
+    .partition(&g, &cluster)
+    .expect("paper-scale partition verifies");
+    assert!(!plan.stages.is_empty(), "expected a feasible plan");
 }
 
 /// End-to-end: `Rannc::partition` on the parallel engine passes the

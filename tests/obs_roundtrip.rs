@@ -6,7 +6,8 @@
 //! 2. slices are properly nested per lane (no end-before-start, no
 //!    cross-lane overlap masquerading as parenthood),
 //! 3. span counts match the metric counters — one `dp` slice per DP
-//!    candidate the search counted,
+//!    candidate the search actually evaluated (pruned cells never start
+//!    a DP, so they emit no slice),
 //! 4. the simulator timeline renders as per-stage pipeline lanes.
 //!
 //! The obs globals are process-wide, so everything runs under
@@ -22,6 +23,7 @@ fn chrome_trace_roundtrip_bert_16_devices() {
     rannc::obs::set_enabled(true);
 
     let candidates_before = metrics::counter_value("planner.search.candidates");
+    let pruned_before = metrics::counter_value("planner.search.pruned");
 
     // BERT on 2 nodes x 8 GPUs = the acceptance configuration
     let graph = bert_graph(&BertConfig::enlarged(256, 4));
@@ -73,14 +75,19 @@ fn chrome_trace_roundtrip_bert_16_devices() {
 
     // --- 3. span counts match metric counters ---
     let candidates = metrics::counter_value("planner.search.candidates") - candidates_before;
+    let pruned = metrics::counter_value("planner.search.pruned") - pruned_before;
     assert_eq!(
         summary.count_of("dp") as u64,
-        candidates,
-        "one `dp` slice per DP candidate counted by the search"
+        candidates - pruned,
+        "one `dp` slice per DP candidate the search evaluated (pruned cells skip the DP)"
     );
     assert_eq!(
         stats.search.candidates as u64, candidates,
         "registry delta equals the per-run snapshot"
+    );
+    assert_eq!(
+        stats.search.pruned as u64, pruned,
+        "pruned registry delta equals the per-run snapshot"
     );
 
     // --- 4. the 1F1B schedule renders on per-stage lanes ---
