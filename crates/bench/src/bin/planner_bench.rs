@@ -16,13 +16,20 @@
 //! malformed, any engine plan differs from the sequential baseline, the
 //! shared cache never hit (the memoization would be dead weight), or —
 //! when tracing is off — the observability layer allocated anything
-//! during the timed runs (the zero-overhead-when-disabled contract).
+//! during the timed runs (the zero-overhead-when-disabled contract; the
+//! plan flight recorder is held to the same standard). `--check` also
+//! proves the recorder itself: the explain artifact must be
+//! byte-identical at 1/2/4 worker threads, pass its schema validator,
+//! and leave the chosen plan bit-identical to a recorder-off run.
 //!
 //! `--trace-out` / `--metrics-out` / `--obs-summary` export the
-//! observability artifacts of the run; `--baseline FILE` compares engine
-//! times against a committed `BENCH_partition.json` with a 3% budget;
-//! `--cost-model analytical|calibrated:FILE` prices the searches with a
-//! different cost model (the default is the analytical oracle).
+//! observability artifacts of the run; `--explain-out FILE` writes the
+//! flight recording of a full partitioning of the first grid case (after
+//! the timed runs, so timings stay unperturbed); `--baseline FILE`
+//! compares engine times against a committed `BENCH_partition.json` with
+//! a 3% budget; `--cost-model analytical|calibrated:FILE` prices the
+//! searches with a different cost model (the default is the analytical
+//! oracle).
 
 use rannc::cost::{Calibration, CostModelSpec};
 use rannc_bench::planner;
@@ -36,6 +43,7 @@ fn main() {
     let mut out = String::from("BENCH_partition.json");
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut explain_out: Option<String> = None;
     let mut obs_summary = false;
     let mut baseline: Option<String> = None;
     let mut cost_spec = CostModelSpec::Analytical;
@@ -55,6 +63,12 @@ fn main() {
             "--metrics-out" => {
                 metrics_out = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--explain-out" => {
+                explain_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--explain-out needs a path");
                     std::process::exit(2);
                 }));
             }
@@ -121,7 +135,7 @@ fn main() {
                 println!(
                     "usage: planner_bench [--quick] [--paper-scale] [--check] [--threads N] \
                      [--repeat N] [--out FILE] [--trace-out FILE] [--metrics-out FILE] \
-                     [--obs-summary] [--baseline FILE] \
+                     [--obs-summary] [--explain-out FILE] [--baseline FILE] \
                      [--cost-model analytical|calibrated:FILE]"
                 );
                 return;
@@ -167,6 +181,28 @@ fn main() {
     if obs_summary {
         println!("\n{}", rannc::obs::sink::summary());
     }
+    // the explain artifact comes from a dedicated recorded run *after*
+    // the timed grid, so recording never perturbs the benchmark numbers
+    if let Some(path) = &explain_out {
+        let grid = planner::cases(quick);
+        let case = grid.first().expect("non-empty grid");
+        match planner::explain_artifact(case, threads, &cost_spec) {
+            Ok((artifact, _plan)) => {
+                if let Err(e) = std::fs::write(path, artifact) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "planner_bench: wrote explain artifact ({}) to {path}",
+                    case.name
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot record explain artifact: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(path) = &baseline {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline {path}: {e}");
@@ -195,6 +231,15 @@ fn main() {
             eprintln!(
                 "check failed: observability disabled but {} trace allocation(s) recorded",
                 rannc::obs::trace::alloc_count()
+            );
+            std::process::exit(1);
+        }
+        // the same contract for the plan flight recorder — checked before
+        // the determinism gate below, which legitimately enables it
+        if explain_out.is_none() && rannc::obs::recorder::alloc_count() != 0 {
+            eprintln!(
+                "check failed: recorder disabled but {} recorder allocation(s) recorded",
+                rannc::obs::recorder::alloc_count()
             );
             std::process::exit(1);
         }
@@ -254,10 +299,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // the flight-recorder gate: deterministic artifact, validator
+        // clean, plan unperturbed by recording
+        match planner::check_explain_determinism(quick) {
+            Ok(lines) => {
+                eprintln!("explain-recorder check:\n{}", lines.join("\n"));
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                std::process::exit(1);
+            }
+        }
         eprintln!(
             "check passed: valid JSON, identical plans, nonzero cache hit rates, \
              zero obs allocations while disabled, cost models verified, \
-             certified memory within capacity"
+             certified memory within capacity, explain artifact deterministic"
         );
     }
 }

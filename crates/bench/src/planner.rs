@@ -17,7 +17,7 @@
 
 use rannc::core::{
     atomic_partition, block_partition, form_stage_seq, form_stage_with, Block, BlockLimits,
-    DpSolution, PartitionConfig, Rannc, SearchOptions, SearchStats, VerifyMode,
+    DpSolution, PartitionConfig, PartitionPlan, Rannc, SearchOptions, SearchStats, VerifyMode,
 };
 use rannc::cost::{Calibration, CostModelSpec};
 use rannc::graph::TaskGraph;
@@ -345,6 +345,106 @@ pub fn run(
         cost_model: cost.name().to_string(),
         cases: results,
     }
+}
+
+/// Full-plan comparison, objective bits included — the flight-recorder
+/// gate's definition of "recording did not perturb the search".
+pub fn plans_identical(a: &PartitionPlan, b: &PartitionPlan) -> bool {
+    a.stages.len() == b.stages.len()
+        && a.microbatches == b.microbatches
+        && a.replica_factor == b.replica_factor
+        && a.bottleneck.to_bits() == b.bottleneck.to_bits()
+        && a.est_iteration_time.to_bits() == b.est_iteration_time.to_bits()
+        && a.stages.iter().zip(&b.stages).all(|(x, y)| {
+            x.set == y.set
+                && x.replicas == y.replicas
+                && x.micro_batch == y.micro_batch
+                && x.fwd_time.to_bits() == y.fwd_time.to_bits()
+                && x.bwd_time.to_bits() == y.bwd_time.to_bits()
+                && x.mem_bytes == y.mem_bytes
+                && x.param_elems == y.param_elems
+        })
+}
+
+/// Partition `case` end-to-end with the flight recorder on and return
+/// the explain artifact (schema v1 JSON). The recorder is switched off
+/// again before returning, error or not.
+pub fn explain_artifact(
+    case: &BenchCase,
+    threads: usize,
+    cost: &CostModelSpec,
+) -> Result<(String, PartitionPlan), String> {
+    use rannc::obs::recorder;
+    let cluster = ClusterSpec::v100_cluster(case.nodes);
+    let cfg = PartitionConfig::new(case.batch)
+        .with_k(case.k)
+        .with_verify(VerifyMode::Off)
+        .with_threads(threads)
+        .with_cost_model(cost.clone());
+    recorder::set_enabled(true);
+    recorder::reset();
+    let res = Rannc::new(cfg).partition(&case.graph, &cluster);
+    let rec = recorder::take();
+    recorder::set_enabled(false);
+    let plan = res.map_err(|e| format!("{}: recorded partition failed: {e}", case.name))?;
+    let rec = rec.ok_or_else(|| format!("{}: recorder enabled but nothing recorded", case.name))?;
+    Ok((recorder::to_json(&rec), plan))
+}
+
+/// `--check` gate for the plan flight recorder. The first quick-grid
+/// case is partitioned with the recorder on at 1, 2 and 4 worker
+/// threads: the three explain artifacts must be byte-identical (the
+/// canonical pruning replay makes the candidate record independent of
+/// sweep interleaving), the artifact must pass `obs::check_explain`,
+/// and the recorded plan must be bit-identical to a recorder-off run —
+/// recording is observability, never a behaviour change.
+///
+/// Call *after* the recorder zero-alloc assertion: this gate enables
+/// the recorder, and its allocation counter is monotone by design.
+pub fn check_explain_determinism(quick: bool) -> Result<Vec<String>, String> {
+    use rannc::obs::check::check_explain;
+    let case = cases(quick).into_iter().next().expect("non-empty grid");
+    let cluster = ClusterSpec::v100_cluster(case.nodes);
+    let plan_off = Rannc::new(
+        PartitionConfig::new(case.batch)
+            .with_k(case.k)
+            .with_verify(VerifyMode::Off)
+            .with_threads(2),
+    )
+    .partition(&case.graph, &cluster)
+    .map_err(|e| format!("{}: baseline partition failed: {e}", case.name))?;
+
+    let thread_counts = [1usize, 2, 4];
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut plan_on = None;
+    for &threads in &thread_counts {
+        let (artifact, plan) = explain_artifact(&case, threads, &CostModelSpec::Analytical)?;
+        artifacts.push(artifact);
+        plan_on = Some(plan);
+    }
+    for (a, &threads) in artifacts.iter().zip(&thread_counts).skip(1) {
+        if *a != artifacts[0] {
+            return Err(format!(
+                "{}: explain artifact differs between 1 and {threads} thread(s) — \
+                 the recording is not deterministic",
+                case.name
+            ));
+        }
+    }
+    let summary = check_explain(&artifacts[0])
+        .map_err(|e| format!("{}: explain artifact fails its validator: {e}", case.name))?;
+    let plan_on = plan_on.expect("at least one recorded run");
+    if !plans_identical(&plan_off, &plan_on) {
+        return Err(format!(
+            "{}: recording perturbed the chosen plan",
+            case.name
+        ));
+    }
+    Ok(vec![format!(
+        "  {}: {} candidate(s) over {} tier(s) ({} feasible, {} pruned), artifact \
+         byte-identical across 1/2/4 thread(s), validator OK, plan unperturbed",
+        case.name, summary.candidates, summary.tiers, summary.feasible, summary.pruned
+    )])
 }
 
 /// The built-in perturbed calibration `--check` uses to prove the

@@ -11,6 +11,8 @@ USAGE:
   rannc-plan churn --model <...> [OPTIONS] [CHURN OPTIONS]
   rannc-plan verify --model <...> [OPTIONS]
   rannc-plan obs-check [--trace FILE] [--metrics FILE]
+  rannc-plan explain <ARTIFACT> [--top N]
+  rannc-plan explain --diff <ARTIFACT_A> <ARTIFACT_B>
 
 The `faults` subcommand partitions the model, then simulates a long
 training campaign under an injected fault plan with BOTH recovery
@@ -41,6 +43,14 @@ by --trace-out / --metrics-out: the Chrome trace must be well-formed
 JSON with properly nested slices, and the metrics log must be valid
 JSONL with consistent counter/histogram invariants. Exits nonzero if
 either file fails validation.
+
+The `explain` subcommand renders a plan flight recording written by
+--explain-out: the winning plan's per-stage cost breakdown (fwd/bwd
+compute, transfer, all-reduce, optimizer, estimated vs certified peak
+memory), the top-k runner-up plans with cost deltas, and the search's
+pruning/cache account. With --diff it attributes the cost delta
+between two recordings (e.g. before/after a device loss) stage by
+stage. Exits nonzero if an artifact fails its schema validation.
 
 MODEL OPTIONS:
   --hidden <N>        hidden size (transformers/mlp; default 1024)
@@ -103,6 +113,13 @@ OBSERVABILITY OPTIONS:
   --obs-summary         print a human-readable metrics summary table
   --trace <FILE>        (obs-check) trace file to validate
   --metrics <FILE>      (obs-check) metrics file to validate
+  --explain-out <FILE>  record the partition search and write the explain
+                        artifact (schema v1 JSON) for `explain`
+  --lose-device <RANK>  after planning, drop device RANK and replan; the
+                        recording (and the simulated iteration) then
+                        reflect the degraded search
+  --diff                (explain) compare two artifacts stage by stage
+  --top <N>             (explain) runner-up plans to show (default 5)
 
 OUTPUT OPTIONS:
   --timeline          print an ASCII schedule timeline
@@ -124,6 +141,8 @@ pub enum Command {
     Verify,
     /// Validate observability artifacts (trace/metrics files).
     ObsCheck,
+    /// Render a plan flight recording (or diff two of them).
+    Explain,
 }
 
 /// `--cost-model` choice: how plans are priced. The calibration file is
@@ -229,6 +248,16 @@ pub struct Args {
     pub obs_trace: Option<String>,
     /// Metrics file to validate (`obs-check` subcommand).
     pub obs_metrics: Option<String>,
+    /// Record the partition search into this explain artifact.
+    pub explain_out: Option<String>,
+    /// Drop this device rank after planning and replan (recorded).
+    pub lose_device: Option<usize>,
+    /// Artifact file(s) for the `explain` subcommand.
+    pub explain_files: Vec<String>,
+    /// Diff two artifacts instead of rendering one.
+    pub explain_diff: bool,
+    /// Runner-up plans to show in `explain` (default 5).
+    pub top: usize,
     /// Run the dataflow certification engine in `verify` (deep checks).
     pub deep: bool,
     /// Treat warning-severity diagnostics as fatal in `verify`.
@@ -286,6 +315,11 @@ impl Default for Args {
             obs_summary: false,
             obs_trace: None,
             obs_metrics: None,
+            explain_out: None,
+            lose_device: None,
+            explain_files: Vec::new(),
+            explain_diff: false,
+            top: 5,
             deep: false,
             deny_warnings: false,
             timeline: false,
@@ -338,6 +372,10 @@ impl Args {
                 it.next();
                 a.command = Command::ObsCheck;
             }
+            Some("explain") => {
+                it.next();
+                a.command = Command::Explain;
+            }
             _ => {}
         }
         while let Some(flag) = it.next() {
@@ -376,6 +414,10 @@ impl Args {
                 "--obs-summary" => a.obs_summary = true,
                 "--trace" => a.obs_trace = Some(value(&flag, &mut it)?),
                 "--metrics" => a.obs_metrics = Some(value(&flag, &mut it)?),
+                "--explain-out" => a.explain_out = Some(value(&flag, &mut it)?),
+                "--lose-device" => a.lose_device = Some(num(&flag, &mut it)?),
+                "--diff" => a.explain_diff = true,
+                "--top" => a.top = num(&flag, &mut it)?,
                 "--deep" => a.deep = true,
                 "--deny-warnings" => a.deny_warnings = true,
                 "--timeline" => a.timeline = true,
@@ -420,12 +462,28 @@ impl Args {
                 "--policy" => a.policy = ChurnPolicyArg::parse(&value(&flag, &mut it)?)?,
                 "--horizon" => a.horizon = num(&flag, &mut it)?,
                 "--help" | "-h" => a.help = true,
+                other if a.command == Command::Explain && !other.starts_with("--") => {
+                    a.explain_files.push(other.to_string());
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
         if a.command == Command::ObsCheck {
             if a.obs_trace.is_none() && a.obs_metrics.is_none() && !a.help {
                 return Err("obs-check needs --trace and/or --metrics".into());
+            }
+            return Ok(a);
+        }
+        if a.command == Command::Explain {
+            if !a.help {
+                let want = if a.explain_diff { 2 } else { 1 };
+                if a.explain_files.len() != want {
+                    return Err(if a.explain_diff {
+                        "explain --diff needs exactly two artifact files".into()
+                    } else {
+                        "explain needs exactly one artifact file".into()
+                    });
+                }
             }
             return Ok(a);
         }
@@ -638,6 +696,36 @@ mod tests {
         assert_eq!(a.obs_metrics, None);
         // but at least one input file is
         assert!(parse("obs-check").is_err());
+    }
+
+    #[test]
+    fn explain_subcommand() {
+        let a = parse("explain /tmp/a.json").unwrap();
+        assert_eq!(a.command, Command::Explain);
+        assert_eq!(a.explain_files, vec!["/tmp/a.json".to_string()]);
+        assert!(!a.explain_diff);
+        assert_eq!(a.top, 5, "default runner-up count");
+        let a = parse("explain /tmp/a.json --top 3").unwrap();
+        assert_eq!(a.top, 3);
+        let a = parse("explain --diff /tmp/a.json /tmp/b.json").unwrap();
+        assert!(a.explain_diff);
+        assert_eq!(a.explain_files.len(), 2);
+        // arity is validated per mode
+        assert!(parse("explain").is_err());
+        assert!(parse("explain a.json b.json").is_err());
+        assert!(parse("explain --diff a.json").is_err());
+        // positional files only exist under the explain subcommand
+        assert!(parse("--model bert stray.json").is_err());
+    }
+
+    #[test]
+    fn explain_out_and_lose_device_flags() {
+        let a = parse("--model bert --explain-out /tmp/e.json --lose-device 3").unwrap();
+        assert_eq!(a.explain_out.as_deref(), Some("/tmp/e.json"));
+        assert_eq!(a.lose_device, Some(3));
+        let d = parse("--model bert").unwrap();
+        assert_eq!(d.explain_out, None);
+        assert_eq!(d.lose_device, None);
     }
 
     #[test]

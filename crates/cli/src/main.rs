@@ -54,9 +54,17 @@ fn main() {
         run_obs_check(&args);
         return;
     }
+    if args.command == Command::Explain {
+        run_explain(&args);
+        return;
+    }
     // tracing is strictly opt-in: spans allocate nothing until enabled
     if args.trace_out.is_some() {
         rannc::obs::set_enabled(true);
+    }
+    // …and so is the plan flight recorder
+    if args.explain_out.is_some() {
+        rannc::obs::recorder::set_enabled(true);
     }
 
     if args.threads > 0 {
@@ -110,7 +118,7 @@ fn main() {
         .with_cost_model(cost_spec.clone());
 
     let rannc = Rannc::new(config);
-    let plan = if let Some(path) = &args.load {
+    let mut plan = if let Some(path) = &args.load {
         // deployment-cache path: reuse a previously saved plan
         match rannc::core::load_plan(std::path::Path::new(path)) {
             Ok(p) => {
@@ -149,6 +157,51 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("saved plan to {path}");
+    }
+    if let Some(rank) = args.lose_device {
+        // drop one device and replan; the flight recording (if enabled)
+        // now captures the degraded search, so `explain --diff` can
+        // attribute the cost of the loss
+        let dr = rannc::hw::DeviceRank {
+            node: rank / cluster.node.devices,
+            local: rank % cluster.node.devices,
+        };
+        let degraded = match cluster.without_device(dr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot lose device {rank}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match rannc.repartition(&graph, &plan, &degraded) {
+            Ok(p) => plan = p,
+            Err(e) => {
+                eprintln!("replanning after losing device {rank} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("lost device {rank}: replanned for the surviving cluster");
+        // downstream simulation runs on the capacity the replanned plan
+        // was verified against
+        cluster = degraded.planning_view();
+    }
+    if let Some(path) = &args.explain_out {
+        match rannc::obs::recorder::take() {
+            Some(rec) => {
+                let text = rannc::obs::recorder::to_json(&rec);
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote explain artifact to {path} — render with `rannc-plan explain`");
+            }
+            None => {
+                eprintln!(
+                    "--explain-out: no search was recorded (a --load'ed plan skips the search)"
+                );
+                std::process::exit(1);
+            }
+        }
     }
     println!("{}", plan.summary());
 
@@ -227,6 +280,32 @@ fn finish_obs(args: &Args) {
     }
     if args.obs_summary {
         println!("\n{}", rannc::obs::sink::summary());
+    }
+}
+
+/// The `explain` subcommand: render one flight recording, or attribute
+/// the cost delta between two of them.
+fn run_explain(args: &Args) {
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rendered = if args.explain_diff {
+        let a = read(&args.explain_files[0]);
+        let b = read(&args.explain_files[1]);
+        rannc::obs::explain::render_diff(&a, &b)
+    } else {
+        rannc::obs::explain::render(&read(&args.explain_files[0]), args.top)
+    };
+    match rendered {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("invalid explain artifact: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -39,6 +39,7 @@ pub mod blocks;
 pub mod coarsen;
 pub mod compact;
 pub mod dp;
+pub mod explain;
 pub mod par;
 pub mod placement;
 pub mod plan;
@@ -54,6 +55,7 @@ pub use dp::{
     form_stage_dp, form_stage_dp_cached, form_stage_dp_hashmap, form_stage_dp_in,
     form_stage_dp_placed, DpArena, DpParams, DpSolution, DpStage,
 };
+pub use explain::annotate_recording;
 pub use placement::SlotTable;
 pub use plan::{PartitionPlan, PlanError, StagePlan};
 pub use plan_io::{decode_plan, encode_plan, load_plan, save_plan, PlanIoError};
@@ -438,6 +440,7 @@ impl Rannc {
         publish_cache_metrics("planner.profiler_cache", &stats.profiler_cache);
         let sol = sol.ok_or(PartitionError::Infeasible)?;
         let plan = PartitionPlan::from_solution(graph.name.clone(), &sol, self.config.batch_size);
+        explain::annotate_recording(graph, cost, cluster, &plan, self.config.precision, &stats);
         self.verified_traced(graph, cluster, plan)
             .map(|p| (p, stats))
     }
@@ -559,10 +562,30 @@ impl Rannc {
                 }
             })
             .collect();
-        match form_stage(graph, cost, &blocks, &view, self.config.batch_size) {
+        let (sol, search) = form_stage_with(
+            graph,
+            cost,
+            &blocks,
+            &view,
+            self.config.batch_size,
+            &SearchOptions::default(),
+        );
+        match sol {
             Some(sol) => {
                 let plan =
                     PartitionPlan::from_solution(graph.name.clone(), &sol, self.config.batch_size);
+                let stats = PlannerStats {
+                    profiler_cache: cost.cache_stats(),
+                    search,
+                };
+                explain::annotate_recording(
+                    graph,
+                    cost,
+                    &view,
+                    &plan,
+                    self.config.precision,
+                    &stats,
+                );
                 // Verify against the planning view: that is the capacity
                 // the warm-started search was allowed to use.
                 self.verified_traced(graph, &view, plan)

@@ -279,6 +279,16 @@ pub fn form_stage_with(
     let cache = StageCostCache::new();
     let mut tally = SearchTally::new(threads);
 
+    // Flight-recorder hook (see `rannc_obs::recorder`): one recording
+    // per search. While recording, *runtime* pruning is turned off — the
+    // racy best-so-far makes the pruned set depend on the thread
+    // schedule — and a canonical sequential pruning account is replayed
+    // after each tier's scatter instead. Both modes are plan-preserving;
+    // while the recorder is disabled every hook is a branch on one
+    // relaxed atomic load and allocates nothing.
+    let recording = rannc_obs::recorder::enabled();
+    rannc_obs::recorder::begin_search();
+
     // Engine features: prefetch the whole range table and pre-size the
     // profiler memo before the first DP touches either. Only worthwhile
     // with the shared cache — the sequential reference keeps its
@@ -297,10 +307,14 @@ pub fn form_stage_with(
     // Disabled in heterogeneous mode (device groups may be faster than
     // the planning template, breaking the bound's monotonicity) and on
     // the sequential reference path.
-    let prune_enabled = opts.shared_cache && !hetero && nb > 0;
+    // Also disabled while recording: the canonical sequential account
+    // below replays the same bound in grid order instead, so the
+    // artifact's pruned set is identical for any thread count.
+    let prune_enabled = opts.shared_cache && !hetero && nb > 0 && !recording;
+    let lb_for_record = opts.shared_cache && !hetero && nb > 0 && recording;
     let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
     let pruned_now = AtomicUsize::new(0);
-    let full_set: Option<TaskSet> = if prune_enabled {
+    let full_set: Option<TaskSet> = if prune_enabled || lb_for_record {
         let mut s = blocks[0].set.clone();
         for b in &blocks[1..] {
             s.union_with(&b.set);
@@ -341,6 +355,7 @@ pub fn form_stage_with(
         tally.tier();
         let d = d_node * n;
         let r = (n_nodes / n).max(1);
+        rannc_obs::recorder::tier(n, d, r);
         // The tier's candidate grid, in deterministic (S asc, MB asc)
         // order. All stage counts of the tier are collected before
         // choosing: for memory-tight models the minimum feasible S is
@@ -472,6 +487,48 @@ pub fn form_stage_with(
             }
         }
         tally.pruned(pruned_now.swap(0, Ordering::Relaxed));
+        // Canonical per-candidate record: a sequential re-scan in grid
+        // order replays what the dominance bound would have pruned in
+        // the historical one-thread sweep, so the artifact's pruning
+        // account is deterministic regardless of sweep threading. Cells
+        // the replay prunes keep their DP result out of the record (a
+        // pruned run never computes it) but still feed the winner pick
+        // below, which is why recording cannot perturb the plan.
+        if recording {
+            use rannc_obs::recorder::{candidate, CandidateOutcome};
+            let mut best = f64::INFINITY;
+            for (i, sol) in solutions.iter().enumerate() {
+                let p = &grid[i];
+                if lb_for_record {
+                    let lb = lower_bound(p);
+                    if lb > best * (1.0 + 1e-9) {
+                        candidate(
+                            p.stages,
+                            p.microbatches,
+                            CandidateOutcome::Pruned { lower_bound: lb },
+                        );
+                        continue;
+                    }
+                }
+                match sol {
+                    Some(s) => {
+                        let score = score_solution(s, cluster, cost);
+                        candidate(
+                            p.stages,
+                            p.microbatches,
+                            CandidateOutcome::Feasible {
+                                score,
+                                bottleneck: s.value,
+                            },
+                        );
+                        if score < best {
+                            best = score;
+                        }
+                    }
+                    None => candidate(p.stages, p.microbatches, CandidateOutcome::Infeasible),
+                }
+            }
+        }
         let candidates: Vec<DpSolution> = solutions.into_iter().flatten().collect();
         tally.feasible(candidates.len());
         if !candidates.is_empty() {

@@ -77,6 +77,13 @@ pub trait CostModel: Sync {
     fn reserve_profiles(&self, expected_sets: usize) {
         let _ = expected_sets;
     }
+
+    /// Stable name of the pricing family, for reports and the explain
+    /// artifact (`"analytical"` / `"calibrated"`) — the same tags
+    /// `CostModelSpec::name` uses.
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
 }
 
 /// The raw profiler *is* the analytical oracle: this impl lets any code
@@ -343,6 +350,10 @@ impl<'g> CostModel for CalibratedCost<'g> {
 
     fn reserve_profiles(&self, expected_sets: usize) {
         CostModel::reserve_profiles(&self.profiler, expected_sets)
+    }
+
+    fn name(&self) -> &'static str {
+        "calibrated"
     }
 }
 

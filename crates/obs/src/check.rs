@@ -16,6 +16,12 @@
 //!
 //! [`check_metrics`] validates a metrics JSONL export line by line
 //! against the frozen schema in [`crate::sink`].
+//!
+//! [`check_explain`] validates a plan flight-recorder artifact
+//! (`rannc_explain` schema v1, see [`crate::recorder`]) — structure,
+//! value ranges, and the internal cross-checks (accounting totals match
+//! the per-tier candidate lists; the winner's score is the minimum
+//! feasible candidate score).
 
 use crate::json::{self, Value};
 use std::collections::BTreeMap;
@@ -197,6 +203,23 @@ pub fn check_metrics(text: &str) -> Result<MetricsSummary, String> {
                 v.get("sum")
                     .and_then(Value::as_f64)
                     .ok_or(format!("line {n} (`{metric}`): missing numeric `sum`"))?;
+                // additive v1.1 quantile fields: optional, but when
+                // present they must be finite and ordered
+                let mut last_q = f64::NEG_INFINITY;
+                for key in ["p50", "p90", "p99"] {
+                    if let Some(qv) = v.get(key) {
+                        let q = qv.as_f64().filter(|q| q.is_finite()).ok_or(format!(
+                            "line {n} (`{metric}`): `{key}` is not a finite number"
+                        ))?;
+                        if q < last_q {
+                            return Err(format!(
+                                "line {n} (`{metric}`): quantiles not monotone \
+                                 (`{key}` = {q} after {last_q})"
+                            ));
+                        }
+                        last_q = q;
+                    }
+                }
                 let buckets = v
                     .get("buckets")
                     .and_then(Value::as_arr)
@@ -227,6 +250,214 @@ pub fn check_metrics(text: &str) -> Result<MetricsSummary, String> {
                 summary.histograms += 1;
             }
             other => return Err(format!("line {n} (`{metric}`): unknown type `{other}`")),
+        }
+    }
+    Ok(summary)
+}
+
+/// What a successful explain-artifact check observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExplainSummary {
+    /// Node tiers recorded.
+    pub tiers: usize,
+    /// Grid cells swept.
+    pub candidates: usize,
+    /// Cells with a feasible DP solution.
+    pub feasible: usize,
+    /// Cells skipped by the dominance bound.
+    pub pruned: usize,
+    /// Cells whose DP found no placement.
+    pub infeasible: usize,
+    /// Stages of the winning plan (0 when the search was infeasible).
+    pub winner_stages: usize,
+}
+
+fn nonneg_int(v: &Value) -> Option<u64> {
+    match v.as_f64() {
+        Some(n) if n.is_finite() && n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+        _ => None,
+    }
+}
+
+fn expl_int(v: &Value, key: &str, what: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(nonneg_int)
+        .ok_or_else(|| format!("{what}: missing non-negative integer `{key}`"))
+}
+
+fn expl_time(v: &Value, key: &str, what: &str) -> Result<f64, String> {
+    match v.get(key).and_then(Value::as_f64) {
+        Some(t) if t.is_finite() && t >= 0.0 => Ok(t),
+        _ => Err(format!("{what}: missing finite non-negative `{key}`")),
+    }
+}
+
+/// Validate a plan flight-recorder artifact (`rannc_explain` schema v1).
+pub fn check_explain(text: &str) -> Result<ExplainSummary, String> {
+    let root = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if !root.is_obj() {
+        return Err("root is not an object".into());
+    }
+    match root.get("schema").and_then(Value::as_str) {
+        Some("rannc_explain") => {}
+        Some(other) => return Err(format!("unknown schema `{other}`")),
+        None => return Err("missing string `schema`".into()),
+    }
+    match root.get("version").and_then(nonneg_int) {
+        Some(1) => {}
+        Some(v) => return Err(format!("unsupported schema version {v}")),
+        None => return Err("missing integer `version`".into()),
+    }
+    for key in ["model", "cost_model"] {
+        if root.get(key).and_then(Value::as_str).is_none() {
+            return Err(format!("missing string `{key}`"));
+        }
+    }
+    expl_int(&root, "batch_size", "root")?;
+    let cluster = root.get("cluster").ok_or("missing `cluster`")?;
+    if !cluster.is_obj() {
+        return Err("`cluster` is not an object".into());
+    }
+    for key in ["nodes", "gpus_per_node", "total_devices"] {
+        expl_int(cluster, key, "cluster")?;
+    }
+
+    let mut summary = ExplainSummary::default();
+    let mut min_feasible_score = f64::INFINITY;
+    let tiers = root
+        .get("tiers")
+        .ok_or("missing `tiers`")?
+        .as_arr()
+        .ok_or("`tiers` is not an array")?;
+    for (ti, t) in tiers.iter().enumerate() {
+        let what = format!("tier {ti}");
+        if !t.is_obj() {
+            return Err(format!("{what}: not an object"));
+        }
+        for key in ["n", "devices", "replica_factor"] {
+            if expl_int(t, key, &what)? == 0 {
+                return Err(format!("{what}: `{key}` must be positive"));
+            }
+        }
+        summary.tiers += 1;
+        let cands = t
+            .get("candidates")
+            .and_then(Value::as_arr)
+            .ok_or(format!("{what}: missing `candidates` array"))?;
+        for (ci, c) in cands.iter().enumerate() {
+            let what = format!("tier {ti} candidate {ci}");
+            if expl_int(c, "stages", &what)? == 0 || expl_int(c, "microbatches", &what)? == 0 {
+                return Err(format!("{what}: `stages`/`microbatches` must be positive"));
+            }
+            summary.candidates += 1;
+            match c.get("outcome").and_then(Value::as_str) {
+                Some("feasible") => {
+                    let score = expl_time(c, "score", &what)?;
+                    expl_time(c, "bottleneck", &what)?;
+                    min_feasible_score = min_feasible_score.min(score);
+                    summary.feasible += 1;
+                }
+                Some("pruned") => {
+                    expl_time(c, "lower_bound", &what)?;
+                    summary.pruned += 1;
+                }
+                Some("infeasible") => summary.infeasible += 1,
+                Some(other) => return Err(format!("{what}: unknown outcome `{other}`")),
+                None => return Err(format!("{what}: missing string `outcome`")),
+            }
+        }
+    }
+
+    let winner = root.get("winner").ok_or("missing `winner`")?;
+    match winner {
+        Value::Null => {
+            if summary.feasible > 0 {
+                return Err(format!(
+                    "winner is null but {} candidate(s) were feasible",
+                    summary.feasible
+                ));
+            }
+        }
+        w if w.is_obj() => {
+            if summary.feasible == 0 {
+                return Err("winner present but no candidate was feasible".into());
+            }
+            let score = expl_time(w, "score", "winner")?;
+            expl_time(w, "bottleneck", "winner")?;
+            expl_time(w, "est_iteration_time", "winner")?;
+            for key in ["microbatches", "replica_factor"] {
+                if expl_int(w, key, "winner")? == 0 {
+                    return Err(format!("winner: `{key}` must be positive"));
+                }
+            }
+            // the winner must be exactly the best feasible candidate —
+            // tolerate only float-format round-off
+            let tol = 1e-9 * min_feasible_score.max(1e-30);
+            if (score - min_feasible_score).abs() > tol {
+                return Err(format!(
+                    "winner score {score} does not match best feasible candidate \
+                     score {min_feasible_score}"
+                ));
+            }
+            let stages = w
+                .get("stages")
+                .and_then(Value::as_arr)
+                .ok_or("winner: missing `stages` array")?;
+            if stages.is_empty() {
+                return Err("winner: `stages` is empty".into());
+            }
+            for (si, s) in stages.iter().enumerate() {
+                let what = format!("winner stage {si}");
+                for key in ["tasks", "devices", "micro_batch"] {
+                    if expl_int(s, key, &what)? == 0 {
+                        return Err(format!("{what}: `{key}` must be positive"));
+                    }
+                }
+                for key in [
+                    "fwd_time",
+                    "bwd_time",
+                    "transfer_time",
+                    "allreduce_time",
+                    "optimizer_time",
+                ] {
+                    expl_time(s, key, &what)?;
+                }
+                expl_int(s, "mem_estimate_bytes", &what)?;
+                expl_int(s, "param_elems", &what)?;
+                match s.get("mem_certified_bytes") {
+                    Some(Value::Null) => {}
+                    Some(v) if nonneg_int(v).is_some() => {}
+                    _ => {
+                        return Err(format!(
+                            "{what}: `mem_certified_bytes` must be a non-negative \
+                             integer or null"
+                        ))
+                    }
+                }
+            }
+            summary.winner_stages = stages.len();
+        }
+        _ => return Err("`winner` is neither null nor an object".into()),
+    }
+
+    let acc = root.get("accounting").ok_or("missing `accounting`")?;
+    if !acc.is_obj() {
+        return Err("`accounting` is not an object".into());
+    }
+    expl_int(acc, "stage_cache_entries", "accounting")?;
+    expl_int(acc, "profiler_cache_entries", "accounting")?;
+    for (key, expect) in [
+        ("candidates", summary.candidates),
+        ("feasible", summary.feasible),
+        ("pruned", summary.pruned),
+        ("infeasible", summary.infeasible),
+        ("node_tiers", summary.tiers),
+    ] {
+        let got = expl_int(acc, key, "accounting")?;
+        if got != expect as u64 {
+            return Err(format!(
+                "accounting `{key}` is {got} but the tier lists say {expect}"
+            ));
         }
     }
     Ok(summary)
@@ -317,5 +548,180 @@ mod tests {
         );
         assert!(check_metrics("not json").is_err());
         assert!(check_metrics("").is_ok(), "empty file is vacuously valid");
+    }
+
+    #[test]
+    fn accepts_empty_trace() {
+        let s = check_trace(r#"{"traceEvents": []}"#).expect("empty trace is valid");
+        assert_eq!(s, TraceSummary::default());
+    }
+
+    #[test]
+    fn accepts_retroactive_record_slice_nesting() {
+        // record_slice lets simulated timelines append slices in any
+        // order; the checker must sort per lane before the nesting sweep,
+        // so a parent recorded *after* its children still validates
+        let _g = trace::test_guard();
+        crate::set_enabled(true);
+        trace::reset();
+        let l = trace::lane("sim");
+        trace::record_slice(l, Cow::Borrowed("late-child"), "t", 6.0, 3.0, Vec::new());
+        trace::record_slice(l, Cow::Borrowed("early-child"), "t", 1.0, 3.0, Vec::new());
+        trace::record_slice(l, Cow::Borrowed("parent"), "t", 0.0, 10.0, Vec::new());
+        crate::set_enabled(false);
+        let text = sink::chrome_trace_json(&trace::snapshot_events());
+        trace::reset();
+        let s = check_trace(&text).expect("retroactive nesting is well-formed");
+        assert_eq!(s.slices, 3);
+        assert_eq!(s.lanes, 1);
+    }
+
+    #[test]
+    fn accepts_slices_on_unregistered_lanes() {
+        // lane ids are opaque to the checker: a slice on a tid that was
+        // never registered via lane()/set_thread_name still validates
+        let ok = r#"{"traceEvents": [
+            {"ph": "X", "name": "orphan", "cat": "t", "ts": 0.0, "dur": 1.0,
+             "pid": 1, "tid": 424242, "args": {}}
+        ]}"#;
+        let s = check_trace(ok).expect("unknown lane ids are fine");
+        assert_eq!(s.slices, 1);
+        assert_eq!(s.lanes, 1);
+    }
+
+    /// A minimal valid explain artifact the corruption suite mutates.
+    fn valid_explain() -> String {
+        use crate::recorder::*;
+        let rec = Recording {
+            context: Some(ContextRec {
+                model: "mlp".into(),
+                batch_size: 32,
+                nodes: 2,
+                gpus_per_node: 2,
+                total_devices: 4,
+                cost_model: "analytical".into(),
+            }),
+            tiers: vec![TierRec {
+                n: 1,
+                devices: 2,
+                replica_factor: 2,
+                candidates: vec![
+                    CandidateRec {
+                        stages: 1,
+                        microbatches: 1,
+                        outcome: CandidateOutcome::Feasible {
+                            score: 0.5,
+                            bottleneck: 0.25,
+                        },
+                    },
+                    CandidateRec {
+                        stages: 2,
+                        microbatches: 1,
+                        outcome: CandidateOutcome::Pruned { lower_bound: 0.75 },
+                    },
+                ],
+            }],
+            winner: Some(WinnerRec {
+                stages: vec![WinnerStageRec {
+                    tasks: 4,
+                    devices: 2,
+                    micro_batch: 16,
+                    fwd_time: 0.1,
+                    bwd_time: 0.15,
+                    transfer_time: 0.0,
+                    allreduce_time: 0.01,
+                    optimizer_time: 0.002,
+                    mem_estimate_bytes: 1024,
+                    mem_certified_bytes: None,
+                    param_elems: 64,
+                }],
+                microbatches: 1,
+                replica_factor: 2,
+                score: 0.5,
+                bottleneck: 0.25,
+                est_iteration_time: 0.25,
+            }),
+            accounting: Some(AccountingRec {
+                stage_cache_entries: 2,
+                profiler_cache_entries: 3,
+            }),
+        };
+        to_json(&rec)
+    }
+
+    #[test]
+    fn explain_checker_accepts_its_own_serialization() {
+        let s = check_explain(&valid_explain()).expect("artifact is valid");
+        assert_eq!(s.tiers, 1);
+        assert_eq!(s.candidates, 2);
+        assert_eq!(s.feasible, 1);
+        assert_eq!(s.pruned, 1);
+        assert_eq!(s.winner_stages, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_explain_artifacts() {
+        let good = valid_explain();
+        // corruption suite: (mutation, what the validator must catch)
+        let cases: Vec<(String, &str)> = vec![
+            (good[..good.len() / 2].to_string(), "truncated JSON"),
+            ("{}".to_string(), "empty object"),
+            ("[1, 2, 3]".to_string(), "non-object root"),
+            (
+                good.replace("\"rannc_explain\"", "\"rannc_trace\""),
+                "wrong schema tag",
+            ),
+            (
+                good.replace("\"version\": 1", "\"version\": 2"),
+                "unsupported version",
+            ),
+            (
+                good.replace("\"outcome\": \"pruned\"", "\"outcome\": \"maybe\""),
+                "unknown outcome",
+            ),
+            (
+                good.replace(
+                    "\"score\": 0.5, \"bottleneck\": 0.25}",
+                    "\"bottleneck\": 0.25}",
+                ),
+                "feasible candidate without a score",
+            ),
+            (
+                good.replace("\"candidates\": 2", "\"candidates\": 99"),
+                "accounting total out of sync",
+            ),
+            (
+                good.replace("\"winner\": {", "\"winner_\": {"),
+                "missing winner",
+            ),
+            (
+                good.replace("\"micro_batch\": 16", "\"micro_batch\": 0"),
+                "zero micro-batch in a winner stage",
+            ),
+            (
+                good.replace(
+                    "\"mem_certified_bytes\": null",
+                    "\"mem_certified_bytes\": -1",
+                ),
+                "negative certified memory",
+            ),
+        ];
+        for (bad, why) in cases {
+            assert_ne!(bad, good, "mutation did not apply: {why}");
+            assert!(check_explain(&bad).is_err(), "accepted artifact with {why}");
+        }
+    }
+
+    #[test]
+    fn explain_checker_rejects_winner_score_mismatch() {
+        // the winner's score must be the minimum feasible candidate score
+        let good = valid_explain();
+        let bad = good.replace(
+            "\"score\": 0.5, \"bottleneck\": 0.25, \"est_iteration_time\": 0.25",
+            "\"score\": 0.6, \"bottleneck\": 0.25, \"est_iteration_time\": 0.25",
+        );
+        assert_ne!(bad, good);
+        let err = check_explain(&bad).unwrap_err();
+        assert!(err.contains("does not match best feasible"), "{err}");
     }
 }

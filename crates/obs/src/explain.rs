@@ -1,0 +1,492 @@
+//! Renderer behind `rannc-plan explain` — turns a flight-recorder
+//! artifact ([`crate::recorder`], `rannc_explain` schema v1) into a
+//! per-stage cost-breakdown table, a top-k runner-up list, and a pruning
+//! account, and diffs two artifacts stage by stage.
+//!
+//! Every entry point validates the artifact through
+//! [`crate::check::check_explain`] first, so rendering never has to
+//! defend against malformed input — a corrupted artifact fails loudly
+//! before any table is built.
+
+use crate::check::check_explain;
+use crate::json::{self, Value};
+use crate::recorder::{
+    AccountingRec, CandidateOutcome, CandidateRec, ContextRec, Recording, TierRec, WinnerRec,
+    WinnerStageRec,
+};
+
+/// Parse (and validate) an artifact back into a [`Recording`].
+pub fn parse_artifact(text: &str) -> Result<Recording, String> {
+    check_explain(text)?;
+    let root = json::parse(text).map_err(|e| e.to_string())?;
+    let int = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+    let num = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+    let cluster = root.get("cluster").cloned().unwrap_or(Value::Null);
+    let context = ContextRec {
+        model: root
+            .get("model")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        batch_size: int(&root, "batch_size") as usize,
+        nodes: int(&cluster, "nodes") as usize,
+        gpus_per_node: int(&cluster, "gpus_per_node") as usize,
+        total_devices: int(&cluster, "total_devices") as usize,
+        cost_model: root
+            .get("cost_model")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string(),
+    };
+    let mut tiers = Vec::new();
+    for t in root
+        .get("tiers")
+        .and_then(Value::as_arr)
+        .unwrap_or_default()
+    {
+        let mut candidates = Vec::new();
+        for c in t
+            .get("candidates")
+            .and_then(Value::as_arr)
+            .unwrap_or_default()
+        {
+            let outcome = match c.get("outcome").and_then(Value::as_str) {
+                Some("feasible") => CandidateOutcome::Feasible {
+                    score: num(c, "score"),
+                    bottleneck: num(c, "bottleneck"),
+                },
+                Some("pruned") => CandidateOutcome::Pruned {
+                    lower_bound: num(c, "lower_bound"),
+                },
+                _ => CandidateOutcome::Infeasible,
+            };
+            candidates.push(CandidateRec {
+                stages: int(c, "stages") as usize,
+                microbatches: int(c, "microbatches") as usize,
+                outcome,
+            });
+        }
+        tiers.push(TierRec {
+            n: int(t, "n") as usize,
+            devices: int(t, "devices") as usize,
+            replica_factor: int(t, "replica_factor") as usize,
+            candidates,
+        });
+    }
+    let winner = root.get("winner").filter(|w| w.is_obj()).map(|w| {
+        let mut stages = Vec::new();
+        for s in w.get("stages").and_then(Value::as_arr).unwrap_or_default() {
+            stages.push(WinnerStageRec {
+                tasks: int(s, "tasks") as usize,
+                devices: int(s, "devices") as usize,
+                micro_batch: int(s, "micro_batch") as usize,
+                fwd_time: num(s, "fwd_time"),
+                bwd_time: num(s, "bwd_time"),
+                transfer_time: num(s, "transfer_time"),
+                allreduce_time: num(s, "allreduce_time"),
+                optimizer_time: num(s, "optimizer_time"),
+                mem_estimate_bytes: int(s, "mem_estimate_bytes"),
+                mem_certified_bytes: match s.get("mem_certified_bytes") {
+                    Some(Value::Num(n)) => Some(*n as u64),
+                    _ => None,
+                },
+                param_elems: int(s, "param_elems"),
+            });
+        }
+        WinnerRec {
+            stages,
+            microbatches: int(w, "microbatches") as usize,
+            replica_factor: int(w, "replica_factor") as usize,
+            score: num(w, "score"),
+            bottleneck: num(w, "bottleneck"),
+            est_iteration_time: num(w, "est_iteration_time"),
+        }
+    });
+    let acc = root.get("accounting").cloned().unwrap_or(Value::Null);
+    Ok(Recording {
+        context: Some(context),
+        tiers,
+        winner,
+        accounting: Some(AccountingRec {
+            stage_cache_entries: int(&acc, "stage_cache_entries"),
+            profiler_cache_entries: int(&acc, "profiler_cache_entries"),
+        }),
+    })
+}
+
+fn ms(t: f64) -> String {
+    format!("{:.3}", t * 1e3)
+}
+
+fn gib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1u64 << 30) as f64)
+}
+
+fn pct(delta: f64, base: f64) -> String {
+    if base.abs() < 1e-30 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", delta / base * 100.0)
+}
+
+/// One feasible candidate lifted out of its tier for the runner-up list.
+struct Feasible {
+    n: usize,
+    stages: usize,
+    microbatches: usize,
+    score: f64,
+}
+
+fn feasible_sorted(rec: &Recording) -> Vec<Feasible> {
+    let mut out = Vec::new();
+    for t in &rec.tiers {
+        for c in &t.candidates {
+            if let CandidateOutcome::Feasible { score, .. } = c.outcome {
+                out.push(Feasible {
+                    n: t.n,
+                    stages: c.stages,
+                    microbatches: c.microbatches,
+                    score,
+                });
+            }
+        }
+    }
+    // score asc; grid order breaks ties (stable sort over in-order scan)
+    out.sort_by(|a, b| a.score.total_cmp(&b.score));
+    out
+}
+
+/// Render one artifact: header, per-stage cost breakdown, top-`top_k`
+/// runner-ups, pruning and cache account.
+pub fn render(text: &str, top_k: usize) -> Result<String, String> {
+    let rec = parse_artifact(text)?;
+    let ctx = rec.context.clone().unwrap_or_default();
+    let acc = rec.accounting.clone().unwrap_or_default();
+    let (total, feas, pruned, infeas) = rec.totals();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "plan explain — {} (batch {}, {} cost model)\n",
+        ctx.model, ctx.batch_size, ctx.cost_model
+    ));
+    out.push_str(&format!(
+        "cluster: {} node(s) x {} GPU(s), {} device(s) usable\n",
+        ctx.nodes, ctx.gpus_per_node, ctx.total_devices
+    ));
+
+    match &rec.winner {
+        None => out.push_str("\nwinner: none — the search was INFEASIBLE\n"),
+        Some(w) => {
+            out.push_str(&format!(
+                "\nwinner: {} stage(s), MB={}, R={} — score {} ms \
+                 (pipeline {} ms + allreduce {} ms), bottleneck {} ms\n",
+                w.stages.len(),
+                w.microbatches,
+                w.replica_factor,
+                ms(w.score),
+                ms(w.est_iteration_time),
+                ms(w.score - w.est_iteration_time),
+                ms(w.bottleneck)
+            ));
+            out.push_str(&format!(
+                "\n{:>5} {:>6} {:>5} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}\n",
+                "stage",
+                "tasks",
+                "devs",
+                "mb",
+                "fwd ms",
+                "bwd ms",
+                "xfer ms",
+                "ar ms",
+                "opt ms",
+                "est GiB",
+                "cert GiB"
+            ));
+            for (i, s) in w.stages.iter().enumerate() {
+                let cert = match s.mem_certified_bytes {
+                    Some(b) => gib(b),
+                    None => "-".into(),
+                };
+                out.push_str(&format!(
+                    "{:>5} {:>6} {:>5} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}\n",
+                    i,
+                    s.tasks,
+                    s.devices,
+                    s.micro_batch,
+                    ms(s.fwd_time),
+                    ms(s.bwd_time),
+                    ms(s.transfer_time),
+                    ms(s.allreduce_time),
+                    ms(s.optimizer_time),
+                    gib(s.mem_estimate_bytes),
+                    cert
+                ));
+            }
+        }
+    }
+
+    let ranked = feasible_sorted(&rec);
+    if ranked.len() > 1 && top_k > 0 {
+        let shown = (ranked.len() - 1).min(top_k);
+        out.push_str(&format!(
+            "\nrunner-up plans (top {} of {} feasible):\n",
+            shown,
+            ranked.len() - 1
+        ));
+        let best = ranked[0].score;
+        for (i, f) in ranked[1..1 + shown].iter().enumerate() {
+            out.push_str(&format!(
+                "  #{} S={} MB={} n={}: score {} ms ({:+.3} ms, {})\n",
+                i + 1,
+                f.stages,
+                f.microbatches,
+                f.n,
+                ms(f.score),
+                (f.score - best) * 1e3,
+                pct(f.score - best, best)
+            ));
+        }
+    }
+
+    out.push_str(&format!(
+        "\nsearch: {} tier(s), {} candidate(s) — {} feasible, {} pruned, {} infeasible\n",
+        rec.tiers.len(),
+        total,
+        feas,
+        pruned,
+        infeas
+    ));
+    if total > 0 {
+        out.push_str(&format!(
+            "pruning skipped {} of {} DP invocations ({:.1}%)\n",
+            pruned,
+            total,
+            pruned as f64 / total as f64 * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "caches: {} stage-cost entries, {} profiler entries\n",
+        acc.stage_cache_entries, acc.profiler_cache_entries
+    ));
+    Ok(out)
+}
+
+fn diff_line(label: &str, a: f64, b: f64) -> String {
+    format!(
+        "  {:<12} {} -> {} ms ({:+.3} ms, {})\n",
+        label,
+        ms(a),
+        ms(b),
+        (b - a) * 1e3,
+        pct(b - a, a)
+    )
+}
+
+/// Render the stage-by-stage cost delta between two artifacts (`a` is
+/// the baseline, `b` the comparison — e.g. before/after a device loss).
+pub fn render_diff(a_text: &str, b_text: &str) -> Result<String, String> {
+    let a = parse_artifact(a_text).map_err(|e| format!("first artifact: {e}"))?;
+    let b = parse_artifact(b_text).map_err(|e| format!("second artifact: {e}"))?;
+    let (actx, bctx) = (
+        a.context.clone().unwrap_or_default(),
+        b.context.clone().unwrap_or_default(),
+    );
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "explain diff — {} (batch {}) vs {} (batch {})\n",
+        actx.model, actx.batch_size, bctx.model, bctx.batch_size
+    ));
+    out.push_str(&format!(
+        "cluster: {} -> {} usable device(s)\n",
+        actx.total_devices, bctx.total_devices
+    ));
+
+    match (&a.winner, &b.winner) {
+        (Some(wa), Some(wb)) => {
+            out.push_str(&format!(
+                "winner: S={} MB={} R={} -> S={} MB={} R={}\n\n",
+                wa.stages.len(),
+                wa.microbatches,
+                wa.replica_factor,
+                wb.stages.len(),
+                wb.microbatches,
+                wb.replica_factor
+            ));
+            out.push_str(&diff_line("score", wa.score, wb.score));
+            out.push_str(&diff_line(
+                "pipeline",
+                wa.est_iteration_time,
+                wb.est_iteration_time,
+            ));
+            out.push_str(&diff_line(
+                "allreduce",
+                wa.score - wa.est_iteration_time,
+                wb.score - wb.est_iteration_time,
+            ));
+            out.push_str(&diff_line("bottleneck", wa.bottleneck, wb.bottleneck));
+
+            out.push_str("\nper-stage deltas (pipeline order):\n");
+            let common = wa.stages.len().min(wb.stages.len());
+            for i in 0..common {
+                let (sa, sb) = (&wa.stages[i], &wb.stages[i]);
+                out.push_str(&format!(
+                    "  stage {i}: fwd {} -> {}, bwd {} -> {}, xfer {} -> {}, \
+                     ar {} -> {}, opt {} -> {} ms; devs {} -> {}, mb {} -> {}\n",
+                    ms(sa.fwd_time),
+                    ms(sb.fwd_time),
+                    ms(sa.bwd_time),
+                    ms(sb.bwd_time),
+                    ms(sa.transfer_time),
+                    ms(sb.transfer_time),
+                    ms(sa.allreduce_time),
+                    ms(sb.allreduce_time),
+                    ms(sa.optimizer_time),
+                    ms(sb.optimizer_time),
+                    sa.devices,
+                    sb.devices,
+                    sa.micro_batch,
+                    sb.micro_batch
+                ));
+            }
+            for (who, w, other) in [("first", wa, common), ("second", wb, common)] {
+                for (i, s) in w.stages.iter().enumerate().skip(other) {
+                    out.push_str(&format!(
+                        "  stage {i} only in the {who} plan: fwd {} ms, bwd {} ms, \
+                         {} task(s) on {} device(s)\n",
+                        ms(s.fwd_time),
+                        ms(s.bwd_time),
+                        s.tasks,
+                        s.devices
+                    ));
+                }
+            }
+        }
+        (Some(_), None) => out.push_str("winner: feasible -> INFEASIBLE\n"),
+        (None, Some(_)) => out.push_str("winner: INFEASIBLE -> feasible\n"),
+        (None, None) => out.push_str("winner: both searches INFEASIBLE\n"),
+    }
+
+    let (at, af, ap, ai) = a.totals();
+    let (bt, bf, bp, bi) = b.totals();
+    out.push_str(&format!(
+        "\nsearch: candidates {at} -> {bt}, feasible {af} -> {bf}, \
+         pruned {ap} -> {bp}, infeasible {ai} -> {bi}\n"
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::*;
+    use crate::trace::test_guard;
+
+    fn recording(devices: usize, fwd: f64) -> String {
+        let rec = Recording {
+            context: Some(ContextRec {
+                model: "mlp-12l".into(),
+                batch_size: 64,
+                nodes: 2,
+                gpus_per_node: 2,
+                total_devices: devices,
+                cost_model: "analytical".into(),
+            }),
+            tiers: vec![TierRec {
+                n: 1,
+                devices: 2,
+                replica_factor: 2,
+                candidates: vec![
+                    CandidateRec {
+                        stages: 1,
+                        microbatches: 1,
+                        outcome: CandidateOutcome::Feasible {
+                            score: fwd * 2.0,
+                            bottleneck: fwd,
+                        },
+                    },
+                    CandidateRec {
+                        stages: 1,
+                        microbatches: 2,
+                        outcome: CandidateOutcome::Feasible {
+                            score: fwd * 3.0,
+                            bottleneck: fwd,
+                        },
+                    },
+                    CandidateRec {
+                        stages: 2,
+                        microbatches: 1,
+                        outcome: CandidateOutcome::Pruned {
+                            lower_bound: fwd * 4.0,
+                        },
+                    },
+                ],
+            }],
+            winner: Some(WinnerRec {
+                stages: vec![WinnerStageRec {
+                    tasks: 12,
+                    devices: 2,
+                    micro_batch: 32,
+                    fwd_time: fwd,
+                    bwd_time: fwd * 1.5,
+                    transfer_time: 0.0,
+                    allreduce_time: 0.001,
+                    optimizer_time: 0.0002,
+                    mem_estimate_bytes: 3 << 30,
+                    mem_certified_bytes: Some(2 << 30),
+                    param_elems: 1 << 20,
+                }],
+                microbatches: 1,
+                replica_factor: 2,
+                score: fwd * 2.0,
+                bottleneck: fwd,
+                est_iteration_time: fwd * 2.0 - 0.0,
+            }),
+            accounting: Some(AccountingRec {
+                stage_cache_entries: 7,
+                profiler_cache_entries: 11,
+            }),
+        };
+        to_json(&rec)
+    }
+
+    #[test]
+    fn parse_round_trips_the_recording() {
+        let _g = test_guard();
+        let text = recording(4, 0.010);
+        let rec = parse_artifact(&text).expect("valid artifact");
+        assert_eq!(to_json(&rec), text, "parse→serialize is the identity");
+    }
+
+    #[test]
+    fn render_shows_breakdown_runner_ups_and_pruning() {
+        let text = recording(4, 0.010);
+        let out = render(&text, 3).expect("renders");
+        assert!(out.contains("mlp-12l"), "{out}");
+        assert!(out.contains("stage"), "{out}");
+        assert!(
+            out.contains("runner-up plans (top 1 of 1 feasible)"),
+            "{out}"
+        );
+        assert!(out.contains("pruning skipped 1 of 3"), "{out}");
+        assert!(out.contains("7 stage-cost entries"), "{out}");
+    }
+
+    #[test]
+    fn render_rejects_corrupt_artifacts() {
+        let text = recording(4, 0.010);
+        assert!(render(&text[..text.len() / 2], 3).is_err());
+        assert!(render_diff(&text, "{}").is_err());
+    }
+
+    #[test]
+    fn diff_attributes_the_delta() {
+        let a = recording(4, 0.010);
+        let b = recording(3, 0.014);
+        let out = render_diff(&a, &b).expect("diff renders");
+        assert!(out.contains("4 -> 3 usable device(s)"), "{out}");
+        assert!(out.contains("score"), "{out}");
+        assert!(out.contains("stage 0: fwd 10.000 -> 14.000"), "{out}");
+        assert!(out.contains("candidates 3 -> 3"), "{out}");
+    }
+}

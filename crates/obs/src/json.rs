@@ -64,6 +64,54 @@ impl Value {
     pub fn is_obj(&self) -> bool {
         matches!(self, Value::Obj(_))
     }
+
+    /// Serialize back to compact JSON text using the same [`escape`] /
+    /// [`fmt_f64`] primitives the exporters use. `parse ∘ to_json` is
+    /// the identity on anything [`parse`] produced (the proptest suite
+    /// pins the fixpoint); strings containing raw control characters
+    /// normalize to their `\u00XX` escape on the first round trip.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => out.push_str(&fmt_f64(*n)),
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\": ");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// A parse error with a byte offset.
@@ -328,6 +376,15 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn to_json_round_trips_through_parse() {
+        let text = r#"{"a": [1, -2.5, 300.0], "b": {"c": true, "d": null, "e": "x\"y"}}"#;
+        let v = parse(text).unwrap();
+        let out = v.to_json();
+        assert_eq!(parse(&out).unwrap(), v, "{out}");
+        assert_eq!(parse(&out).unwrap().to_json(), out, "serializer fixpoint");
     }
 
     #[test]

@@ -22,7 +22,13 @@
 //!
 //! Exporters live in [`sink`]; a minimal JSON reader used by the
 //! validators (and by `rannc-plan obs-check`) lives in [`json`]; the
-//! trace/metrics file validators live in [`check`].
+//! trace/metrics/explain file validators live in [`check`].
+//!
+//! A third layer with the same cost contract as tracing is the plan
+//! flight [`recorder`]: decision-level telemetry of the partition search
+//! (every swept candidate, the winner's cost attribution, pruning and
+//! cache accounting), serialized to the frozen `rannc_explain` schema v1
+//! and rendered by [`explain`] for the `rannc-plan explain` subcommand.
 //!
 //! ```
 //! use rannc_obs as obs;
@@ -39,8 +45,10 @@
 //! ```
 
 pub mod check;
+pub mod explain;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod sink;
 pub mod trace;
 

@@ -145,6 +145,40 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Bucket-interpolated quantile estimate (Prometheus
+    /// `histogram_quantile` style): find the bucket holding the rank
+    /// `q·count` and interpolate linearly between its bounds. The lower
+    /// edge of the first bucket is 0; a rank landing in the overflow
+    /// bucket returns the overflow's lower edge (the largest finite
+    /// bound), since +∞ has no width to interpolate over. Returns 0 for
+    /// an empty histogram; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        let mut lo = 0.0f64;
+        for &(le, n) in &self.buckets {
+            if n == 0 {
+                if le.is_finite() {
+                    lo = le;
+                }
+                continue;
+            }
+            if (cum + n) as f64 >= rank {
+                if !le.is_finite() {
+                    return lo;
+                }
+                let within = ((rank - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return lo + (le - lo) * within;
+            }
+            cum += n;
+            lo = le;
+        }
+        lo
+    }
 }
 
 enum Metric {
@@ -328,6 +362,92 @@ mod tests {
         let total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 4);
         assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_known_buckets() {
+        // 100 observations of exactly 1.0 all land in the (0.5, 1.0]
+        // bucket, so every quantile interpolates inside [0.5, 1.0]
+        let snap = HistogramSnapshot {
+            count: 100,
+            sum: 100.0,
+            buckets: (0..HISTOGRAM_BUCKETS)
+                .map(|i| (bucket_le(i), if bucket_le(i) == 1.0 { 100 } else { 0 }))
+                .collect(),
+        };
+        assert!((snap.quantile(0.5) - 0.75).abs() < 1e-12, "p50 = midpoint");
+        assert!((snap.quantile(0.9) - 0.95).abs() < 1e-12);
+        assert!(
+            (snap.quantile(1.0) - 1.0).abs() < 1e-12,
+            "p100 = upper edge"
+        );
+        assert!((snap.quantile(0.0) - 0.5).abs() < 1e-12, "p0 = lower edge");
+    }
+
+    #[test]
+    fn quantiles_split_across_buckets_by_rank() {
+        // 30 obs in (0.25, 0.5], 70 obs in (0.5, 1.0]: p30 sits exactly
+        // at the bucket boundary, p50 is rank 20 of 70 into the second
+        let mut buckets: Vec<(f64, u64)> =
+            (0..HISTOGRAM_BUCKETS).map(|i| (bucket_le(i), 0)).collect();
+        for b in buckets.iter_mut() {
+            if b.0 == 0.5 {
+                b.1 = 30;
+            } else if b.0 == 1.0 {
+                b.1 = 70;
+            }
+        }
+        let snap = HistogramSnapshot {
+            count: 100,
+            sum: 60.0,
+            buckets,
+        };
+        assert!((snap.quantile(0.3) - 0.5).abs() < 1e-12, "boundary rank");
+        let p50 = 0.5 + 0.5 * (20.0 / 70.0);
+        assert!((snap.quantile(0.5) - p50).abs() < 1e-12);
+        assert!(snap.quantile(0.9) > snap.quantile(0.5), "monotone in q");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            buckets: (0..HISTOGRAM_BUCKETS).map(|i| (bucket_le(i), 0)).collect(),
+        };
+        assert_eq!(empty.quantile(0.5), 0.0, "empty histogram");
+
+        // everything in the overflow bucket: the estimate degrades to
+        // the largest finite bound rather than inventing +inf
+        let overflow = HistogramSnapshot {
+            count: 5,
+            sum: 5e9,
+            buckets: (0..HISTOGRAM_BUCKETS)
+                .map(|i| {
+                    let le = bucket_le(i);
+                    (le, if le.is_finite() { 0 } else { 5 })
+                })
+                .collect(),
+        };
+        let max_finite = bucket_le(HISTOGRAM_BUCKETS - 2);
+        assert_eq!(overflow.quantile(0.99), max_finite);
+        assert!(overflow.quantile(0.99).is_finite());
+    }
+
+    #[test]
+    fn live_histogram_quantiles_are_plausible() {
+        let h = histogram("test.metrics.quantile.live");
+        for i in 1..=1000 {
+            h.observe(i as f64 / 1000.0); // uniform on (0, 1]
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99);
+        // log2 buckets are coarse; the estimates must still bracket the
+        // true quantiles within one bucket
+        assert!((0.25..=0.75).contains(&p50), "p50 = {p50}");
+        assert!((0.5..=1.0).contains(&p90), "p90 = {p90}");
+        assert!((0.5..=1.0).contains(&p99), "p99 = {p99}");
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! One JSON object per line. Counters/gauges:
 //! `{"metric":name,"type":"counter"|"gauge","value":n}`; histograms:
 //! `{"metric":name,"type":"histogram","count":n,"sum":x,
-//! "buckets":[{"le":bound,"count":n},…]}` with non-cumulative buckets.
+//! "p50":x,"p90":x,"p99":x,"buckets":[{"le":bound,"count":n},…]}` with
+//! non-cumulative buckets and bucket-interpolated quantile estimates
+//! (additive v1.1 fields — readers of the original schema ignore them).
 
 use crate::json::{escape, fmt_f64};
 use crate::metrics::{self, MetricSample, MetricValue};
@@ -100,10 +102,13 @@ pub fn metrics_jsonl(samples: &[MetricSample]) -> String {
             MetricValue::Histogram(h) => {
                 out.push_str(&format!(
                     "{{\"metric\": \"{}\", \"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
-                     \"buckets\": [",
+                     \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
                     escape(&s.name),
                     h.count,
-                    fmt_f64(h.sum)
+                    fmt_f64(h.sum),
+                    fmt_f64(h.quantile(0.5)),
+                    fmt_f64(h.quantile(0.9)),
+                    fmt_f64(h.quantile(0.99))
                 ));
                 for (i, (le, n)) in h.buckets.iter().enumerate() {
                     if i > 0 {
@@ -167,10 +172,13 @@ pub fn summary() -> String {
                 out.push_str(&format!("    {:<40} gauge     {v:.6}\n", s.name))
             }
             MetricValue::Histogram(h) => out.push_str(&format!(
-                "    {:<40} histogram n={} mean={:.6}\n",
+                "    {:<40} histogram n={} mean={:.6} p50={:.6} p90={:.6} p99={:.6}\n",
                 s.name,
                 h.count,
-                h.mean()
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99)
             )),
         }
     }
@@ -244,6 +252,26 @@ mod tests {
             }
         }
         assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn histogram_lines_carry_interpolated_quantiles() {
+        let h = metrics::histogram("test.sink.quantiles");
+        for _ in 0..10 {
+            h.observe(1.0); // (0.5, 1.0] bucket -> p50 interpolates to 0.75
+        }
+        let text = metrics_jsonl(&metrics::snapshot());
+        let line = text
+            .lines()
+            .find(|l| l.contains("test.sink.quantiles"))
+            .expect("histogram line present");
+        let v = json::parse(line).expect("valid JSONL line");
+        let p = |k: &str| v.get(k).unwrap().as_f64().unwrap();
+        assert!((p("p50") - 0.75).abs() < 1e-12, "{line}");
+        assert!(p("p50") <= p("p90") && p("p90") <= p("p99"), "{line}");
+        let s = summary();
+        assert!(s.contains("p50="), "{s}");
+        assert!(s.contains("p99="), "{s}");
     }
 
     #[test]

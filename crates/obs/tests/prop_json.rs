@@ -1,0 +1,183 @@
+//! Property tests of the `obs::json` layer: parse→serialize→parse must
+//! reach a fixpoint after at most one round trip on random value trees,
+//! and the `escape`/`fmt_f64` primitives are pinned on their edge cases
+//! (-0.0, huge/tiny magnitudes, unicode, control characters, deep
+//! nesting).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use rannc_obs::json::{self, escape, fmt_f64, Value};
+
+/// Random scalar leaves, biased toward the edge cases the formatter has
+/// to defend: negative zero, magnitudes near the f64 extremes, unicode
+/// and control characters.
+fn leaves() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(|n| Value::Num(n as f64)),
+        (-1.0e9f64..1.0e9).prop_map(Value::Num),
+        (0u64..8).prop_map(|i| Value::Num(
+            [
+                0.0,
+                -0.0,
+                1e-300,
+                -1e-300,
+                1e300,
+                -1e300,
+                f64::MIN_POSITIVE,
+                f64::EPSILON
+            ][i as usize]
+        )),
+        strings().prop_map(Value::Str),
+    ]
+}
+
+/// Random strings mixing plain ASCII, quotes/backslashes, unicode and
+/// control characters.
+fn strings() -> impl Strategy<Value = String> {
+    vec(
+        prop_oneof![
+            (32u32..127).prop_map(|c| char::from_u32(c).unwrap()),
+            (0u32..32).prop_map(|c| char::from_u32(c).unwrap()),
+            (0u64..6).prop_map(|i| ['"', '\\', 'µ', '→', '日', '𝔸'][i as usize]),
+        ],
+        0usize..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// A random value tree: leaves wrapped in up to `depth` layers of
+/// arrays/objects. The stub strategy trait is not recursive, so nesting
+/// is built by explicit fuel-bounded sampling.
+struct Tree {
+    depth: usize,
+}
+
+impl Strategy for Tree {
+    type Value = Value;
+    fn sample(&self, rng: &mut TestRng) -> Value {
+        build(rng, self.depth)
+    }
+}
+
+fn build(rng: &mut TestRng, fuel: usize) -> Value {
+    // fuel 0 forbids the container arms, bottoming the recursion out
+    let pick = rng.below(if fuel == 0 { 2 } else { 4 });
+    match pick {
+        0 | 1 => leaves().sample(rng),
+        2 => {
+            let n = rng.below(4) as usize;
+            Value::Arr((0..n).map(|_| build(rng, fuel - 1)).collect())
+        }
+        _ => {
+            let n = rng.below(4) as usize;
+            Value::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", strings().sample(rng)),
+                            build(rng, fuel - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse(serialize(v)) reaches a fixpoint after at most one round
+    /// trip: raw control characters normalize to their `\u00XX` escape on
+    /// the first pass (the parser keeps unknown escapes raw by design),
+    /// after which serialize∘parse is the identity — values AND bytes.
+    #[test]
+    fn round_trip_reaches_fixpoint(v0 in Tree { depth: 3 }) {
+        let s0 = v0.to_json();
+        json::validate(&s0).expect("serializer emits valid JSON");
+        let v1 = json::parse(&s0).expect("own output parses");
+        let s1 = v1.to_json();
+        let v2 = json::parse(&s1).expect("second round parses");
+        prop_assert_eq!(&v2, &v1, "value fixpoint after one round trip");
+        prop_assert_eq!(v2.to_json(), s1, "byte fixpoint after one round trip");
+    }
+
+    /// Every random string survives escape→parse unchanged (escape emits
+    /// only the parser's supported escapes plus `\u00XX`, which the
+    /// parser keeps raw — so compare against the normalized form).
+    #[test]
+    fn escaped_strings_stay_parseable(s in strings()) {
+        let doc = format!("{{\"k\": \"{}\"}}", escape(&s));
+        let v = json::parse(&doc).expect("escaped string parses");
+        let got = v.get("k").and_then(Value::as_str).expect("string field");
+        // normalization: control chars < 0x20 come back as their literal
+        // \u00XX spelling; everything else must round-trip exactly
+        let expect: String = s
+            .chars()
+            .flat_map(|c| {
+                if (c as u32) < 0x20 && !matches!(c, '\n' | '\t' | '\r') {
+                    format!("\\u{:04x}", c as u32).chars().collect::<Vec<_>>()
+                } else {
+                    vec![c]
+                }
+            })
+            .collect();
+        prop_assert_eq!(got, expect.as_str());
+    }
+
+    /// fmt_f64 output always reparses to the exact same finite value.
+    #[test]
+    fn fmt_f64_round_trips_finite(v in -1.0e12f64..1.0e12) {
+        let s = fmt_f64(v);
+        let back: f64 = s.parse().expect("fmt_f64 output parses as f64");
+        prop_assert_eq!(back.to_bits(), v.to_bits(), "{}", s);
+    }
+}
+
+#[test]
+fn fmt_f64_edge_case_pins() {
+    // -0.0 keeps its sign through the text form
+    assert_eq!(fmt_f64(-0.0), "-0.0");
+    assert_eq!(
+        fmt_f64(-0.0).parse::<f64>().unwrap().to_bits(),
+        (-0.0f64).to_bits()
+    );
+    // huge/tiny magnitudes stay valid JSON and round-trip exactly
+    for v in [1e300, -1e300, 1e-300, -1e-300, f64::MIN_POSITIVE, f64::MAX] {
+        let s = fmt_f64(v);
+        assert!(json::validate(&s).is_ok(), "{v} -> {s}");
+        assert_eq!(s.parse::<f64>().unwrap().to_bits(), v.to_bits(), "{s}");
+    }
+    // non-finite values clamp to finite sentinels, never `NaN`/`inf` text
+    assert_eq!(fmt_f64(f64::NAN), "0.0");
+    assert_eq!(fmt_f64(f64::INFINITY), "1e308");
+    assert_eq!(fmt_f64(f64::NEG_INFINITY), "-1e308");
+}
+
+#[test]
+fn escape_edge_case_pins() {
+    assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    assert_eq!(escape("\n\t\r"), "\\n\\t\\r");
+    assert_eq!(escape("\u{0}\u{1f}"), "\\u0000\\u001f");
+    assert_eq!(escape("µ→日𝔸"), "µ→日𝔸", "unicode passes through raw");
+}
+
+#[test]
+fn deep_nesting_round_trips() {
+    // 64 levels of alternating arrays/objects around one leaf
+    let mut v = Value::Num(1.0);
+    for i in 0..64 {
+        v = if i % 2 == 0 {
+            Value::Arr(vec![v])
+        } else {
+            Value::Obj(vec![("d".to_string(), v)])
+        };
+    }
+    let s = v.to_json();
+    let back = json::parse(&s).expect("deeply nested doc parses");
+    assert_eq!(back, v);
+    assert_eq!(back.to_json(), s);
+}

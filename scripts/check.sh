@@ -66,6 +66,29 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --trace "$OBS_TMP/trace.json" --metrics "$OBS_TMP/metrics.jsonl" \
     || { echo "obs-check FAILED"; exit 1; }
 
+echo "==> explain smoke (flight recorder -> explain -> device-loss diff)"
+# plan with the flight recorder on, render the artifact, replan after a
+# device loss, and attribute the delta; a corrupted artifact must be
+# rejected with a nonzero exit.
+./target/release/rannc-plan --model bert --hidden 256 --layers 4 \
+    --nodes 2 --batch 64 --k 8 \
+    --explain-out "$OBS_TMP/explain_a.json" >/dev/null 2>&1 \
+    || { echo "explain recording FAILED"; exit 1; }
+./target/release/rannc-plan explain "$OBS_TMP/explain_a.json" >/dev/null \
+    || { echo "explain rendering FAILED"; exit 1; }
+./target/release/rannc-plan --model bert --hidden 256 --layers 4 \
+    --nodes 2 --batch 64 --k 8 --lose-device 0 \
+    --explain-out "$OBS_TMP/explain_b.json" >/dev/null 2>&1 \
+    || { echo "explain recording after device loss FAILED"; exit 1; }
+./target/release/rannc-plan explain --diff \
+    "$OBS_TMP/explain_a.json" "$OBS_TMP/explain_b.json" >/dev/null \
+    || { echo "explain --diff FAILED"; exit 1; }
+head -c 120 "$OBS_TMP/explain_a.json" > "$OBS_TMP/explain_corrupt.json"
+if ./target/release/rannc-plan explain "$OBS_TMP/explain_corrupt.json" \
+    >/dev/null 2>&1; then
+    echo "explain accepted a corrupted artifact"; exit 1
+fi
+
 echo "==> churn smoke (seeded 50-event campaign, all policies, verified plans)"
 # bert at 16 devices under a seeded 50-event churn stream: the campaign
 # must complete (every adopted plan passes VerifyMode::Fail inside the
