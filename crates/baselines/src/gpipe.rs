@@ -77,6 +77,7 @@ pub(crate) fn build_spec(
             comm_to_next_bytes,
             grad_bytes: prof.param_elems * 4,
             replicas,
+            tensor_parallel: 1,
         });
     }
     Some(PipelineSpec {
@@ -309,6 +310,43 @@ mod tests {
         let out = gpipe_model(&g, &profiler, &cluster, 128);
         let r = out.ok().expect("feasible");
         assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn gpipe_is_the_t1_restriction_of_the_unified_model() {
+        // GPipe has no intra-op axis: every stage spec it builds carries
+        // tensor_parallel = 1, so the baseline is exactly the unified
+        // (S, MB, T) pipeline model pinned at T = 1 — pinning the degree
+        // explicitly changes nothing, bit for bit.
+        let cfg = BertConfig {
+            layers: 4,
+            ..BertConfig::tiny()
+        };
+        let g = bert_graph(&cfg);
+        let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
+        let cluster = ClusterSpec::v100_cluster(1);
+        let groups = layer_groups(&g);
+        let stage_sets = uniform_layer_split(&groups, 2, g.num_tasks());
+        let u = UniformSpec {
+            replicas: 4,
+            microbatches: 4,
+            batch_size: 64,
+            inflight_override: None,
+            extra_weight_copies: 0,
+        };
+        let spec = build_spec(&profiler, &cluster, &stage_sets, &u).expect("feasible");
+        assert!(spec.stages.iter().all(|s| s.tensor_parallel == 1));
+        let base = simulate_sync(&spec, SyncSchedule::FillDrain, false).result;
+        let mut pinned = spec.clone();
+        for st in &mut pinned.stages {
+            st.tensor_parallel = 1;
+        }
+        let re = simulate_sync(&pinned, SyncSchedule::FillDrain, false).result;
+        assert_eq!(base.iteration_time.to_bits(), re.iteration_time.to_bits());
+        assert_eq!(
+            spec.allreduce_time().to_bits(),
+            pinned.allreduce_time().to_bits()
+        );
     }
 
     #[test]

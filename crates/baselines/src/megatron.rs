@@ -17,153 +17,20 @@
 //!   RaNNC's despite partitioned weights;
 //! * partition counts are powers of two, at most the device count
 //!   (§IV-B); the harness picks the best feasible one.
+//!
+//! The split arithmetic itself is owned by `rannc-cost`'s
+//! [`tensor`](rannc_cost::tensor) module, where the unified 3D partition
+//! search prices per-stage tensor parallelism through the same formulas.
+//! This baseline is the `(S = 1, T = t)` sweep over that owner — a
+//! special point of the search space, not a parallel code path.
 
 use crate::BaselineOutcome;
-use rannc_cost::{AnalyticalCost, CostModel};
+use rannc_cost::{megatron_partition, AnalyticalCost, CostModel};
 use rannc_hw::{ClusterSpec, Precision};
 use rannc_pipeline::SimResult;
-use rannc_profile::memory::{ADAM_BYTES_PER_PARAM, DEVICE_OVERHEAD_BYTES};
 use rannc_profile::ProfilerOptions;
 
-/// Memory-overhead factor on activations: PyTorch's caching allocator
-/// fragments under Megatron's alternating full-size/partitioned buffer
-/// sizes, and each tensor-parallel group pins NCCL workspaces. Real
-/// Megatron-LM deployments reserve this headroom; without it the analytic
-/// model would fit models the real system could not (the paper's Fig. 4
-/// shows Megatron failing at ~1/5 of RaNNC's largest model).
-const ALLOCATOR_OVERHEAD: f64 = 1.15;
-
-/// Transformer shape parameters (all Megatron needs to know).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TransformerDims {
-    /// Hidden size.
-    pub hidden: usize,
-    /// Encoder/decoder layers.
-    pub layers: usize,
-    /// Attention heads (tensor parallelism splits heads; `T` must divide
-    /// this).
-    pub heads: usize,
-    /// FFN intermediate size.
-    pub intermediate: usize,
-    /// Vocabulary size.
-    pub vocab: usize,
-    /// Sequence length.
-    pub seq_len: usize,
-}
-
-impl From<&rannc_models::BertConfig> for TransformerDims {
-    fn from(c: &rannc_models::BertConfig) -> Self {
-        TransformerDims {
-            hidden: c.hidden,
-            layers: c.layers,
-            heads: c.heads,
-            intermediate: c.intermediate,
-            vocab: c.vocab,
-            seq_len: c.seq_len,
-        }
-    }
-}
-
-impl From<&rannc_models::GptConfig> for TransformerDims {
-    fn from(c: &rannc_models::GptConfig) -> Self {
-        TransformerDims {
-            hidden: c.hidden,
-            layers: c.layers,
-            heads: c.heads,
-            intermediate: 4 * c.hidden,
-            vocab: c.vocab,
-            seq_len: c.seq_len,
-        }
-    }
-}
-
-impl TransformerDims {
-    /// Total trainable parameters.
-    pub fn params(&self) -> usize {
-        let h = self.hidden;
-        let per_layer = 4 * h * h + 2 * h * self.intermediate;
-        self.layers * per_layer + self.vocab * h + self.seq_len * h
-    }
-
-    /// Forward FLOPs for one sample.
-    pub fn flops_per_sample(&self) -> f64 {
-        let (h, s, i) = (
-            self.hidden as f64,
-            self.seq_len as f64,
-            self.intermediate as f64,
-        );
-        let per_layer = 8.0 * s * h * h + 4.0 * s * s * h + 4.0 * s * h * i;
-        self.layers as f64 * per_layer + 2.0 * s * h * self.vocab as f64
-    }
-}
-
-/// Evaluate Megatron-LM at a specific partition count `t`.
-///
-/// Returns `(iteration_time, mem_bytes)` or `None` when infeasible
-/// structurally (t doesn't divide heads/devices).
-fn eval_partition(
-    dims: &TransformerDims,
-    cost: &dyn CostModel,
-    cluster: &ClusterSpec,
-    batch_size: usize,
-    precision: Precision,
-    t: usize,
-) -> Option<(f64, usize)> {
-    let devices = cluster.total_devices();
-    if t > devices || !dims.heads.is_multiple_of(t) || !devices.is_multiple_of(t) {
-        return None;
-    }
-    let dp = devices / t;
-    if !batch_size.is_multiple_of(dp) {
-        return None;
-    }
-    let b = batch_size / dp; // per tensor-parallel group, resident at once
-    let dev = &cluster.device;
-    let act_bytes = precision.activation_bytes();
-    let (h, s) = (dims.hidden, dims.seq_len);
-
-    // --- time -----------------------------------------------------------
-    let flops = dims.flops_per_sample() * b as f64 / t as f64;
-    let fwd = flops / dev.sustained_flops(precision);
-    // gradient checkpointing implemented for Megatron (§IV-A): backward =
-    // recompute + dgrad + wgrad ≈ 3x forward
-    let compute = fwd * 4.0;
-    // 2 activation all-reduces per layer per pass, 4 per layer total
-    let ar_bytes = b * s * h * act_bytes;
-    let comm = 4.0
-        * dims.layers as f64
-        * cost.allreduce_time(cluster, ar_bytes, t, t > cluster.node.devices);
-    // data-parallel gradient all-reduce of each shard
-    let grad_bytes = dims.params() * 4 / t;
-    let dp_allreduce = if dp > 1 {
-        cost.allreduce_time(cluster, grad_bytes, dp, true)
-    } else {
-        0.0
-    };
-    let optimizer = cost.optimizer_time(dev, grad_bytes);
-    let iteration = compute + comm + dp_allreduce + optimizer;
-
-    // --- memory ----------------------------------------------------------
-    let state_per_param = precision.weight_bytes()
-        + precision.master_copy_bytes()
-        + precision.grad_bytes()
-        + ADAM_BYTES_PER_PARAM;
-    let states = dims.params() / t * state_per_param;
-    // checkpointed layer boundaries: FULL size on every device (the
-    // "result buffer is not reduced" effect), one per layer per sample
-    let boundaries = dims.layers * s * h * act_bytes * b;
-    // recompute peak of one layer: full-size I/O tensors plus partitioned
-    // intermediates (scores + FFN intermediate)
-    let full_io = 8 * s * h;
-    let partitioned = (2 * s * s * dims.heads + 2 * s * dims.intermediate) / t;
-    let recompute = (full_io + partitioned) * act_bytes * b;
-    // vocab-parallel logits buffer of the LM head
-    let logits = s * dims.vocab / t * act_bytes * b;
-    let activations = ((boundaries + recompute + logits) as f64 * ALLOCATOR_OVERHEAD) as usize;
-    let mem = states + activations + DEVICE_OVERHEAD_BYTES;
-
-    Some((iteration, mem))
-}
+pub use rannc_cost::TransformerDims;
 
 /// Run the Megatron-LM baseline: sweep power-of-two partition counts and
 /// return the fastest feasible configuration.
@@ -195,7 +62,8 @@ pub fn megatron_with(
     let mut best: Option<(f64, usize)> = None; // (time, t)
     let mut t = 1usize;
     while t <= cluster.total_devices() {
-        if let Some((time, mem)) = eval_partition(dims, cost, cluster, batch_size, precision, t) {
+        if let Some((time, mem)) = megatron_partition(dims, cost, cluster, batch_size, precision, t)
+        {
             if mem <= cluster.device.memory_bytes && best.map(|(bt, _)| time < bt).unwrap_or(true) {
                 best = Some((time, t));
             }
@@ -221,6 +89,121 @@ mod tests {
 
     fn cluster() -> ClusterSpec {
         ClusterSpec::v100_cluster(4) // 32 GPUs, the paper's setting
+    }
+
+    /// Verbatim copy of the pre-move `eval_partition` math, kept here to
+    /// pin that moving the formulas into `rannc-cost` changed nothing:
+    /// [`megatron_partition`] must reproduce it bit-for-bit.
+    fn eval_partition_reference(
+        dims: &TransformerDims,
+        cost: &dyn CostModel,
+        cluster: &ClusterSpec,
+        batch_size: usize,
+        precision: Precision,
+        t: usize,
+    ) -> Option<(f64, usize)> {
+        use rannc_profile::memory::{ADAM_BYTES_PER_PARAM, DEVICE_OVERHEAD_BYTES};
+        const ALLOCATOR_OVERHEAD: f64 = 1.15;
+        let devices = cluster.total_devices();
+        if t > devices || !dims.heads.is_multiple_of(t) || !devices.is_multiple_of(t) {
+            return None;
+        }
+        let dp = devices / t;
+        if !batch_size.is_multiple_of(dp) {
+            return None;
+        }
+        let b = batch_size / dp;
+        let dev = &cluster.device;
+        let act_bytes = precision.activation_bytes();
+        let (h, s) = (dims.hidden, dims.seq_len);
+        let flops = dims.flops_per_sample() * b as f64 / t as f64;
+        let fwd = flops / dev.sustained_flops(precision);
+        let compute = fwd * 4.0;
+        let ar_bytes = b * s * h * act_bytes;
+        let comm = 4.0
+            * dims.layers as f64
+            * cost.allreduce_time(cluster, ar_bytes, t, t > cluster.node.devices);
+        let grad_bytes = dims.params() * 4 / t;
+        let dp_allreduce = if dp > 1 {
+            cost.allreduce_time(cluster, grad_bytes, dp, true)
+        } else {
+            0.0
+        };
+        let optimizer = cost.optimizer_time(dev, grad_bytes);
+        let iteration = compute + comm + dp_allreduce + optimizer;
+        let state_per_param = precision.weight_bytes()
+            + precision.master_copy_bytes()
+            + precision.grad_bytes()
+            + ADAM_BYTES_PER_PARAM;
+        let states = dims.params() / t * state_per_param;
+        let boundaries = dims.layers * s * h * act_bytes * b;
+        let full_io = 8 * s * h;
+        let partitioned = (2 * s * s * dims.heads + 2 * s * dims.intermediate) / t;
+        let recompute = (full_io + partitioned) * act_bytes * b;
+        let logits = s * dims.vocab / t * act_bytes * b;
+        let activations = ((boundaries + recompute + logits) as f64 * ALLOCATOR_OVERHEAD) as usize;
+        let mem = states + activations + DEVICE_OVERHEAD_BYTES;
+        Some((iteration, mem))
+    }
+
+    #[test]
+    fn moved_split_math_is_bit_identical_to_the_old_owner() {
+        let g = rannc_graph::TaskGraph::new("megatron-analytic");
+        let cl = cluster();
+        let cost = AnalyticalCost::new(&g, cl.device.clone(), ProfilerOptions::fp32());
+        for dims in [
+            TransformerDims::from(&BertConfig::large()),
+            TransformerDims::from(&BertConfig::enlarged(2048, 48)),
+            TransformerDims::from(&rannc_models::GptConfig::gpt2_small()),
+        ] {
+            for precision in [Precision::FP32, Precision::Mixed] {
+                let mut t = 1usize;
+                while t <= cl.total_devices() {
+                    let moved = megatron_partition(&dims, &cost, &cl, 256, precision, t);
+                    let reference = eval_partition_reference(&dims, &cost, &cl, 256, precision, t);
+                    match (moved, reference) {
+                        (Some((mt, mm)), Some((rt, rm))) => {
+                            assert_eq!(mt.to_bits(), rt.to_bits(), "time at t={t}");
+                            assert_eq!(mm, rm, "memory at t={t}");
+                        }
+                        (None, None) => {}
+                        (m, r) => panic!("feasibility diverged at t={t}: {m:?} vs {r:?}"),
+                    }
+                    t *= 2;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn megatron_with_is_the_s1_sweep_over_the_owner() {
+        // The baseline is a special point of the unified search: its
+        // outcome must equal sweeping the T axis of the formula owner by
+        // hand at S = 1 and keeping the fastest feasible point.
+        let g = rannc_graph::TaskGraph::new("megatron-analytic");
+        let cl = cluster();
+        let cost = AnalyticalCost::new(&g, cl.device.clone(), ProfilerOptions::fp32());
+        let dims = TransformerDims::from(&BertConfig::large());
+        let mut best: Option<(f64, usize)> = None;
+        let mut t = 1usize;
+        while t <= cl.total_devices() {
+            if let Some((time, mem)) =
+                megatron_partition(&dims, &cost, &cl, 256, Precision::FP32, t)
+            {
+                if mem <= cl.device.memory_bytes && best.map(|(bt, _)| time < bt).unwrap_or(true) {
+                    best = Some((time, t));
+                }
+            }
+            t *= 2;
+        }
+        let (time, t) = best.expect("bert-large must be feasible at 32 GPUs");
+        match megatron(&dims, &cl, 256, Precision::FP32) {
+            BaselineOutcome::Feasible { result, config } => {
+                assert_eq!(result.iteration_time.to_bits(), time.to_bits());
+                assert!(config.starts_with(&format!("T={t} ")), "config = {config}");
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
     }
 
     #[test]

@@ -74,6 +74,7 @@ fn bench_stage_dp(c: &mut Criterion) {
                             replica_factor: 1,
                             microbatches: 4,
                             mem_limit: 32 << 30,
+                            tp: 1,
                         },
                         LinkSpec::nvlink(),
                     )

@@ -14,6 +14,7 @@ fn spec(stages: usize, mb: usize) -> PipelineSpec {
                 comm_to_next_bytes: 1 << 20,
                 grad_bytes: 16 << 20,
                 replicas: 1,
+                tensor_parallel: 1,
             })
             .collect(),
         microbatches: mb,

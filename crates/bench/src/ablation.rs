@@ -156,6 +156,7 @@ pub fn run_no_coarsening(
                     replica_factor: r,
                     microbatches: mb,
                     mem_limit: cluster.device.memory_bytes,
+                    tp: 1,
                 };
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 match form_stage_dp_no_coarsening(g, profiler, &atomic, &params, remaining) {

@@ -40,6 +40,7 @@ fn main() {
     let mut check = false;
     let mut threads = 4usize;
     let mut repeats = 3usize;
+    let mut tp_max = 1usize;
     let mut out = String::from("BENCH_partition.json");
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -89,6 +90,16 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--tp-max" => {
+                tp_max = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--tp-max needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--repeat" => {
                 repeats = args
                     .next()
@@ -134,7 +145,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: planner_bench [--quick] [--paper-scale] [--check] [--threads N] \
-                     [--repeat N] [--out FILE] [--trace-out FILE] [--metrics-out FILE] \
+                     [--repeat N] [--tp-max N] [--out FILE] [--trace-out FILE] [--metrics-out FILE] \
                      [--obs-summary] [--explain-out FILE] [--baseline FILE] \
                      [--cost-model analytical|calibrated:FILE]"
                 );
@@ -152,7 +163,7 @@ fn main() {
         rannc::obs::set_enabled(true);
     }
 
-    let report = planner::run(quick, paper, threads, repeats, &cost_spec);
+    let report = planner::run(quick, paper, threads, repeats, &cost_spec, tp_max);
     let json = planner::to_json(&report);
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");
@@ -310,10 +321,22 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // the third-axis gate: on a Megatron-regime case the (S, MB, T)
+        // sweep must pick T > 1, certify, and beat the best 2D plan
+        match planner::check_tp_search() {
+            Ok(lines) => {
+                eprintln!("tensor-parallel check:\n{}", lines.join("\n"));
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                std::process::exit(1);
+            }
+        }
         eprintln!(
             "check passed: valid JSON, identical plans, nonzero cache hit rates, \
              zero obs allocations while disabled, cost models verified, \
-             certified memory within capacity, explain artifact deterministic"
+             certified memory within capacity, explain artifact deterministic, \
+             3D sweep live and winning on the tensor-parallel gate"
         );
     }
 }

@@ -159,6 +159,12 @@ pub struct CaseResult {
     pub plans_identical: bool,
     /// Stage count of the chosen plan (0 = infeasible).
     pub plan_stages: usize,
+    /// Largest per-stage tensor-parallel degree the sweep was allowed to
+    /// try (1 = historical 2D `(S, MB)` search).
+    pub tp_max: usize,
+    /// Per-stage tensor-parallel degrees of the chosen plan (empty when
+    /// infeasible).
+    pub plan_tp: Vec<usize>,
     /// Engine search counters (incl. shared stage-cost cache).
     pub search: SearchStats,
     /// Engine-run profiler cache counters.
@@ -187,6 +193,8 @@ pub struct BenchReport {
     /// Cost model the searches were priced with (`"analytical"` or
     /// `"calibrated"`).
     pub cost_model: String,
+    /// Tensor-parallel search bound every case ran with.
+    pub tp_max: usize,
     /// Per-case results.
     pub cases: Vec<CaseResult>,
 }
@@ -214,6 +222,7 @@ fn solutions_identical(a: &Option<DpSolution>, b: &Option<DpSolution>) -> bool {
                     x.block_range == y.block_range
                         && x.devices == y.devices
                         && x.micro_batch == y.micro_batch
+                        && x.tensor_parallel == y.tensor_parallel
                 })
         }
         _ => false,
@@ -225,11 +234,19 @@ fn solutions_identical(a: &Option<DpSolution>, b: &Option<DpSolution>) -> bool {
 /// and the minimum wall time is reported — the minimum is the standard
 /// noise-robust estimator for a deterministic workload, and every
 /// repetition's plans are still compared.
+///
+/// With `tp_max == 1` the baseline is the historical sequential 2D scan
+/// ([`form_stage_seq`]). With `tp_max > 1` that scan cannot represent
+/// the answer (it never tries `T > 1`), so the baseline becomes the
+/// engine at one thread with the same `tp_max` — the speedup then
+/// measures pure thread scaling of the 3D sweep while the
+/// plans-identical gate still proves determinism.
 pub fn run_case(
     case: &BenchCase,
     threads: usize,
     repeats: usize,
     cost: &CostModelSpec,
+    tp_max: usize,
 ) -> CaseResult {
     let cluster = ClusterSpec::v100_cluster(case.nodes);
     let mk_cost = || {
@@ -258,9 +275,16 @@ pub fn run_case(
     };
     let prep_seconds = t0.elapsed().as_secs_f64();
 
+    let tp_max = tp_max.max(1);
     let opts = SearchOptions {
         threads,
         shared_cache: true,
+        tp_max,
+    };
+    let baseline_opts = SearchOptions {
+        threads: 1,
+        shared_cache: false,
+        tp_max,
     };
     let mut seq_seconds = f64::INFINITY;
     let mut engine_seconds = f64::INFINITY;
@@ -269,7 +293,19 @@ pub fn run_case(
     for _ in 0..repeats.max(1) {
         let seq_cost = mk_cost();
         let t1 = Instant::now();
-        let seq = form_stage_seq(&case.graph, &*seq_cost, &blocks, &cluster, case.batch);
+        let seq = if tp_max == 1 {
+            form_stage_seq(&case.graph, &*seq_cost, &blocks, &cluster, case.batch)
+        } else {
+            form_stage_with(
+                &case.graph,
+                &*seq_cost,
+                &blocks,
+                &cluster,
+                case.batch,
+                &baseline_opts,
+            )
+            .0
+        };
         seq_seconds = seq_seconds.min(t1.elapsed().as_secs_f64());
 
         let engine_cost = mk_cost();
@@ -300,6 +336,10 @@ pub fn run_case(
         engine_seconds,
         plans_identical,
         plan_stages: eng.as_ref().map_or(0, |s| s.stages.len()),
+        tp_max,
+        plan_tp: eng.as_ref().map_or_else(Vec::new, |s| {
+            s.stages.iter().map(|st| st.tensor_parallel).collect()
+        }),
         search,
         profiler_cache,
     }
@@ -313,6 +353,7 @@ pub fn run(
     threads: usize,
     repeats: usize,
     cost: &CostModelSpec,
+    tp_max: usize,
 ) -> BenchReport {
     let mut grid = cases(quick);
     if paper {
@@ -321,14 +362,15 @@ pub fn run(
     let mut results = Vec::new();
     for case in grid {
         eprintln!(
-            "planner_bench: {} on {} devices (batch {}, k {}, cost model {})...",
+            "planner_bench: {} on {} devices (batch {}, k {}, cost model {}, tp_max {})...",
             case.name,
             case.nodes * 8,
             case.batch,
             case.k,
             cost.name(),
+            tp_max.max(1),
         );
-        let r = run_case(&case, threads, repeats, cost);
+        let r = run_case(&case, threads, repeats, cost, tp_max);
         eprintln!(
             "  seq {:.3} s | engine {:.3} s | speedup {:.2}x | identical: {}",
             r.seq_seconds,
@@ -343,6 +385,7 @@ pub fn run(
         quick,
         paper,
         cost_model: cost.name().to_string(),
+        tp_max: tp_max.max(1),
         cases: results,
     }
 }
@@ -358,6 +401,7 @@ pub fn plans_identical(a: &PartitionPlan, b: &PartitionPlan) -> bool {
         && a.stages.iter().zip(&b.stages).all(|(x, y)| {
             x.set == y.set
                 && x.replicas == y.replicas
+                && x.tensor_parallel == y.tensor_parallel
                 && x.micro_batch == y.micro_batch
                 && x.fwd_time.to_bits() == y.fwd_time.to_bits()
                 && x.bwd_time.to_bits() == y.bwd_time.to_bits()
@@ -584,6 +628,71 @@ pub fn check_certified_memory(quick: bool) -> Result<Vec<String>, String> {
     Ok(lines)
 }
 
+/// `--check` gate for the third parallelism axis. A Megatron-regime
+/// configuration — a wide 4-layer BERT on one 8-GPU node with a
+/// mini-batch of 4, so data parallelism alone cannot occupy the node —
+/// is partitioned end-to-end under [`VerifyMode::Certify`] twice, once
+/// with `tp_max = 1` and once with `tp_max = 4`. The gate requires that
+/// the 3D sweep (a) actually picks `T > 1` on at least one stage,
+/// (b) strictly beats the best 2D plan's simulated synchronous
+/// iteration time, and (c) still certifies (`Certify` already runs the
+/// RV07x tensor-parallel checks and the memory certification engine).
+pub fn check_tp_search() -> Result<Vec<String>, String> {
+    use rannc::pipeline::{simulate_sync, spec_from_plan, SyncSchedule};
+    let graph = bert_graph(&BertConfig::enlarged(1024, 4));
+    let cluster = ClusterSpec::v100_cluster(1);
+    let batch = 4usize;
+    let mut sim = Vec::new();
+    let mut degrees: Vec<usize> = Vec::new();
+    for tp_max in [1usize, 4] {
+        let cfg = PartitionConfig::new(batch)
+            .with_k(8)
+            .with_verify(VerifyMode::Certify)
+            .with_tp_max(tp_max);
+        let plan = Rannc::new(cfg)
+            .partition(&graph, &cluster)
+            .map_err(|e| format!("tp gate [tp_max {tp_max}]: partition failed: {e}"))?;
+        let cost = CostModelSpec::Analytical.build(
+            &graph,
+            cluster.device.clone(),
+            ProfilerOptions::fp32(),
+            &cluster,
+        );
+        let spec = spec_from_plan(&plan, &*cost, &cluster)
+            .map_err(|e| format!("tp gate [tp_max {tp_max}]: invalid pipeline spec: {e}"))?;
+        sim.push(
+            simulate_sync(&spec, SyncSchedule::FillDrain, false)
+                .result
+                .iteration_time,
+        );
+        if tp_max > 1 {
+            degrees = plan.stages.iter().map(|s| s.tensor_parallel).collect();
+        }
+    }
+    if !degrees.iter().any(|&t| t > 1) {
+        return Err(format!(
+            "tp gate: the 3D sweep never chose T > 1 on the Megatron-regime case \
+             (per-stage degrees {degrees:?}) — the third axis is dead"
+        ));
+    }
+    let (t1, t3d) = (sim[0], sim[1]);
+    if t3d >= t1 {
+        return Err(format!(
+            "tp gate: 3D plan simulates at {:.3} ms, not better than the best 2D \
+             plan's {:.3} ms",
+            t3d * 1e3,
+            t1 * 1e3
+        ));
+    }
+    Ok(vec![format!(
+        "  bert-4l(h=1024) @8 devices, batch 4: T = {degrees:?} chosen, simulated \
+         {:.3} ms vs best-2D {:.3} ms ({:.2}x), certified clean",
+        t3d * 1e3,
+        t1 * 1e3,
+        t1 / t3d
+    )])
+}
+
 fn json_cache(stats: &CacheStats) -> String {
     format!(
         "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"contention\": {}, \
@@ -608,8 +717,9 @@ fn json_cache(stats: &CacheStats) -> String {
 pub fn to_json(report: &BenchReport) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"rannc_planner_search\",\n");
-    out.push_str("  \"version\": 2,\n");
+    out.push_str("  \"version\": 3,\n");
     out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    out.push_str(&format!("  \"tp_max\": {},\n", report.tp_max));
     out.push_str(&format!("  \"quick\": {},\n", report.quick));
     out.push_str(&format!("  \"paper_scale\": {},\n", report.paper));
     out.push_str(&format!("  \"cost_model\": \"{}\",\n", report.cost_model));
@@ -624,7 +734,8 @@ pub fn to_json(report: &BenchReport) -> String {
              \"tasks\": {}, \"blocks\": {},\n     \
              \"prep_seconds\": {:.6}, \"seq_seconds\": {:.6}, \"engine_seconds\": {:.6}, \
              \"speedup\": {:.6},\n     \
-             \"plans_identical\": {}, \"plan_stages\": {},\n     \
+             \"plans_identical\": {}, \"plan_stages\": {}, \
+             \"tp_max\": {}, \"plan_tp\": [{}],\n     \
              \"search\": {{\"candidates\": {}, \"feasible\": {}, \"pruned\": {}, \
              \"node_tiers\": {}, \"threads\": {}}},\n     \
              \"stage_cache\": {},\n     \
@@ -641,6 +752,12 @@ pub fn to_json(report: &BenchReport) -> String {
             c.speedup(),
             c.plans_identical,
             c.plan_stages,
+            c.tp_max,
+            c.plan_tp
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
             c.search.candidates,
             c.search.feasible,
             c.search.pruned,
@@ -655,11 +772,65 @@ pub fn to_json(report: &BenchReport) -> String {
     out
 }
 
-/// JSON well-formedness check for the CI gate, delegating to the
-/// observability crate's parser (the offline build has no JSON crate;
-/// `rannc-obs` ships its own recursive-descent one).
+/// JSON check for the CI gate: well-formedness (delegating to the
+/// observability crate's recursive-descent parser — the offline build
+/// has no JSON crate) plus, for schema-v3 reports, the tensor-parallel
+/// range invariants. Each case's `tp_max` must be a positive integer and
+/// every `plan_tp` entry must be a degree the sweep was actually allowed
+/// to try: `1 <= T <= tp_max` and `T <= devices`. Non-report documents
+/// (no `cases` array) only get the well-formedness check.
 pub fn validate_json(s: &str) -> Result<(), String> {
-    rannc::obs::json::validate(s)
+    use rannc::obs::json::{parse, Value};
+    let doc = parse(s).map_err(|e| e.to_string())?;
+    let Some(cases) = doc.get("cases").and_then(Value::as_arr) else {
+        return Ok(());
+    };
+    let as_pos_int = |v: &Value| -> Option<usize> {
+        let f = v.as_f64()?;
+        (f.fract() == 0.0 && f >= 1.0).then_some(f as usize)
+    };
+    for c in cases {
+        let model = c
+            .get("model")
+            .and_then(Value::as_str)
+            .unwrap_or("<unnamed>")
+            .to_string();
+        let tp_max = match c.get("tp_max") {
+            Some(v) => Some(
+                as_pos_int(v)
+                    .ok_or_else(|| format!("case {model}: `tp_max` must be a positive integer"))?,
+            ),
+            None => None,
+        };
+        let devices = c.get("devices").and_then(as_pos_int);
+        if let Some(tp) = c.get("plan_tp") {
+            let arr = tp
+                .as_arr()
+                .ok_or_else(|| format!("case {model}: `plan_tp` must be an array"))?;
+            for (i, t) in arr.iter().enumerate() {
+                let t = as_pos_int(t).ok_or_else(|| {
+                    format!("case {model}: plan_tp[{i}] must be a positive integer")
+                })?;
+                if let Some(bound) = tp_max {
+                    if t > bound {
+                        return Err(format!(
+                            "case {model}: plan_tp[{i}] = {t} exceeds the search \
+                             bound tp_max = {bound}"
+                        ));
+                    }
+                }
+                if let Some(d) = devices {
+                    if t > d {
+                        return Err(format!(
+                            "case {model}: plan_tp[{i}] = {t} exceeds the cluster's \
+                             {d} device(s)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Minimum profiler-cache hit rate `--check` accepts on every case. The
@@ -763,7 +934,7 @@ mod tests {
 
     #[test]
     fn quick_grid_runs_and_serializes() {
-        let report = run(true, false, 2, 1, &CostModelSpec::Analytical);
+        let report = run(true, false, 2, 1, &CostModelSpec::Analytical, 1);
         assert_eq!(report.cases.len(), 2);
         for c in &report.cases {
             assert!(
@@ -794,12 +965,61 @@ mod tests {
     }
 
     #[test]
+    fn json_validator_rejects_out_of_range_tp() {
+        let mk = |tp_max: &str, plan_tp: &str, devices: &str| {
+            format!(
+                "{{\"cases\": [{{\"model\": \"m\", \"devices\": {devices}, \
+                 \"tp_max\": {tp_max}, \"plan_tp\": {plan_tp}}}]}}"
+            )
+        };
+        // in-range degrees pass
+        validate_json(&mk("4", "[1, 2, 4]", "16")).unwrap();
+        // a degree above the search bound is rejected
+        let err = validate_json(&mk("4", "[1, 8]", "16")).unwrap_err();
+        assert!(err.contains("exceeds the search bound"), "{err}");
+        // a degree above the cluster size is rejected
+        let err = validate_json(&mk("32", "[16]", "8")).unwrap_err();
+        assert!(err.contains("device"), "{err}");
+        // zero / non-integer degrees are rejected
+        assert!(validate_json(&mk("4", "[0]", "16")).is_err());
+        assert!(validate_json(&mk("4", "[1.5]", "16")).is_err());
+        // zero tp_max is rejected
+        assert!(validate_json(&mk("0", "[1]", "16")).is_err());
+        // reports without tp fields (schema v2) still validate
+        validate_json("{\"cases\": [{\"model\": \"m\", \"devices\": 16}]}").unwrap();
+    }
+
+    #[test]
+    fn quick_case_with_tp_is_deterministic() {
+        // with tp_max > 1 the baseline side becomes the 1-thread engine,
+        // so plans_identical proves the 3D sweep is thread-deterministic
+        let case = &cases(true)[1];
+        let r = run_case(case, 4, 1, &CostModelSpec::Analytical, 4);
+        assert!(r.plans_identical, "3D engine diverged from 1-thread run");
+        assert_eq!(r.tp_max, 4);
+        assert_eq!(r.plan_tp.len(), r.plan_stages);
+        assert!(
+            r.plan_tp.iter().all(|&t| (1..=4).contains(&t)),
+            "{:?}",
+            r.plan_tp
+        );
+    }
+
+    #[test]
+    fn tp_search_gate_passes() {
+        let lines = check_tp_search().expect("tensor-parallel gate");
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("certified clean"), "{lines:?}");
+    }
+
+    #[test]
     fn baseline_compare_flags_regressions_only() {
         let mk = |engine_seconds: f64| BenchReport {
             threads: 1,
             quick: true,
             paper: false,
             cost_model: "analytical".into(),
+            tp_max: 1,
             cases: vec![CaseResult {
                 model: "bert-64l".into(),
                 devices: 16,
@@ -812,6 +1032,8 @@ mod tests {
                 engine_seconds,
                 plans_identical: true,
                 plan_stages: 2,
+                tp_max: 1,
+                plan_tp: vec![1, 1],
                 search: SearchStats::default(),
                 profiler_cache: CacheStats::default(),
             }],
@@ -858,6 +1080,7 @@ mod tests {
             quick: true,
             paper: false,
             cost_model: "analytical".into(),
+            tp_max: 1,
             cases: Vec::new(),
         };
         assert_eq!(r.geomean_speedup(), 1.0);

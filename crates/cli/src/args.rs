@@ -71,6 +71,9 @@ TRAINING OPTIONS:
 PLANNER ENGINE OPTIONS:
   --threads <N>       worker threads for the partition search (default:
                       RANNC_THREADS env var, else available parallelism)
+  --tp-max <N>        largest tensor-parallel degree the (S, MB, T)
+                      search may assign per stage (default 1 = the
+                      historical pipeline/data-parallel-only search)
   --planner-stats     print search/cache statistics after partitioning
   --cost-model <analytical|calibrated:FILE>
                       cost model pricing the search and the simulation
@@ -234,6 +237,8 @@ pub struct Args {
     pub noise: f64,
     /// Search-engine worker threads (0 = auto).
     pub threads: usize,
+    /// Largest tensor-parallel degree per stage (1 = 2D search).
+    pub tp_max: usize,
     /// Print planner cache/search statistics.
     pub planner_stats: bool,
     /// Cost model pricing the search and simulation.
@@ -308,6 +313,7 @@ impl Default for Args {
             mixed: false,
             noise: 0.0,
             threads: 0,
+            tp_max: 1,
             planner_stats: false,
             cost_model: CostModelArg::default(),
             trace_out: None,
@@ -407,6 +413,7 @@ impl Args {
                         .map_err(|e| format!("--noise: {e}"))?
                 }
                 "--threads" => a.threads = num(&flag, &mut it)?,
+                "--tp-max" => a.tp_max = num(&flag, &mut it)?,
                 "--planner-stats" => a.planner_stats = true,
                 "--cost-model" => a.cost_model = CostModelArg::parse(&value(&flag, &mut it)?)?,
                 "--trace-out" => a.trace_out = Some(value(&flag, &mut it)?),
@@ -492,6 +499,9 @@ impl Args {
         }
         if a.nodes == 0 || a.gpus_per_node == 0 || a.batch == 0 || a.k == 0 {
             return Err("numeric options must be positive".into());
+        }
+        if a.tp_max == 0 {
+            return Err("--tp-max must be positive".into());
         }
         if a.command == Command::Faults && (a.iterations == 0 || a.checkpoint_every == 0) {
             return Err("--iterations and --checkpoint-every must be positive".into());
@@ -651,6 +661,18 @@ mod tests {
         let d = parse("--model bert").unwrap();
         assert_eq!(d.threads, 0, "0 = auto-resolve");
         assert!(!d.planner_stats);
+    }
+
+    #[test]
+    fn tp_max_flag() {
+        let d = parse("--model bert").unwrap();
+        assert_eq!(d.tp_max, 1, "third axis is opt-in");
+        let a = parse("--model bert --tp-max 8").unwrap();
+        assert_eq!(a.tp_max, 8);
+        let v = parse("verify --model bert --tp-max 4 --deep").unwrap();
+        assert_eq!(v.tp_max, 4);
+        assert!(parse("--model bert --tp-max 0").is_err());
+        assert!(parse("--model bert --tp-max").is_err());
     }
 
     #[test]

@@ -115,7 +115,8 @@ fn main() {
         } else {
             VerifyMode::Fail
         })
-        .with_cost_model(cost_spec.clone());
+        .with_cost_model(cost_spec.clone())
+        .with_tp_max(args.tp_max);
 
     let rannc = Rannc::new(config);
     let mut plan = if let Some(path) = &args.load {

@@ -169,6 +169,7 @@ pub fn form_stage_dp_no_coarsening(
             set,
             block_range: (b_prev, b),
             devices: repl,
+            tensor_parallel: 1, // the ablated variant never splits intra-op
             micro_batch: micro,
             fwd_time: pr[b].0 - pr[b_prev].0,
             bwd_time: pr[b].1 - pr[b_prev].1,
@@ -209,6 +210,7 @@ mod tests {
             replica_factor: 1,
             microbatches: 2,
             mem_limit: mem,
+            tp: 1,
         }
     }
 

@@ -22,7 +22,7 @@ use crate::placement::SlotTable;
 use crate::stagecache::{StageCost, StageCostCache, StageEvalCtx};
 use rannc_cost::CostModel;
 use rannc_graph::{TaskGraph, TaskSet};
-use rannc_hw::LinkSpec;
+use rannc_hw::{ClusterSpec, LinkSpec};
 use serde::{Deserialize, Serialize};
 
 /// Inputs of one `form_stage_dp` invocation.
@@ -40,6 +40,12 @@ pub struct DpParams {
     pub microbatches: usize,
     /// Device memory bound `M`, bytes.
     pub mem_limit: usize,
+    /// Tensor-parallel degree `T`, uniform across the candidate's stages.
+    /// `devices` counts *data-parallel units*: a stage on `repl` units
+    /// occupies `repl × tp` physical devices, so the caller passes
+    /// `devices = physical / tp`. `tp > 1` requires a cluster (the TP
+    /// activation all-reduce is priced against its topology).
+    pub tp: usize,
 }
 
 /// One stage of a DP solution.
@@ -50,8 +56,12 @@ pub struct DpStage {
     /// Half-open block range `[from, to)` into the input block list.
     pub block_range: (usize, usize),
     /// Devices allocated to the stage within one pipeline replica
-    /// (= the stage's data-parallel replica count).
+    /// (= the stage's data-parallel replica count, in tensor-parallel
+    /// groups: the stage occupies `devices × tensor_parallel` physical
+    /// devices).
     pub devices: usize,
+    /// Tensor-parallel degree of the stage (1 = no intra-op split).
+    pub tensor_parallel: usize,
     /// Per-replica micro-batch size the stage was profiled at.
     pub micro_batch: usize,
     /// Profiled compute-only forward time per micro-batch, seconds
@@ -88,9 +98,13 @@ impl DpSolution {
         rannc_cost::sync_pipeline_iteration(self.stages.len(), self.microbatches, self.value)
     }
 
-    /// Devices used by one pipeline replica.
+    /// Physical devices used by one pipeline replica (each stage spans
+    /// its data-parallel count times its tensor-parallel degree).
     pub fn devices_per_replica(&self) -> usize {
-        self.stages.iter().map(|s| s.devices).sum()
+        self.stages
+            .iter()
+            .map(|s| s.devices * s.tensor_parallel)
+            .sum()
     }
 
     /// Total devices across all pipeline replicas.
@@ -112,6 +126,7 @@ struct MemoKey {
     batch_size: usize,
     mem_limit: usize,
     ckpt: bool,
+    tp: usize,
 }
 
 /// Reusable cross-candidate scratch of Algorithm 1: the flat DP tables
@@ -236,7 +251,7 @@ pub fn form_stage_dp_cached(
     link: LinkSpec,
     cache: &StageCostCache,
 ) -> Option<DpSolution> {
-    form_stage_dp_placed(g, cost, blocks, p, link, cache, None)
+    form_stage_dp_placed(g, cost, blocks, p, link, cache, None, None)
 }
 
 /// Algorithm 1, placement-aware: the heterogeneous-cluster entry point.
@@ -251,6 +266,11 @@ pub fn form_stage_dp_cached(
 /// `d_min` pruning is disabled in placed mode: with position-dependent
 /// memory bounds, infeasibility at budget `d` no longer implies
 /// infeasibility below it.
+///
+/// `cluster` is required whenever `p.tp > 1` (tensor-parallel stage
+/// pricing needs the collective topology); `None` keeps the legacy
+/// pipeline-only evaluation.
+#[allow(clippy::too_many_arguments)]
 pub fn form_stage_dp_placed(
     g: &TaskGraph,
     cost: &dyn CostModel,
@@ -259,8 +279,19 @@ pub fn form_stage_dp_placed(
     link: LinkSpec,
     cache: &StageCostCache,
     slots: Option<&SlotTable>,
+    cluster: Option<&ClusterSpec>,
 ) -> Option<DpSolution> {
-    form_stage_dp_in(g, cost, blocks, p, link, cache, slots, &mut DpArena::new())
+    form_stage_dp_in(
+        g,
+        cost,
+        blocks,
+        p,
+        link,
+        cache,
+        slots,
+        cluster,
+        &mut DpArena::new(),
+    )
 }
 
 /// Algorithm 1 with caller-provided scratch: the engine entry point.
@@ -282,19 +313,20 @@ pub fn form_stage_dp_in(
     link: LinkSpec,
     cache: &StageCostCache,
     slots: Option<&SlotTable>,
+    cluster: Option<&ClusterSpec>,
     arena: &mut DpArena,
 ) -> Option<DpSolution> {
     let nb = blocks.len();
     let s_max = p.stages;
     let d_max = p.devices;
-    if s_max == 0 || s_max > nb || d_max < s_max || p.microbatches == 0 {
+    if s_max == 0 || s_max > nb || d_max < s_max || p.microbatches == 0 || p.tp == 0 {
         return None;
     }
     // per-microbatch samples available to one pipeline replica
     if p.batch_size / p.replica_factor / p.microbatches == 0 {
         return None;
     }
-    let eval = StageEvalCtx::new(g, cost, blocks, p, link);
+    let eval = StageEvalCtx::new(g, cost, blocks, p, link, cluster);
 
     // DP tables, flattened [s][b][d], living in the arena.
     let bs1 = nb + 1;
@@ -309,6 +341,7 @@ pub fn form_stage_dp_in(
             batch_size: p.batch_size,
             mem_limit: p.mem_limit,
             ckpt: p.stages > 1,
+            tp: p.tp,
         },
         (s_max + 1) * bs1 * ds1,
     );
@@ -372,10 +405,12 @@ pub fn form_stage_dp_in(
                         let (obj_f, obj_b) = match slots {
                             None => (cost.obj_f, cost.obj_b),
                             Some(t) => {
-                                if cost.mem > t.group_mem(d_prev, d) {
+                                // DP units map to physical slot spans of
+                                // width tp: [d_prev·tp, d·tp)
+                                if cost.mem > t.group_mem(d_prev * p.tp, d * p.tp) {
                                     continue; // over this device group's memory
                                 }
-                                scaled_objectives(&cost, t.group_scale(d_prev, d))
+                                scaled_objectives(&cost, t.group_scale(d_prev * p.tp, d * p.tp))
                             }
                         };
                         let cand_f = tf[idx(s - 1, b_prev, d_prev)].max(obj_f);
@@ -426,7 +461,7 @@ pub fn form_stage_dp_in(
         let (fwd_time, bwd_time) = match slots {
             None => (cost.comp_f, cost.comp_b),
             Some(t) => {
-                let sc = t.group_scale(d_prev, d);
+                let sc = t.group_scale(d_prev * p.tp, d * p.tp);
                 (cost.comp_f * sc, cost.comp_b * sc)
             }
         };
@@ -434,6 +469,7 @@ pub fn form_stage_dp_in(
             set,
             block_range: (b_prev, b),
             devices: repl,
+            tensor_parallel: p.tp,
             micro_batch: micro,
             fwd_time,
             bwd_time,
@@ -461,6 +497,7 @@ pub fn form_stage_dp_in(
 /// asserts [`form_stage_dp_in`] — including arena reuse across
 /// candidates — returns bit-identical plans and costs. Not used by the
 /// planner itself.
+#[allow(clippy::too_many_arguments)]
 pub fn form_stage_dp_hashmap(
     g: &TaskGraph,
     cost: &dyn CostModel,
@@ -469,17 +506,18 @@ pub fn form_stage_dp_hashmap(
     link: LinkSpec,
     cache: &StageCostCache,
     slots: Option<&SlotTable>,
+    cluster: Option<&ClusterSpec>,
 ) -> Option<DpSolution> {
     let nb = blocks.len();
     let s_max = p.stages;
     let d_max = p.devices;
-    if s_max == 0 || s_max > nb || d_max < s_max || p.microbatches == 0 {
+    if s_max == 0 || s_max > nb || d_max < s_max || p.microbatches == 0 || p.tp == 0 {
         return None;
     }
     if p.batch_size / p.replica_factor / p.microbatches == 0 {
         return None;
     }
-    let eval = StageEvalCtx::new(g, cost, blocks, p, link);
+    let eval = StageEvalCtx::new(g, cost, blocks, p, link, cluster);
 
     let bs1 = nb + 1;
     let ds1 = d_max + 1;
@@ -525,10 +563,10 @@ pub fn form_stage_dp_hashmap(
                         let (obj_f, obj_b) = match slots {
                             None => (cost.obj_f, cost.obj_b),
                             Some(t) => {
-                                if cost.mem > t.group_mem(d_prev, d) {
+                                if cost.mem > t.group_mem(d_prev * p.tp, d * p.tp) {
                                     continue;
                                 }
-                                scaled_objectives(&cost, t.group_scale(d_prev, d))
+                                scaled_objectives(&cost, t.group_scale(d_prev * p.tp, d * p.tp))
                             }
                         };
                         let cand_f = tf[idx(s - 1, b_prev, d_prev)].max(obj_f);
@@ -574,7 +612,7 @@ pub fn form_stage_dp_hashmap(
         let (fwd_time, bwd_time) = match slots {
             None => (cost.comp_f, cost.comp_b),
             Some(t) => {
-                let sc = t.group_scale(d_prev, d);
+                let sc = t.group_scale(d_prev * p.tp, d * p.tp);
                 (cost.comp_f * sc, cost.comp_b * sc)
             }
         };
@@ -582,6 +620,7 @@ pub fn form_stage_dp_hashmap(
             set,
             block_range: (b_prev, b),
             devices: repl,
+            tensor_parallel: p.tp,
             micro_batch: micro,
             fwd_time,
             bwd_time,
@@ -635,6 +674,7 @@ mod tests {
             replica_factor: 1,
             microbatches: 4,
             mem_limit: 32 << 30,
+            tp: 1,
         }
     }
 

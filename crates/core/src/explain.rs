@@ -86,8 +86,11 @@ pub fn annotate_recording(
             None => 0.0,
         };
         let group = st.replicas * plan.replica_factor;
+        // mirror score_solution: each tensor-parallel shard all-reduces
+        // its own gradient slice across the data-parallel group
+        let grad_bytes = st.param_elems * 4 / st.tensor_parallel;
         let allreduce_time = if group > 1 {
-            cost.allreduce_time(cluster, st.param_elems * 4, group, plan.replica_factor > 1)
+            cost.allreduce_time(cluster, grad_bytes, group, plan.replica_factor > 1)
         } else {
             0.0
         };
@@ -95,12 +98,13 @@ pub fn annotate_recording(
         stages.push(WinnerStageRec {
             tasks: st.set.len(),
             devices: st.replicas,
+            tensor_parallel: st.tensor_parallel,
             micro_batch: st.micro_batch,
             fwd_time: st.fwd_time,
             bwd_time: st.bwd_time,
             transfer_time,
             allreduce_time,
-            optimizer_time: cost.optimizer_time(cost.device(), st.param_elems * 4),
+            optimizer_time: cost.optimizer_time(cost.device(), grad_bytes),
             mem_estimate_bytes: st.mem_bytes as u64,
             mem_certified_bytes: if all_certified {
                 Some(certified[i].certified_bytes as u64)

@@ -166,6 +166,13 @@ impl PartitionConfig {
         self
     }
 
+    /// Set the largest tensor-parallel degree the `(S, MB, T)` sweep may
+    /// try per stage (1 = historical 2D search).
+    pub fn with_tp_max(mut self, tp_max: usize) -> Self {
+        self.search.tp_max = tp_max.max(1);
+        self
+    }
+
     /// Set the cost model pricing the search.
     pub fn with_cost_model(mut self, cost: CostModelSpec) -> Self {
         self.cost = cost;
@@ -568,7 +575,7 @@ impl Rannc {
             &blocks,
             &view,
             self.config.batch_size,
-            &SearchOptions::default(),
+            &self.config.search,
         );
         match sol {
             Some(sol) => {

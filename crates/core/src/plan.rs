@@ -34,6 +34,15 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// Pre-3D plan files carry no `tensor_parallel` field; they deserialize
+/// as unsplit stages. Only referenced through the `#[serde(default)]`
+/// attribute, which the vendored serde stub ignores (the `.rncp` codec
+/// hand-rolls the same defaulting).
+#[allow(dead_code)]
+fn default_tensor_parallel() -> usize {
+    1
+}
+
 /// One pipeline stage of the final plan.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StagePlan {
@@ -41,6 +50,12 @@ pub struct StagePlan {
     pub set: TaskSet,
     /// Data-parallel replicas of this stage inside one pipeline replica.
     pub replicas: usize,
+    /// Tensor-parallel degree: each data-parallel replica is itself a
+    /// group of this many devices splitting the stage's matmuls.
+    /// Defaults to 1 so plan files written before the 3D search load
+    /// unchanged.
+    #[serde(default = "default_tensor_parallel")]
+    pub tensor_parallel: usize,
     /// Per-replica micro-batch size.
     pub micro_batch: usize,
     /// Profiled forward time per micro-batch, seconds.
@@ -84,6 +99,7 @@ impl PartitionPlan {
                 .map(|s| StagePlan {
                     set: s.set.clone(),
                     replicas: s.devices,
+                    tensor_parallel: s.tensor_parallel,
                     micro_batch: s.micro_batch,
                     fwd_time: s.fwd_time,
                     bwd_time: s.bwd_time,
@@ -99,9 +115,13 @@ impl PartitionPlan {
         }
     }
 
-    /// Devices used by one pipeline replica.
+    /// Physical devices used by one pipeline replica (each stage spans
+    /// `replicas × tensor_parallel` ranks).
     pub fn devices_per_replica(&self) -> usize {
-        self.stages.iter().map(|s| s.replicas).sum()
+        self.stages
+            .iter()
+            .map(|s| s.replicas * s.tensor_parallel)
+            .sum()
     }
 
     /// Total devices across all pipeline replicas.
@@ -140,8 +160,12 @@ impl PartitionPlan {
             let mut next = base;
             let mut stages = Vec::with_capacity(self.stages.len());
             for s in &self.stages {
-                let ranks: Vec<usize> = (next..next + s.replicas).collect();
-                next += s.replicas;
+                // slot-width convention: a stage owns `replicas × tp`
+                // contiguous ranks; data-parallel replica j is the
+                // tp-wide tensor group [j·tp, (j+1)·tp) within them
+                let width = s.replicas * s.tensor_parallel;
+                let ranks: Vec<usize> = (next..next + width).collect();
+                next += width;
                 stages.push(ranks);
             }
             out.push(stages);
@@ -159,6 +183,7 @@ impl PartitionPlan {
                 .map(|s| StageView {
                     set: &s.set,
                     replicas: s.replicas,
+                    tensor_parallel: s.tensor_parallel,
                     micro_batch: s.micro_batch,
                     fwd_time: s.fwd_time,
                     bwd_time: s.bwd_time,
@@ -187,9 +212,16 @@ impl PartitionPlan {
         )
         .unwrap();
         for (i, st) in self.stages.iter().enumerate() {
+            // the tensor-parallel column appears only on split stages, so
+            // T = 1 plans print the historical layout byte for byte
+            let tp = if st.tensor_parallel > 1 {
+                format!(" x{} tensor", st.tensor_parallel)
+            } else {
+                String::new()
+            };
             writeln!(
                 s,
-                "  stage {i}: {:>6} tasks, {:>4} replica(s), micro-batch {:>3}, \
+                "  stage {i}: {:>6} tasks, {:>4} replica(s){tp}, micro-batch {:>3}, \
                  fwd {:>8.3} ms, bwd {:>8.3} ms, mem {:>6.2} GiB, params {:.1}M",
                 st.set.len(),
                 st.replicas,
@@ -227,6 +259,7 @@ mod tests {
             ),
             block_range: range,
             devices,
+            tensor_parallel: 1,
             micro_batch: 2,
             fwd_time: 0.01,
             bwd_time: 0.02,

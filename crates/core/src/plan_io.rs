@@ -8,13 +8,19 @@
 //!
 //! Format (little-endian):
 //! `magic "RNCP" | u32 version | payload | u64 fnv1a(payload)`.
+//!
+//! Version history: v1 had no per-stage tensor-parallel degree; v2
+//! writes it after `replicas`. The decoder accepts both — v1 stages
+//! load as unsplit (`tensor_parallel = 1`).
 
 use crate::plan::{PartitionPlan, StagePlan};
 use rannc_graph::{TaskId, TaskSet};
 use rannc_verify::Report;
 
 const MAGIC: &[u8; 4] = b"RNCP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version the decoder still reads.
+const MIN_VERSION: u32 = 1;
 
 /// Why loading or decoding failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +80,7 @@ pub fn encode_plan(plan: &PartitionPlan) -> Vec<u8> {
             put_u32(&mut payload, t.0);
         }
         put_u64(&mut payload, st.replicas as u64);
+        put_u64(&mut payload, st.tensor_parallel as u64);
         put_u64(&mut payload, st.micro_batch as u64);
         put_f64(&mut payload, st.fwd_time);
         put_f64(&mut payload, st.bwd_time);
@@ -99,7 +106,7 @@ pub fn decode_plan(mut data: &[u8]) -> Result<PartitionPlan, PlanIoError> {
     }
     data = &data[4..];
     let version = get_u32(&mut data)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(PlanIoError::BadVersion(version));
     }
     let checksum = get_u64(&mut data)?;
@@ -126,9 +133,17 @@ pub fn decode_plan(mut data: &[u8]) -> Result<PartitionPlan, PlanIoError> {
             }
             set.insert(TaskId(id));
         }
+        let replicas = get_usize(&mut data)?;
+        // v1 files predate the tensor-parallel axis: unsplit stages
+        let tensor_parallel = if version >= 2 {
+            get_usize(&mut data)?
+        } else {
+            1
+        };
         stages.push(StagePlan {
             set,
-            replicas: get_usize(&mut data)?,
+            replicas,
+            tensor_parallel,
             micro_batch: get_usize(&mut data)?,
             fwd_time: get_f64(&mut data)?,
             bwd_time: get_f64(&mut data)?,
@@ -240,6 +255,7 @@ mod tests {
         let mk = |ids: &[u32], replicas: usize| StagePlan {
             set: TaskSet::from_ids(100, ids.iter().map(|&i| TaskId(i))),
             replicas,
+            tensor_parallel: 1,
             micro_batch: 2,
             fwd_time: 0.0123,
             bwd_time: 0.0456,
@@ -274,6 +290,65 @@ mod tests {
             assert_eq!(a.fwd_time, b.fwd_time);
             assert_eq!(a.param_elems, b.param_elems);
         }
+    }
+
+    /// Re-encode a plan in the pre-3D v1 layout (no per-stage
+    /// `tensor_parallel` word) — the bytes a deployment file written by
+    /// an older build carries.
+    fn encode_plan_v1(plan: &PartitionPlan) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(1024);
+        put_str(&mut payload, &plan.model);
+        put_u64(&mut payload, plan.microbatches as u64);
+        put_u64(&mut payload, plan.replica_factor as u64);
+        put_u64(&mut payload, plan.batch_size as u64);
+        put_f64(&mut payload, plan.bottleneck);
+        put_f64(&mut payload, plan.est_iteration_time);
+        put_u32(&mut payload, plan.stages.len() as u32);
+        for st in &plan.stages {
+            put_u64(&mut payload, st.set.universe() as u64);
+            let members: Vec<TaskId> = st.set.iter().collect();
+            put_u32(&mut payload, members.len() as u32);
+            for t in members {
+                put_u32(&mut payload, t.0);
+            }
+            put_u64(&mut payload, st.replicas as u64);
+            put_u64(&mut payload, st.micro_batch as u64);
+            put_f64(&mut payload, st.fwd_time);
+            put_f64(&mut payload, st.bwd_time);
+            put_u64(&mut payload, st.mem_bytes as u64);
+            put_u64(&mut payload, st.param_elems as u64);
+        }
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, 1);
+        put_u64(&mut out, fnv1a(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn legacy_v1_file_loads_as_unsplit() {
+        let plan = sample_plan();
+        let bytes = encode_plan_v1(&plan);
+        let back = decode_plan(&bytes).unwrap();
+        assert_eq!(back.stages.len(), plan.stages.len());
+        for (a, b) in back.stages.iter().zip(&plan.stages) {
+            assert_eq!(a.tensor_parallel, 1);
+            assert_eq!(a.replicas, b.replicas);
+            assert_eq!(a.micro_batch, b.micro_batch);
+            assert_eq!(a.fwd_time, b.fwd_time);
+            assert_eq!(a.param_elems, b.param_elems);
+        }
+    }
+
+    #[test]
+    fn tensor_parallel_roundtrips_in_v2() {
+        let mut plan = sample_plan();
+        plan.stages[0].tensor_parallel = 4;
+        plan.stages[1].tensor_parallel = 2;
+        let back = decode_plan(&encode_plan(&plan)).unwrap();
+        assert_eq!(back.stages[0].tensor_parallel, 4);
+        assert_eq!(back.stages[1].tensor_parallel, 2);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub fn diff_plans(old: &PartitionPlan, new: &PartitionPlan) -> PlanDiff {
             .iter()
             .map(|s| {
                 let here = off;
-                off += s.replicas;
+                off += s.replicas * s.tensor_parallel.max(1);
                 here
             })
             .collect()
@@ -77,11 +77,12 @@ pub fn diff_plans(old: &PartitionPlan, new: &PartitionPlan) -> PlanDiff {
     let mut stages_changed = 0usize;
     let mut moved_param_elems = 0usize;
     for (s, &off) in new.stages.iter().zip(&new_offsets) {
-        let unmoved = old
-            .stages
-            .iter()
-            .zip(&old_offsets)
-            .any(|(o, &ooff)| o.set == s.set && ooff == off && o.replicas == s.replicas);
+        let unmoved = old.stages.iter().zip(&old_offsets).any(|(o, &ooff)| {
+            o.set == s.set
+                && ooff == off
+                && o.replicas == s.replicas
+                && o.tensor_parallel == s.tensor_parallel
+        });
         if !unmoved {
             stages_changed += 1;
             moved_param_elems += s.param_elems;
@@ -233,6 +234,18 @@ mod tests {
         let d = diff_plans(&plan, &shifted);
         assert_eq!(d.stages_changed, shifted.stages.len());
         assert!(d.moved_param_elems > 0);
+    }
+
+    #[test]
+    fn resharded_stage_is_charged() {
+        // changing only a stage's tensor-parallel degree moves its
+        // parameter shards even though the task set is unchanged
+        let (_, _, _, plan) = plan_and_cluster();
+        let mut resharded = plan.clone();
+        resharded.stages[0].tensor_parallel *= 2;
+        let d = diff_plans(&plan, &resharded);
+        assert!(d.stages_changed >= 1);
+        assert!(d.moved_param_elems >= plan.stages[0].param_elems);
     }
 
     #[test]

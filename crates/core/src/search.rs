@@ -65,7 +65,9 @@ pub fn score_solution(sol: &DpSolution, cluster: &ClusterSpec, cost: &dyn CostMo
     for st in &sol.stages {
         let group = st.devices * sol.replica_factor;
         if group > 1 {
-            let bytes = st.param_elems * 4;
+            // each tensor-parallel shard all-reduces only its own slice
+            // of the gradients across the stage's data-parallel group
+            let bytes = st.param_elems * 4 / st.tensor_parallel;
             let t = cost.allreduce_time(cluster, bytes, group, sol.replica_factor > 1);
             allreduce = allreduce.max(t);
         }
@@ -84,6 +86,10 @@ pub struct SearchOptions {
     /// one-memo-per-invocation behaviour — kept as the benchmark
     /// baseline.
     pub shared_cache: bool,
+    /// Largest tensor-parallel degree `T` the sweep may try per stage
+    /// (the third search axis). `1` disables intra-op partitioning and
+    /// reproduces the historical `(S, MB)` grid bit for bit.
+    pub tp_max: usize,
 }
 
 impl Default for SearchOptions {
@@ -91,6 +97,7 @@ impl Default for SearchOptions {
         SearchOptions {
             threads: 0,
             shared_cache: true,
+            tp_max: 1,
         }
     }
 }
@@ -102,6 +109,7 @@ impl SearchOptions {
         SearchOptions {
             threads: 1,
             shared_cache: false,
+            tp_max: 1,
         }
     }
 }
@@ -339,7 +347,10 @@ pub fn form_stage_with(
         let repl_max = p.devices + 1 - p.stages;
         let m_lo = (q / repl_max).max(1);
         let prof = cost.stage_cost(full, m_lo, p.microbatches, p.stages > 1);
-        let v_lb = (prof.fwd_time + prof.bwd_time) / p.stages as f64;
+        // a T-way split divides compute by at most T (its all-reduce term
+        // only adds), so /(S·T) stays a true lower bound; T = 1 is the
+        // same float division as the historical /S
+        let v_lb = (prof.fwd_time + prof.bwd_time) / (p.stages * p.tp) as f64;
         let sigma = cost.options().noise_sigma;
         let guard = if sigma > 0.0 {
             (1.0 - sigma) / (1.0 + sigma)
@@ -366,14 +377,24 @@ pub fn form_stage_with(
         for s in (d_node * (n - 1) + 1)..=(d_node * n) {
             let mut mb = 1usize;
             while mb <= batch_size / r {
-                grid.push(DpParams {
-                    stages: s,
-                    devices: d,
-                    batch_size,
-                    replica_factor: r,
-                    microbatches: mb,
-                    mem_limit,
-                });
+                // T innermost, ascending, over divisors of the tier's
+                // device budget: at equal score the first minimum in grid
+                // order wins, so ties resolve to the smallest degree and
+                // `tp_max = 1` reproduces the historical grid exactly.
+                for t in 1..=opts.tp_max.max(1) {
+                    if !d.is_multiple_of(t) || d / t < s {
+                        continue;
+                    }
+                    grid.push(DpParams {
+                        stages: s,
+                        devices: d / t,
+                        batch_size,
+                        replica_factor: r,
+                        microbatches: mb,
+                        mem_limit,
+                        tp: t,
+                    });
+                }
                 mb *= 2;
             }
         }
@@ -390,20 +411,22 @@ pub fn form_stage_with(
         } else {
             None
         };
-        // Group the grid by micro-batch count: all candidates of one
-        // group share the arena's memo key (same R, MB, ckpt for S ≥ 2),
-        // so the flat (b_prev, b, repl) memo filled by one stage count
-        // answers most lookups of the next. Groups are the parallel work
-        // unit; results are scattered back to grid order below, so the
-        // regrouping cannot perturb the deterministic tie-break.
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        // Group the grid by (micro-batch count, tensor-parallel degree):
+        // all candidates of one group share the arena's memo key (same
+        // R, MB, T, ckpt for S ≥ 2), so the flat (b_prev, b, repl) memo
+        // filled by one stage count answers most lookups of the next.
+        // Groups are the parallel work unit; results are scattered back
+        // to grid order below, so the regrouping cannot perturb the
+        // deterministic tie-break.
+        let mut groups: Vec<((usize, usize), Vec<usize>)> = Vec::new();
         for (i, p) in grid.iter().enumerate() {
-            match groups.iter_mut().find(|(mb, _)| *mb == p.microbatches) {
+            let key = (p.microbatches, p.tp);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, members)) => members.push(i),
-                None => groups.push((p.microbatches, vec![i])),
+                None => groups.push((key, vec![i])),
             }
         }
-        let run_group = |(_, members): &(usize, Vec<usize>)| -> Vec<Option<DpSolution>> {
+        let run_group = |(_, members): &((usize, usize), Vec<usize>)| -> Vec<Option<DpSolution>> {
             let mut arena = arenas.take();
             let out = members
                 .iter()
@@ -420,6 +443,7 @@ pub fn form_stage_with(
                     let _dp = rannc_obs::trace::span("dp", "planner")
                         .arg_i("S", p.stages as i64)
                         .arg_i("MB", p.microbatches as i64)
+                        .arg_i("T", p.tp as i64)
                         .arg_i("n", n as i64);
                     let sol = if opts.shared_cache {
                         form_stage_dp_in(
@@ -430,6 +454,7 @@ pub fn form_stage_with(
                             link,
                             &cache,
                             slots.as_ref(),
+                            Some(cluster),
                             &mut arena,
                         )
                     } else {
@@ -442,6 +467,7 @@ pub fn form_stage_with(
                             link,
                             &StageCostCache::new(),
                             slots.as_ref(),
+                            Some(cluster),
                             &mut DpArena::new(),
                         )
                     };
@@ -505,6 +531,7 @@ pub fn form_stage_with(
                         candidate(
                             p.stages,
                             p.microbatches,
+                            p.tp,
                             CandidateOutcome::Pruned { lower_bound: lb },
                         );
                         continue;
@@ -516,6 +543,7 @@ pub fn form_stage_with(
                         candidate(
                             p.stages,
                             p.microbatches,
+                            p.tp,
                             CandidateOutcome::Feasible {
                                 score,
                                 bottleneck: s.value,
@@ -525,7 +553,7 @@ pub fn form_stage_with(
                             best = score;
                         }
                     }
-                    None => candidate(p.stages, p.microbatches, CandidateOutcome::Infeasible),
+                    None => candidate(p.stages, p.microbatches, p.tp, CandidateOutcome::Infeasible),
                 }
             }
         }

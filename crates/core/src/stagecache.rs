@@ -36,7 +36,7 @@ use crate::blocks::Block;
 use crate::dp::DpParams;
 use rannc_cost::CostModel;
 use rannc_graph::{traverse, TaskGraph, TaskSet};
-use rannc_hw::LinkSpec;
+use rannc_hw::{ClusterSpec, LinkSpec};
 use rannc_profile::CacheStats;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,6 +86,8 @@ pub struct StageKey {
     pub inflight: u32,
     /// Whether gradient checkpointing is active (`S > 1`).
     pub ckpt: bool,
+    /// Tensor-parallel degree the stage is priced at (1 = no split).
+    pub tp: u32,
 }
 
 impl StageKey {
@@ -96,7 +98,8 @@ impl StageKey {
                 | ((self.repl as u64) << 32)
                     ^ ((self.micro_batch as u64) << 40)
                     ^ ((self.inflight as u64) << 52)
-                    ^ ((self.ckpt as u64) << 63),
+                    ^ ((self.ckpt as u64) << 63)
+                    ^ ((self.tp as u64) << 24),
         );
         (mix as usize) % SHARDS
     }
@@ -259,7 +262,7 @@ pub struct StageEvalCtx<'a, 'g> {
     pub cost: &'a dyn CostModel,
     /// Topologically sorted blocks.
     pub blocks: &'a [Block],
-    /// The DP parameters (`S`, `D`, `BS`, `R`, `MB`, memory bound).
+    /// The DP parameters (`S`, `D`, `BS`, `R`, `MB`, `T`, memory bound).
     pub p: DpParams,
     /// Link used for inter-stage transfer terms.
     pub link: LinkSpec,
@@ -267,6 +270,9 @@ pub struct StageEvalCtx<'a, 'g> {
     pub ckpt: bool,
     /// Activation-precision scale relative to FP32.
     pub act_scale: f64,
+    /// Collective topology for tensor-parallel pricing; required (and
+    /// only consulted) when `p.tp > 1`.
+    pub cluster: Option<&'a ClusterSpec>,
 }
 
 impl<'a, 'g> StageEvalCtx<'a, 'g> {
@@ -277,7 +283,13 @@ impl<'a, 'g> StageEvalCtx<'a, 'g> {
         blocks: &'a [Block],
         p: &DpParams,
         link: LinkSpec,
+        cluster: Option<&'a ClusterSpec>,
     ) -> Self {
+        debug_assert!(
+            p.tp <= 1 || cluster.is_some(),
+            "tensor-parallel pricing (tp = {}) requires a cluster",
+            p.tp
+        );
         StageEvalCtx {
             g,
             cost,
@@ -286,6 +298,7 @@ impl<'a, 'g> StageEvalCtx<'a, 'g> {
             link,
             ckpt: p.stages > 1,
             act_scale: cost.options().precision.activation_bytes() as f64 / 4.0,
+            cluster,
         }
     }
 
@@ -310,6 +323,7 @@ impl<'a, 'g> StageEvalCtx<'a, 'g> {
             micro_batch: self.micro_batch(repl)? as u32,
             inflight: self.p.microbatches as u32,
             ckpt: self.ckpt,
+            tp: self.p.tp as u32,
         })
     }
 
@@ -362,9 +376,25 @@ impl<'a, 'g> StageEvalCtx<'a, 'g> {
         to: usize,
         micro: usize,
     ) -> Option<StageCost> {
-        let prof = self
-            .cost
-            .stage_cost(set, micro, self.p.microbatches, self.ckpt);
+        // tp == 1 takes the historical call exactly (same memo keys and
+        // float ops), so tensor-parallel support cannot perturb plans
+        // searched with `--tp-max 1`.
+        let prof = if self.p.tp > 1 {
+            let cluster = self
+                .cluster
+                .expect("tensor-parallel pricing requires a cluster");
+            self.cost.stage_cost_tp(
+                set,
+                micro,
+                self.p.microbatches,
+                self.ckpt,
+                self.p.tp,
+                cluster,
+            )
+        } else {
+            self.cost
+                .stage_cost(set, micro, self.p.microbatches, self.ckpt)
+        };
         if prof.mem_bytes > self.p.mem_limit {
             return None;
         }
@@ -428,6 +458,7 @@ mod tests {
             replica_factor: 1,
             microbatches: 4,
             mem_limit: 32 << 30,
+            tp: 1,
         }
     }
 
@@ -435,7 +466,7 @@ mod tests {
     fn cached_equals_fresh_and_counts() {
         let (g, blocks) = setup();
         let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
-        let ctx = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink());
+        let ctx = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink(), None);
         let cache = StageCostCache::new();
         let nb = blocks.len();
         for from in 0..nb {
@@ -458,8 +489,9 @@ mod tests {
     fn keys_separate_stage_counts_via_ckpt() {
         let (g, blocks) = setup();
         let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
-        let single = StageEvalCtx::new(&g, &profiler, &blocks, &params(1), LinkSpec::nvlink());
-        let multi = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink());
+        let single =
+            StageEvalCtx::new(&g, &profiler, &blocks, &params(1), LinkSpec::nvlink(), None);
+        let multi = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink(), None);
         let cache = StageCostCache::new();
         let nb = blocks.len();
         let a = single.eval_cached(&cache, 0, nb, 1).unwrap();
@@ -473,7 +505,7 @@ mod tests {
     fn concurrent_fill_matches_sequential() {
         let (g, blocks) = setup();
         let profiler = Profiler::new(&g, DeviceSpec::v100_32gb(), ProfilerOptions::fp32());
-        let ctx = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink());
+        let ctx = StageEvalCtx::new(&g, &profiler, &blocks, &params(2), LinkSpec::nvlink(), None);
         let cache = StageCostCache::new();
         let nb = blocks.len();
         let queries: Vec<(usize, usize, usize)> = (0..nb)

@@ -137,14 +137,15 @@ proptest! {
                         replica_factor: repl,
                         microbatches,
                         mem_limit: 32 << 30,
+                        tp: 1,
                     };
                     let fast = form_stage_dp_in(
                         &g, &profiler, &blocks, &p, LinkSpec::nvlink(),
-                        &arena_cache, None, &mut arena,
+                        &arena_cache, None, None, &mut arena,
                     );
                     let legacy = form_stage_dp_hashmap(
                         &g, &profiler, &blocks, &p, LinkSpec::nvlink(),
-                        &hashmap_cache, None,
+                        &hashmap_cache, None, None,
                     );
                     assert_solutions_identical(
                         &fast,
@@ -172,7 +173,7 @@ proptest! {
 
         let reference = form_stage_seq(&g, &profiler, &blocks, &cluster, batch_size);
         for threads in [1usize, 2, 4] {
-            let opts = SearchOptions { threads, shared_cache: true };
+            let opts = SearchOptions { threads, shared_cache: true, tp_max: 1 };
             let (engine, _stats) =
                 form_stage_with(&g, &profiler, &blocks, &cluster, batch_size, &opts);
             assert_solutions_identical(&engine, &reference, &format!("threads={threads}"));

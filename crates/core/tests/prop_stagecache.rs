@@ -56,8 +56,9 @@ proptest! {
             replica_factor: 1 + (sel as usize % 2),
             microbatches: 1 << (sel as usize % 3),
             mem_limit: 32 << 30,
+            tp: 1,
         };
-        let ctx = StageEvalCtx::new(&g, &profiler, &blocks, &p, LinkSpec::nvlink());
+        let ctx = StageEvalCtx::new(&g, &profiler, &blocks, &p, LinkSpec::nvlink(), None);
         let cache = StageCostCache::new();
         let nb = blocks.len();
         let mut x = sel | 1;
@@ -100,11 +101,12 @@ proptest! {
             replica_factor: 1,
             microbatches: mb,
             mem_limit: 32 << 30,
+            tp: 1,
         };
         let pa = mk(1, 1);
         let pb = mk(2, 2);
-        let a = StageEvalCtx::new(&g, &profiler, &blocks, &pa, LinkSpec::nvlink());
-        let b = StageEvalCtx::new(&g, &profiler, &blocks, &pb, LinkSpec::nvlink());
+        let a = StageEvalCtx::new(&g, &profiler, &blocks, &pa, LinkSpec::nvlink(), None);
+        let b = StageEvalCtx::new(&g, &profiler, &blocks, &pb, LinkSpec::nvlink(), None);
         let cache = StageCostCache::new();
         let nb = blocks.len();
         let from = (sel as usize) % nb;

@@ -25,10 +25,12 @@
 mod calibration;
 mod migration;
 mod model;
+pub mod tensor;
 
 pub use calibration::{Calibration, CalibrationError, CALIBRATION_VERSION};
 pub use migration::{MigrationCost, MigrationModel};
 pub use model::{AnalyticalCost, CalibratedCost, CostModel, CostModelSpec};
+pub use tensor::{megatron_partition, TransformerDims};
 
 use serde::{Deserialize, Serialize};
 use std::time::Duration;

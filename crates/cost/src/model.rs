@@ -34,6 +34,25 @@ pub trait CostModel: Sync {
         checkpointing: bool,
     ) -> ProfileResult;
 
+    /// Tensor-parallel stage pricing: [`CostModel::stage_cost`] with the
+    /// stage's splittable (matmul-bearing) compute divided across a
+    /// `tp`-wide tensor-parallel group, weight/optimizer state sharded
+    /// `tp` ways, activation buffers full-size, and the per-pass
+    /// activation all-reduce over the group folded into the forward and
+    /// backward times (which is why this variant needs the cluster).
+    ///
+    /// `tp == 1` must be bit-identical to [`CostModel::stage_cost`] —
+    /// same float operations, same memo keys, same cache counters.
+    fn stage_cost_tp(
+        &self,
+        set: &TaskSet,
+        batch: usize,
+        inflight: usize,
+        checkpointing: bool,
+        tp: usize,
+        cluster: &ClusterSpec,
+    ) -> ProfileResult;
+
     /// Activation bytes crossing the cut from `from` to `to` for one
     /// micro-batch, at activation precision.
     fn comm_bytes(&self, from: &TaskSet, to: &TaskSet, batch: usize) -> usize;
@@ -110,6 +129,28 @@ impl<'g> CostModel for Profiler<'g> {
         checkpointing: bool,
     ) -> ProfileResult {
         self.profile_set(set, batch, inflight, checkpointing)
+    }
+
+    fn stage_cost_tp(
+        &self,
+        set: &TaskSet,
+        batch: usize,
+        inflight: usize,
+        checkpointing: bool,
+        tp: usize,
+        cluster: &ClusterSpec,
+    ) -> ProfileResult {
+        if tp <= 1 {
+            return self.profile_set(set, batch, inflight, checkpointing);
+        }
+        let mut r = self.profile_set_tp(set, batch, inflight, checkpointing, tp);
+        let bytes = self.tp_allreduce_bytes(set, batch);
+        if bytes > 0 {
+            let ar = cluster.replica_allreduce_time(bytes, tp, tp > cluster.node.devices);
+            r.fwd_time += ar;
+            r.bwd_time += ar;
+        }
+        r
     }
 
     fn comm_bytes(&self, from: &TaskSet, to: &TaskSet, batch: usize) -> usize {
@@ -191,6 +232,19 @@ impl<'g> CostModel for AnalyticalCost<'g> {
     ) -> ProfileResult {
         self.profiler
             .stage_cost(set, batch, inflight, checkpointing)
+    }
+
+    fn stage_cost_tp(
+        &self,
+        set: &TaskSet,
+        batch: usize,
+        inflight: usize,
+        checkpointing: bool,
+        tp: usize,
+        cluster: &ClusterSpec,
+    ) -> ProfileResult {
+        self.profiler
+            .stage_cost_tp(set, batch, inflight, checkpointing, tp, cluster)
     }
 
     fn comm_bytes(&self, from: &TaskSet, to: &TaskSet, batch: usize) -> usize {
@@ -299,6 +353,35 @@ impl<'g> CostModel for CalibratedCost<'g> {
         // the integer round-trip
         if self.cal.memory != 1.0 {
             r.mem_bytes = (r.mem_bytes as f64 * self.cal.memory).round() as usize;
+        }
+        r
+    }
+
+    fn stage_cost_tp(
+        &self,
+        set: &TaskSet,
+        batch: usize,
+        inflight: usize,
+        checkpointing: bool,
+        tp: usize,
+        cluster: &ClusterSpec,
+    ) -> ProfileResult {
+        if tp <= 1 {
+            return self.stage_cost(set, batch, inflight, checkpointing);
+        }
+        let mut r = self
+            .profiler
+            .profile_set_tp(set, batch, inflight, checkpointing, tp);
+        if self.cal.memory != 1.0 {
+            r.mem_bytes = (r.mem_bytes as f64 * self.cal.memory).round() as usize;
+        }
+        // the TP activation all-reduce is priced through the *calibrated*
+        // collective path, unlike the profiler's raw impl
+        let bytes = self.profiler.tp_allreduce_bytes(set, batch);
+        if bytes > 0 {
+            let ar = self.allreduce_time(cluster, bytes, tp, tp > cluster.node.devices);
+            r.fwd_time += ar;
+            r.bwd_time += ar;
         }
         r
     }

@@ -150,6 +150,110 @@ proptest! {
         });
     }
 
+    /// `tp = 1` is the identity: the tensor-parallel stage cost must be
+    /// bit-identical to the plain 2D stage cost on every field, for both
+    /// models — the historical search path must not feel the third axis.
+    #[test]
+    fn tp_one_is_bit_identical_to_stage_cost(
+        cal in calibrations(),
+        mb in 1usize..17,
+        inflight in 1usize..9,
+        ckpt in any::<bool>(),
+    ) {
+        for_both_models(&cal, |m, cluster, label| {
+            let set = whole_set(m.graph());
+            let plain = m.stage_cost(&set, mb, inflight, ckpt);
+            let tp = m.stage_cost_tp(&set, mb, inflight, ckpt, 1, cluster);
+            assert!(
+                plain.fwd_time.to_bits() == tp.fwd_time.to_bits()
+                    && plain.bwd_time.to_bits() == tp.bwd_time.to_bits()
+                    && plain.mem_bytes == tp.mem_bytes
+                    && plain.param_elems == tp.param_elems,
+                "{label}/ckpt={ckpt}: stage_cost_tp(.., 1) diverged from stage_cost"
+            );
+        });
+    }
+
+    /// Per-device stage memory is nonincreasing in the tensor-parallel
+    /// degree (weights and optimizer state shard `1/T`, activations stay
+    /// full-size), while `param_elems` always reports the FULL unsharded
+    /// count — callers shard gradient volume themselves.
+    #[test]
+    fn tp_memory_nonincreasing_and_params_unsharded(
+        cal in calibrations(),
+        mb in 1usize..17,
+        t1 in 1usize..9,
+        t2 in 1usize..9,
+        ckpt in any::<bool>(),
+    ) {
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        for_both_models(&cal, |m, cluster, label| {
+            let set = whole_set(m.graph());
+            let full = m.stage_cost(&set, mb, 1, ckpt);
+            let a = m.stage_cost_tp(&set, mb, 1, ckpt, lo, cluster);
+            let b = m.stage_cost_tp(&set, mb, 1, ckpt, hi, cluster);
+            assert!(
+                b.mem_bytes <= a.mem_bytes,
+                "{label}/ckpt={ckpt}: mem(T={hi}) = {} > mem(T={lo}) = {}",
+                b.mem_bytes,
+                a.mem_bytes
+            );
+            assert!(
+                a.param_elems == full.param_elems && b.param_elems == full.param_elems,
+                "{label}: param_elems must stay unsharded \
+                 (T={lo}: {}, T={hi}: {}, full: {})",
+                a.param_elems,
+                b.param_elems,
+                full.param_elems
+            );
+        });
+    }
+
+    /// The Megatron split math itself: raw per-shard compute (before the
+    /// folded activation all-reduce) is nonincreasing in `T`; the stage
+    /// cost charges the all-reduce symmetrically to forward and backward;
+    /// and the per-micro-batch all-reduce volume is nondecreasing in the
+    /// micro-batch size.
+    #[test]
+    fn tp_split_compute_and_allreduce_laws(
+        mb1 in 1usize..17,
+        mb2 in 1usize..17,
+        t1 in 2usize..9,
+        t2 in 2usize..9,
+    ) {
+        let (mlo, mhi) = (mb1.min(mb2), mb1.max(mb2));
+        let (tlo, thi) = (t1.min(t2), t1.max(t2));
+        let g = graph();
+        let cluster = ClusterSpec::v100_cluster(2);
+        let m = AnalyticalCost::new(&g, cluster.device.clone(), ProfilerOptions::fp32());
+        let set = whole_set(m.graph());
+        let p = m.profiler();
+
+        let raw_lo = p.profile_set_tp(&set, mhi, 1, false, tlo);
+        let raw_hi = p.profile_set_tp(&set, mhi, 1, false, thi);
+        prop_assert!(
+            raw_hi.fwd_time <= raw_lo.fwd_time && raw_hi.bwd_time <= raw_lo.bwd_time,
+            "splitting wider got slower: T={tlo} ({}, {}) vs T={thi} ({}, {})",
+            raw_lo.fwd_time, raw_lo.bwd_time, raw_hi.fwd_time, raw_hi.bwd_time
+        );
+
+        let full = m.stage_cost_tp(&set, mhi, 1, false, thi, &cluster);
+        let dfwd = full.fwd_time - raw_hi.fwd_time;
+        let dbwd = full.bwd_time - raw_hi.bwd_time;
+        prop_assert!(
+            dfwd >= 0.0 && (dfwd - dbwd).abs() <= 1e-12 * dfwd.max(1.0),
+            "activation all-reduce charged asymmetrically: fwd +{dfwd}, bwd +{dbwd}"
+        );
+
+        let v_lo = p.tp_allreduce_bytes(&set, mlo);
+        let v_hi = p.tp_allreduce_bytes(&set, mhi);
+        prop_assert!(
+            v_lo <= v_hi,
+            "all-reduce volume shrank with the micro-batch: \
+             {v_lo} B at mb {mlo} vs {v_hi} B at mb {mhi}"
+        );
+    }
+
     /// Optimizer time is nondecreasing in gradient bytes.
     #[test]
     fn optimizer_time_nondecreasing_in_bytes(

@@ -349,6 +349,13 @@ pub fn check_explain(text: &str) -> Result<ExplainSummary, String> {
             if expl_int(c, "stages", &what)? == 0 || expl_int(c, "microbatches", &what)? == 0 {
                 return Err(format!("{what}: `stages`/`microbatches` must be positive"));
             }
+            // `tp` is additive (only emitted when > 1); when present it
+            // must be a positive integer
+            if let Some(tp) = c.get("tp") {
+                if nonneg_int(tp).is_none_or(|t| t == 0) {
+                    return Err(format!("{what}: `tp` must be a positive integer"));
+                }
+            }
             summary.candidates += 1;
             match c.get("outcome").and_then(Value::as_str) {
                 Some("feasible") => {
@@ -411,6 +418,14 @@ pub fn check_explain(text: &str) -> Result<ExplainSummary, String> {
                 for key in ["tasks", "devices", "micro_batch"] {
                     if expl_int(s, key, &what)? == 0 {
                         return Err(format!("{what}: `{key}` must be positive"));
+                    }
+                }
+                // additive tensor-parallel degree: absent means 1
+                if let Some(tp) = s.get("tensor_parallel") {
+                    if nonneg_int(tp).is_none_or(|t| t == 0) {
+                        return Err(format!(
+                            "{what}: `tensor_parallel` must be a positive integer"
+                        ));
                     }
                 }
                 for key in [
@@ -609,6 +624,7 @@ mod tests {
                     CandidateRec {
                         stages: 1,
                         microbatches: 1,
+                        tp: 1,
                         outcome: CandidateOutcome::Feasible {
                             score: 0.5,
                             bottleneck: 0.25,
@@ -617,6 +633,7 @@ mod tests {
                     CandidateRec {
                         stages: 2,
                         microbatches: 1,
+                        tp: 1,
                         outcome: CandidateOutcome::Pruned { lower_bound: 0.75 },
                     },
                 ],
@@ -625,6 +642,7 @@ mod tests {
                 stages: vec![WinnerStageRec {
                     tasks: 4,
                     devices: 2,
+                    tensor_parallel: 1,
                     micro_batch: 16,
                     fwd_time: 0.1,
                     bwd_time: 0.15,

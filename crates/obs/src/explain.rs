@@ -63,6 +63,8 @@ pub fn parse_artifact(text: &str) -> Result<Recording, String> {
             candidates.push(CandidateRec {
                 stages: int(c, "stages") as usize,
                 microbatches: int(c, "microbatches") as usize,
+                // absent on 2D artifacts: the candidate was unsplit
+                tp: c.get("tp").and_then(Value::as_f64).unwrap_or(1.0) as usize,
                 outcome,
             });
         }
@@ -79,6 +81,10 @@ pub fn parse_artifact(text: &str) -> Result<Recording, String> {
             stages.push(WinnerStageRec {
                 tasks: int(s, "tasks") as usize,
                 devices: int(s, "devices") as usize,
+                tensor_parallel: s
+                    .get("tensor_parallel")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(1.0) as usize,
                 micro_batch: int(s, "micro_batch") as usize,
                 fwd_time: num(s, "fwd_time"),
                 bwd_time: num(s, "bwd_time"),
@@ -134,6 +140,7 @@ struct Feasible {
     n: usize,
     stages: usize,
     microbatches: usize,
+    tp: usize,
     score: f64,
 }
 
@@ -146,6 +153,7 @@ fn feasible_sorted(rec: &Recording) -> Vec<Feasible> {
                     n: t.n,
                     stages: c.stages,
                     microbatches: c.microbatches,
+                    tp: c.tp.max(1),
                     score,
                 });
             }
@@ -188,8 +196,16 @@ pub fn render(text: &str, top_k: usize) -> Result<String, String> {
                 ms(w.score - w.est_iteration_time),
                 ms(w.bottleneck)
             ));
+            // the tp column appears only when some stage is split, so 2D
+            // artifacts render byte-identically to the frozen v1 layout
+            let any_tp = w.stages.iter().any(|s| s.tensor_parallel > 1);
+            let tp_hdr = if any_tp {
+                format!(" {:>4}", "tp")
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "\n{:>5} {:>6} {:>5} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}\n",
+                "\n{:>5} {:>6} {:>5}{tp_hdr} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}\n",
                 "stage",
                 "tasks",
                 "devs",
@@ -207,8 +223,13 @@ pub fn render(text: &str, top_k: usize) -> Result<String, String> {
                     Some(b) => gib(b),
                     None => "-".into(),
                 };
+                let tp_col = if any_tp {
+                    format!(" {:>4}", s.tensor_parallel)
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "{:>5} {:>6} {:>5} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}\n",
+                    "{:>5} {:>6} {:>5}{tp_col} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}\n",
                     i,
                     s.tasks,
                     s.devices,
@@ -235,8 +256,13 @@ pub fn render(text: &str, top_k: usize) -> Result<String, String> {
         ));
         let best = ranked[0].score;
         for (i, f) in ranked[1..1 + shown].iter().enumerate() {
+            let t_str = if f.tp > 1 {
+                format!(" T={}", f.tp)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "  #{} S={} MB={} n={}: score {} ms ({:+.3} ms, {})\n",
+                "  #{} S={} MB={}{t_str} n={}: score {} ms ({:+.3} ms, {})\n",
                 i + 1,
                 f.stages,
                 f.microbatches,
@@ -400,6 +426,7 @@ mod tests {
                     CandidateRec {
                         stages: 1,
                         microbatches: 1,
+                        tp: 1,
                         outcome: CandidateOutcome::Feasible {
                             score: fwd * 2.0,
                             bottleneck: fwd,
@@ -408,6 +435,7 @@ mod tests {
                     CandidateRec {
                         stages: 1,
                         microbatches: 2,
+                        tp: 1,
                         outcome: CandidateOutcome::Feasible {
                             score: fwd * 3.0,
                             bottleneck: fwd,
@@ -416,6 +444,7 @@ mod tests {
                     CandidateRec {
                         stages: 2,
                         microbatches: 1,
+                        tp: 1,
                         outcome: CandidateOutcome::Pruned {
                             lower_bound: fwd * 4.0,
                         },
@@ -426,6 +455,7 @@ mod tests {
                 stages: vec![WinnerStageRec {
                     tasks: 12,
                     devices: 2,
+                    tensor_parallel: 1,
                     micro_batch: 32,
                     fwd_time: fwd,
                     bwd_time: fwd * 1.5,

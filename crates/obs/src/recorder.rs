@@ -91,6 +91,9 @@ pub struct CandidateRec {
     pub stages: usize,
     /// Micro-batch count `MB`.
     pub microbatches: usize,
+    /// Tensor-parallel degree `T` (1 when intra-op search is off; the
+    /// serializer omits the field then, keeping 2D artifacts byte-stable).
+    pub tp: usize,
     /// How the cell ended.
     pub outcome: CandidateOutcome,
 }
@@ -134,6 +137,8 @@ pub struct WinnerStageRec {
     pub tasks: usize,
     /// Devices (replicas) within one pipeline replica.
     pub devices: usize,
+    /// Tensor-parallel degree of the stage (serialized only when > 1).
+    pub tensor_parallel: usize,
     /// Per-replica micro-batch size.
     pub micro_batch: usize,
     /// Forward compute time, seconds.
@@ -244,7 +249,7 @@ pub fn tier(n: usize, devices: usize, replica_factor: usize) {
 }
 
 /// Record one grid cell into the currently open tier.
-pub fn candidate(stages: usize, microbatches: usize, outcome: CandidateOutcome) {
+pub fn candidate(stages: usize, microbatches: usize, tp: usize, outcome: CandidateOutcome) {
     if !enabled() {
         return;
     }
@@ -254,6 +259,7 @@ pub fn candidate(stages: usize, microbatches: usize, outcome: CandidateOutcome) 
             t.candidates.push(CandidateRec {
                 stages,
                 microbatches,
+                tp,
                 outcome,
             });
         }
@@ -344,6 +350,11 @@ pub fn to_json(rec: &Recording) -> String {
                 "\n      {{\"stages\": {}, \"microbatches\": {}, ",
                 c.stages, c.microbatches
             ));
+            // 3D searches carry the T column; 2D artifacts stay
+            // byte-identical to the frozen v1 layout
+            if c.tp > 1 {
+                out.push_str(&format!("\"tp\": {}, ", c.tp));
+            }
             match &c.outcome {
                 CandidateOutcome::Feasible { score, bottleneck } => {
                     out.push_str(&format!(
@@ -398,8 +409,13 @@ pub fn to_json(rec: &Recording) -> String {
                     Some(b) => b.to_string(),
                     None => "null".to_string(),
                 };
+                let tp_field = if s.tensor_parallel > 1 {
+                    format!("\"tensor_parallel\": {}, ", s.tensor_parallel)
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "\n      {{\"tasks\": {}, \"devices\": {}, \"micro_batch\": {}, \
+                    "\n      {{\"tasks\": {}, \"devices\": {}, {tp_field}\"micro_batch\": {}, \
                      \"fwd_time\": {}, \"bwd_time\": {}, \"transfer_time\": {}, \
                      \"allreduce_time\": {}, \"optimizer_time\": {}, \
                      \"mem_estimate_bytes\": {}, \"mem_certified_bytes\": {}, \
@@ -454,13 +470,14 @@ mod tests {
         candidate(
             1,
             1,
+            1,
             CandidateOutcome::Feasible {
                 score: 0.25,
                 bottleneck: 0.125,
             },
         );
-        candidate(1, 2, CandidateOutcome::Pruned { lower_bound: 0.5 });
-        candidate(2, 1, CandidateOutcome::Infeasible);
+        candidate(1, 2, 1, CandidateOutcome::Pruned { lower_bound: 0.5 });
+        candidate(2, 1, 1, CandidateOutcome::Infeasible);
         set_context(|| ContextRec {
             model: "mlp-test".into(),
             batch_size: 32,
@@ -473,6 +490,7 @@ mod tests {
             stages: vec![WinnerStageRec {
                 tasks: 8,
                 devices: 2,
+                tensor_parallel: 1,
                 micro_batch: 16,
                 fwd_time: 0.05,
                 bwd_time: 0.075,
@@ -504,7 +522,7 @@ mod tests {
         let before = alloc_count();
         begin_search();
         tier(1, 2, 2);
-        candidate(1, 1, CandidateOutcome::Infeasible);
+        candidate(1, 1, 1, CandidateOutcome::Infeasible);
         set_context(|| panic!("context closure must not run while disabled"));
         set_winner(|| panic!("winner closure must not run while disabled"));
         set_accounting(|| panic!("accounting closure must not run while disabled"));

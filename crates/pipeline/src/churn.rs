@@ -170,9 +170,10 @@ fn priced_iteration_time(
         let per_replica = plan.devices_per_replica();
         let mut off = 0usize;
         for (i, st) in plan.stages.iter().enumerate() {
+            let width = st.replicas * st.tensor_parallel.max(1);
             let mut worst = 1.0f64;
             for rep in 0..plan.replica_factor {
-                for slot in off..off + st.replicas {
+                for slot in off..off + width {
                     let g = rep * per_replica + slot;
                     if g < view.total_devices() {
                         worst = worst.max(
@@ -186,7 +187,7 @@ fn priced_iteration_time(
                 spec.stages[i].fwd_time *= worst;
                 spec.stages[i].bwd_time *= worst;
             }
-            off += st.replicas;
+            off += width;
         }
     }
     Ok(simulate_sync(&spec, SyncSchedule::FillDrain, false)

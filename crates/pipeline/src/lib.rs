@@ -110,7 +110,22 @@ pub fn spec_from_plan(
     let ckpt = plan.stages.len() > 1;
     let mut stages = Vec::with_capacity(plan.stages.len());
     for (i, st) in plan.stages.iter().enumerate() {
-        let prof = cost.stage_cost(&st.set, st.micro_batch, plan.microbatches, ckpt);
+        let tp = st.tensor_parallel.max(1);
+        // tp == 1 takes the historical pricing path exactly; split stages
+        // are priced through the Megatron-split oracle, which folds the
+        // per-pass activation all-reduce into fwd/bwd
+        let prof = if tp > 1 {
+            cost.stage_cost_tp(
+                &st.set,
+                st.micro_batch,
+                plan.microbatches,
+                ckpt,
+                tp,
+                cluster,
+            )
+        } else {
+            cost.stage_cost(&st.set, st.micro_batch, plan.microbatches, ckpt)
+        };
         let comm_to_next_bytes = if i + 1 < plan.stages.len() {
             cost.comm_bytes(&st.set, &plan.stages[i + 1].set, st.micro_batch)
         } else {
@@ -129,8 +144,9 @@ pub fn spec_from_plan(
             fwd_time: prof.fwd_time,
             bwd_time: prof.bwd_time,
             comm_to_next_bytes,
-            grad_bytes: prof.param_elems * 4,
+            grad_bytes: prof.param_elems * 4 / tp,
             replicas: st.replicas,
+            tensor_parallel: tp,
         });
     }
     let spec = PipelineSpec {

@@ -19,6 +19,11 @@ pub struct StageSpec {
     pub grad_bytes: usize,
     /// Data-parallel replicas of this stage within one pipeline.
     pub replicas: usize,
+    /// Tensor-parallel degree of the stage: each replica is sharded
+    /// across this many devices (1 = unsplit). `grad_bytes` is already
+    /// the per-shard volume; the intra-stage activation all-reduce is
+    /// folded into `fwd_time`/`bwd_time` by the cost model.
+    pub tensor_parallel: usize,
 }
 
 /// A full pipeline configuration to simulate.
@@ -55,6 +60,11 @@ pub enum SpecError {
         /// Offending stage index.
         stage: usize,
     },
+    /// A stage has a zero tensor-parallel degree.
+    ZeroTensorParallel {
+        /// Offending stage index.
+        stage: usize,
+    },
     /// The spec has zero whole-pipeline replicas.
     ZeroReplicaFactor,
     /// The spec reports a zero global batch size.
@@ -68,6 +78,9 @@ impl std::fmt::Display for SpecError {
             SpecError::NoMicrobatches => write!(f, "pipeline spec has zero micro-batches"),
             SpecError::ZeroReplicas { stage } => {
                 write!(f, "stage {stage} has zero replicas")
+            }
+            SpecError::ZeroTensorParallel { stage } => {
+                write!(f, "stage {stage} has a zero tensor-parallel degree")
             }
             SpecError::ZeroReplicaFactor => write!(f, "zero pipeline replicas"),
             SpecError::ZeroBatch => write!(f, "zero batch size"),
@@ -96,6 +109,9 @@ impl PipelineSpec {
         if let Some(stage) = self.stages.iter().position(|s| s.replicas == 0) {
             return Err(SpecError::ZeroReplicas { stage });
         }
+        if let Some(stage) = self.stages.iter().position(|s| s.tensor_parallel == 0) {
+            return Err(SpecError::ZeroTensorParallel { stage });
+        }
         Ok(())
     }
 
@@ -118,7 +134,11 @@ impl PipelineSpec {
     /// the placement any of the compared frameworks would face on the
     /// paper's 8-GPU nodes.
     pub fn allreduce_time(&self) -> f64 {
-        let pipeline_devices: usize = self.stages.iter().map(|s| s.replicas).sum();
+        let pipeline_devices: usize = self
+            .stages
+            .iter()
+            .map(|s| s.replicas * s.tensor_parallel.max(1))
+            .sum();
         let spans_nodes = self.replica_factor > 1 || pipeline_devices > self.cluster.node.devices;
         let factor = if spans_nodes {
             self.cost.allreduce_inter
@@ -190,6 +210,7 @@ mod tests {
                     comm_to_next_bytes: 1 << 20,
                     grad_bytes: 4 << 20,
                     replicas: 1,
+                    tensor_parallel: 1,
                 })
                 .collect(),
             microbatches: mb,

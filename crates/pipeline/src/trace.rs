@@ -90,6 +90,7 @@ mod tests {
                     comm_to_next_bytes: 0,
                     grad_bytes: 0,
                     replicas: 1,
+                    tensor_parallel: 1,
                 })
                 .collect(),
             microbatches: mb,

@@ -16,6 +16,7 @@ fn spec_from(times: Vec<(f64, f64)>, mb: usize) -> PipelineSpec {
                 comm_to_next_bytes: 0,
                 grad_bytes: 0,
                 replicas: 1,
+                tensor_parallel: 1,
             })
             .collect(),
         microbatches: mb,

@@ -107,6 +107,9 @@ struct SetStats {
     param_elems: usize,
     ingress_bytes: usize,
     inter_act_bytes: usize,
+    /// FP32 output bytes (batch 1) of the tensor-splittable tasks — the
+    /// per-pass all-reduce volume of a tensor-parallel stage.
+    split_out_bytes: usize,
 }
 
 /// Raw time sums of one `(set, batch)` pair, before the invocation
@@ -480,6 +483,7 @@ impl<'g> Profiler<'g> {
         let mut param_elems = 0usize;
         let mut ingress = 0usize;
         let mut inter_act = 0usize;
+        let mut split_out = 0usize;
         SCRATCH.with(|cell| {
             let mut buf = cell.borrow_mut();
             let (stamps, stamp) = &mut *buf;
@@ -495,6 +499,9 @@ impl<'g> Profiler<'g> {
                 let c = &self.costs[t.index()];
                 if c.scales {
                     inter_act += c.out_act_bytes;
+                    if c.compute_bound {
+                        split_out += c.out_act_bytes;
+                    }
                 }
                 for pi in c.params.clone() {
                     let v = self.param_vals[pi as usize] as usize;
@@ -532,6 +539,7 @@ impl<'g> Profiler<'g> {
             param_elems,
             ingress_bytes: ingress,
             inter_act_bytes: inter_act,
+            split_out_bytes: split_out,
         }
     }
 
@@ -550,6 +558,46 @@ impl<'g> Profiler<'g> {
             // element-wise / normalization / layout ops.
             bwd += if c.compute_bound { 2.0 * tf } else { tf };
             flops += c.flops * if c.scales { batch as f64 } else { 1.0 };
+        }
+        TimeProfile {
+            fwd_raw: fwd,
+            bwd_raw: bwd,
+            flops,
+        }
+    }
+
+    /// Forward time of one task with its compute split `tp` ways.
+    /// Splittable (compute-bound) tasks divide FLOPs, activation traffic,
+    /// and parameter reads across the group; the launch overhead is paid
+    /// in full by every member. Non-splittable tasks are unchanged.
+    fn task_fwd_time_tp(&self, c: &TaskCost, batch: usize, tp: usize) -> f64 {
+        if !c.compute_bound {
+            return self.task_fwd_time(c, batch);
+        }
+        let scale = if c.scales { batch as f64 } else { 1.0 };
+        let byte_scale = self.opts.precision.activation_bytes() as f64 / 4.0;
+        let t = tp as f64;
+        let flops = c.flops * scale / t;
+        let bytes = (c.act_bytes * scale + c.static_bytes) / t * byte_scale;
+        let peak = self.device.sustained_flops(self.opts.precision);
+        let t_compute = flops / peak;
+        let t_memory = bytes / self.device.mem_bandwidth;
+        t_compute.max(t_memory) * c.cal + self.opts.launch_overhead
+    }
+
+    /// [`Profiler::compute_time_profile`] with splittable compute divided
+    /// `tp` ways. FLOPs are reported per group member.
+    fn compute_time_profile_tp(&self, set: &TaskSet, batch: usize, tp: usize) -> TimeProfile {
+        let mut fwd = 0.0;
+        let mut bwd = 0.0;
+        let mut flops = 0.0;
+        for t in set.iter() {
+            let c = &self.costs[t.index()];
+            let tf = self.task_fwd_time_tp(c, batch, tp);
+            fwd += tf;
+            bwd += if c.compute_bound { 2.0 * tf } else { tf };
+            let f = c.flops * if c.scales { batch as f64 } else { 1.0 };
+            flops += if c.compute_bound { f / tp as f64 } else { f };
         }
         TimeProfile {
             fwd_raw: fwd,
@@ -585,42 +633,11 @@ impl<'g> Profiler<'g> {
         let fp = fingerprint(set);
 
         // layer 1: batch-independent set statistics
-        let stats_shard = Self::shard_of(fp, 0);
-        // bind the lookup before matching: a guard held through the match
-        // arms would self-deadlock on the re-lock in the miss arm
-        let stats_lookup = self.lock_memo(&self.set_stats, stats_shard).get(fp, 0);
-        let stats = match stats_lookup {
-            Some(hit) => {
-                self.stats_hits.fetch_add(1, Ordering::Relaxed);
-                hit
-            }
-            None => {
-                self.stats_misses.fetch_add(1, Ordering::Relaxed);
-                let computed = self.compute_set_stats(set);
-                self.lock_memo(&self.set_stats, stats_shard)
-                    .insert(fp, 0, computed);
-                computed
-            }
-        };
+        let stats = self.set_stats_cached(fp, set);
 
         // layer 2: raw per-(set, batch) time sums
-        let time_shard = Self::shard_of(fp, batch as u32);
-        let time_lookup = self
-            .lock_memo(&self.time_profiles, time_shard)
-            .get(fp, batch as u32);
-        let time = match time_lookup {
-            Some(hit) => {
-                self.time_hits.fetch_add(1, Ordering::Relaxed);
-                hit
-            }
-            None => {
-                self.time_misses.fetch_add(1, Ordering::Relaxed);
-                let computed = self.compute_time_profile(set, batch);
-                self.lock_memo(&self.time_profiles, time_shard)
-                    .insert(fp, batch as u32, computed);
-                computed
-            }
-        };
+        let time =
+            self.time_profile_cached(fp, batch as u32, || self.compute_time_profile(set, batch));
 
         // assembly: identical float-op order to the historical fused path
         // per-execution host overhead (sync, input staging)
@@ -651,6 +668,127 @@ impl<'g> Profiler<'g> {
             param_elems: stats.param_elems,
             flops: time.flops,
         }
+    }
+
+    /// Layer-1 memo lookup: batch-independent set statistics.
+    fn set_stats_cached(&self, fp: u128, set: &TaskSet) -> SetStats {
+        let stats_shard = Self::shard_of(fp, 0);
+        // bind the lookup before matching: a guard held through the match
+        // arms would self-deadlock on the re-lock in the miss arm
+        let stats_lookup = self.lock_memo(&self.set_stats, stats_shard).get(fp, 0);
+        match stats_lookup {
+            Some(hit) => {
+                self.stats_hits.fetch_add(1, Ordering::Relaxed);
+                hit
+            }
+            None => {
+                self.stats_misses.fetch_add(1, Ordering::Relaxed);
+                let computed = self.compute_set_stats(set);
+                self.lock_memo(&self.set_stats, stats_shard)
+                    .insert(fp, 0, computed);
+                computed
+            }
+        }
+    }
+
+    /// Layer-2 memo lookup: raw time sums under the given aux word, with
+    /// `compute` as the miss path.
+    fn time_profile_cached(
+        &self,
+        fp: u128,
+        aux: u32,
+        compute: impl FnOnce() -> TimeProfile,
+    ) -> TimeProfile {
+        let time_shard = Self::shard_of(fp, aux);
+        let time_lookup = self.lock_memo(&self.time_profiles, time_shard).get(fp, aux);
+        match time_lookup {
+            Some(hit) => {
+                self.time_hits.fetch_add(1, Ordering::Relaxed);
+                hit
+            }
+            None => {
+                self.time_misses.fetch_add(1, Ordering::Relaxed);
+                let computed = compute();
+                self.lock_memo(&self.time_profiles, time_shard)
+                    .insert(fp, aux, computed);
+                computed
+            }
+        }
+    }
+
+    /// [`Profiler::profile_set`] with the stage's splittable compute
+    /// divided across a tensor-parallel group of `tp` devices.
+    ///
+    /// Compute-bound tasks (the matmul-bearing ops Megatron column/row
+    /// partitions) divide FLOPs, activation traffic, and parameter reads
+    /// `tp` ways; every other task runs replicated on all group members.
+    /// Weight/optimizer state is sharded (`param_elems / tp` in the
+    /// memory model) while activation buffers stay full-size — the
+    /// paper's "the size of the buffer to store the results is not
+    /// reduced" observation. The per-pass activation all-reduce is *not*
+    /// included here; the cost model adds it (it needs cluster topology).
+    ///
+    /// `tp <= 1` short-circuits to [`Profiler::profile_set`] —
+    /// bit-identical results, same memo keys, same cache counters.
+    pub fn profile_set_tp(
+        &self,
+        set: &TaskSet,
+        batch: usize,
+        inflight: usize,
+        checkpointing: bool,
+        tp: usize,
+    ) -> ProfileResult {
+        if tp <= 1 {
+            return self.profile_set(set, batch, inflight, checkpointing);
+        }
+        debug_assert!(tp < 1024, "tensor-parallel degree {tp} out of range");
+        debug_assert!(batch < 1 << 21, "micro-batch {batch} out of range");
+        let fp = fingerprint(set);
+        let stats = self.set_stats_cached(fp, set);
+        // TP entries live in a disjoint aux keyspace (top bit set) so they
+        // can never collide with the plain per-batch entries.
+        let aux = 0x8000_0000u32 | ((batch as u32) << 10) | tp as u32;
+        let time =
+            self.time_profile_cached(fp, aux, || self.compute_time_profile_tp(set, batch, tp));
+
+        let fwd = time.fwd_raw + self.opts.invocation_overhead;
+        let mut bwd = time.bwd_raw + self.opts.invocation_overhead;
+        if checkpointing {
+            bwd += fwd;
+        }
+
+        let mem = MemoryParams {
+            precision: self.opts.precision,
+            checkpointing,
+            inflight: inflight.max(1),
+        };
+        let mem_bytes = mem.stage_bytes(
+            stats.param_elems / tp,
+            stats.ingress_bytes,
+            stats.inter_act_bytes,
+            batch,
+        );
+
+        let noise = self.noise_factor(fp ^ aux as u128);
+        ProfileResult {
+            fwd_time: fwd * noise,
+            bwd_time: bwd * noise,
+            mem_bytes,
+            param_elems: stats.param_elems,
+            flops: time.flops,
+        }
+    }
+
+    /// Per-micro-batch tensor-parallel all-reduce volume of a stage: the
+    /// splittable tasks' output activations for `batch` samples at
+    /// activation precision. Zero for stages with no splittable ops.
+    pub fn tp_allreduce_bytes(&self, set: &TaskSet, batch: usize) -> usize {
+        let fp = fingerprint(set);
+        let stats = self.set_stats_cached(fp, set);
+        (stats.split_out_bytes as f64
+            * batch as f64
+            * self.opts.precision.activation_bytes() as f64
+            / 4.0) as usize
     }
 
     /// Communication volume from `from` to `to` for one micro-batch of

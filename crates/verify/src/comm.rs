@@ -106,13 +106,18 @@ pub enum CommOp {
     },
 }
 
-/// A set of ranks that issue collectives together (a DP group).
+/// A set of ranks that issue collectives together (a DP gradient group
+/// or a tensor-parallel activation group).
 #[derive(Debug, Clone)]
 pub struct CollectiveGroup {
     /// Member global ranks, ascending.
     pub members: Vec<usize>,
     /// Human-readable name used in diagnostics (e.g. `dp-stage2`).
     pub label: String,
+    /// `Some(stage)` for a tensor-parallel activation group of that
+    /// stage — what the RV071 membership check keys on. `None` for
+    /// data-parallel gradient groups.
+    pub tp_stage: Option<usize>,
 }
 
 /// The complete statically-derived communication program of a plan.
@@ -196,17 +201,30 @@ impl CommProgram {
             }
         }
 
-        for replica in assignment {
+        let mut groups: Vec<CollectiveGroup> = Vec::new();
+        let mut tp_group_ids: HashMap<(usize, usize, usize), usize> = HashMap::new();
+        for (ri, replica) in assignment.iter().enumerate() {
+            // DP replica `j` of a tensor-parallel stage is the tp-wide
+            // contiguous rank group [j·tp, (j+1)·tp); its first rank is
+            // the leader carrying the stage-boundary traffic. At tp = 1
+            // this is exactly the historical one-rank-per-replica walk.
+            let tp_of = |stage: usize| -> usize { plan.stages[stage].tensor_parallel.max(1) };
             let slot = |stage: usize, micro: usize| -> usize {
                 let ranks = &replica[stage];
-                ranks[micro % ranks.len().max(1)]
+                let tp = tp_of(stage);
+                let n_dp = (ranks.len() / tp).max(1);
+                ranks[(micro % n_dp) * tp]
             };
-            for s in 0..stages.min(schedule.orders.len()) {
+            for (s, orders) in schedule.orders.iter().enumerate().take(stages) {
                 let incoming: Vec<(&(usize, usize), &Vec<u32>)> =
                     pairs.iter().filter(|((_, j), _)| *j == s).collect();
                 let outgoing: Vec<(&(usize, usize), &Vec<u32>)> =
                     pairs.iter().filter(|((i, _), _)| *i == s).collect();
-                for &(phase, m) in &schedule.orders[s] {
+                let tp = tp_of(s);
+                // the TP activation all-reduce is priced at the stage's
+                // crossing bytes; the race checks only read membership
+                let act_bytes: usize = outgoing.iter().map(|(_, vs)| bytes_of(vs)).sum();
+                for &(phase, m) in orders {
                     let me = slot(s, m);
                     match phase {
                         PhaseKind::Forward => {
@@ -224,6 +242,18 @@ impl CommProgram {
                                     bytes: bytes_of(vs),
                                     values: (*vs).clone(),
                                 });
+                            }
+                            if tp > 1 {
+                                // the split ranks reduce their partial
+                                // outputs before the leader sends them on
+                                tp_allreduce(
+                                    &mut programs,
+                                    &mut groups,
+                                    &mut tp_group_ids,
+                                    &replica[s],
+                                    (ri, s, m, tp),
+                                    act_bytes,
+                                );
                             }
                             for (&(_, j), vs) in &outgoing {
                                 let tag = MsgTag {
@@ -257,6 +287,18 @@ impl CommProgram {
                                     values: (*vs).clone(),
                                 });
                             }
+                            if tp > 1 {
+                                // mirror of the forward: reduce the split
+                                // input gradients before sending upstream
+                                tp_allreduce(
+                                    &mut programs,
+                                    &mut groups,
+                                    &mut tp_group_ids,
+                                    &replica[s],
+                                    (ri, s, m, tp),
+                                    act_bytes,
+                                );
+                            }
                             for (&(i, _), vs) in &incoming {
                                 let tag = MsgTag {
                                     src_stage: s,
@@ -277,29 +319,44 @@ impl CommProgram {
             }
         }
 
-        // gradient all-reduce per replicated stage, after the schedule
-        let mut groups = Vec::new();
+        // gradient all-reduce per replicated stage, after the schedule.
+        // each tensor shard all-reduces its own gradient slice with the
+        // matching shard of every other data-parallel replica, so the
+        // group stays DP-wide and the payload shrinks 1/T. At tp = 1
+        // this is the historical one-group-per-stage program.
         for (s, stage) in plan.stages.iter().enumerate() {
-            let mut members: Vec<usize> = assignment
-                .iter()
-                .filter_map(|rep| rep.get(s))
-                .flatten()
-                .copied()
-                .collect();
-            members.sort_unstable();
-            members.dedup();
-            if members.len() < 2 {
-                continue;
+            let tp = stage.tensor_parallel.max(1);
+            for shard in 0..tp {
+                let mut members: Vec<usize> = assignment
+                    .iter()
+                    .filter_map(|rep| rep.get(s))
+                    .flat_map(|ranks| {
+                        ranks
+                            .chunks(tp)
+                            .filter_map(move |grp| grp.get(shard))
+                            .copied()
+                    })
+                    .collect();
+                members.sort_unstable();
+                members.dedup();
+                if members.len() < 2 {
+                    continue;
+                }
+                let group = groups.len();
+                let bytes = stage.param_elems * 4 / tp;
+                for &rk in &members {
+                    programs[rk].push(CommOp::AllReduce { group, bytes });
+                }
+                groups.push(CollectiveGroup {
+                    members,
+                    label: if tp > 1 {
+                        format!("dp-stage{s}-shard{shard}")
+                    } else {
+                        format!("dp-stage{s}")
+                    },
+                    tp_stage: None,
+                });
             }
-            let group = groups.len();
-            let bytes = stage.param_elems * 4;
-            for &rk in &members {
-                programs[rk].push(CommOp::AllReduce { group, bytes });
-            }
-            groups.push(CollectiveGroup {
-                members,
-                label: format!("dp-stage{s}"),
-            });
         }
 
         CommProgram {
@@ -307,6 +364,34 @@ impl CommProgram {
             groups,
             stage_of_rank,
         }
+    }
+}
+
+/// Push one tensor-parallel activation all-reduce over the tp-wide
+/// group of DP replica `m % n_dp` of stage `s` (pipeline replica `ri`),
+/// registering the group on first use. `key = (ri, s, m, tp)`.
+fn tp_allreduce(
+    programs: &mut [Vec<CommOp>],
+    groups: &mut Vec<CollectiveGroup>,
+    ids: &mut HashMap<(usize, usize, usize), usize>,
+    ranks: &[usize],
+    key: (usize, usize, usize, usize),
+    bytes: usize,
+) {
+    let (ri, s, m, tp) = key;
+    let n_dp = (ranks.len() / tp).max(1);
+    let j = m % n_dp;
+    let members = &ranks[j * tp..((j + 1) * tp).min(ranks.len())];
+    let gid = *ids.entry((ri, s, j)).or_insert_with(|| {
+        groups.push(CollectiveGroup {
+            members: members.to_vec(),
+            label: format!("tp-stage{s}-r{ri}-dp{j}"),
+            tp_stage: Some(s),
+        });
+        groups.len() - 1
+    });
+    for &rk in members {
+        programs[rk].push(CommOp::AllReduce { group: gid, bytes });
     }
 }
 
@@ -329,6 +414,71 @@ pub fn verify_comm(p: &CommProgram) -> Report {
     check_collective_orders(p, &mut r);
     check_pairing(p, &mut r);
     check_deadlock(p, &mut r);
+    r
+}
+
+/// RV071: tensor-parallel collective membership. Every TP activation
+/// group must follow the slot convention — exactly `tensor_parallel`
+/// contiguous global ranks, all hosting the group's stage, and each of
+/// them actually issuing the group's collectives. A wrong group here
+/// silently reduces over unrelated shards (numeric corruption, not a
+/// hang), so the race checks alone cannot catch it.
+pub fn verify_tp_groups(p: &CommProgram, plan: &PlanView<'_>) -> Report {
+    let mut r = Report::new();
+    for (gi, group) in p.groups.iter().enumerate() {
+        let Some(s) = group.tp_stage else { continue };
+        let tp = plan
+            .stages
+            .get(s)
+            .map(|st| st.tensor_parallel.max(1))
+            .unwrap_or(1);
+        if group.members.len() != tp {
+            r.push(Diagnostic::new(
+                Code::TpCollectiveMismatch,
+                Location::Stage(s),
+                format!(
+                    "group {} has {} member(s) but stage {s} splits {tp}-way",
+                    group.label,
+                    group.members.len()
+                ),
+            ));
+            continue;
+        }
+        if !group.members.windows(2).all(|w| w[1] == w[0] + 1) {
+            r.push(Diagnostic::new(
+                Code::TpCollectiveMismatch,
+                Location::Stage(s),
+                format!(
+                    "group {} members are not contiguous ranks — the slot \
+                     convention places a tensor group on [j·tp, (j+1)·tp)",
+                    group.label
+                ),
+            ));
+        }
+        for &m in &group.members {
+            if p.stage_of_rank.get(m).copied().flatten() != Some(s) {
+                r.push(Diagnostic::new(
+                    Code::TpCollectiveMismatch,
+                    Location::Device(m),
+                    format!("rank d{m} of group {} does not host stage {s}", group.label),
+                ));
+            }
+            let issues = p.programs.get(m).is_some_and(|prog| {
+                prog.iter()
+                    .any(|op| matches!(op, CommOp::AllReduce { group: g, .. } if *g == gi))
+            });
+            if !issues {
+                r.push(Diagnostic::new(
+                    Code::TpCollectiveMismatch,
+                    Location::Device(m),
+                    format!(
+                        "rank d{m} never issues the collectives of group {} it belongs to",
+                        group.label
+                    ),
+                ));
+            }
+        }
+    }
     r
 }
 
@@ -641,6 +791,7 @@ mod tests {
                 .map(|set| StageView {
                     set,
                     replicas: 1,
+                    tensor_parallel: 1,
                     micro_batch: 4,
                     fwd_time: 0.01,
                     bwd_time: 0.02,
@@ -704,15 +855,110 @@ mod tests {
     }
 
     #[test]
+    fn tensor_parallel_program_is_race_free_and_well_grouped() {
+        let g = chain(4);
+        let sets = split_sets(&g);
+        let mut view = two_stage_view(&sets, 2);
+        view.stages[0].tensor_parallel = 2;
+        view.stages[1].tensor_parallel = 2;
+        view.batch_size = 1 << 20;
+        // 2 pipeline replicas x 2 stages x (1 replica x tp 2) = 8 ranks
+        let assignment = vec![vec![vec![0, 1], vec![2, 3]], vec![vec![4, 5], vec![6, 7]]];
+        let schedule = ScheduleModel::fill_drain(2, 4);
+        let p = CommProgram::derive(&g, &view, &schedule, &assignment);
+        // 4 TP groups (one per stage per pipeline replica) and 4 per-shard
+        // DP gradient groups (2 stages x 2 shards)
+        assert_eq!(
+            p.groups.iter().filter(|gr| gr.tp_stage.is_some()).count(),
+            4
+        );
+        assert_eq!(
+            p.groups.iter().filter(|gr| gr.tp_stage.is_none()).count(),
+            4
+        );
+        // the shard gradient payload is halved
+        let dp = p
+            .groups
+            .iter()
+            .position(|gr| gr.tp_stage.is_none())
+            .unwrap();
+        let bytes = p.programs[p.groups[dp].members[0]]
+            .iter()
+            .find_map(|op| match op {
+                CommOp::AllReduce { group, bytes } if *group == dp => Some(*bytes),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(bytes, view.stages[0].param_elems * 4 / 2);
+        // non-leader ranks still participate (TP collectives at least)
+        assert!(p.programs.iter().all(|prog| !prog.is_empty()));
+        let r = verify_comm(&p);
+        assert!(r.is_clean(), "{}", r.render());
+        let t = verify_tp_groups(&p, &view);
+        assert!(t.is_clean(), "{}", t.render());
+    }
+
+    #[test]
+    fn corrupted_tp_group_is_rv071() {
+        let g = chain(4);
+        let sets = split_sets(&g);
+        let mut view = two_stage_view(&sets, 1);
+        view.stages[0].tensor_parallel = 2;
+        view.stages[1].tensor_parallel = 2;
+        view.batch_size = 1 << 20;
+        let assignment = vec![vec![vec![0, 1], vec![2, 3]]];
+        let schedule = ScheduleModel::fill_drain(2, 2);
+        let base = CommProgram::derive(&g, &view, &schedule, &assignment);
+        assert!(verify_tp_groups(&base, &view).is_clean());
+
+        // wrong width: a 1-member "group" cannot split 2-way
+        let mut p = base.clone();
+        let gi = p
+            .groups
+            .iter()
+            .position(|gr| gr.tp_stage.is_some())
+            .unwrap();
+        p.groups[gi].members.pop();
+        let r = verify_tp_groups(&p, &view);
+        assert!(r.has_code(Code::TpCollectiveMismatch), "{}", r.render());
+
+        // non-contiguous membership straddling both stages
+        let mut p = base.clone();
+        let gi = p
+            .groups
+            .iter()
+            .position(|gr| gr.tp_stage.is_some())
+            .unwrap();
+        p.groups[gi].members = vec![0, 2];
+        let r = verify_tp_groups(&p, &view);
+        assert!(r.has_code(Code::TpCollectiveMismatch), "{}", r.render());
+
+        // a member that never issues the group's collectives
+        let mut p = base.clone();
+        let gi = p
+            .groups
+            .iter()
+            .position(|gr| gr.tp_stage.is_some())
+            .unwrap();
+        let victim = p.groups[gi].members[1];
+        p.programs[victim]
+            .retain(|op| !matches!(op, CommOp::AllReduce { group, .. } if *group == gi));
+        let r = verify_tp_groups(&p, &view);
+        assert!(r.has_code(Code::TpCollectiveMismatch), "{}", r.render());
+    }
+
+    #[test]
     fn swapped_collective_order_is_rv060() {
         let groups = vec![
             CollectiveGroup {
                 members: vec![0, 1],
                 label: "dp-stage0".into(),
+                tp_stage: None,
             },
             CollectiveGroup {
                 members: vec![0, 1],
                 label: "dp-stage1".into(),
+                tp_stage: None,
             },
         ];
         let ar = |group| CommOp::AllReduce { group, bytes: 64 };

@@ -23,10 +23,11 @@ pub enum Severity {
 ///
 /// `RV00x` — graph well-formedness, `RV02x`/`RV03x` — plan validity,
 /// `RV04x` — plan quality warnings, `RV05x` — schedule analysis,
-/// `RV06x` — communication-program analysis, `RV1xx` — dataflow
-/// certification (liveness-certified memory). The numeric identifier of
-/// each variant is part of the public contract (see DESIGN.md §8/§13);
-/// add new codes, never renumber existing ones.
+/// `RV06x` — communication-program analysis, `RV07x` — tensor-parallel
+/// checks, `RV1xx` — dataflow certification (liveness-certified
+/// memory). The numeric identifier of each variant is part of the
+/// public contract (see DESIGN.md §8/§13); add new codes, never
+/// renumber existing ones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Code {
     /// A task references a value id outside the graph.
@@ -101,6 +102,18 @@ pub enum Code {
     /// The profiler's memory estimate diverges from the certified peak
     /// beyond tolerance (the plan was priced with an unreliable number).
     MemoryEstimateDivergence,
+    /// A stage's tensor-parallel degree is zero (error), or its tp-wide
+    /// device groups straddle node boundaries unevenly (warning: the
+    /// uniform intra/inter-node collective pricing is unreliable there).
+    TpSlotWidth,
+    /// A tensor-parallel collective's membership contradicts the slot
+    /// convention: the group must be exactly the `tp` contiguous ranks
+    /// of one data-parallel replica, with every member issuing it.
+    TpCollectiveMismatch,
+    /// The T-scaled liveness-certified peak (parameter/optimizer state
+    /// sharded `1/T`, activations unsharded) of a tensor-parallel stage
+    /// exceeds the capacity of a device hosting it.
+    TpCertifiedMemoryOverCapacity,
 }
 
 impl Code {
@@ -137,6 +150,9 @@ impl Code {
             Code::CommDeadlock => "RV062",
             Code::DeadTransfer => "RV063",
             Code::RedundantTransfer => "RV064",
+            Code::TpSlotWidth => "RV070",
+            Code::TpCollectiveMismatch => "RV071",
+            Code::TpCertifiedMemoryOverCapacity => "RV072",
             Code::CertifiedMemoryOverCapacity => "RV100",
             Code::MemoryEstimateDivergence => "RV101",
         }
@@ -367,6 +383,9 @@ mod tests {
             Code::CommDeadlock,
             Code::DeadTransfer,
             Code::RedundantTransfer,
+            Code::TpSlotWidth,
+            Code::TpCollectiveMismatch,
+            Code::TpCertifiedMemoryOverCapacity,
             Code::CertifiedMemoryOverCapacity,
             Code::MemoryEstimateDivergence,
         ];

@@ -15,10 +15,11 @@
 //! | artifact | entry point | codes |
 //! |---|---|---|
 //! | task graph | [`verify_graph`] | `RV001`–`RV008` |
-//! | partition plan | [`verify_plan`] / [`verify_plan_structure`] | `RV020`–`RV042` |
+//! | partition plan | [`verify_plan`] / [`verify_plan_structure`] | `RV020`–`RV042`, `RV070` |
 //! | pipeline schedule | [`verify_schedule`] | `RV050`–`RV052` |
 //! | comm program | [`comm::verify_comm`] / [`comm::verify_transfers`] | `RV060`–`RV064` |
-//! | certified memory | [`liveness::certify_memory`] | `RV100`–`RV101` |
+//! | tensor parallelism | [`comm::verify_tp_groups`] | `RV071` |
+//! | certified memory | [`liveness::certify_memory`] | `RV072`, `RV100`–`RV101` |
 //!
 //! The last two rows are the *deep* (dataflow-certified) checks: built
 //! on the gen/kill fixpoint framework in [`dataflow`], they certify a
@@ -48,9 +49,11 @@ pub use schedule_checks::{verify_schedule, PhaseKind, ScheduleModel};
 use rannc_hw::{ClusterSpec, Precision};
 
 /// Run every dataflow-certified check on a plan: liveness-certified
-/// peak memory against per-slot capacity (RV100/RV101), collective and
-/// send/recv race detection over the derived communication program
-/// (RV060–RV062), and transfer hygiene (RV063/RV064).
+/// peak memory against per-slot capacity (RV100/RV101, T-scaled as
+/// RV072 on tensor-parallel stages), collective and send/recv race
+/// detection over the derived communication program (RV060–RV062),
+/// tensor-parallel group membership (RV071), and transfer hygiene
+/// (RV063/RV064).
 ///
 /// `assignment` is `assignment[pipeline_replica][stage] = global ranks`
 /// (the `SlotTable` convention; `PartitionPlan::device_assignment`
@@ -69,6 +72,7 @@ pub fn verify_deep(
         liveness::certify_memory(g, plan, cluster, schedule, precision, checkpointing);
     let program = CommProgram::derive(g, plan, schedule, assignment);
     report.merge(comm::verify_comm(&program));
+    report.merge(comm::verify_tp_groups(&program, plan));
     report.merge(comm::verify_transfers(g, plan, &program));
     (report, certified)
 }

@@ -196,11 +196,16 @@ pub fn certify_memory(
 ) -> (Report, Vec<CertifiedStage>) {
     let mut r = Report::new();
     let mut out = Vec::with_capacity(plan.stages.len());
-    let per_replica: usize = plan.stages.iter().map(|s| s.replicas).sum();
+    let per_replica: usize = plan
+        .stages
+        .iter()
+        .map(|s| s.replicas * s.tensor_parallel.max(1))
+        .sum();
     let mut offset = 0usize;
     for (i, s) in plan.stages.iter().enumerate() {
+        let width = s.replicas * s.tensor_parallel.max(1);
         if s.set.universe() != g.num_tasks() {
-            offset += s.replicas;
+            offset += width;
             continue; // RV021 already reported by verify_plan
         }
         let lv = stage_liveness(g, s.set);
@@ -217,8 +222,12 @@ pub fn certify_memory(
         } else {
             stash * (per_mb(lv.ingress_bytes) + per_mb(lv.peak_live_bytes))
         };
+        // T-scaled certificate: each device of a tensor-parallel group
+        // holds a 1/T shard of the parameters and optimizer state but the
+        // full activations (the splits all-gather their outputs).
+        let shard_elems = s.param_elems / s.tensor_parallel.max(1);
         let certified =
-            s.param_elems * mem.state_bytes_per_param() + activations + DEVICE_OVERHEAD_BYTES;
+            shard_elems * mem.state_bytes_per_param() + activations + DEVICE_OVERHEAD_BYTES;
 
         // Tightest device over every (pipeline replica, slot) the stage
         // occupies — the same contiguous walk as RV027/SlotTable, kept
@@ -226,7 +235,7 @@ pub fn certify_memory(
         let mut capacity = usize::MAX;
         let mut device = offset;
         for rep in 0..plan.replica_factor.max(1) {
-            for slot in offset..offset + s.replicas {
+            for slot in offset..offset + width {
                 let global = rep * per_replica + slot;
                 let d = if global < cluster.total_devices() {
                     cluster.device_at_global(global)
@@ -244,11 +253,22 @@ pub fn certify_memory(
         }
 
         if certified > capacity {
+            // RV072 keeps tensor-parallel overflows distinguishable from
+            // the unsplit RV100 case: the certificate already credits the
+            // 1/T parameter shard, so splitting further won't save it.
+            let (code, tp_note) = if s.tensor_parallel > 1 {
+                (
+                    Code::TpCertifiedMemoryOverCapacity,
+                    format!(", params sharded 1/{}", s.tensor_parallel),
+                )
+            } else {
+                (Code::CertifiedMemoryOverCapacity, String::new())
+            };
             r.push(Diagnostic::new(
-                Code::CertifiedMemoryOverCapacity,
+                code,
                 Location::Device(device),
                 format!(
-                    "stage {i}: liveness-certified peak {:.2} GiB (stash depth {stash}) \
+                    "stage {i}: liveness-certified peak {:.2} GiB (stash depth {stash}{tp_note}) \
                      exceeds the {:.2} GiB capacity of device d{device}",
                     gib(certified),
                     gib(capacity),
@@ -274,7 +294,7 @@ pub fn certify_memory(
             capacity_bytes: capacity,
             device,
         });
-        offset += s.replicas;
+        offset += width;
     }
     (r, out)
 }
@@ -338,6 +358,7 @@ mod tests {
             stages: vec![StageView {
                 set,
                 replicas: 1,
+                tensor_parallel: 1,
                 micro_batch: 4,
                 fwd_time: 0.01,
                 bwd_time: 0.02,
@@ -416,6 +437,58 @@ mod tests {
         );
         assert!(r.has_code(Code::MemoryEstimateDivergence), "{}", r.render());
         assert!(!r.has_errors(), "divergence is a warning: {}", r.render());
+    }
+
+    #[test]
+    fn tensor_parallel_shards_the_certified_params() {
+        let g = chain(4);
+        let set = full_set(&g);
+        let cluster = ClusterSpec::v100_cluster(1);
+        let certified_at = |tp: usize| {
+            let mut view = one_stage_view(&g, &set, 8 << 30, 100_000_000);
+            view.stages[0].tensor_parallel = tp;
+            let (_, cert) = certify_memory(
+                &g,
+                &view,
+                &cluster,
+                &ScheduleModel::fill_drain(1, 4),
+                Precision::FP32,
+                true,
+            );
+            cert[0].certified_bytes
+        };
+        // the parameter/optimizer term shrinks 1/T; activations don't
+        let (c1, c2, c4) = (certified_at(1), certified_at(2), certified_at(4));
+        assert!(c2 < c1, "tp=2 certificate {c2} not below tp=1 {c1}");
+        assert!(c4 < c2, "tp=4 certificate {c4} not below tp=2 {c2}");
+    }
+
+    #[test]
+    fn tp_overflow_trips_rv072_not_rv100() {
+        let g = chain(4);
+        let set = full_set(&g);
+        let mut view = one_stage_view(&g, &set, 8 << 30, 1_000_000);
+        view.stages[0].tensor_parallel = 4;
+        let mut cluster = ClusterSpec::v100_cluster(1);
+        cluster.device = cluster.device.clone().with_memory(1 << 20);
+        let (r, _) = certify_memory(
+            &g,
+            &view,
+            &cluster,
+            &ScheduleModel::fill_drain(1, 4),
+            Precision::FP32,
+            true,
+        );
+        assert!(
+            r.has_code(Code::TpCertifiedMemoryOverCapacity),
+            "{}",
+            r.render()
+        );
+        assert!(
+            !r.has_code(Code::CertifiedMemoryOverCapacity),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct StageView<'a> {
     pub set: &'a TaskSet,
     /// Data-parallel replicas of the stage inside one pipeline replica.
     pub replicas: usize,
+    /// Tensor-parallel degree: each data-parallel replica is a group of
+    /// this many devices splitting the stage's matmuls, so the stage
+    /// occupies `replicas × tensor_parallel` contiguous slots.
+    pub tensor_parallel: usize,
     /// Per-replica micro-batch size.
     pub micro_batch: usize,
     /// Profiled forward time per micro-batch, seconds.
@@ -78,6 +82,7 @@ pub fn verify_plan(g: &TaskGraph, plan: &PlanView<'_>, cluster: &ClusterSpec) ->
     }
     check_memory(plan, cluster, &mut r);
     check_devices(plan, cluster, &mut r);
+    check_tensor_parallel(plan, cluster, &mut r);
     r
 }
 
@@ -153,6 +158,13 @@ fn check_counts(plan: &PlanView<'_>, r: &mut Report) {
                 Code::DegenerateCounts,
                 Location::Stage(i),
                 "stage has zero replicas",
+            ));
+        }
+        if s.tensor_parallel == 0 {
+            r.push(Diagnostic::new(
+                Code::TpSlotWidth,
+                Location::Stage(i),
+                "stage has a zero tensor-parallel degree",
             ));
         }
     }
@@ -402,13 +414,18 @@ fn check_zero_compute(g: &TaskGraph, plan: &PlanView<'_>, compatible: &[bool], r
 /// `r·D + j`) and each stage must fit the *smallest* device any of its
 /// replicas lands on.
 fn check_memory(plan: &PlanView<'_>, cluster: &ClusterSpec, r: &mut Report) {
-    let per_replica: usize = plan.stages.iter().map(|s| s.replicas).sum();
+    let per_replica: usize = plan
+        .stages
+        .iter()
+        .map(|s| s.replicas * s.tensor_parallel)
+        .sum();
     let mut offset = 0usize;
     for (i, s) in plan.stages.iter().enumerate() {
+        let width = s.replicas * s.tensor_parallel;
         let cap = if cluster.is_heterogeneous() {
             let mut cap = usize::MAX;
             for rep in 0..plan.replica_factor.max(1) {
-                for slot in offset..offset + s.replicas {
+                for slot in offset..offset + width {
                     let global = rep * per_replica + slot;
                     let d = if global < cluster.total_devices() {
                         cluster.device_at_global(global)
@@ -433,13 +450,18 @@ fn check_memory(plan: &PlanView<'_>, cluster: &ClusterSpec, r: &mut Report) {
                 ),
             ));
         }
-        offset += s.replicas;
+        offset += width;
     }
 }
 
-/// RV028: the plan may not consume more devices than are healthy.
+/// RV028: the plan may not consume more devices than are healthy. Each
+/// stage occupies `replicas × tensor_parallel` physical ranks.
 fn check_devices(plan: &PlanView<'_>, cluster: &ClusterSpec, r: &mut Report) {
-    let per_replica: usize = plan.stages.iter().map(|s| s.replicas).sum();
+    let per_replica: usize = plan
+        .stages
+        .iter()
+        .map(|s| s.replicas * s.tensor_parallel)
+        .sum();
     let required = per_replica * plan.replica_factor;
     let available = cluster.healthy_devices();
     if required > available {
@@ -452,6 +474,37 @@ fn check_devices(plan: &PlanView<'_>, cluster: &ClusterSpec, r: &mut Report) {
                 plan.replica_factor
             ),
         ));
+    }
+}
+
+/// RV070 (alignment half; the zero-degree half lives in [`check_counts`]):
+/// a tensor-parallel group prices its activation all-reduces with the
+/// cluster's uniform link model, which is only trustworthy when the
+/// `tp`-wide groups nest inside nodes (`node_devices % tp == 0`) or tile
+/// whole nodes (`tp % node_devices == 0`). Anything else straddles the
+/// node boundary unevenly — a warning, not an error: the plan runs, but
+/// its pricing is suspect.
+fn check_tensor_parallel(plan: &PlanView<'_>, cluster: &ClusterSpec, r: &mut Report) {
+    let node_devices = cluster.node.devices;
+    for (i, s) in plan.stages.iter().enumerate() {
+        let tp = s.tensor_parallel;
+        if tp <= 1 {
+            continue; // unsplit stages have no TP groups to align
+        }
+        if node_devices > 0 && !node_devices.is_multiple_of(tp) && !tp.is_multiple_of(node_devices)
+        {
+            let mut d = Diagnostic::new(
+                Code::TpSlotWidth,
+                Location::Stage(i),
+                format!(
+                    "tensor-parallel groups of {tp} device(s) straddle the \
+                     {node_devices}-device node boundary unevenly; collective \
+                     pricing assumes uniform groups"
+                ),
+            );
+            d.severity = crate::diag::Severity::Warning;
+            r.push(d);
+        }
     }
 }
 
@@ -501,6 +554,7 @@ mod tests {
                     .map(|s| StageView {
                         set: s,
                         replicas: 1,
+                        tensor_parallel: 1,
                         micro_batch: 2,
                         fwd_time: 0.01,
                         bwd_time: 0.02,
@@ -652,6 +706,7 @@ mod tests {
                 .map(|s| StageView {
                     set: s,
                     replicas: 1,
+                    tensor_parallel: 1,
                     micro_batch: 1,
                     fwd_time: 0.0,
                     bwd_time: 0.0,
@@ -666,6 +721,54 @@ mod tests {
         let r = verify_plan(&g, &view, &cluster());
         assert!(r.has_code(Code::ZeroComputeStage), "{}", r.render());
         assert!(!r.has_errors(), "{}", r.render());
+    }
+
+    #[test]
+    fn tensor_parallel_checked() {
+        let g = chain();
+        // tp = 0 is a degenerate error
+        let p = Owned::two_stage(&g);
+        let mut view = p.view();
+        view.stages[0].tensor_parallel = 0;
+        let r = verify_plan_structure(&view);
+        assert!(r.has_code(Code::TpSlotWidth), "{}", r.render());
+        assert!(r.has_errors(), "{}", r.render());
+
+        // tp = 3 on 8-device nodes straddles the boundary: warning
+        let p = Owned::two_stage(&g);
+        let mut view = p.view();
+        view.stages[0].tensor_parallel = 3;
+        let r = verify_plan(&g, &view, &cluster());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::TpSlotWidth)
+            .expect("misaligned tp groups must be flagged");
+        assert_eq!(d.severity, crate::diag::Severity::Warning, "{d}");
+
+        // tp = 4 nests inside an 8-device node; tp = 16 tiles two nodes:
+        // both are aligned and clean of RV070
+        for tp in [4usize, 16] {
+            let p = Owned::two_stage(&g);
+            let mut view = p.view();
+            view.stages[0].tensor_parallel = tp;
+            view.batch_size = 1 << 20; // keep micro-batch accounting quiet
+            let r = verify_plan(&g, &view, &ClusterSpec::v100_cluster(8));
+            assert!(!r.has_code(Code::TpSlotWidth), "tp={tp}: {}", r.render());
+        }
+    }
+
+    #[test]
+    fn tensor_parallel_widens_device_budget() {
+        let g = chain();
+        let p = Owned::two_stage(&g);
+        let mut view = p.view();
+        // 2 stages x 1 replica x tp 8 = 16 ranks on an 8-device cluster
+        view.stages[0].tensor_parallel = 8;
+        view.stages[1].tensor_parallel = 8;
+        view.batch_size = 1 << 20;
+        let r = verify_plan(&g, &view, &cluster());
+        assert!(r.has_code(Code::DeviceOversubscription), "{}", r.render());
     }
 
     #[test]

@@ -17,6 +17,21 @@ if grep -rn --include='*.rs' "ring_allreduce_time" crates tests examples \
     echo "FAILED: ring_allreduce_time referenced outside rannc-hw/rannc-cost"
     exit 1
 fi
+# the Megatron column/row-parallel split formulas have exactly one owner
+# (rannc-cost's tensor module); the Megatron baseline may sweep
+# megatron_partition but must never reimplement the math. The baseline's
+# test module keeps one sanctioned verbatim copy — the parity test that
+# pins the moved formulas bit-identical to the pre-move owner.
+if grep -rn --include='*.rs' "ALLOCATOR_OVERHEAD" crates tests examples \
+    | grep -v '^crates/cost/' | grep -v '^crates/baselines/src/megatron.rs'; then
+    echo "FAILED: Megatron split math referenced outside rannc-cost"
+    exit 1
+fi
+if grep -rn --include='*.rs' "megatron_partition" crates tests examples \
+    | grep -v '^crates/cost/' | grep -v '^crates/baselines/src/megatron.rs'; then
+    echo "FAILED: megatron_partition called outside rannc-cost / the Megatron baseline"
+    exit 1
+fi
 
 echo "==> verifier smoke-gate (rannc-plan verify --deep, all models x 16/32 devices)"
 # --deep adds the dataflow-certified layer: liveness-certified peak
@@ -36,6 +51,30 @@ for nodes in 2 4; do
         echo "    deep verify clean: $model on $nodes node(s)"
     done
 done
+
+echo "==> tensor-parallel smoke (3D sweep picks T>1, deep-verifies, beats 2D)"
+# Megatron-regime configuration: mini-batch 4 on one 8-GPU node, so data
+# parallelism alone cannot occupy the node — the (S, MB, T) sweep must
+# shard the stage, and the plan must survive the deep verifier's RV07x
+# tensor-parallel checks. The quantitative half of this gate (3D beats
+# the best 2D plan's simulated iteration) runs inside planner_bench
+# --check below.
+./target/release/rannc-plan verify --model bert --hidden 1024 --layers 4 \
+    --nodes 1 --batch 4 --k 8 --tp-max 4 --deep >/dev/null \
+    || { echo "tensor-parallel deep verify FAILED"; exit 1; }
+TP_PLAN="$(./target/release/rannc-plan --model bert --hidden 1024 --layers 4 \
+    --nodes 1 --batch 4 --k 8 --tp-max 4)"
+if ! echo "$TP_PLAN" | grep -q "tensor"; then
+    echo "3D sweep never chose T>1 on the Megatron-regime case"; exit 1
+fi
+# with --tp-max 1 the same config must reproduce the historical 2D plan
+# (no tensor-parallel stage anywhere in the summary)
+TP1_PLAN="$(./target/release/rannc-plan --model bert --hidden 1024 --layers 4 \
+    --nodes 1 --batch 4 --k 8 --tp-max 1)"
+if echo "$TP1_PLAN" | grep -q "tensor"; then
+    echo "2D search (--tp-max 1) printed a tensor-parallel stage"; exit 1
+fi
+echo "    tensor-parallel smoke clean: T>1 chosen, deep verify passed, 2D unchanged"
 
 echo "==> planner-bench smoke (engine vs sequential baseline, self-checked)"
 # --check exits nonzero on malformed JSON, a plan that differs from the

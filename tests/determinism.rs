@@ -72,6 +72,10 @@ fn assert_identical(seq: &Option<DpSolution>, par: &Option<DpSolution>, label: &
                 );
                 assert_eq!(a.devices, b.devices, "{label}: stage {i} devices differ");
                 assert_eq!(
+                    a.tensor_parallel, b.tensor_parallel,
+                    "{label}: stage {i} tensor-parallel degree differs"
+                );
+                assert_eq!(
                     a.micro_batch, b.micro_batch,
                     "{label}: stage {i} micro-batch differs"
                 );
@@ -105,6 +109,7 @@ fn parallel_engine_matches_sequential_plans() {
             let opts = SearchOptions {
                 threads: 4,
                 shared_cache: true,
+                tp_max: 1,
             };
             let (par, stats) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
             assert_identical(&seq, &par, &label);
@@ -129,6 +134,7 @@ fn thread_count_does_not_change_the_plan() {
         let opts = SearchOptions {
             threads,
             shared_cache: true,
+            tp_max: 1,
         };
         let (sol, _) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
         assert_identical(&reference, &sol, &format!("threads={threads}"));
@@ -147,10 +153,74 @@ fn shared_cache_alone_preserves_plans() {
         let opts = SearchOptions {
             threads: 1,
             shared_cache: true,
+            tp_max: 1,
         };
         let (cached, _) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
         assert_identical(&seq, &cached, &g.name.clone());
     }
+}
+
+/// The third search axis: with `tp_max = 4` the concurrent `(S, MB, T)`
+/// sweep is still deterministic — 2, 4 and 8 worker threads all return
+/// the single-threaded engine's plan bit for bit, tensor-parallel
+/// degrees included.
+#[test]
+fn three_axis_sweep_is_thread_deterministic() {
+    for g in bundled_models() {
+        let cluster = ClusterSpec::v100_cluster(2);
+        let (profiler, blocks) = prep(&g, &cluster);
+        let reference = form_stage_with(
+            &g,
+            &profiler,
+            &blocks,
+            &cluster,
+            64,
+            &SearchOptions {
+                threads: 1,
+                shared_cache: true,
+                tp_max: 4,
+            },
+        )
+        .0;
+        assert!(reference.is_some(), "{}: expected feasible 3D plan", g.name);
+        for threads in [2usize, 4, 8] {
+            let opts = SearchOptions {
+                threads,
+                shared_cache: true,
+                tp_max: 4,
+            };
+            let (sol, _) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
+            assert_identical(
+                &reference,
+                &sol,
+                &format!("{} tp_max=4 threads={threads}", g.name),
+            );
+        }
+    }
+}
+
+/// Passing `tp_max = 1` explicitly is the historical 2D search: the
+/// engine's plan still matches the sequential reference scan, so the
+/// third axis is strictly opt-in.
+#[test]
+fn tp_max_one_reproduces_the_sequential_scan() {
+    let g = bert_graph(&BertConfig::tiny());
+    let cluster = ClusterSpec::v100_cluster(2);
+    let (profiler, blocks) = prep(&g, &cluster);
+    let seq = form_stage_seq(&g, &profiler, &blocks, &cluster, 64);
+    let opts = SearchOptions {
+        threads: 4,
+        shared_cache: true,
+        tp_max: 1,
+    };
+    let (par, _) = form_stage_with(&g, &profiler, &blocks, &cluster, 64, &opts);
+    assert_identical(&seq, &par, "tp_max=1");
+    assert!(
+        par.iter()
+            .flat_map(|s| &s.stages)
+            .all(|st| st.tensor_parallel == 1),
+        "tp_max=1 must never split a stage"
+    );
 }
 
 /// Paper-scale grid at 128 devices: the grouped/pruned/arena engine
@@ -186,6 +256,7 @@ fn paper_scale_models_match_at_128_devices() {
         let opts = SearchOptions {
             threads: 4,
             shared_cache: true,
+            tp_max: 1,
         };
         let (par, stats) = form_stage_with(&g, &profiler, &blocks, &cluster, 1024, &opts);
         assert_identical(&seq, &par, &label);

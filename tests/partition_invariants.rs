@@ -166,6 +166,7 @@ fn more_devices_never_hurt_the_objective() {
                 replica_factor: 1,
                 microbatches: 4,
                 mem_limit: 32 << 30,
+                tp: 1,
             },
             LinkSpec::nvlink(),
         )

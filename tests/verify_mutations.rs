@@ -308,10 +308,12 @@ fn mutation_swapped_collective_order_is_rv060() {
             CollectiveGroup {
                 members: vec![0, 1],
                 label: "dp-stage0".into(),
+                tp_stage: None,
             },
             CollectiveGroup {
                 members: vec![0, 1],
                 label: "dp-stage1".into(),
+                tp_stage: None,
             },
         ],
         stage_of_rank: vec![Some(0), Some(1)],
